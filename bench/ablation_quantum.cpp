@@ -1,0 +1,45 @@
+// Ablation: run-ahead quantum — simulation fidelity vs speed.
+//
+// Processors may execute purely local operations up to `runahead_quantum`
+// cycles past their event-queue slot before yielding. quantum = 1 is strict
+// global ordering; larger quanta trade bounded timing skew for fewer
+// scheduler round-trips. This bench quantifies both sides: simulated time
+// drift relative to quantum = 1, and host simulation speed.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Ablation: run-ahead quantum (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+
+  for (const std::string app : {"ocean", "mp3d"}) {
+    TextTable t({app, "wall (cycles)", "drift vs q=1", "host ms", "speedup"});
+    double strict_wall = 0, strict_ms = 0;
+    for (unsigned q : {1u, 8u, 32u, 128u}) {
+      auto a = make_app(app, opt.scale);
+      MachineConfig cfg = paper_machine(4, 16 * 1024);
+      cfg.runahead_quantum = q;
+      const auto t0 = std::chrono::steady_clock::now();
+      const SimResult r = simulate(*a, cfg);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (q == 1) {
+        strict_wall = static_cast<double>(r.wall_time);
+        strict_ms = ms;
+      }
+      t.add_row({"q=" + std::to_string(q), std::to_string(r.wall_time),
+                 fmt_pct(static_cast<double>(r.wall_time) / strict_wall - 1.0,
+                         2) +
+                     "%",
+                 fmt(ms, 1), fmt(strict_ms / ms, 2) + "x"});
+    }
+    std::cout << t.str() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches (one binary per paper figure /
+// table). Every bench accepts:
+//   --paper   run the paper's Table 2 problem sizes (slower)
+//   --test    run tiny problem sizes (CI smoke)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+#include "src/report/figures.hpp"
+#include "src/report/table.hpp"
+
+namespace csim::bench {
+
+inline std::vector<unsigned> cluster_sizes() { return {1, 2, 4, 8}; }
+
+/// Runs one app over the cluster sweep at one cache size and prints the
+/// paper-style stacked bars. Returns the sweep for further use.
+inline std::vector<SimResult> run_and_render(const std::string& app,
+                                             ProblemScale scale,
+                                             std::size_t cache_bytes,
+                                             const std::string& title) {
+  auto sweep = sweep_clusters([&] { return make_app(app, scale); },
+                              cache_bytes);
+  std::cout << render_figure(title, bars_from_sweep(sweep)) << '\n';
+  return sweep;
+}
+
+/// Finite-capacity figure (Figures 4-8): groups of bars for 4 KB, 16 KB,
+/// 32 KB per processor and infinite, each normalized to its own 1p bar.
+inline void run_capacity_figure(const std::string& app, ProblemScale scale,
+                                const std::string& title) {
+  std::vector<FigureBar> bars;
+  const std::vector<std::pair<std::string, std::size_t>> caches = {
+      {"4k", 4 * 1024},
+      {"16k", 16 * 1024},
+      {"32k", 32 * 1024},
+      {"inf", 0},
+  };
+  for (const auto& [label, bytes] : caches) {
+    auto sweep =
+        sweep_clusters([&] { return make_app(app, scale); }, bytes);
+    bool first = true;
+    for (const SimResult& r : sweep) {
+      bars.push_back(FigureBar{
+          label + "/" + std::to_string(r.config.procs_per_cluster) + "p",
+          r.aggregate(), first});
+      first = false;
+    }
+  }
+  std::cout << render_figure(title, bars) << '\n';
+}
+
+}  // namespace csim::bench

@@ -1,0 +1,25 @@
+// Figure 2: the benefits of clustering with infinite caches.
+//
+// All nine applications, 64 processors, clusters of 1/2/4/8 sharing an
+// infinite fully associative cache. Isolates inherent communication and
+// cold misses: the only benefit clustering can show here is prefetching and
+// obviated invalidations.
+//
+// Expected shape (paper): LU/FFT/Barnes/FMM essentially flat (>= ~95% at
+// 8p), with FFT/LU converting load stall into merge stall; Ocean the clear
+// winner (near-neighbour traffic captured, load stall roughly halves per
+// doubling of cluster size); Raytrace/Volrend modest; MP3D ~ -10..15% at 8p
+// because its communication rate is high.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 2: infinite cluster caches, 64 processors (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  for (const auto& f : app_registry()) {
+    bench::run_and_render(f.name, opt.scale, 0,
+                          "Fig 2 - " + f.name + " (infinite caches)");
+  }
+  return 0;
+}

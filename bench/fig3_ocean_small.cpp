@@ -1,0 +1,32 @@
+// Figure 3: Ocean with a small 66x66 grid, infinite caches.
+//
+// Smaller problems have higher communication-to-computation ratios, so the
+// performance impact of clustering is greater than in Figure 2 — but load
+// imbalance / synchronization also grows. (The paper's conclusion:
+// clustering "pushes out" the number of processors usable on a fixed
+// problem size.)
+#include "bench/bench_util.hpp"
+
+#include "src/apps/ocean.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  (void)opt;
+  std::printf("Figure 3: Ocean, small 66x66 problem, infinite caches\n\n");
+
+  auto sweep = sweep_clusters(
+      [] { return std::make_unique<OceanApp>(OceanConfig::small_problem()); },
+      0);
+  std::cout << render_figure("Fig 3 - ocean 66x66 (infinite caches)",
+                             bars_from_sweep(sweep))
+            << '\n';
+
+  // Side-by-side with the normal 130x130 problem for the comparison the
+  // paper draws (greater clustering impact, more synchronization).
+  auto big = sweep_clusters(
+      [] { return make_app("ocean", ProblemScale::Default); }, 0);
+  std::cout << render_figure("reference: ocean 130x130 (infinite caches)",
+                             bars_from_sweep(big));
+  return 0;
+}

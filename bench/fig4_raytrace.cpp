@@ -1,0 +1,17 @@
+// Figure 4: finite-capacity effects for Raytrace.
+//
+// 4/16/32 KB per processor (fully associative) and infinite, clusters of
+// 1/2/4/8. Raytrace has the largest working set of the unstructured
+// applications, so working-set overlap keeps paying even at 32 KB: the
+// clustered bars should drop well below the infinite-cache bars' gains.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 4: Raytrace, finite capacity (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  bench::run_capacity_figure("raytrace", opt.scale,
+                             "Fig 4 - raytrace (4k/16k/32k/inf per proc)");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5: finite-capacity effects for MP3D.
+//
+// MP3D has large working sets (O(n/p) particles plus the shared space-cell
+// array) and high unstructured read-write communication; clustering helps
+// through both working-set overlap at small caches and communication
+// reduction.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 5: MP3D, finite capacity (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  bench::run_capacity_figure("mp3d", opt.scale,
+                             "Fig 5 - mp3d (4k/16k/32k/inf per proc)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 6: finite-capacity effects for Barnes.
+//
+// Barnes' per-processor working set (the upper octree + nearby cells) is
+// around 12 KB and overlaps heavily across spatially adjacent processors:
+// at 4 KB/processor the overlapped working set suddenly fits as the cluster
+// grows, producing the steep drops the paper highlights; at 32 KB the bars
+// approach the (nearly flat) infinite-cache behaviour.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 6: Barnes, finite capacity (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  bench::run_capacity_figure("barnes", opt.scale,
+                             "Fig 6 - barnes (4k/16k/32k/inf per proc)");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7: finite-capacity effects for FMM.
+//
+// FMM's working set (~4 KB: interaction-list multipole records) is the
+// smallest of the unstructured applications, so the working-set advantage
+// appears already at the 4 KB cache and largely disappears by 16 KB.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 7: FMM, finite capacity (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  bench::run_capacity_figure("fmm", opt.scale,
+                             "Fig 7 - fmm (4k/16k/32k/inf per proc)");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 8: finite-capacity effects for Volrend.
+//
+// Volrend's working set is near 16 KB (compact volume region per tile plus
+// the shared octree); expect clear clustering gains at 4-16 KB from
+// overlapped read-only data, converging towards the modest infinite-cache
+// gains at 32 KB.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Figure 8: Volrend, finite capacity (%s sizes)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+  bench::run_capacity_figure("volrend", opt.scale,
+                             "Fig 8 - volrend (4k/16k/32k/inf per proc)");
+  return 0;
+}

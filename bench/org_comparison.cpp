@@ -1,0 +1,59 @@
+// Organization comparison: shared-CACHE clusters vs shared-MAIN-MEMORY
+// clusters (the two abstract organizations of the paper's Section 2),
+// at the same per-processor cache budget.
+//
+// Section 2's qualitative claims, made quantitative here:
+//  - shared cache: one copy of read-shared data (working sets overlap),
+//    prefetching into the L1, but destructive interference and (analytic,
+//    Section 6) higher hit time;
+//  - shared memory: caches are separate (no interference), working sets are
+//    duplicated, but replaced data is re-fetched cache-to-cache within the
+//    cluster instead of remotely.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf(
+      "Cluster organization comparison (4-way clusters, %s sizes)\n"
+      "values: percent of the *unclustered* (1ppc) run of the same cache\n\n",
+      std::string(to_string(opt.scale)).c_str());
+
+  for (std::size_t kb : {4ul, 16ul, 0ul}) {
+    TextTable t({kb ? std::to_string(kb) + "KB/proc" : "inf cache",
+                 "shared-cache", "shared-memory", "snoop/1Kref",
+                 "clmem/1Kref"});
+    for (const auto& f : app_registry()) {
+      // Baseline: unclustered machine.
+      auto base_app = f.make(opt.scale);
+      const SimResult base = simulate(*base_app, paper_machine(1, kb * 1024));
+      const double bt = static_cast<double>(base.aggregate().total());
+
+      auto sc_app = f.make(opt.scale);
+      const SimResult sc = simulate(*sc_app, paper_machine(4, kb * 1024));
+
+      auto sm_app = f.make(opt.scale);
+      MachineConfig smc = paper_machine(4, kb * 1024);
+      smc.cluster_style = ClusterStyle::SharedMemory;
+      const SimResult sm = simulate(*sm_app, smc);
+
+      const double krefs =
+          static_cast<double>(sm.totals.reads + sm.totals.writes) / 1000.0;
+      t.add_row({f.name,
+                 fmt_pct(static_cast<double>(sc.aggregate().total()) / bt) + "%",
+                 fmt_pct(static_cast<double>(sm.aggregate().total()) / bt) + "%",
+                 fmt(static_cast<double>(sm.totals.snoop_transfers) / krefs, 1),
+                 fmt(static_cast<double>(sm.totals.cluster_memory_hits) / krefs,
+                     1)});
+    }
+    std::cout << t.str() << '\n';
+  }
+  std::printf(
+      "(snoop/clmem columns: cache-to-cache transfers and attraction-memory\n"
+      " fetches per thousand references in the shared-memory organization —\n"
+      " traffic that would have been remote without clustering)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks of the simulator core (google-benchmark): protocol
+// operations, cache storage, event queue, and end-to-end simulation
+// throughput in simulated references per second.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/app.hpp"
+#include "src/core/event_queue.hpp"
+#include "src/core/simulator.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/coherence.hpp"
+
+namespace csim {
+namespace {
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  const std::size_t lines = static_cast<std::size_t>(state.range(0));
+  CacheStorage cache(lines, 0, 64);
+  Addr a = 0;
+  for (auto _ : state) {
+    cache.insert(a, LineState::Shared);
+    benchmark::DoNotOptimize(cache.lookup(a));
+    a += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertLookup)->Arg(64)->Arg(1024);
+
+void BM_EventQueue(benchmark::State& state) {
+  EventQueue q;
+  Cycles t = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    q.schedule(t + 5, [&sink] { ++sink; });
+    q.schedule(t + 3, [&sink] { ++sink; });
+    q.run_one();
+    q.run_one();
+    t += 10;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_CoherenceReadHit(benchmark::State& state) {
+  MachineConfig cfg;
+  cfg.num_procs = 64;
+  cfg.procs_per_cluster = 4;
+  cfg.cache.per_proc_bytes = 0;
+  AddressSpace as;
+  const Addr base = as.alloc(1 << 20, "bench");
+  CoherenceController coh(cfg, as);
+  (void)coh.read(0, base, 0);  // warm the line
+  Cycles now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coh.read(0, base, now++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceReadHit);
+
+void BM_CoherenceCommunicationMiss(benchmark::State& state) {
+  MachineConfig cfg;
+  cfg.num_procs = 64;
+  cfg.procs_per_cluster = 1;
+  cfg.cache.per_proc_bytes = 0;
+  AddressSpace as;
+  const Addr base = as.alloc(1 << 20, "bench");
+  CoherenceController coh(cfg, as);
+  Cycles now = 0;
+  for (auto _ : state) {
+    // Write from cluster 0 invalidates, read from cluster 1 misses.
+    benchmark::DoNotOptimize(coh.write(0, base, now));
+    benchmark::DoNotOptimize(coh.read(1, base, now + 200));
+    now += 400;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CoherenceCommunicationMiss);
+
+void BM_EndToEndSim(benchmark::State& state) {
+  const unsigned ppc = static_cast<unsigned>(state.range(0));
+  std::uint64_t refs = 0;
+  for (auto _ : state) {
+    auto app = make_app("fft", ProblemScale::Test);
+    MachineConfig cfg;
+    cfg.num_procs = 64;
+    cfg.procs_per_cluster = ppc;
+    cfg.cache.per_proc_bytes = 16 * 1024;
+    const SimResult r = simulate(*app, cfg);
+    refs += r.totals.reads + r.totals.writes;
+    benchmark::DoNotOptimize(r.wall_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+  state.SetLabel("simulated refs/s");
+}
+BENCHMARK(BM_EndToEndSim)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace csim
+
+BENCHMARK_MAIN();

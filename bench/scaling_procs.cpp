@@ -1,0 +1,48 @@
+// Processor-count scaling: "clustering may push out the number of
+// processors that can be used effectively on a fixed problem size"
+// (the paper's Section 4 conclusion for near-neighbour codes).
+//
+// Fixed Ocean problem, growing machine: speedup over the 16-processor
+// unclustered run, with and without 8-way clustering. The unclustered curve
+// flattens sooner (communication and imbalance grow with P); clustering
+// moves the knee outward.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/ocean.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Scaling: fixed Ocean problem vs processor count "
+              "(%s sizes, infinite caches)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+
+  OceanConfig ocfg = OceanConfig::preset(opt.scale);
+  auto run = [&](unsigned procs, unsigned ppc) {
+    OceanApp app(ocfg);
+    MachineConfig cfg;
+    cfg.num_procs = procs;
+    cfg.procs_per_cluster = ppc;
+    cfg.cache.per_proc_bytes = 0;
+    return simulate(app, cfg);
+  };
+
+  const SimResult base = run(16, 1);
+  TextTable t({"procs", "speedup 1ppc", "speedup 8ppc", "clustering gain"});
+  for (unsigned procs : {16u, 32u, 64u}) {
+    const SimResult un = run(procs, 1);
+    const SimResult cl = run(procs, 8);
+    const double s1 = static_cast<double>(base.wall_time) / un.wall_time * 16.0;
+    const double s8 = static_cast<double>(base.wall_time) / cl.wall_time * 16.0;
+    t.add_row({std::to_string(procs), fmt(s1, 1) + "x", fmt(s8, 1) + "x",
+               fmt_pct(s8 / s1 - 1.0, 0) + "%"});
+  }
+  std::cout << t.str();
+  std::printf("\n(speedup normalized so 16 unclustered processors = 16x; the\n"
+              " clustering gain column growing with P is the \"pushes out\"\n"
+              " effect: communication grows with the partition perimeter as\n"
+              " the fixed problem is cut finer)\n");
+  return 0;
+}

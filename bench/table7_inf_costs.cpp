@@ -1,0 +1,39 @@
+// Table 7: relative execution time of clustering with infinite caches, with
+// shared-cache costs included.
+//
+// With no working-set advantage available, the shared-cache hit-time costs
+// must dominate: LU gets worse with clustering, and even Ocean — the only
+// application with a real communication reduction — at best breaks even
+// beyond small cluster sizes. This is the paper's core negative result.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "src/analysis/shared_cache_cost.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf(
+      "Table 7: relative execution time of clustering, infinite caches,\n"
+      "shared-cache hit-time and bank-conflict costs included (%s sizes)\n\n",
+      std::string(to_string(opt.scale)).c_str());
+
+  const std::map<std::string, std::array<double, 4>> paper = {
+      {"ocean", {1.0, 0.99, 1.04, 0.99}},
+      {"lu", {1.0, 1.03, 1.06, 1.05}},
+  };
+
+  SharedCacheCostModel model;
+  TextTable t({"app", "1-way", "2-way", "4-way", "8-way", "paper 8-way"});
+  for (const std::string app : {"ocean", "lu"}) {
+    auto sweep = sweep_clusters([&] { return make_app(app, opt.scale); }, 0);
+    const ClusterCostRow row = make_cost_row(sweep, model);
+    t.add_row({app, fmt(row.relative_time[0], 2), fmt(row.relative_time[1], 2),
+               fmt(row.relative_time[2], 2), fmt(row.relative_time[3], 2),
+               fmt(paper.at(app)[3], 2)});
+  }
+  std::cout << t.str();
+  return 0;
+}

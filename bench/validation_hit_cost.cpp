@@ -1,0 +1,59 @@
+// Validation: the paper's analytic Section 6 estimation vs direct
+// simulation of shared-cache hit costs.
+//
+// The paper ran its event simulator with 1-cycle hits and multiplied by an
+// analytic factor (Table 5 expansion x Table 4 conflicts) to account for the
+// shared cache's 2-3 cycle hit time. This bench *simulates* those costs
+// instead (every access charged the Table 1 shared hit latency, plus one
+// cycle on a pseudo-random Table 4 bank conflict) and compares both methods.
+//
+// Expected systematic gap: the analytic route assumes the processor stalls
+// only when a load's value is consumed (Pixie's delay-slot accounting),
+// while the direct simulation charges every access its full latency — so
+// the simulated costs form an upper bound on the analytic ones.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/analysis/shared_cache_cost.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const auto opt = BenchOptions::parse(argc, argv);
+  std::printf("Validation: analytic (Section 6) vs simulated shared-cache "
+              "hit costs (%s sizes, 4 KB caches)\n\n",
+              std::string(to_string(opt.scale)).c_str());
+
+  SharedCacheCostModel model;
+  TextTable t({"app", "ppc", "sim-only", "analytic", "simulated", "ratio"});
+  for (const std::string app : {"barnes", "volrend", "radix"}) {
+    auto sweep = sweep_clusters([&] { return make_app(app, opt.scale); },
+                                4 * 1024);
+    const ClusterCostRow analytic = make_cost_row(sweep, model);
+
+    // Direct simulation with modelled hit costs; normalize by a 1ppc run
+    // that also models costs (1-cycle hits there, so it equals the plain
+    // run, but keep the path identical).
+    double base = 0;
+    for (std::size_t i = 0; i < analytic.cluster_sizes.size(); ++i) {
+      const unsigned ppc = analytic.cluster_sizes[i];
+      auto a = make_app(app, opt.scale);
+      MachineConfig cfg = paper_machine(ppc, 4 * 1024);
+      cfg.model_shared_hit_costs = true;
+      const SimResult r = simulate(*a, cfg);
+      const double tot = static_cast<double>(r.aggregate().total());
+      if (ppc == 1) base = tot;
+      const double simulated = tot / base;
+      t.add_row({app, std::to_string(ppc), fmt(analytic.sim_ratio[i], 3),
+                 fmt(analytic.relative_time[i], 3), fmt(simulated, 3),
+                 fmt(simulated / analytic.relative_time[i], 2)});
+    }
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nratio = simulated / analytic; access-dense apps (radix) land above 1\n"
+      "(full-latency hits vs delay-slot accounting), compute-dominated ones\n"
+      "slightly below. Agreement in *ordering* across cluster sizes is what\n"
+      "validates the paper's estimation procedure.\n");
+  return 0;
+}

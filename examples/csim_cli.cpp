@@ -1,0 +1,152 @@
+// csim_cli: run any workload on any machine configuration from the command
+// line, with figure or CSV output — the "driver" a downstream user scripts
+// experiments with.
+//
+//   csim_cli --app ocean --ppc 1,2,4,8 --cache 16 --csv
+//   csim_cli --app barnes --scale paper --style memory --quantum 1
+//   csim_cli --list
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+#include "src/report/figures.hpp"
+#include "src/report/gnuplot.hpp"
+
+namespace {
+
+using namespace csim;
+
+std::vector<unsigned> parse_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(static_cast<unsigned>(std::stoul(item)));
+  }
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage: csim_cli [options]\n"
+      "  --app NAME        workload (see --list); default: ocean\n"
+      "  --list            list workloads and exit\n"
+      "  --scale S         test | default | paper (default: default)\n"
+      "  --procs N         processors (default 64)\n"
+      "  --ppc A,B,...     cluster sizes to sweep (default 1,2,4,8)\n"
+      "  --cache KB        per-processor cache in KB; 0 = infinite (default 0)\n"
+      "  --assoc N         set associativity; 0 = fully associative\n"
+      "  --line B          cache line bytes (default 64)\n"
+      "  --style S         cache | memory (cluster organization)\n"
+      "  --quantum N       run-ahead quantum in cycles (default 32)\n"
+      "  --hit-costs       model shared-cache hit costs in-simulation\n"
+      "  --csv             emit CSV instead of the stacked-bar figure\n"
+      "  --gnuplot BASE    also write BASE.dat/BASE.gp for gnuplot\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "ocean";
+  ProblemScale scale = ProblemScale::Default;
+  unsigned procs = 64;
+  std::vector<unsigned> ppcs = {1, 2, 4, 8};
+  std::size_t cache_kb = 0;
+  unsigned assoc = 0;
+  unsigned line = 64;
+  ClusterStyle style = ClusterStyle::SharedCache;
+  Cycles quantum = 32;
+  bool hit_costs = false;
+  bool csv = false;
+  std::string gnuplot_base;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--app") {
+      app = next();
+    } else if (a == "--list") {
+      for (const auto& f : app_registry()) {
+        std::printf("%-10s %s\n", f.name.c_str(), f.description.c_str());
+      }
+      return 0;
+    } else if (a == "--scale") {
+      const std::string s = next();
+      scale = s == "paper" ? ProblemScale::Paper
+              : s == "test" ? ProblemScale::Test
+                            : ProblemScale::Default;
+    } else if (a == "--procs") {
+      procs = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--ppc") {
+      ppcs = parse_list(next());
+    } else if (a == "--cache") {
+      cache_kb = std::stoul(next());
+    } else if (a == "--assoc") {
+      assoc = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--line") {
+      line = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--style") {
+      style = next() == "memory" ? ClusterStyle::SharedMemory
+                                 : ClusterStyle::SharedCache;
+    } else if (a == "--quantum") {
+      quantum = std::stoul(next());
+    } else if (a == "--hit-costs") {
+      hit_costs = true;
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "--gnuplot") {
+      gnuplot_base = next();
+    } else {
+      usage();
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  try {
+    std::vector<SimResult> results;
+    for (unsigned ppc : ppcs) {
+      MachineConfig cfg;
+      cfg.num_procs = procs;
+      cfg.procs_per_cluster = ppc;
+      cfg.cache.per_proc_bytes = cache_kb * 1024;
+      cfg.cache.associativity = assoc;
+      cfg.cache.line_bytes = line;
+      cfg.cluster_style = style;
+      cfg.runahead_quantum = quantum;
+      cfg.model_shared_hit_costs = hit_costs;
+      auto prog = make_app(app, scale);
+      results.push_back(simulate(*prog, cfg));
+    }
+    if (!gnuplot_base.empty()) {
+      write_gnuplot_figure(gnuplot_base, app, bars_from_sweep(results));
+      std::printf("wrote %s.dat and %s.gp\n", gnuplot_base.c_str(),
+                  gnuplot_base.c_str());
+    }
+    if (csv) {
+      write_csv(std::cout, results);
+    } else {
+      std::cout << render_figure(
+          app + " (" + std::string(to_string(scale)) + ", " +
+              (cache_kb ? std::to_string(cache_kb) + "KB" : "inf") + ", " +
+              (style == ClusterStyle::SharedMemory ? "shared-memory"
+                                                   : "shared-cache") +
+              ")",
+          bars_from_sweep(results));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

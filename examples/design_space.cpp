@@ -1,0 +1,55 @@
+// Design-space explorer: "given a fixed number of processors with a fixed
+// total amount of cache, should I cluster — and at which cluster size?"
+//
+// This is the machine-organization question from the paper's introduction.
+// For a chosen workload it sweeps cluster size x per-processor cache size,
+// applies the Section 6 shared-cache cost model, and prints the best
+// organization per cache budget.
+//
+//   $ ./design_space [app]      (default: barnes)
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/analysis/shared_cache_cost.hpp"
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+#include "src/report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csim;
+  const std::string app_name = argc > 1 ? argv[1] : "barnes";
+  const SharedCacheCostModel cost;
+
+  std::printf("Design space for '%s': 64 processors, shared-cache costs "
+              "included\n\n",
+              app_name.c_str());
+
+  TextTable t({"cache/proc", "1-way", "2-way", "4-way", "8-way", "best"});
+  for (std::size_t kb : {4ul, 16ul, 32ul, 0ul}) {
+    auto sweep = sweep_clusters(
+        [&] { return make_app(app_name, ProblemScale::Default); }, kb * 1024);
+    const ClusterCostRow row = make_cost_row(sweep, cost);
+    unsigned best = 1;
+    double best_t = 1e30;
+    std::vector<std::string> cells = {kb ? std::to_string(kb) + "KB" : "inf"};
+    for (std::size_t i = 0; i < row.cluster_sizes.size(); ++i) {
+      cells.push_back(fmt(row.relative_time[i], 3));
+      if (row.relative_time[i] < best_t) {
+        best_t = row.relative_time[i];
+        best = row.cluster_sizes[i];
+      }
+    }
+    cells.push_back(best == 1 ? "don't cluster"
+                              : std::to_string(best) + "-way");
+    t.add_row(cells);
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nReading: values are execution time relative to the unclustered\n"
+      "machine with the same per-processor cache, including the longer hit\n"
+      "time and bank conflicts of a shared cache. The paper's conclusion:\n"
+      "clustering pays off when per-processor caches are smaller than the\n"
+      "working set (overlap), and rarely otherwise.\n");
+  return 0;
+}

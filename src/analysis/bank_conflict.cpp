@@ -1,0 +1,22 @@
+#include "src/analysis/bank_conflict.hpp"
+
+#include <cmath>
+
+namespace csim {
+
+double bank_conflict_probability(unsigned banks, unsigned procs) noexcept {
+  if (procs <= 1 || banks == 0) return 0.0;
+  const double miss_me = static_cast<double>(banks - 1) / banks;
+  return 1.0 - std::pow(miss_me, static_cast<double>(procs - 1));
+}
+
+std::vector<BankConflictRow> bank_conflict_table(unsigned banks_per_proc) {
+  std::vector<BankConflictRow> out;
+  for (unsigned n : {1u, 2u, 4u, 8u}) {
+    const unsigned m = n == 1 ? 1 : banks_per_proc * n;
+    out.push_back(BankConflictRow{n, m, bank_conflict_probability(m, n)});
+  }
+  return out;
+}
+
+}  // namespace csim

@@ -1,0 +1,28 @@
+// Bank-conflict probability model for the shared multi-banked first-level
+// cache (paper Section 6, Table 4).
+//
+// The shared cache has `banks_per_proc` banks per clustered processor
+// (4 in the paper). Each processor emits a reference to a random bank every
+// cycle; a reference conflicts if any of the other n-1 processors picked the
+// same bank:  C = 1 - ((m-1)/m)^(n-1).
+#pragma once
+
+#include <vector>
+
+namespace csim {
+
+/// Probability that a reference conflicts with at least one of the other
+/// n-1 processors' references across m banks. n == 1 or m == 0 gives 0.
+double bank_conflict_probability(unsigned banks, unsigned procs) noexcept;
+
+struct BankConflictRow {
+  unsigned procs_per_cache;
+  unsigned banks;
+  double collision_probability;
+};
+
+/// The paper's Table 4: n in {1,2,4,8}, m = 4n (m = 1 for the trivial
+/// single-processor cache).
+std::vector<BankConflictRow> bank_conflict_table(unsigned banks_per_proc = 4);
+
+}  // namespace csim

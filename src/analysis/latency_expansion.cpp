@@ -1,0 +1,48 @@
+#include "src/analysis/latency_expansion.hpp"
+
+#include <array>
+
+namespace csim {
+
+namespace {
+// Table 5 of the paper: load-latency execution-time factors from Pixie.
+constexpr std::array<PaperExpansionRow, 6> kTable5 = {{
+    {"barnes", 1.036, 1.078, 1.123},
+    {"lu", 1.055, 1.114, 1.173},
+    {"ocean", 1.061, 1.144, 1.243},
+    {"radix", 1.051, 1.102, 1.162},
+    {"volrend", 1.051, 1.106, 1.167},
+    {"mp3d", 1.08, 1.14, 1.243},
+}};
+}  // namespace
+
+std::span<const PaperExpansionRow> paper_table5() noexcept { return kTable5; }
+
+std::optional<PaperExpansionRow> paper_expansion(std::string_view app) noexcept {
+  for (const auto& r : kTable5) {
+    if (r.app == app) return r;
+  }
+  return std::nullopt;
+}
+
+LatencyExpansionModel fit_model_to(const PaperExpansionRow& row) noexcept {
+  // factor(k) - 1 = rho*u0*(k-1) + rho*u_slope*(k-1)(k-2); least-squares fit
+  // of the two products over k = 2,3,4.
+  const double y2 = row.f2 - 1.0, y3 = row.f3 - 1.0, y4 = row.f4 - 1.0;
+  // Basis: a*(k-1) + b*(k-1)(k-2) with samples (1,0), (2,2), (3,6).
+  // Normal equations for [[1+4+9, 0+4+18],[0+4+18, 0+4+36]] [a b] = ...
+  const double s11 = 1 + 4 + 9, s12 = 0 + 4 + 18, s22 = 0 + 4 + 36;
+  const double t1 = y2 * 1 + y3 * 2 + y4 * 3;
+  const double t2 = y2 * 0 + y3 * 2 + y4 * 6;
+  const double det = s11 * s22 - s12 * s12;
+  const double a = (t1 * s22 - t2 * s12) / det;
+  const double b = (t2 * s11 - t1 * s12) / det;
+  LatencyExpansionModel m;
+  // Fold rho into the probabilities (rho := 1).
+  m.loads_per_cycle = 1.0;
+  m.use_prob = a;
+  m.use_prob_slope = b;
+  return m;
+}
+
+}  // namespace csim

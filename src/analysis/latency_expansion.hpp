@@ -1,0 +1,63 @@
+// Load-latency execution-time expansion factors (paper Section 6, Table 5).
+//
+// The paper derived these with Pixie basic-block profiling on MIPS binaries:
+// the relative increase in execution time when the primary-cache load
+// latency grows from 1 to k cycles, assuming the processor stalls only when
+// the load's destination register is used.
+//
+// Substitution (no MIPS binaries or Pixie here): an analytic pipeline model
+//   factor(k) = 1 + rho * (k-1) * u(k),  u(k) = u0 + u_slope * (k-2)
+// where rho is the application's load density (loads per busy cycle) and
+// u(k) the probability that a load's value is needed before the extra
+// latency is hidden (growing with k because the compiler can fill one delay
+// slot more easily than three). The paper's measured Table 5 is embedded as
+// reference data; bench/table5_latency_factors prints both side by side.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace csim {
+
+struct LatencyExpansionModel {
+  double loads_per_cycle = 0.25;  ///< rho: architectural load density
+  double use_prob = 0.30;         ///< u0: P(value used in the next cycle)
+  double use_prob_slope = 0.045;  ///< growth of u with latency
+
+  /// Execution-time multiplier for a flat load latency of `latency` cycles,
+  /// relative to 1-cycle loads.
+  [[nodiscard]] double factor(unsigned latency) const noexcept {
+    if (latency <= 1) return 1.0;
+    const double k = static_cast<double>(latency);
+    const double u = use_prob + use_prob_slope * (k - 2.0);
+    return 1.0 + loads_per_cycle * (k - 1.0) * u;
+  }
+};
+
+/// One row of the paper's Table 5 (measured with Pixie).
+struct PaperExpansionRow {
+  std::string_view app;
+  double f2, f3, f4;  ///< factors at 2, 3, 4-cycle load latency
+  [[nodiscard]] double factor(unsigned latency) const noexcept {
+    switch (latency) {
+      case 2: return f2;
+      case 3: return f3;
+      case 4: return f4;
+      default: return 1.0;
+    }
+  }
+};
+
+/// The paper's Table 5 contents.
+std::span<const PaperExpansionRow> paper_table5() noexcept;
+
+/// Paper row for `app`, if the paper measured it.
+std::optional<PaperExpansionRow> paper_expansion(std::string_view app) noexcept;
+
+/// Fits the model's effective rho*u0 to a paper row (least squares over the
+/// three latencies), returning a model with use_prob folded in. Used to show
+/// how closely the analytic form tracks the Pixie data.
+LatencyExpansionModel fit_model_to(const PaperExpansionRow& row) noexcept;
+
+}  // namespace csim

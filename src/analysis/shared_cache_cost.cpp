@@ -1,0 +1,46 @@
+#include "src/analysis/shared_cache_cost.hpp"
+
+#include <stdexcept>
+
+namespace csim {
+
+double SharedCacheCostModel::multiplier(std::string_view name, double rho,
+                                        unsigned ppc) const {
+  const unsigned L = shared_hit_latency(ppc);
+  const double C = bank_conflict_probability(
+      ppc == 1 ? 1 : banks_per_proc * ppc, ppc);
+
+  auto factor = [&](unsigned lat) {
+    if (prefer_paper_factors) {
+      if (auto row = paper_expansion(name)) return row->factor(lat);
+    }
+    LatencyExpansionModel m;
+    m.loads_per_cycle = rho;
+    return m.factor(lat);
+  };
+
+  const double f = (1.0 - C) * factor(L) + C * factor(L + 1);
+  return f / factor(1);  // factor(1) == 1, kept for clarity
+}
+
+ClusterCostRow make_cost_row(const std::vector<SimResult>& sweep,
+                             const SharedCacheCostModel& model) {
+  if (sweep.empty()) throw std::invalid_argument("empty sweep");
+  ClusterCostRow row;
+  row.app = sweep.front().app_name;
+  const double base = static_cast<double>(sweep.front().aggregate().total());
+  for (const SimResult& r : sweep) {
+    if (r.app_name != row.app) {
+      throw std::invalid_argument("cost row mixes applications");
+    }
+    const unsigned ppc = r.config.procs_per_cluster;
+    const double ratio = static_cast<double>(r.aggregate().total()) / base;
+    row.cluster_sizes.push_back(ppc);
+    row.sim_ratio.push_back(ratio);
+    row.relative_time.push_back(
+        ratio * model.multiplier(row.app, r.loads_per_cpu_cycle(), ppc));
+  }
+  return row;
+}
+
+}  // namespace csim

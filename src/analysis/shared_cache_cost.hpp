@@ -1,0 +1,63 @@
+// Shared first-level cache cost estimator (paper Section 6, Tables 6 & 7).
+//
+// The event simulator always charges 1-cycle hits. The costs of *sharing*
+// the first-level cache — the longer hit time of a multi-ported multi-banked
+// cache (Table 1: 2 cycles for 2-way clusters, 3 cycles for 4/8-way) and
+// bank conflicts (Table 4) — are applied analytically afterwards:
+//
+//   multiplier(ppc) = [(1-C) * F(L) + C * F(L+1)] / F(1)
+//
+// where L is the shared-cache hit latency for the cluster size, C the bank
+// conflict probability, and F the load-latency expansion factor (Table 5
+// substitute, or the paper's own Pixie-measured factors when available).
+//
+// relative_time(ppc) = sim_time(ppc) / sim_time(1) * multiplier(ppc),
+// which regenerates the rows of Tables 6 and 7.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/bank_conflict.hpp"
+#include "src/analysis/latency_expansion.hpp"
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+struct SharedCacheCostModel {
+  unsigned banks_per_proc = 4;
+  /// If true and the paper measured the app in Table 5, use its factors;
+  /// otherwise the analytic model with the simulation's measured load
+  /// density.
+  bool prefer_paper_factors = true;
+
+  /// Shared-cache hit latency in cycles for a cluster of `ppc` processors
+  /// (Table 1: 1, 2, 3, 3).
+  static unsigned shared_hit_latency(unsigned ppc) noexcept {
+    if (ppc <= 1) return 1;
+    if (ppc == 2) return 2;
+    return 3;
+  }
+
+  /// Execution-time multiplier capturing the shared-cache hit-time costs for
+  /// app `name` with measured load density `rho` at cluster size `ppc`.
+  [[nodiscard]] double multiplier(std::string_view name, double rho,
+                                  unsigned ppc) const;
+};
+
+/// A row of Table 6 / Table 7: relative execution times of clustering with
+/// shared-cache costs included, normalized to the 1-way cluster.
+struct ClusterCostRow {
+  std::string app;
+  std::vector<unsigned> cluster_sizes;
+  std::vector<double> sim_ratio;      ///< simulated time ratio (no hit cost)
+  std::vector<double> relative_time;  ///< with shared-cache costs applied
+};
+
+/// Combines a sweep of simulation results (one per cluster size, same app
+/// and cache size) into a cost-adjusted row.
+ClusterCostRow make_cost_row(const std::vector<SimResult>& sweep,
+                             const SharedCacheCostModel& model);
+
+}  // namespace csim

@@ -1,0 +1,101 @@
+#include "src/analysis/working_set.hpp"
+
+#include <algorithm>
+
+#include "src/core/simulator.hpp"
+
+namespace csim {
+
+std::size_t StackDistance::touch(Addr line) {
+  ++refs_;
+  auto it = pos_.find(line);
+  if (it == pos_.end()) {
+    ++cold_;
+    stack_.push_front(line);
+    pos_[line] = stack_.begin();
+    return SIZE_MAX;
+  }
+  // Distance = number of distinct lines referenced since this one.
+  std::size_t d = 0;
+  for (auto walk = stack_.begin(); walk != it->second; ++walk) ++d;
+  stack_.splice(stack_.begin(), stack_, it->second);
+  it->second = stack_.begin();
+  if (hist_.size() <= d) hist_.resize(d + 1, 0);
+  ++hist_[d];
+  return d;
+}
+
+double StackDistance::miss_ratio(std::size_t lines) const {
+  if (refs_ == 0) return 0.0;
+  std::uint64_t hits = 0;
+  const std::size_t upto = std::min(lines, hist_.size());
+  for (std::size_t d = 0; d < upto; ++d) hits += hist_[d];
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(refs_);
+}
+
+double StackDistance::rereference_miss_ratio(std::size_t lines) const {
+  const std::uint64_t reref = refs_ - cold_;
+  if (reref == 0) return 0.0;
+  std::uint64_t hits = 0;
+  const std::size_t upto = std::min(lines, hist_.size());
+  for (std::size_t d = 0; d < upto; ++d) hits += hist_[d];
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(reref);
+}
+
+std::size_t StackDistance::working_set_lines(double coverage) const {
+  const std::uint64_t reref = refs_ - cold_;
+  if (reref == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(reref));
+  std::uint64_t acc = 0;
+  for (std::size_t d = 0; d < hist_.size(); ++d) {
+    acc += hist_[d];
+    if (acc >= target) return d + 1;
+  }
+  return distinct_lines();
+}
+
+AccessResult WorkingSetProfiler::read(ProcId p, Addr a, Cycles /*now*/) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = a & ~Addr{cfg_->cache.line_bytes - 1};
+  ++counters_[c].reads;
+  if (units_[c].touch(line) == SIZE_MAX) ++counters_[c].cold_misses;
+  return AccessResult{AccessResult::Kind::Hit};
+}
+
+AccessResult WorkingSetProfiler::write(ProcId p, Addr a, Cycles /*now*/) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = a & ~Addr{cfg_->cache.line_bytes - 1};
+  ++counters_[c].writes;
+  ++counters_[c].write_hits;
+  if (units_[c].touch(line) == SIZE_MAX) ++counters_[c].cold_misses;
+  return AccessResult{AccessResult::Kind::Hit};
+}
+
+MissCounters WorkingSetProfiler::totals() const {
+  MissCounters t{};
+  for (const auto& c : counters_) t += c;
+  return t;
+}
+
+double WorkingSetProfiler::mean_working_set_bytes(double coverage) const {
+  double sum = 0;
+  unsigned n = 0;
+  for (const auto& u : units_) {
+    if (u.references() == 0) continue;
+    sum += static_cast<double>(u.working_set_lines(coverage)) *
+           cfg_->cache.line_bytes;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+std::unique_ptr<WorkingSetProfiler> profile_working_sets(
+    Program& prog, const MachineConfig& cfg) {
+  auto profiler = std::make_unique<WorkingSetProfiler>(cfg);
+  Simulator sim(cfg);
+  (void)sim.run(prog, profiler.get());
+  return profiler;
+}
+
+}  // namespace csim

@@ -1,0 +1,71 @@
+#include "src/apps/app.hpp"
+
+#include <stdexcept>
+
+namespace csim {
+
+std::string_view to_string(ProblemScale s) noexcept {
+  switch (s) {
+    case ProblemScale::Test: return "test";
+    case ProblemScale::Default: return "default";
+    case ProblemScale::Paper: return "paper";
+  }
+  return "?";
+}
+
+const std::vector<AppFactory>& app_registry() {
+  static const std::vector<AppFactory> reg = {
+      {"barnes", "Hierarchical N-body (Barnes-Hut octree)", make_barnes},
+      {"fft", "1-D FFT, blocked transpose (all-to-all)", make_fft},
+      {"fmm", "Fast Multipole Method (hierarchical interaction lists)",
+       make_fmm},
+      {"lu", "Blocked dense LU factorization", make_lu},
+      {"mp3d", "Rarefied-flow particle-in-cell (unstructured read-write)",
+       make_mp3d},
+      {"ocean", "Regular-grid iterative solver (near-neighbour)", make_ocean},
+      {"radix", "Parallel radix sort (shared histograms, all-to-all permute)",
+       make_radix},
+      {"raytrace", "Recursive ray tracing (read-only scene, reflections)",
+       make_raytrace},
+      {"volrend", "Volume rendering (read-only volume, no reflections)",
+       make_volrend},
+  };
+  return reg;
+}
+
+std::unique_ptr<Program> make_app(std::string_view name, ProblemScale s) {
+  for (const auto& f : app_registry()) {
+    if (f.name == name) return f.make(s);
+  }
+  throw std::invalid_argument("unknown application: " + std::string(name));
+}
+
+std::vector<std::string> app_names() {
+  std::vector<std::string> out;
+  for (const auto& f : app_registry()) out.push_back(f.name);
+  return out;
+}
+
+SimTask stream_read(Proc& p, Addr base, std::size_t bytes,
+                    Cycles compute_per_line) {
+  const unsigned line = p.config().cache.line_bytes;
+  const Addr first = base & ~Addr{line - 1};
+  const Addr last = (base + bytes + line - 1) & ~Addr{line - 1};
+  for (Addr a = first; a < last; a += line) {
+    co_await p.read(a);
+    if (compute_per_line) co_await p.compute(compute_per_line);
+  }
+}
+
+SimTask stream_write(Proc& p, Addr base, std::size_t bytes,
+                     Cycles compute_per_line) {
+  const unsigned line = p.config().cache.line_bytes;
+  const Addr first = base & ~Addr{line - 1};
+  const Addr last = (base + bytes + line - 1) & ~Addr{line - 1};
+  for (Addr a = first; a < last; a += line) {
+    co_await p.write(a);
+    if (compute_per_line) co_await p.compute(compute_per_line);
+  }
+}
+
+}  // namespace csim

@@ -1,0 +1,266 @@
+#include "src/apps/barnes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/apps/prng.hpp"
+
+namespace csim {
+
+BarnesConfig BarnesConfig::preset(ProblemScale s) {
+  BarnesConfig c;
+  switch (s) {
+    case ProblemScale::Test:
+      c.bodies = 192;
+      c.steps = 1;
+      break;
+    case ProblemScale::Default:
+      break;  // struct defaults
+    case ProblemScale::Paper:
+      c.bodies = 8192;
+      c.steps = 4;
+      break;
+  }
+  return c;
+}
+
+std::unique_ptr<Program> make_barnes(ProblemScale s) {
+  return std::make_unique<BarnesApp>(BarnesConfig::preset(s));
+}
+
+void BarnesApp::setup(AddressSpace& as, const MachineConfig& mc) {
+  nprocs_ = mc.num_procs;
+  Rng rng(cfg_.seed);
+  pos_.resize(cfg_.bodies);
+  vel_.resize(cfg_.bodies);
+  acc_.assign(cfg_.bodies, Vec3{});
+  mass_.assign(cfg_.bodies, 1.0 / static_cast<double>(cfg_.bodies));
+  // Plummer-like distribution: radius with a dense core and sparse halo.
+  for (std::size_t i = 0; i < cfg_.bodies; ++i) {
+    const double u = rng.uniform(0.05, 0.95);
+    const double r = 0.1 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    const double ct = rng.uniform(-1.0, 1.0);
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    const double ph = rng.uniform(0.0, 6.2831853);
+    pos_[i] = Vec3{r * st * std::cos(ph), r * st * std::sin(ph), r * ct};
+    vel_[i] = Vec3{rng.uniform(-0.02, 0.02), rng.uniform(-0.02, 0.02),
+                   rng.uniform(-0.02, 0.02)};
+  }
+
+  body_base_ = as.alloc(cfg_.bodies * kBodyBytes, "barnes.bodies");
+  node_base_ = as.alloc(cfg_.bodies * 4 * kNodeBytes, "barnes.tree");
+
+  rebuild_tree();
+  // Bodies placed by their owner's chunk of the initial tree order.
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    const BlockRange r = block_partition(cfg_.bodies, nprocs_, p);
+    for (std::size_t k = r.begin; k < r.end; ++k) {
+      as.place(body_addr(tree_.point_order()[k]), kBodyBytes, p);
+    }
+  }
+
+  bar_ = std::make_unique<Barrier>(nprocs_);
+  cell_locks_.clear();
+  for (unsigned i = 0; i < kNumLocks; ++i) {
+    cell_locks_.push_back(std::make_unique<Lock>());
+  }
+  steps_done_ = 0;
+}
+
+void BarnesApp::rebuild_tree() {
+  tree_.build(pos_, mass_, cfg_.leaf_cap);
+  if (tree_.size() > cfg_.bodies * 4) {
+    throw std::runtime_error("Barnes: tree node region overflow");
+  }
+  tree_.assign_addrs(node_base_, kNodeBytes);
+}
+
+SimTask BarnesApp::load_phase(Proc& p, const BlockRange& mine) {
+  // Each processor loads its bodies into the (host-prebuilt) tree: walk the
+  // path from the root to the body's leaf, then update the leaf under a lock
+  // — the write-shared tree-construction traffic of SPLASH-2 Barnes.
+  const auto& nodes = tree_.nodes();
+  for (std::size_t k = mine.begin; k < mine.end; ++k) {
+    const int b = tree_.point_order()[k];
+    co_await p.read(body_addr(b));
+    int ni = 0;
+    for (;;) {
+      const auto& n = nodes[ni];
+      co_await p.read(n.addr);
+      if (n.leaf()) break;
+      const Vec3& q = pos_[b];
+      const int oct = (q.x >= n.center.x ? 1 : 0) | (q.y >= n.center.y ? 2 : 0) |
+                      (q.z >= n.center.z ? 4 : 0);
+      const int c = tree_.child(n, oct);
+      if (c < 0) break;  // body sits in an empty octant's parent
+      ni = c;
+    }
+    Lock& lk = *cell_locks_[static_cast<unsigned>(ni) % kNumLocks];
+    co_await p.acquire(lk);
+    co_await p.write(nodes[ni].addr);
+    p.release(lk);
+  }
+  co_await p.barrier(*bar_);
+}
+
+SimTask BarnesApp::com_phase(Proc& p) {
+  // Parallel upward pass: processors partition the node array and read each
+  // node's children to form mass / center-of-mass, then write the node.
+  const auto& nodes = tree_.nodes();
+  const BlockRange mine = block_partition(nodes.size(), nprocs_, p.id());
+  for (std::size_t i = mine.begin; i < mine.end; ++i) {
+    const auto& n = nodes[i];
+    if (!n.leaf()) {
+      for (int o = 0; o < 8; ++o) {
+        const int c = tree_.child(n, o);
+        if (c >= 0) co_await p.read(nodes[c].addr);
+      }
+      co_await p.compute(8);
+    }
+    co_await p.write(n.addr);
+  }
+  co_await p.barrier(*bar_);
+}
+
+Vec3 BarnesApp::bh_accel(std::size_t i) const {
+  const auto& nodes = tree_.nodes();
+  Vec3 a{};
+  const double eps2 = cfg_.eps * cfg_.eps;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int ni = stack.back();
+    stack.pop_back();
+    const auto& n = nodes[ni];
+    const Vec3 d = n.com - pos_[i];
+    const double d2 = d.norm2() + eps2;
+    const double s = 2.0 * n.half;
+    if (n.leaf() || s * s < cfg_.theta * cfg_.theta * d2) {
+      if (n.leaf()) {
+        for (int k = 0; k < n.num_points; ++k) {
+          const int j = tree_.point_order()[n.first_point + k];
+          if (static_cast<std::size_t>(j) == i) continue;
+          const Vec3 dj = pos_[j] - pos_[i];
+          const double r2 = dj.norm2() + eps2;
+          a += dj * (mass_[j] / (r2 * std::sqrt(r2)));
+        }
+      } else {
+        a += d * (n.mass / (d2 * std::sqrt(d2)));
+      }
+    } else {
+      for (int o = 0; o < 8; ++o) {
+        const int c = tree_.child(n, o);
+        if (c >= 0) stack.push_back(c);
+      }
+    }
+  }
+  return a;
+}
+
+Vec3 BarnesApp::direct_accel(std::size_t i) const {
+  Vec3 a{};
+  const double eps2 = cfg_.eps * cfg_.eps;
+  for (std::size_t j = 0; j < cfg_.bodies; ++j) {
+    if (j == i) continue;
+    const Vec3 d = pos_[j] - pos_[i];
+    const double r2 = d.norm2() + eps2;
+    a += d * (mass_[j] / (r2 * std::sqrt(r2)));
+  }
+  return a;
+}
+
+SimTask BarnesApp::force_phase(Proc& p, const BlockRange& mine) {
+  const auto& nodes = tree_.nodes();
+  const double eps2 = cfg_.eps * cfg_.eps;
+  std::vector<int> stack;
+  for (std::size_t k = mine.begin; k < mine.end; ++k) {
+    const std::size_t i = static_cast<std::size_t>(tree_.point_order()[k]);
+    co_await p.read(body_addr(i));
+    stack.assign(1, 0);
+    while (!stack.empty()) {
+      const int ni = stack.back();
+      stack.pop_back();
+      const auto& n = nodes[ni];
+      co_await p.read(n.addr);
+      const Vec3 d = n.com - pos_[i];
+      const double d2 = d.norm2() + eps2;
+      const double s = 2.0 * n.half;
+      if (n.leaf() || s * s < cfg_.theta * cfg_.theta * d2) {
+        co_await p.compute(cfg_.interact_cycles);
+        if (n.leaf()) {
+          for (int t = 0; t < n.num_points; ++t) {
+            const int j = tree_.point_order()[n.first_point + t];
+            if (static_cast<std::size_t>(j) != i) {
+              co_await p.read(body_addr(j));
+            }
+          }
+        }
+      } else {
+        for (int o = 0; o < 8; ++o) {
+          const int c = tree_.child(n, o);
+          if (c >= 0) stack.push_back(c);
+        }
+      }
+    }
+    acc_[i] = bh_accel(i);  // host math (same traversal)
+    co_await p.write(body_addr(i));
+  }
+  co_await p.barrier(*bar_);
+}
+
+SimTask BarnesApp::update_phase(Proc& p, const BlockRange& mine) {
+  for (std::size_t k = mine.begin; k < mine.end; ++k) {
+    const std::size_t i = static_cast<std::size_t>(tree_.point_order()[k]);
+    vel_[i] += acc_[i] * cfg_.dt;
+    pos_[i] += vel_[i] * cfg_.dt;
+    co_await p.read(body_addr(i));
+    co_await p.compute(6);
+    co_await p.write(body_addr(i));
+  }
+  co_await p.barrier(*bar_);
+}
+
+SimTask BarnesApp::body(Proc& p) {
+  for (unsigned step = 0; step < cfg_.steps; ++step) {
+    const BlockRange mine = block_partition(cfg_.bodies, nprocs_, p.id());
+    co_await load_phase(p, mine);
+    co_await com_phase(p);
+    co_await force_phase(p, mine);
+    co_await update_phase(p, mine);
+    if (p.id() == 0 && step + 1 < cfg_.steps) {
+      rebuild_tree();  // host-side; the next load_phase re-walks it
+      ++steps_done_;
+    } else if (p.id() == 0) {
+      ++steps_done_;
+    }
+    co_await p.barrier(*bar_);
+  }
+}
+
+void BarnesApp::verify() const {
+  if (steps_done_ != cfg_.steps) {
+    throw std::runtime_error("Barnes verification failed: step count");
+  }
+  // Accuracy check against direct summation (affordable at small n).
+  if (cfg_.bodies <= 512) {
+    double worst = 0;
+    for (std::size_t i = 0; i < cfg_.bodies; i += 3) {
+      const Vec3 bh = bh_accel(i);
+      const Vec3 ref = direct_accel(i);
+      const double err =
+          std::sqrt((bh - ref).norm2()) / (std::sqrt(ref.norm2()) + 1e-12);
+      worst = std::max(worst, err);
+    }
+    if (worst > 0.35) {
+      throw std::runtime_error(
+          "Barnes verification failed: BH force error vs direct sum = " +
+          std::to_string(worst));
+    }
+  }
+  for (const auto& q : pos_) {
+    if (!std::isfinite(q.x) || !std::isfinite(q.y) || !std::isfinite(q.z)) {
+      throw std::runtime_error("Barnes verification failed: non-finite position");
+    }
+  }
+}
+
+}  // namespace csim

@@ -1,0 +1,80 @@
+// Hierarchical N-body simulation (SPLASH-2 "Barnes" analogue, Barnes-Hut).
+//
+// Paper characterization: 8192 particles, theta = 1.0; low-volume
+// unstructured (but hierarchical) communication; small working sets
+// (~12 KB) that overlap substantially across processors because processors
+// with spatially adjacent particles touch the same upper tree nodes.
+//
+// Each step builds a real octree, computes real Barnes-Hut forces (Plummer
+// softening) and integrates; verify() compares accelerations against a
+// direct O(n^2) sum at Test scale and checks integration invariants
+// otherwise. Bodies are partitioned in tree (space-filling) order so
+// neighbouring processors own neighbouring bodies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/apps/octree.hpp"
+#include "src/apps/partition.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+
+struct BarnesConfig {
+  std::size_t bodies = 4096;  ///< paper: 8192
+  unsigned steps = 3;
+  double theta = 1.0;  ///< opening criterion (paper: 1.0)
+  double dt = 0.02;
+  double eps = 0.05;  ///< Plummer softening
+  int leaf_cap = 8;
+  Cycles interact_cycles = 70;
+  std::uint64_t seed = 0xbab5'0001;
+
+  static BarnesConfig preset(ProblemScale s);
+};
+
+class BarnesApp final : public Program {
+ public:
+  explicit BarnesApp(BarnesConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "barnes"; }
+  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  SimTask body(Proc& p) override;
+  void verify() const override;
+
+  [[nodiscard]] const BarnesConfig& config() const noexcept { return cfg_; }
+
+  /// Barnes-Hut acceleration on body `i` from the current tree (host math).
+  [[nodiscard]] Vec3 bh_accel(std::size_t i) const;
+  /// Direct-sum acceleration on body `i` (verification reference).
+  [[nodiscard]] Vec3 direct_accel(std::size_t i) const;
+
+ private:
+  [[nodiscard]] Addr body_addr(std::size_t i) const noexcept {
+    return body_base_ + i * kBodyBytes;
+  }
+  void rebuild_tree();
+
+  SimTask load_phase(Proc& p, const BlockRange& mine);
+  SimTask com_phase(Proc& p);
+  SimTask force_phase(Proc& p, const BlockRange& mine);
+  SimTask update_phase(Proc& p, const BlockRange& mine);
+
+  static constexpr Addr kBodyBytes = 128;
+  static constexpr Addr kNodeBytes = 128;
+  static constexpr unsigned kNumLocks = 64;
+
+  BarnesConfig cfg_;
+  unsigned nprocs_ = 0;
+  std::vector<Vec3> pos_, vel_, acc_;
+  std::vector<double> mass_;
+  PointOctree tree_;
+  Addr body_base_ = 0, node_base_ = 0;
+  std::unique_ptr<Barrier> bar_;
+  std::vector<std::unique_ptr<Lock>> cell_locks_;
+  unsigned steps_done_ = 0;
+};
+
+}  // namespace csim

@@ -1,0 +1,193 @@
+#include "src/apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/apps/prng.hpp"
+
+namespace csim {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+bool is_pow2(std::size_t v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
+
+FftConfig FftConfig::preset(ProblemScale s) {
+  FftConfig c;
+  switch (s) {
+    case ProblemScale::Test: c.n = 1024; break;      // 32 x 32
+    case ProblemScale::Default: c.n = 16384; break;  // 128 x 128
+    case ProblemScale::Paper: c.n = 65536; break;    // 256 x 256
+  }
+  return c;
+}
+
+std::unique_ptr<Program> make_fft(ProblemScale s) {
+  return std::make_unique<FftApp>(FftConfig::preset(s));
+}
+
+void FftApp::setup(AddressSpace& as, const MachineConfig& mc) {
+  m_ = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(cfg_.n))));
+  if (m_ * m_ != cfg_.n || !is_pow2(m_)) {
+    throw std::invalid_argument("FFT: n must be the square of a power of two");
+  }
+  nprocs_ = mc.num_procs;
+
+  Rng rng(cfg_.seed);
+  a_.resize(cfg_.n);
+  b_.assign(cfg_.n, Cx{});
+  for (auto& v : a_) v = Cx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  input_ = a_;
+
+  base_a_ = as.alloc(cfg_.n * sizeof(Cx), "fft.a");
+  base_b_ = as.alloc(cfg_.n * sizeof(Cx), "fft.b");
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    const BlockRange r = block_partition(m_, nprocs_, p);
+    as.place(addr_of(base_a_, r.begin, 0), r.size() * m_ * sizeof(Cx), p);
+    as.place(addr_of(base_b_, r.begin, 0), r.size() * m_ * sizeof(Cx), p);
+  }
+  bar_ = std::make_unique<Barrier>(nprocs_);
+}
+
+SimTask FftApp::transpose(Proc& p, std::vector<Cx>& dst, Addr dst_base,
+                          const std::vector<Cx>& src, Addr src_base) {
+  const BlockRange mine = block_partition(m_, nprocs_, p.id());
+  // Patch-blocked: visit one source owner's rows at a time, so each
+  // processor reads a distinct block of every other processor's partition.
+  for (unsigned step = 0; step < nprocs_; ++step) {
+    // Stagger the start owner so processors do not all storm the same
+    // partition simultaneously (the SPLASH-2 staggered transpose).
+    const ProcId owner = (p.id() + step) % nprocs_;
+    const BlockRange theirs = block_partition(m_, nprocs_, owner);
+    for (std::size_t sr = theirs.begin; sr < theirs.end; ++sr) {
+      for (std::size_t dr = mine.begin; dr < mine.end; ++dr) {
+        // dst[dr][sr] = src[sr][dr]
+        dst[dr * m_ + sr] = src[sr * m_ + dr];
+        co_await p.read(addr_of(src_base, sr, dr));
+        co_await p.write(addr_of(dst_base, dr, sr));
+      }
+    }
+  }
+}
+
+SimTask FftApp::row_fft(Proc& p, std::vector<Cx>& mat, Addr base,
+                        std::size_t row) {
+  Cx* r = &mat[row * m_];
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < m_; ++i) {
+    std::size_t bit = m_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(r[i], r[j]);
+      co_await p.read(addr_of(base, row, i));
+      co_await p.read(addr_of(base, row, j));
+      co_await p.write(addr_of(base, row, i));
+      co_await p.write(addr_of(base, row, j));
+    }
+  }
+  // Radix-2 decimation-in-time butterflies.
+  for (std::size_t len = 2; len <= m_; len <<= 1) {
+    const double ang = -2.0 * kPi / static_cast<double>(len);
+    const Cx wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < m_; i += len) {
+      Cx w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Cx u = r[i + j];
+        const Cx v = r[i + j + len / 2] * w;
+        r[i + j] = u + v;
+        r[i + j + len / 2] = u - v;
+        w *= wlen;
+        co_await p.read(addr_of(base, row, i + j));
+        co_await p.read(addr_of(base, row, i + j + len / 2));
+        co_await p.write(addr_of(base, row, i + j));
+        co_await p.write(addr_of(base, row, i + j + len / 2));
+      }
+    }
+    // ~10 flops per butterfly, charged per stage.
+    co_await p.compute(cfg_.flop_cycles * 10 * (m_ / 2));
+  }
+}
+
+SimTask FftApp::twiddle_row(Proc& p, std::vector<Cx>& mat, Addr base,
+                            std::size_t row) {
+  // mat[row][t] *= exp(-2 pi i row t / n)
+  for (std::size_t t = 0; t < m_; ++t) {
+    const double ang =
+        -2.0 * kPi * static_cast<double>(row) * static_cast<double>(t) /
+        static_cast<double>(cfg_.n);
+    mat[row * m_ + t] *= Cx{std::cos(ang), std::sin(ang)};
+    co_await p.read(addr_of(base, row, t));
+    co_await p.write(addr_of(base, row, t));
+  }
+  co_await p.compute(cfg_.flop_cycles * 8 * m_);
+}
+
+SimTask FftApp::body(Proc& p) {
+  const BlockRange mine = block_partition(m_, nprocs_, p.id());
+
+  // Step 1: transpose A -> B (all-to-all).
+  co_await transpose(p, b_, base_b_, a_, base_a_);
+  co_await p.barrier(*bar_);
+
+  // Step 2+3: m-point FFT on each of my rows of B, then twiddle.
+  for (std::size_t row = mine.begin; row < mine.end; ++row) {
+    co_await row_fft(p, b_, base_b_, row);
+    co_await twiddle_row(p, b_, base_b_, row);
+  }
+  co_await p.barrier(*bar_);
+
+  // Step 4: transpose B -> A (all-to-all).
+  co_await transpose(p, a_, base_a_, b_, base_b_);
+  co_await p.barrier(*bar_);
+
+  // Step 5: m-point FFT on each of my rows of A.
+  for (std::size_t row = mine.begin; row < mine.end; ++row) {
+    co_await row_fft(p, a_, base_a_, row);
+  }
+  co_await p.barrier(*bar_);
+
+  // Step 6: transpose A -> B so the result is laid out by output rows.
+  co_await transpose(p, b_, base_b_, a_, base_a_);
+  co_await p.barrier(*bar_);
+}
+
+void FftApp::verify() const {
+  // After the six steps, X[t + m*u] = b_[u*m + t].
+  auto out = [&](std::size_t k) {
+    const std::size_t t = k % m_;
+    const std::size_t u = k / m_;
+    return b_[u * m_ + t];
+  };
+
+  // Parseval: sum |X|^2 == n * sum |x|^2.
+  double ein = 0, eout = 0;
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    ein += std::norm(input_[i]);
+    eout += std::norm(out(i));
+  }
+  const double expect = ein * static_cast<double>(cfg_.n);
+  if (std::abs(eout - expect) > 1e-6 * expect) {
+    throw std::runtime_error("FFT verification failed: Parseval mismatch");
+  }
+
+  // At test scale, compare against a direct DFT.
+  if (cfg_.n <= 4096) {
+    for (std::size_t k = 0; k < cfg_.n; k += 7) {
+      Cx x{};
+      for (std::size_t l = 0; l < cfg_.n; ++l) {
+        const double ang = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(l) / static_cast<double>(cfg_.n);
+        x += input_[l] * Cx{std::cos(ang), std::sin(ang)};
+      }
+      if (std::abs(x - out(k)) > 1e-6 * (std::abs(x) + 1.0)) {
+        throw std::runtime_error("FFT verification failed: DFT mismatch at k=" +
+                                 std::to_string(k));
+      }
+    }
+  }
+}
+
+}  // namespace csim

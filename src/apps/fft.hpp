@@ -1,0 +1,68 @@
+// 1-D high-radix FFT with blocked matrix transpose (SPLASH-2 "FFT" analogue).
+//
+// Paper characterization: 64K complex points organized as a sqrt(n) x sqrt(n)
+// matrix, rows partitioned contiguously across processors; communication is
+// an all-to-all blocked transpose in which each processor reads a different
+// patch from every other processor. Clustering reduces the all-to-all
+// communication only by a factor (P - C) / (P - 1).
+//
+// The transform is computed for real (six-step decomposition: transpose,
+// row FFTs, twiddle, transpose, row FFTs); verify() checks Parseval's
+// identity and, at Test scale, every output point against a direct DFT.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/apps/partition.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+
+struct FftConfig {
+  std::size_t n = 16384;  ///< total complex points; must be a square of a
+                          ///< power of two (paper: 65536)
+  Cycles flop_cycles = 2;
+  std::uint64_t seed = 0xfff7'0001;
+
+  static FftConfig preset(ProblemScale s);
+};
+
+class FftApp final : public Program {
+ public:
+  explicit FftApp(FftConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "fft"; }
+  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  SimTask body(Proc& p) override;
+  void verify() const override;
+
+  [[nodiscard]] const FftConfig& config() const noexcept { return cfg_; }
+
+ private:
+  using Cx = std::complex<double>;
+
+  [[nodiscard]] Addr addr_of(Addr base, std::size_t row, std::size_t col) const {
+    return base + (row * m_ + col) * sizeof(Cx);
+  }
+
+  /// Transpose src -> dst, patch-blocked over source-owner partitions.
+  SimTask transpose(Proc& p, std::vector<Cx>& dst, Addr dst_base,
+                    const std::vector<Cx>& src, Addr src_base);
+  /// In-place radix-2 FFT of one row (host math + element references).
+  SimTask row_fft(Proc& p, std::vector<Cx>& mat, Addr base, std::size_t row);
+  /// Twiddle multiply of one row of the intermediate matrix.
+  SimTask twiddle_row(Proc& p, std::vector<Cx>& mat, Addr base, std::size_t row);
+
+  FftConfig cfg_;
+  std::size_t m_ = 0;  ///< sqrt(n)
+  std::vector<Cx> a_, b_;
+  std::vector<Cx> input_;  ///< saved input for verification
+  Addr base_a_ = 0, base_b_ = 0;
+  std::unique_ptr<Barrier> bar_;
+  unsigned nprocs_ = 0;
+};
+
+}  // namespace csim

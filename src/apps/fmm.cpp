@@ -1,0 +1,307 @@
+#include "src/apps/fmm.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/apps/prng.hpp"
+
+namespace csim {
+
+FmmConfig FmmConfig::preset(ProblemScale s) {
+  FmmConfig c;
+  switch (s) {
+    case ProblemScale::Test:
+      c.bodies = 512;
+      c.depth = 3;
+      c.steps = 1;
+      break;
+    case ProblemScale::Default:
+      break;  // struct defaults
+    case ProblemScale::Paper:
+      c.bodies = 8192;
+      c.depth = 4;
+      c.steps = 3;
+      break;
+  }
+  return c;
+}
+
+std::unique_ptr<Program> make_fmm(ProblemScale s) {
+  return std::make_unique<FmmApp>(FmmConfig::preset(s));
+}
+
+void FmmApp::setup(AddressSpace& as, const MachineConfig& mc) {
+  nprocs_ = mc.num_procs;
+  levels_.clear();
+  levels_.resize(cfg_.depth + 1);
+  for (unsigned l = 0; l <= cfg_.depth; ++l) {
+    LevelGrid& g = levels_[l];
+    g.dim = 1u << l;
+    g.cells = static_cast<std::size_t>(g.dim) * g.dim * g.dim;
+    g.m.assign(g.cells, 0.0);
+    g.l.assign(g.cells, 0.0);
+    g.base = as.alloc(g.cells * kCellBytes, "fmm.level");
+    // Cells placed at their (slab-partitioned) owner.
+    for (ProcId p = 0; p < nprocs_; ++p) {
+      const BlockRange r = block_partition(g.cells, nprocs_, p);
+      if (r.size()) {
+        as.place(g.maddr(r.begin), r.size() * kCellBytes, p);
+      }
+    }
+  }
+
+  Rng rng(cfg_.seed);
+  body_mass_.assign(cfg_.bodies, 0.0);
+  body_cell_.assign(cfg_.bodies, 0);
+  far_mass_.assign(cfg_.bodies, 0.0);
+  cell_bodies_.assign(levels_[cfg_.depth].cells, {});
+  total_mass_ = 0;
+  const unsigned ld = levels_[cfg_.depth].dim;
+  for (std::size_t i = 0; i < cfg_.bodies; ++i) {
+    body_mass_[i] = rng.uniform(0.5, 1.5);
+    total_mass_ += body_mass_[i];
+    const unsigned x = static_cast<unsigned>(rng.below(ld));
+    const unsigned y = static_cast<unsigned>(rng.below(ld));
+    const unsigned z = static_cast<unsigned>(rng.below(ld));
+    const std::size_t c = levels_[cfg_.depth].index(x, y, z);
+    body_cell_[i] = c;
+    cell_bodies_[c].push_back(static_cast<int>(i));
+  }
+
+  body_base_ = as.alloc(cfg_.bodies * kBodyBytes, "fmm.bodies");
+  // Bodies placed with the owner of their leaf cell's slab.
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    const BlockRange r = block_partition(levels_[cfg_.depth].cells, nprocs_, p);
+    for (std::size_t c = r.begin; c < r.end; ++c) {
+      for (int b : cell_bodies_[c]) as.place(body_addr(b), kBodyBytes, p);
+    }
+  }
+  bar_ = std::make_unique<Barrier>(nprocs_);
+}
+
+std::vector<std::size_t> FmmApp::interaction_list(unsigned lev,
+                                                  std::size_t c) const {
+  std::vector<std::size_t> out;
+  if (lev < 2) return out;  // root and level 1 have no well-separated cells
+  const LevelGrid& g = levels_[lev];
+  const unsigned dim = g.dim;
+  const unsigned cx = static_cast<unsigned>(c / (std::size_t{dim} * dim));
+  const unsigned cy = static_cast<unsigned>((c / dim) % dim);
+  const unsigned cz = static_cast<unsigned>(c % dim);
+  const int px = static_cast<int>(cx / 2), py = static_cast<int>(cy / 2),
+            pz = static_cast<int>(cz / 2);
+  const int pdim = static_cast<int>(dim / 2);
+  for (int nx = px - 1; nx <= px + 1; ++nx) {
+    for (int ny = py - 1; ny <= py + 1; ++ny) {
+      for (int nz = pz - 1; nz <= pz + 1; ++nz) {
+        if (nx < 0 || ny < 0 || nz < 0 || nx >= pdim || ny >= pdim ||
+            nz >= pdim) {
+          continue;
+        }
+        // Children of this parent-level neighbour.
+        for (int dx = 0; dx < 2; ++dx) {
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dz = 0; dz < 2; ++dz) {
+              const unsigned kx = static_cast<unsigned>(2 * nx + dx);
+              const unsigned ky = static_cast<unsigned>(2 * ny + dy);
+              const unsigned kz = static_cast<unsigned>(2 * nz + dz);
+              // Skip cells adjacent (Chebyshev distance <= 1) to c.
+              if (std::abs(static_cast<int>(kx) - static_cast<int>(cx)) <= 1 &&
+                  std::abs(static_cast<int>(ky) - static_cast<int>(cy)) <= 1 &&
+                  std::abs(static_cast<int>(kz) - static_cast<int>(cz)) <= 1) {
+                continue;
+              }
+              out.push_back(g.index(kx, ky, kz));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SimTask FmmApp::p2m_phase(Proc& p) {
+  LevelGrid& leaf = levels_[cfg_.depth];
+  const BlockRange mine = block_partition(leaf.cells, nprocs_, p.id());
+  for (std::size_t c = mine.begin; c < mine.end; ++c) {
+    double m = 0;
+    for (int b : cell_bodies_[c]) {
+      m += body_mass_[b];
+      co_await p.read(body_addr(b));
+    }
+    leaf.m[c] = m;
+    co_await p.write(leaf.maddr(c));
+  }
+  co_await p.barrier(*bar_);
+}
+
+SimTask FmmApp::m2m_phase(Proc& p) {
+  for (unsigned lev = cfg_.depth; lev-- > 0;) {
+    LevelGrid& g = levels_[lev];
+    const LevelGrid& ch = levels_[lev + 1];
+    const BlockRange mine = block_partition(g.cells, nprocs_, p.id());
+    for (std::size_t c = mine.begin; c < mine.end; ++c) {
+      const unsigned cx = static_cast<unsigned>(c / (std::size_t{g.dim} * g.dim));
+      const unsigned cy = static_cast<unsigned>((c / g.dim) % g.dim);
+      const unsigned cz = static_cast<unsigned>(c % g.dim);
+      double m = 0;
+      for (int dx = 0; dx < 2; ++dx) {
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dz = 0; dz < 2; ++dz) {
+            const std::size_t cc =
+                ch.index(2 * cx + dx, 2 * cy + dy, 2 * cz + dz);
+            m += ch.m[cc];
+            co_await p.read(ch.maddr(cc));
+          }
+        }
+      }
+      g.m[c] = m;
+      co_await p.compute(8);
+      co_await p.write(g.maddr(c));
+    }
+    co_await p.barrier(*bar_);
+  }
+}
+
+SimTask FmmApp::m2l_phase(Proc& p) {
+  for (unsigned lev = 2; lev <= cfg_.depth; ++lev) {
+    LevelGrid& g = levels_[lev];
+    const BlockRange mine = block_partition(g.cells, nprocs_, p.id());
+    for (std::size_t c = mine.begin; c < mine.end; ++c) {
+      double acc = 0;
+      for (std::size_t s : interaction_list(lev, c)) {
+        acc += g.m[s];
+        co_await p.read(g.maddr(s));
+        co_await p.compute(cfg_.m2l_cycles);
+      }
+      g.l[c] += acc;
+      co_await p.read(g.laddr(c));
+      co_await p.write(g.laddr(c));
+    }
+    co_await p.barrier(*bar_);
+  }
+}
+
+SimTask FmmApp::l2l_phase(Proc& p) {
+  for (unsigned lev = 2; lev < cfg_.depth; ++lev) {
+    const LevelGrid& g = levels_[lev];
+    LevelGrid& ch = levels_[lev + 1];
+    const BlockRange mine = block_partition(ch.cells, nprocs_, p.id());
+    for (std::size_t cc = mine.begin; cc < mine.end; ++cc) {
+      const unsigned kx = static_cast<unsigned>(cc / (std::size_t{ch.dim} * ch.dim));
+      const unsigned ky = static_cast<unsigned>((cc / ch.dim) % ch.dim);
+      const unsigned kz = static_cast<unsigned>(cc % ch.dim);
+      const std::size_t parent = g.index(kx / 2, ky / 2, kz / 2);
+      ch.l[cc] += g.l[parent];
+      co_await p.read(g.laddr(parent));
+      co_await p.read(ch.laddr(cc));
+      co_await p.write(ch.laddr(cc));
+    }
+    co_await p.barrier(*bar_);
+  }
+}
+
+SimTask FmmApp::near_phase(Proc& p) {
+  LevelGrid& leaf = levels_[cfg_.depth];
+  const BlockRange mine = block_partition(leaf.cells, nprocs_, p.id());
+  const unsigned dim = leaf.dim;
+  for (std::size_t c = mine.begin; c < mine.end; ++c) {
+    if (cell_bodies_[c].empty()) continue;
+    // L2P: bodies inherit the leaf's local expansion.
+    co_await p.read(leaf.laddr(c));
+    for (int b : cell_bodies_[c]) {
+      far_mass_[b] = leaf.l[c];
+      co_await p.read(body_addr(b));
+      co_await p.write(body_addr(b));
+    }
+    // P2P: read neighbour cells' bodies (near-field direct interactions).
+    const unsigned cx = static_cast<unsigned>(c / (std::size_t{dim} * dim));
+    const unsigned cy = static_cast<unsigned>((c / dim) % dim);
+    const unsigned cz = static_cast<unsigned>(c % dim);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int nx = static_cast<int>(cx) + dx;
+          const int ny = static_cast<int>(cy) + dy;
+          const int nz = static_cast<int>(cz) + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(dim) ||
+              ny >= static_cast<int>(dim) || nz >= static_cast<int>(dim)) {
+            continue;
+          }
+          const std::size_t nc = leaf.index(static_cast<unsigned>(nx),
+                                            static_cast<unsigned>(ny),
+                                            static_cast<unsigned>(nz));
+          for (int b : cell_bodies_[nc]) {
+            co_await p.read(body_addr(b));
+          }
+          co_await p.compute(
+              static_cast<Cycles>(cell_bodies_[nc].size() + 1));
+        }
+      }
+    }
+  }
+  co_await p.barrier(*bar_);
+}
+
+SimTask FmmApp::body(Proc& p) {
+  for (unsigned step = 0; step < cfg_.steps; ++step) {
+    if (p.id() == 0) {
+      // Reset expansions between steps (host-side).
+      for (auto& g : levels_) {
+        std::fill(g.m.begin(), g.m.end(), 0.0);
+        std::fill(g.l.begin(), g.l.end(), 0.0);
+      }
+    }
+    co_await p.barrier(*bar_);
+    co_await p2m_phase(p);
+    co_await m2m_phase(p);
+    co_await m2l_phase(p);
+    co_await l2l_phase(p);
+    co_await near_phase(p);
+  }
+}
+
+void FmmApp::verify() const {
+  // Root multipole must hold the total mass (M2M correctness).
+  if (std::abs(levels_[0].m[0] - total_mass_) > 1e-9 * total_mass_) {
+    throw std::runtime_error("FMM verification failed: mass not conserved");
+  }
+  // The FMM coverage invariant: far-field mass accumulated at each body
+  // equals total mass minus the 27-cell near neighbourhood around its leaf.
+  const LevelGrid& leaf = levels_[cfg_.depth];
+  const unsigned dim = leaf.dim;
+  for (std::size_t i = 0; i < cfg_.bodies; i += 17) {
+    const std::size_t c = body_cell_[i];
+    const unsigned cx = static_cast<unsigned>(c / (std::size_t{dim} * dim));
+    const unsigned cy = static_cast<unsigned>((c / dim) % dim);
+    const unsigned cz = static_cast<unsigned>(c % dim);
+    double near = 0;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int nx = static_cast<int>(cx) + dx;
+          const int ny = static_cast<int>(cy) + dy;
+          const int nz = static_cast<int>(cz) + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(dim) ||
+              ny >= static_cast<int>(dim) || nz >= static_cast<int>(dim)) {
+            continue;
+          }
+          near += leaf.m[leaf.index(static_cast<unsigned>(nx),
+                                    static_cast<unsigned>(ny),
+                                    static_cast<unsigned>(nz))];
+        }
+      }
+    }
+    const double expect = total_mass_ - near;
+    if (std::abs(far_mass_[i] - expect) > 1e-6 * (total_mass_ + 1.0)) {
+      throw std::runtime_error(
+          "FMM verification failed: interaction-list coverage broken (body " +
+          std::to_string(i) + ": far=" + std::to_string(far_mass_[i]) +
+          " expect=" + std::to_string(expect) + ")");
+    }
+  }
+}
+
+}  // namespace csim

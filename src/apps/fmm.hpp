@@ -1,0 +1,92 @@
+// Fast Multipole Method on a uniform octree (SPLASH-2 "FMM" analogue).
+//
+// Paper characterization: 8192 particles; like Barnes the communication is
+// low-volume, unstructured but hierarchical, and the working set is even
+// smaller (~4 KB) because interactions happen cell-to-cell through compact
+// multipole records.
+//
+// We build the full uniform octree, run the real FMM phase structure
+// (P2M, M2M up, M2L across interaction lists, L2L down, L2P + P2P near
+// field) with a simplified monopole expansion. verify() exercises the FMM
+// correctness invariant: every leaf's accumulated far-field mass must equal
+// the total mass minus its 27-cell near neighbourhood — which holds iff
+// every cell pair is covered by exactly one M2L or P2P interaction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/apps/partition.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+
+struct FmmConfig {
+  std::size_t bodies = 4096;  ///< paper: 8192
+  unsigned depth = 4;         ///< leaf level; 8^depth leaf cells
+  unsigned steps = 2;
+  Cycles m2l_cycles = 80;  ///< busy cycles per M2L translation
+  std::uint64_t seed = 0xf3f3'0001;
+
+  static FmmConfig preset(ProblemScale s);
+};
+
+class FmmApp final : public Program {
+ public:
+  explicit FmmApp(FmmConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "fmm"; }
+  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  SimTask body(Proc& p) override;
+  void verify() const override;
+
+  [[nodiscard]] const FmmConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct LevelGrid {
+    unsigned dim = 1;           ///< cells per axis = 2^level
+    std::size_t cells = 1;      ///< dim^3
+    Addr base = 0;              ///< cell records, kCellBytes apart
+    std::vector<double> m;      ///< monopole (mass) per cell
+    std::vector<double> l;      ///< local expansion (far-field mass) per cell
+    [[nodiscard]] std::size_t index(unsigned x, unsigned y, unsigned z) const {
+      return (static_cast<std::size_t>(x) * dim + y) * dim + z;
+    }
+    [[nodiscard]] Addr maddr(std::size_t c) const { return base + c * kCellBytes; }
+    [[nodiscard]] Addr laddr(std::size_t c) const {
+      return base + c * kCellBytes + 64;
+    }
+  };
+
+  [[nodiscard]] Addr body_addr(std::size_t i) const {
+    return body_base_ + i * kBodyBytes;
+  }
+
+  /// Interaction list of cell `c` at level `lev`: children of the parent's
+  /// neighbours that are not adjacent to `c` (uniform-tree M2L list).
+  [[nodiscard]] std::vector<std::size_t> interaction_list(unsigned lev,
+                                                          std::size_t c) const;
+
+  SimTask p2m_phase(Proc& p);
+  SimTask m2m_phase(Proc& p);
+  SimTask m2l_phase(Proc& p);
+  SimTask l2l_phase(Proc& p);
+  SimTask near_phase(Proc& p);
+
+  static constexpr Addr kCellBytes = 128;  // multipole + local halves
+  static constexpr Addr kBodyBytes = 64;
+
+  FmmConfig cfg_;
+  unsigned nprocs_ = 0;
+  std::vector<LevelGrid> levels_;  ///< 0 = root, cfg_.depth = leaves
+  std::vector<double> body_mass_;
+  std::vector<std::size_t> body_cell_;          ///< leaf cell of each body
+  std::vector<std::vector<int>> cell_bodies_;   ///< leaf cell -> body indices
+  std::vector<double> far_mass_;                ///< per body: accumulated L
+  Addr body_base_ = 0;
+  double total_mass_ = 0;
+  std::unique_ptr<Barrier> bar_;
+};
+
+}  // namespace csim

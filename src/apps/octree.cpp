@@ -1,0 +1,118 @@
+#include "src/apps/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csim {
+
+namespace {
+constexpr int kMaxDepth = 24;
+
+int octant_of(const Vec3& p, const Vec3& c) noexcept {
+  return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+}
+
+Vec3 child_center(const Vec3& c, double quarter, int oct) noexcept {
+  return Vec3{c.x + ((oct & 1) ? quarter : -quarter),
+              c.y + ((oct & 2) ? quarter : -quarter),
+              c.z + ((oct & 4) ? quarter : -quarter)};
+}
+}  // namespace
+
+void PointOctree::build(const std::vector<Vec3>& points,
+                        const std::vector<double>& masses, int leaf_cap) {
+  nodes_.clear();
+  children_.clear();
+  order_.clear();
+  if (points.empty()) return;
+
+  Vec3 lo = points[0], hi = points[0];
+  for (const Vec3& p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  const Vec3 center = (lo + hi) * 0.5;
+  double half = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z}) * 0.5;
+  half = std::max(half, 1e-9) * 1.0001;  // avoid points exactly on the skin
+
+  std::vector<int> idx(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) idx[i] = static_cast<int>(i);
+
+  nodes_.reserve(points.size() * 2);
+  order_.reserve(points.size());
+  build_rec(idx, 0, static_cast<int>(points.size()), center, half, points,
+            masses, leaf_cap, 0);
+}
+
+int PointOctree::build_rec(std::vector<int>& idx, int begin, int end,
+                           Vec3 center, double half,
+                           const std::vector<Vec3>& pts,
+                           const std::vector<double>& masses, int leaf_cap,
+                           int depth) {
+  const int me = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  Node n;
+  n.center = center;
+  n.half = half;
+
+  double mass = 0;
+  Vec3 com{};
+  for (int i = begin; i < end; ++i) {
+    const double m = masses.empty() ? 1.0 : masses[idx[i]];
+    mass += m;
+    com += pts[idx[i]] * m;
+  }
+  n.mass = mass;
+  n.com = mass > 0 ? com * (1.0 / mass) : center;
+  n.num_points = end - begin;
+
+  if (end - begin <= leaf_cap || depth >= kMaxDepth) {
+    n.first_point = static_cast<int>(order_.size());
+    n.num_points = end - begin;
+    for (int i = begin; i < end; ++i) order_.push_back(idx[i]);
+    nodes_[me] = n;
+    return me;
+  }
+
+  // Partition [begin, end) into the 8 octants (stable bucket pass).
+  std::array<std::vector<int>, 8> buckets;
+  for (int i = begin; i < end; ++i) {
+    buckets[octant_of(pts[idx[i]], center)].push_back(idx[i]);
+  }
+  int pos = begin;
+  std::array<std::pair<int, int>, 8> ranges;
+  for (int o = 0; o < 8; ++o) {
+    ranges[o].first = pos;
+    for (int v : buckets[o]) idx[pos++] = v;
+    ranges[o].second = pos;
+  }
+
+  nodes_[me] = n;
+  std::array<int, 8> kids{};
+  for (int o = 0; o < 8; ++o) {
+    if (ranges[o].second > ranges[o].first) {
+      kids[o] = build_rec(idx, ranges[o].first, ranges[o].second,
+                          child_center(center, half * 0.5, o), half * 0.5, pts,
+                          masses, leaf_cap, depth + 1);
+    } else {
+      kids[o] = -1;
+    }
+  }
+  const int table = static_cast<int>(children_.size());
+  children_.push_back(kids);
+  nodes_[me].first_child = table;
+  return me;
+}
+
+std::size_t PointOctree::assign_addrs(Addr base, unsigned bytes_per_node) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].addr = base + static_cast<Addr>(i) * bytes_per_node;
+  }
+  return nodes_.size() * bytes_per_node;
+}
+
+}  // namespace csim

@@ -1,0 +1,80 @@
+// Shared octree substrate: 3-D vectors and a point octree with centers of
+// mass, used by Barnes (Barnes-Hut), FMM (hierarchical interaction lists) and
+// as a spatial sort for processor partitioning.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  Vec3 operator+(const Vec3& o) const noexcept { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const noexcept { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  [[nodiscard]] double norm2() const noexcept { return x * x + y * y + z * z; }
+};
+
+/// An octree over a point set, with per-node mass / center-of-mass and a
+/// simulated address per node.
+class PointOctree {
+ public:
+  struct Node {
+    Vec3 center{};
+    double half = 0;  ///< half-width of the cube
+    double mass = 0;
+    Vec3 com{};
+    int first_child = -1;  ///< internal: index into the child table; -1 = leaf
+    int first_point = 0;   ///< leaf: index into point_order()
+    int num_points = 0;    ///< points under this node (leaf: points in it)
+    Addr addr = 0;         ///< simulated address of this node's record
+    [[nodiscard]] bool leaf() const noexcept { return first_child < 0; }
+  };
+
+  /// Builds the tree over `points` with at most `leaf_cap` points per leaf.
+  /// `masses` may be empty (all points weigh 1).
+  void build(const std::vector<Vec3>& points, const std::vector<double>& masses,
+             int leaf_cap);
+
+  /// Assigns each node a simulated address (bytes_per_node apart) starting at
+  /// `base`. Returns total bytes consumed.
+  std::size_t assign_addrs(Addr base, unsigned bytes_per_node);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const Node& root() const { return nodes_.front(); }
+
+  /// Child node index of internal node `n` in octant `oct` (-1 if empty).
+  [[nodiscard]] int child(const Node& n, int oct) const noexcept {
+    return children_[static_cast<std::size_t>(n.first_child)][oct];
+  }
+
+  /// Point indices in depth-first leaf order — a space-filling order used to
+  /// give processors spatially contiguous particle sets.
+  [[nodiscard]] const std::vector<int>& point_order() const noexcept {
+    return order_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  int build_rec(std::vector<int>& idx, int begin, int end, Vec3 center,
+                double half, const std::vector<Vec3>& pts,
+                const std::vector<double>& masses, int leaf_cap, int depth);
+
+  std::vector<Node> nodes_;
+  std::vector<std::array<int, 8>> children_;
+  std::vector<int> order_;
+};
+
+}  // namespace csim

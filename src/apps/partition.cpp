@@ -1,0 +1,2 @@
+// Partition helpers are header-only; this TU anchors the module in the build.
+#include "src/apps/partition.hpp"

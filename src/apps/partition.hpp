@@ -1,0 +1,87 @@
+// Work-partition helpers shared by the workloads.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// Contiguous 1-D block partition of [0, n) over `nprocs` processors.
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+inline BlockRange block_partition(std::size_t n, unsigned nprocs, ProcId p) noexcept {
+  const std::size_t base = n / nprocs;
+  const std::size_t extra = n % nprocs;
+  const std::size_t begin = p * base + (p < extra ? p : extra);
+  const std::size_t len = base + (p < extra ? 1 : 0);
+  return BlockRange{begin, begin + len};
+}
+
+/// Square (or near-square) processor grid: rows x cols with rows*cols == P.
+struct ProcGrid {
+  unsigned rows = 1;
+  unsigned cols = 1;
+  [[nodiscard]] unsigned row_of(ProcId p) const noexcept { return p / cols; }
+  [[nodiscard]] unsigned col_of(ProcId p) const noexcept { return p % cols; }
+  [[nodiscard]] ProcId at(unsigned r, unsigned c) const noexcept {
+    return r * cols + c;
+  }
+};
+
+/// Factors P into the most-square rows x cols grid (rows <= cols).
+inline ProcGrid make_proc_grid(unsigned nprocs) noexcept {
+  unsigned rows = static_cast<unsigned>(std::sqrt(static_cast<double>(nprocs)));
+  while (rows > 1 && nprocs % rows != 0) --rows;
+  return ProcGrid{rows, nprocs / rows};
+}
+
+/// 2-D tile assignment over an N x M domain for a processor grid. Processors
+/// in the same grid row own horizontally adjacent tiles — consecutive
+/// processor ids are spatial neighbours, which is what lets clustering
+/// capture near-neighbour communication (Ocean, Raytrace, Volrend).
+struct Tile {
+  std::size_t row_begin = 0, row_end = 0;
+  std::size_t col_begin = 0, col_end = 0;
+  [[nodiscard]] std::size_t rows() const noexcept { return row_end - row_begin; }
+  [[nodiscard]] std::size_t cols() const noexcept { return col_end - col_begin; }
+};
+
+inline Tile tile_of(std::size_t n_rows, std::size_t n_cols, const ProcGrid& g,
+                    ProcId p) noexcept {
+  const BlockRange r = block_partition(n_rows, g.rows, g.row_of(p));
+  const BlockRange c = block_partition(n_cols, g.cols, g.col_of(p));
+  return Tile{r.begin, r.end, c.begin, c.end};
+}
+
+/// Block-cyclic 2-D tile ownership: the domain is cut into small fixed-size
+/// tiles assigned round-robin over the processor grid, so each processor
+/// owns several spatially compact tiles scattered across the domain. This
+/// balances irregular per-pixel work (Raytrace, Volrend) while keeping
+/// per-tile locality, and neighbouring processor ids still own neighbouring
+/// tiles within each repeat block (so clustering captures shared data).
+inline std::vector<Tile> cyclic_tiles(std::size_t n_rows, std::size_t n_cols,
+                                      std::size_t tile, const ProcGrid& g,
+                                      ProcId p) {
+  std::vector<Tile> out;
+  const std::size_t trows = (n_rows + tile - 1) / tile;
+  const std::size_t tcols = (n_cols + tile - 1) / tile;
+  for (std::size_t tr = 0; tr < trows; ++tr) {
+    for (std::size_t tc = 0; tc < tcols; ++tc) {
+      if (g.at(tr % g.rows, tc % g.cols) != p) continue;
+      out.push_back(Tile{tr * tile, std::min(n_rows, (tr + 1) * tile),
+                         tc * tile, std::min(n_cols, (tc + 1) * tile)});
+    }
+  }
+  return out;
+}
+
+}  // namespace csim

@@ -1,0 +1,2 @@
+// Rng is header-only; this TU anchors the module in the build.
+#include "src/apps/prng.hpp"

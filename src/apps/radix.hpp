@@ -1,0 +1,67 @@
+// Parallel radix sort (SPLASH-2 "Radix" analogue).
+//
+// Paper characterization: 256K integer keys, radix 256; per digit each
+// processor histograms its keys, all processors then read the shared
+// histograms (the paper observes "significant prefetching effects,
+// particularly on the shared histograms", with large merge times because
+// clustered processors read the same histogram at the same time), and the
+// permutation writes keys to essentially random locations in the distributed
+// destination array (all-to-all, relatively unstructured).
+//
+// The sort is performed for real; verify() checks the output is sorted and a
+// permutation of the input.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/apps/partition.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+
+struct RadixConfig {
+  std::size_t n = 131072;  ///< number of keys (paper: 262144)
+  unsigned radix = 256;    ///< buckets per pass (paper: 256)
+  unsigned key_bits = 16;  ///< key width; passes = key_bits / log2(radix)
+  std::uint64_t seed = 0x5ad1'0001;
+
+  static RadixConfig preset(ProblemScale s);
+};
+
+class RadixApp final : public Program {
+ public:
+  explicit RadixApp(RadixConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "radix"; }
+  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  SimTask body(Proc& p) override;
+  void verify() const override;
+
+  [[nodiscard]] const RadixConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] Addr key_addr(int buf, std::size_t i) const noexcept {
+    return key_base_[buf] + i * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] Addr hist_addr(ProcId p, unsigned d) const noexcept {
+    return hist_base_ + (static_cast<Addr>(p) * cfg_.radix + d) *
+                            sizeof(std::uint32_t);
+  }
+
+  RadixConfig cfg_;
+  unsigned nprocs_ = 0;
+  unsigned passes_ = 0;
+  unsigned log_radix_ = 0;
+  std::vector<std::uint32_t> keys_[2];  ///< ping-pong key arrays
+  std::vector<std::uint32_t> input_;    ///< saved for verification
+  std::vector<std::vector<std::uint32_t>> hist_;  ///< [proc][digit]
+  Addr key_base_[2] = {0, 0};
+  Addr hist_base_ = 0;
+  Addr ghist_base_ = 0;  ///< the shared global histogram
+  int final_buf_ = 0;
+  std::unique_ptr<Barrier> bar_;
+};
+
+}  // namespace csim

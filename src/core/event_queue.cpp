@@ -1,0 +1,30 @@
+#include "src/core/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace csim {
+
+void EventQueue::schedule(Cycles t, Callback fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_one() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::run_one on empty queue");
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
+  // copy the callback (std::function copy) before popping. Events are popped
+  // once each, and callbacks are small, so this is not a hot-path concern
+  // relative to protocol work.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+}
+
+Cycles EventQueue::run_to_completion() {
+  while (!heap_.empty()) run_one();
+  return now_;
+}
+
+}  // namespace csim

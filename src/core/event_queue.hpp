@@ -1,0 +1,58 @@
+// Deterministic time-ordered event queue for the simulation engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// A min-heap of (time, sequence) ordered callbacks.
+///
+/// Ties in time are broken by insertion order, which makes simulations fully
+/// deterministic for a given workload and configuration.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute simulated time `t`.
+  void schedule(Cycles t, Callback fn);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Cycles next_time() const { return heap_.top().t; }
+
+  /// Current simulated time (time of the last event popped).
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Pops and runs the earliest event, advancing now(). Precondition:
+  /// !empty().
+  void run_one();
+
+  /// Runs events until the queue drains. Returns the final time.
+  Cycles run_to_completion();
+
+ private:
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  Cycles now_ = 0;
+};
+
+}  // namespace csim

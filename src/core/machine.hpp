@@ -1,0 +1,83 @@
+// Machine configuration: processor count, clustering, cache geometry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/types.hpp"
+#include "src/mem/latency.hpp"
+
+namespace csim {
+
+/// Geometry of the (cluster-shared) cache.
+struct CacheConfig {
+  /// Capacity *per processor* in bytes; a cluster of C processors shares a
+  /// cache of C * per_proc_bytes. 0 means infinite.
+  std::size_t per_proc_bytes = 0;
+  /// Cache line size in bytes (power of two).
+  unsigned line_bytes = 64;
+  /// Set associativity; 0 means fully associative (the paper's choice).
+  unsigned associativity = 0;
+
+  [[nodiscard]] bool infinite() const noexcept { return per_proc_bytes == 0; }
+};
+
+/// Which level of the hierarchy the cluster shares (paper Section 2).
+enum class ClusterStyle : std::uint8_t {
+  SharedCache,   ///< processors share one cluster cache (the paper's focus)
+  SharedMemory,  ///< private caches + snoopy bus + attraction memory
+};
+
+/// Full description of the simulated machine.
+struct MachineConfig {
+  unsigned num_procs = 64;
+  unsigned procs_per_cluster = 1;
+  ClusterStyle cluster_style = ClusterStyle::SharedCache;
+  /// SharedCache: per-processor share of the cluster cache.
+  /// SharedMemory: each processor's private cache.
+  CacheConfig cache{};
+  LatencyModel latency{};
+  /// Flat cache hit latency charged by the event simulator, in cycles.
+  Cycles hit_latency = 1;
+  /// Model shared-cache hit costs *inside* the simulation instead of the
+  /// paper's post-hoc Section 6 estimation: every cache access is charged
+  /// the Table 1 shared-cache hit latency for this cluster size, plus one
+  /// cycle on a (pseudo-random) bank conflict with probability from the
+  /// Table 4 model. Used by bench/validation_hit_cost.
+  bool model_shared_hit_costs = false;
+  unsigned banks_per_proc = 4;
+  /// Page granularity of home assignment (first-touch round robin).
+  unsigned page_bytes = 4096;
+  /// Max cycles a processor may run ahead on purely local operations before
+  /// yielding to the global event queue. 1 = strict global ordering.
+  Cycles runahead_quantum = 32;
+
+  [[nodiscard]] unsigned num_clusters() const noexcept {
+    return num_procs / procs_per_cluster;
+  }
+  [[nodiscard]] ClusterId cluster_of(ProcId p) const noexcept {
+    return p / procs_per_cluster;
+  }
+  [[nodiscard]] std::size_t cluster_cache_bytes() const noexcept {
+    return cache.per_proc_bytes * procs_per_cluster;
+  }
+  [[nodiscard]] std::size_t cluster_cache_lines() const noexcept {
+    return cluster_cache_bytes() / cache.line_bytes;
+  }
+
+  /// Table 1 hit latency of a shared cache for this cluster size (1/2/3/3).
+  [[nodiscard]] Cycles shared_cache_hit_latency() const noexcept {
+    if (procs_per_cluster <= 1) return 1;
+    return procs_per_cluster == 2 ? 2 : 3;
+  }
+
+  /// Throws std::invalid_argument if the configuration is inconsistent.
+  void validate() const;
+
+  /// e.g. "64p/4ppc/16KB" — used in reports.
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace csim

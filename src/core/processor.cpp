@@ -1,0 +1,130 @@
+#include "src/core/processor.hpp"
+
+#include <algorithm>
+
+#include "src/core/sync.hpp"
+
+namespace csim {
+
+void Proc::schedule_resume(Cycles t, std::coroutine_handle<> h) {
+  queue_->schedule(t, [this, t, h] {
+    begin_slice(t);
+    h.resume();
+    note_if_finished();
+  });
+}
+
+void Proc::note_if_finished() noexcept {
+  if (!finished && root.valid() && root.done()) {
+    finished = true;
+    finish_time = now_;
+  }
+}
+
+bool Proc::do_read(Addr a, Cycles& resume_at) {
+  const AccessResult r = coh_->read(id_, a, now_);
+  const Cycles hit = access_cost();
+  switch (r.kind) {
+    case AccessResult::Kind::Hit:
+      buckets_.cpu += hit;
+      now_ += hit;
+      return check_slice(resume_at);
+    case AccessResult::Kind::Merge: {
+      buckets_.cpu += hit;
+      const Cycles issue_done = now_ + hit;
+      const Cycles stall = r.ready_at > issue_done ? r.ready_at - issue_done : 0;
+      buckets_.merge += stall;
+      now_ = issue_done + stall;
+      resume_at = now_;
+      return false;  // a stall always yields to the queue
+    }
+    case AccessResult::Kind::ReadMiss:
+    case AccessResult::Kind::NearHit:
+      // NearHit: served within the cluster (snoop / attraction memory) in
+      // the shared-main-memory organization; the stall is still load time.
+      buckets_.cpu += hit;
+      buckets_.load += r.latency;
+      now_ += hit + r.latency;
+      resume_at = now_;
+      return false;
+    default:
+      // Writes never come back from CoherenceController::read.
+      return check_slice(resume_at);
+  }
+}
+
+bool Proc::do_write(Addr a, Cycles& resume_at) {
+  (void)coh_->write(id_, a, now_);
+  // Store issue occupies the cache for one access; all miss/upgrade latency
+  // is hidden by the store buffer under relaxed consistency.
+  const Cycles cost = access_cost();
+  buckets_.cpu += cost;
+  now_ += cost;
+  return check_slice(resume_at);
+}
+
+bool Proc::do_compute(Cycles n, Cycles& resume_at) {
+  buckets_.cpu += n;
+  now_ += n;
+  return check_slice(resume_at);
+}
+
+bool Proc::BarrierAwaiter::await_ready() const {
+  Barrier& bar = *b;
+  if (bar.arrived_ + 1 < bar.participants_) return false;
+  // Last arriver: release everyone at (no earlier than) our current time.
+  const Cycles release = p->now_;
+  for (auto& w : bar.waiters_) {
+    const Cycles t = std::max(release, w.arrival);
+    w.p->mutable_buckets().sync += t - w.arrival;
+    w.p->schedule_resume(t, w.h);
+  }
+  bar.waiters_.clear();
+  bar.arrived_ = 0;
+  ++bar.generations_;
+  return true;
+}
+
+void Proc::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  Barrier& bar = *b;
+  ++bar.arrived_;
+  bar.waiters_.push_back(Barrier::Waiter{h, p, p->now_});
+}
+
+bool Proc::AcquireAwaiter::await_ready() const {
+  // Acquisition is a globally visible action: even an uncontended acquire
+  // takes a queue round-trip so that other processors at the same simulated
+  // time observe the lock as held (otherwise a critical section shorter than
+  // the run-ahead quantum could overlap with a cluster-mate's).
+  return false;
+}
+
+void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  Lock& lk = *l;
+  if (!lk.held_) {
+    lk.held_ = true;
+    lk.owner_ = p->id();
+    ++lk.acquisitions_;
+    p->schedule_resume(p->now_, h);
+    return;
+  }
+  ++lk.contended_;
+  lk.waiters_.push_back(Lock::Waiter{h, p, p->now_});
+}
+
+void Proc::release(Lock& l) {
+  if (!l.held_) return;
+  if (l.waiters_.empty()) {
+    l.held_ = false;
+    return;
+  }
+  Lock::Waiter w = l.waiters_.front();
+  l.waiters_.pop_front();
+  const Cycles t = std::max(now_, w.arrival);
+  w.p->mutable_buckets().sync += t - w.arrival;
+  l.owner_ = w.p->id();
+  ++l.acquisitions_;
+  w.p->schedule_resume(t, w.h);
+}
+
+}  // namespace csim

@@ -1,0 +1,169 @@
+// Proc: the per-processor execution context visible to application code.
+//
+// Application coroutines interact with the simulated machine exclusively
+// through this interface:
+//
+//   co_await p.read(addr);     // load: may stall (miss/merge)
+//   co_await p.write(addr);    // store: never stalls (store buffer)
+//   co_await p.compute(n);     // n cycles of pure computation
+//   co_await p.barrier(bar);   // global or phase barrier
+//   co_await p.acquire(lock);  // FIFO lock
+//   p.release(lock);
+//
+// Timing model: each operation advances this processor's local clock.
+// Purely local operations (hits, computes, writes) may run ahead of global
+// time by up to `runahead_quantum` cycles before the processor yields to the
+// event queue; anything that stalls always yields. Read hits cost
+// `hit_latency` busy cycles; read misses stall for the Table 1 latency
+// (charged to the load bucket); reads joining an in-flight fill charge the
+// merge bucket; barrier/lock waits charge the sync bucket.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+
+#include "src/core/machine.hpp"
+#include "src/core/event_queue.hpp"
+#include "src/core/sim_task.hpp"
+#include "src/core/stats.hpp"
+#include "src/core/types.hpp"
+#include "src/mem/memory_system.hpp"
+
+namespace csim {
+
+class Barrier;
+class Lock;
+
+class Proc {
+ public:
+  Proc(const MachineConfig& cfg, EventQueue& q, MemorySystem& coh,
+       ProcId id)
+      : cfg_(&cfg), queue_(&q), coh_(&coh), id_(id),
+        cluster_(cfg.cluster_of(id)), rng_state_(0x9e3779b9u ^ (id * 2654435761u)) {
+    if (cfg.model_shared_hit_costs && cfg.procs_per_cluster > 1) {
+      const unsigned n = cfg.procs_per_cluster;
+      const double m = static_cast<double>(cfg.banks_per_proc) * n;
+      double miss = 1.0;
+      for (unsigned i = 1; i < n; ++i) miss *= (m - 1.0) / m;
+      conflict_threshold_ =
+          static_cast<std::uint64_t>((1.0 - miss) * 4294967296.0);
+    }
+  }
+
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  [[nodiscard]] ProcId id() const noexcept { return id_; }
+  [[nodiscard]] ClusterId cluster() const noexcept { return cluster_; }
+  [[nodiscard]] unsigned nprocs() const noexcept { return cfg_->num_procs; }
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+  [[nodiscard]] const TimeBuckets& buckets() const noexcept { return buckets_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return *cfg_; }
+
+  /// Generic suspension awaiter: if `ready` is false the coroutine parks and
+  /// is resumed (via the event queue) at `resume_at`.
+  struct OpAwaiter {
+    Proc* p;
+    Cycles resume_at = 0;
+    bool ready = true;
+    bool await_ready() const noexcept { return ready; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      p->schedule_resume(resume_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  OpAwaiter read(Addr a) {
+    OpAwaiter aw{this};
+    aw.ready = do_read(a, aw.resume_at);
+    return aw;
+  }
+  OpAwaiter write(Addr a) {
+    OpAwaiter aw{this};
+    aw.ready = do_write(a, aw.resume_at);
+    return aw;
+  }
+  OpAwaiter compute(Cycles n) {
+    OpAwaiter aw{this};
+    aw.ready = do_compute(n, aw.resume_at);
+    return aw;
+  }
+
+  struct BarrierAwaiter {
+    Proc* p;
+    Barrier* b;
+    bool await_ready() const;
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+  };
+  BarrierAwaiter barrier(Barrier& b) { return BarrierAwaiter{this, &b}; }
+
+  struct AcquireAwaiter {
+    Proc* p;
+    Lock* l;
+    bool await_ready() const;
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+  };
+  AcquireAwaiter acquire(Lock& l) { return AcquireAwaiter{this, &l}; }
+  void release(Lock& l);
+
+  // --- engine-side interface (used by Simulator and sync primitives) ------
+
+  /// Resets the local clock at the start of an event-queue slice.
+  void begin_slice(Cycles t) noexcept {
+    now_ = t;
+    slice_end_ = t + cfg_->runahead_quantum;
+  }
+
+  /// Schedules `h` to resume at absolute time `t` (with a fresh slice).
+  void schedule_resume(Cycles t, std::coroutine_handle<> h);
+
+  /// Records completion if the root coroutine has finished.
+  void note_if_finished() noexcept;
+
+  TimeBuckets& mutable_buckets() noexcept { return buckets_; }
+
+  bool finished = false;
+  Cycles finish_time = 0;
+  SimTask root;
+
+ private:
+  bool do_read(Addr a, Cycles& resume_at);
+  bool do_write(Addr a, Cycles& resume_at);
+  bool do_compute(Cycles n, Cycles& resume_at);
+  /// True if the slice budget is exhausted; sets resume_at for suspension.
+  bool check_slice(Cycles& resume_at) noexcept {
+    if (now_ >= slice_end_) {
+      resume_at = now_;
+      return false;
+    }
+    return true;
+  }
+
+  /// Cache access cost in cycles: hit_latency, or — when shared-cache hit
+  /// costs are modelled in-simulation — the Table 1 shared hit latency plus
+  /// one cycle on a pseudo-random bank conflict (Table 4 probability).
+  Cycles access_cost() noexcept {
+    if (!cfg_->model_shared_hit_costs) return cfg_->hit_latency;
+    Cycles cost = cfg_->shared_cache_hit_latency();
+    if (conflict_threshold_ != 0) {
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((rng_state_ >> 32) < conflict_threshold_) ++cost;
+    }
+    return cost;
+  }
+
+  const MachineConfig* cfg_;
+  EventQueue* queue_;
+  MemorySystem* coh_;
+  ProcId id_;
+  ClusterId cluster_;
+  Cycles now_ = 0;
+  Cycles slice_end_ = 0;
+  TimeBuckets buckets_{};
+  std::uint64_t rng_state_ = 0;
+  std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32
+};
+
+}  // namespace csim

@@ -1,0 +1,106 @@
+// SimTask: the coroutine type in which simulated application code runs.
+//
+// Every simulated processor executes one root SimTask.  Application code is
+// ordinary C++ written as coroutines: it issues memory references and
+// synchronisation via `co_await proc.read(a)`, `co_await proc.barrier(b)`,
+// etc., and may factor work into nested SimTasks awaited with
+// `co_await subroutine(proc, ...)` (symmetric transfer, no scheduler
+// round-trip).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace csim {
+
+/// A lazily-started coroutine task returning void, supporting nesting.
+///
+/// Lifetime: the SimTask owns its coroutine frame and destroys it on
+/// destruction. Move-only.
+class SimTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation{};  // resumed when we complete
+    std::exception_ptr exception{};
+
+    SimTask get_return_object() noexcept {
+      return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  SimTask(SimTask&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  /// True when the coroutine has run to completion.
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(h_); }
+
+  /// Starts a root task (resumes from the initial suspend point). The task
+  /// runs until its first suspension (memory stall, sync, quantum end).
+  void start() {
+    h_.resume();
+    rethrow_if_failed();
+  }
+
+  /// Rethrows any exception that escaped the coroutine body.
+  void rethrow_if_failed() const {
+    if (h_ && h_.done() && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+  /// Awaiting a SimTask runs it to completion as a nested call.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      void await_resume() const {
+        if (h && h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace csim

@@ -1,0 +1,90 @@
+#include "src/core/simulator.hpp"
+
+#include <stdexcept>
+
+#include "src/core/event_queue.hpp"
+#include "src/mem/clustered_memory.hpp"
+#include "src/mem/coherence.hpp"
+
+namespace csim {
+
+Simulator::Simulator(MachineConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
+  AddressSpace as;
+  prog.setup(as, cfg_);
+
+  EventQueue queue;
+  std::unique_ptr<MemorySystem> mem;
+  if (memory_override == nullptr) {
+    if (cfg_.cluster_style == ClusterStyle::SharedMemory) {
+      mem = std::make_unique<ClusteredMemorySystem>(cfg_, as);
+    } else {
+      mem = std::make_unique<CoherenceController>(cfg_, as);
+    }
+  }
+  MemorySystem& coh = memory_override ? *memory_override : *mem;
+
+  std::vector<std::unique_ptr<Proc>> procs;
+  procs.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    procs.push_back(std::make_unique<Proc>(cfg_, queue, coh, p));
+  }
+
+  // Launch every processor at t = 0. A body runs until its first suspension;
+  // completion is detected after each resume via the root task.
+  for (auto& pp : procs) {
+    Proc* proc = pp.get();
+    proc->root = prog.body(*proc);
+    queue.schedule(0, [proc] {
+      proc->begin_slice(0);
+      proc->root.start();
+      proc->note_if_finished();
+    });
+  }
+
+  // Drive the event queue to exhaustion; processors record their own
+  // completion when their root coroutine finishes.
+  queue.run_to_completion();
+
+  for (auto& pp : procs) {
+    pp->root.rethrow_if_failed();
+  }
+
+  SimResult res;
+  res.config = cfg_;
+  res.app_name = prog.name();
+
+  Cycles wall = 0;
+  for (auto& pp : procs) {
+    if (!pp->finished) {
+      throw std::runtime_error("deadlock: processor " + std::to_string(pp->id()) +
+                               " never finished (mismatched barrier/lock?)");
+    }
+    wall = std::max(wall, pp->finish_time);
+  }
+  res.wall_time = wall;
+
+  res.per_proc.reserve(cfg_.num_procs);
+  for (auto& pp : procs) {
+    TimeBuckets b = pp->buckets();
+    // Early finishers wait at the implicit final barrier.
+    b.sync += wall - pp->finish_time;
+    res.per_proc.push_back(b);
+  }
+
+  res.per_cluster.reserve(cfg_.num_clusters());
+  for (ClusterId c = 0; c < cfg_.num_clusters(); ++c) {
+    res.per_cluster.push_back(coh.cluster_counters(c));
+  }
+  res.totals = coh.totals();
+
+  prog.verify();
+  return res;
+}
+
+SimResult simulate(Program& prog, const MachineConfig& cfg) {
+  return Simulator(cfg).run(prog);
+}
+
+}  // namespace csim

@@ -1,0 +1,58 @@
+// Simulator facade: runs a Program on a configured machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/processor.hpp"
+#include "src/core/sim_task.hpp"
+#include "src/core/stats.hpp"
+#include "src/mem/address_space.hpp"
+
+namespace csim {
+
+/// A simulated parallel program. Implementations allocate their simulated
+/// data in setup() and provide one coroutine body per processor.
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocates simulated memory (and optional explicit placement). Called
+  /// once per simulation run, before any body starts.
+  virtual void setup(AddressSpace& as, const MachineConfig& cfg) = 0;
+
+  /// The code processor `p` executes.
+  virtual SimTask body(Proc& p) = 0;
+
+  /// Optional post-run check of the computation's real result; throws on
+  /// failure. Lets tests prove the reference stream is the real algorithm.
+  virtual void verify() const {}
+};
+
+/// Runs programs under a machine configuration and collects results.
+class Simulator {
+ public:
+  explicit Simulator(MachineConfig cfg);
+
+  /// Simulates `prog` to completion and returns timing + miss statistics.
+  /// Throws std::runtime_error on deadlock (e.g. mismatched barriers).
+  ///
+  /// `memory_override` substitutes the memory system built from the
+  /// configuration (used by the working-set profiler and trace tooling);
+  /// the caller keeps ownership and the object must outlive the run.
+  SimResult run(Program& prog, MemorySystem* memory_override = nullptr);
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  MachineConfig cfg_;
+};
+
+/// Convenience: one-shot run.
+SimResult simulate(Program& prog, const MachineConfig& cfg);
+
+}  // namespace csim

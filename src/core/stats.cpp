@@ -1,0 +1,35 @@
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+MissCounters& MissCounters::operator+=(const MissCounters& o) noexcept {
+  reads += o.reads;
+  writes += o.writes;
+  read_hits += o.read_hits;
+  write_hits += o.write_hits;
+  read_misses += o.read_misses;
+  write_misses += o.write_misses;
+  upgrade_misses += o.upgrade_misses;
+  merges += o.merges;
+  cold_misses += o.cold_misses;
+  invalidations += o.invalidations;
+  evictions += o.evictions;
+  snoop_transfers += o.snoop_transfers;
+  cluster_memory_hits += o.cluster_memory_hits;
+  bus_invalidations += o.bus_invalidations;
+  for (unsigned i = 0; i < kNumLatencyClasses; ++i) by_class[i] += o.by_class[i];
+  return *this;
+}
+
+TimeBuckets SimResult::aggregate() const {
+  TimeBuckets agg{};
+  for (const auto& b : per_proc) agg += b;
+  return agg;
+}
+
+double SimResult::loads_per_cpu_cycle() const {
+  const Cycles cpu = aggregate().cpu;
+  return cpu ? static_cast<double>(totals.reads) / static_cast<double>(cpu) : 0.0;
+}
+
+}  // namespace csim

@@ -1,0 +1,80 @@
+// Simulation statistics: per-processor time buckets and miss taxonomy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// The four execution-time components of the paper's stacked bars.
+struct TimeBuckets {
+  Cycles cpu = 0;    ///< busy cycles (includes 1-cycle cache hits)
+  Cycles load = 0;   ///< read-miss stall cycles
+  Cycles merge = 0;  ///< merge-miss stall cycles (waiting on another
+                     ///< processor's in-flight fill)
+  Cycles sync = 0;   ///< barrier / lock wait (incl. final-barrier wait)
+
+  [[nodiscard]] Cycles total() const noexcept { return cpu + load + merge + sync; }
+  TimeBuckets& operator+=(const TimeBuckets& o) noexcept {
+    cpu += o.cpu;
+    load += o.load;
+    merge += o.merge;
+    sync += o.sync;
+    return *this;
+  }
+};
+
+/// Reference / miss counters, aggregated machine-wide (the paper reports
+/// machine-level behaviour; per-cluster splits are available via
+/// SimResult::per_cluster).
+struct MissCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t upgrade_misses = 0;  ///< write found line SHARED
+  std::uint64_t merges = 0;          ///< reads merged on an in-flight fill
+  std::uint64_t cold_misses = 0;     ///< first-ever access to the line
+  std::uint64_t invalidations = 0;   ///< cluster copies destroyed
+  std::uint64_t evictions = 0;       ///< capacity replacements
+  // Shared-main-memory cluster organization only:
+  std::uint64_t snoop_transfers = 0;     ///< served cache-to-cache on the bus
+  std::uint64_t cluster_memory_hits = 0; ///< served by the attraction memory
+  std::uint64_t bus_invalidations = 0;   ///< peer private-cache copies killed
+  std::array<std::uint64_t, kNumLatencyClasses> by_class{};
+
+  MissCounters& operator+=(const MissCounters& o) noexcept;
+
+  [[nodiscard]] std::uint64_t total_misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double read_miss_rate() const noexcept {
+    return reads ? static_cast<double>(read_misses) / static_cast<double>(reads) : 0.0;
+  }
+};
+
+/// Result of one simulation run.
+struct SimResult {
+  MachineConfig config{};
+  std::string app_name;
+  Cycles wall_time = 0;
+  std::vector<TimeBuckets> per_proc;
+  std::vector<MissCounters> per_cluster;
+  MissCounters totals{};
+
+  /// Sum of per-processor buckets. With final-barrier accounting,
+  /// aggregate().total() == num_procs * wall_time.
+  [[nodiscard]] TimeBuckets aggregate() const;
+
+  /// Loads per CPU-busy cycle (input to the Section 6 hit-time estimator).
+  [[nodiscard]] double loads_per_cpu_cycle() const;
+};
+
+}  // namespace csim

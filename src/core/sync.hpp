@@ -1,0 +1,67 @@
+// Synchronization primitives for simulated programs: barriers and FIFO locks.
+//
+// Wait time is charged to the waiting processor's sync bucket. Barrier
+// release and lock handoff are instantaneous (the paper does not model
+// synchronization hardware latency; synchronization *wait* — load imbalance
+// and serialization — is what its bars show).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+class Proc;
+
+/// A reusable counting barrier for a fixed set of participants.
+class Barrier {
+ public:
+  explicit Barrier(unsigned participants) : participants_(participants) {}
+
+  [[nodiscard]] unsigned participants() const noexcept { return participants_; }
+  [[nodiscard]] unsigned arrived() const noexcept { return arrived_; }
+  [[nodiscard]] std::uint64_t generations() const noexcept { return generations_; }
+
+ private:
+  friend class Proc;
+  struct Waiter {
+    std::coroutine_handle<> h;
+    Proc* p;
+    Cycles arrival;
+  };
+  unsigned participants_;
+  unsigned arrived_ = 0;
+  std::uint64_t generations_ = 0;
+  std::vector<Waiter> waiters_;
+};
+
+/// A FIFO mutual-exclusion lock.
+class Lock {
+ public:
+  [[nodiscard]] bool held() const noexcept { return held_; }
+  [[nodiscard]] ProcId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  [[nodiscard]] std::uint64_t contended_acquisitions() const noexcept {
+    return contended_;
+  }
+
+ private:
+  friend class Proc;
+  struct Waiter {
+    std::coroutine_handle<> h;
+    Proc* p;
+    Cycles arrival;
+  };
+  bool held_ = false;
+  ProcId owner_ = 0;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace csim

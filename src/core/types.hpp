@@ -1,0 +1,38 @@
+// Fundamental scalar types shared across the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace csim {
+
+/// Simulated byte address in the shared address space.
+using Addr = std::uint64_t;
+
+/// Simulated time / durations, in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Processor identifier (0 .. num_procs-1).
+using ProcId = unsigned;
+
+/// Cluster identifier (0 .. num_clusters-1).
+using ClusterId = unsigned;
+
+/// Sentinel for "no cluster".
+inline constexpr ClusterId kNoCluster = ~0u;
+
+/// The two access kinds a processor can issue.
+enum class AccessKind : std::uint8_t { Read, Write };
+
+/// Latency classification of a cluster-cache miss, mirroring Table 1 of the
+/// paper. "Local" means the home of the line is the requesting cluster.
+enum class LatencyClass : std::uint8_t {
+  LocalClean,        ///< local home, directory SHARED or NOT_CACHED (30 cy)
+  LocalDirtyRemote,  ///< local home, line EXCLUSIVE in a remote cluster (100 cy)
+  RemoteClean,       ///< remote home satisfies the request (100 cy)
+  RemoteDirtyThird,  ///< remote home, line EXCLUSIVE in a third cluster (150 cy)
+};
+
+inline constexpr unsigned kNumLatencyClasses = 4;
+
+}  // namespace csim

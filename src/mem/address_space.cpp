@@ -1,0 +1,61 @@
+#include "src/mem/address_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csim {
+
+namespace {
+constexpr Addr kAllocPage = 4096;  // allocation alignment (>= any config page)
+Addr round_up(Addr v, Addr align) { return (v + align - 1) & ~(align - 1); }
+}  // namespace
+
+Addr AddressSpace::alloc(std::size_t bytes, std::string_view label) {
+  if (bytes == 0) throw std::invalid_argument("alloc of zero bytes");
+  top_ = round_up(top_, kAllocPage);
+  const Addr base = top_;
+  top_ += round_up(bytes, kAllocPage);
+  regions_.push_back(Region{std::string(label), base, bytes});
+  return base;
+}
+
+void AddressSpace::place(Addr start, std::size_t bytes, ProcId proc) {
+  if (bytes == 0) return;
+  placed_.push_back(Placement{start, start + bytes, proc});
+}
+
+std::optional<Region> AddressSpace::find_region(std::string_view label) const {
+  for (const auto& r : regions_) {
+    if (r.label == label) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcId> AddressSpace::placement_of_page(
+    Addr page_base, unsigned page_bytes) const {
+  const Addr page_end = page_base + page_bytes;
+  // Later placements win, so scan back-to-front; a page counts as placed if
+  // any placement overlaps it (placements are data partitions, which the
+  // applications page-align where it matters).
+  for (auto it = placed_.rbegin(); it != placed_.rend(); ++it) {
+    if (it->base < page_end && page_base < it->end) return it->proc;
+  }
+  return std::nullopt;
+}
+
+ClusterId AddressSpace::HomeMap::home_of(Addr a) {
+  const Addr page = (a >> page_shift_) << page_shift_;
+  auto it = homes_.find(page);
+  if (it != homes_.end()) return it->second;
+  ClusterId home;
+  if (auto proc = as_->placement_of_page(page, cfg_.page_bytes)) {
+    home = cfg_.cluster_of(std::min<ProcId>(*proc, cfg_.num_procs - 1));
+  } else {
+    home = rr_next_;
+    rr_next_ = (rr_next_ + 1) % cfg_.num_clusters();
+  }
+  homes_.emplace(page, home);
+  return home;
+}
+
+}  // namespace csim

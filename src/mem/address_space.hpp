@@ -1,0 +1,112 @@
+// Simulated shared address space: allocation, placement, home assignment.
+//
+// The paper's policy: "Memory is allocated to clusters when first touched on
+// a round robin basis. Some application programs explicitly place data when
+// such placement improves performance. All stack references are allocated
+// locally."
+//
+// Explicit placement is recorded per *processor* (the application does not
+// know the cluster size); the home cluster is resolved through the machine
+// configuration at simulation time, so one workload setup serves every
+// clustering configuration.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// A named region of the simulated address space.
+struct Region {
+  std::string label;
+  Addr base = 0;
+  std::size_t bytes = 0;
+  [[nodiscard]] Addr end() const noexcept { return base + bytes; }
+  [[nodiscard]] bool contains(Addr a) const noexcept {
+    return a >= base && a < end();
+  }
+};
+
+/// Bump allocator over a 64-bit simulated address space with page-granular
+/// home tracking. No data is stored; applications keep their real data in
+/// host memory and use these addresses only to drive the cache simulation.
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  /// Allocates `bytes` (rounded up to a page), aligned to a page boundary so
+  /// regions never share a home page. Returns the base address.
+  Addr alloc(std::size_t bytes, std::string_view label = {});
+
+  /// Declares that pages covering [start, start+bytes) belong to `proc`
+  /// (resolved to proc's cluster at simulation time). Overrides first-touch.
+  void place(Addr start, std::size_t bytes, ProcId proc);
+
+  /// Removes any explicit placement (pages revert to first-touch).
+  void clear_placements() { placed_.clear(); }
+
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::optional<Region> find_region(std::string_view label) const;
+
+  [[nodiscard]] Addr bytes_allocated() const noexcept { return top_; }
+
+  /// Per-simulation view that resolves homes under a specific machine
+  /// configuration. Resets first-touch state.
+  class HomeMap {
+   public:
+    /// The configuration is copied (it is small), so temporaries are safe;
+    /// the AddressSpace must outlive the map.
+    HomeMap(const AddressSpace& as, const MachineConfig& cfg)
+        : as_(&as), cfg_(cfg), page_shift_(page_shift(cfg.page_bytes)) {}
+
+    /// Home cluster of the page containing `a`; assigns round-robin on first
+    /// touch unless the page was explicitly placed.
+    ClusterId home_of(Addr a);
+
+    /// Number of pages assigned so far (touched or placed-and-touched).
+    [[nodiscard]] std::size_t pages_touched() const noexcept {
+      return homes_.size();
+    }
+
+   private:
+    static unsigned page_shift(unsigned page_bytes) noexcept {
+      unsigned s = 0;
+      while ((1u << s) < page_bytes) ++s;
+      return s;
+    }
+    const AddressSpace* as_;
+    MachineConfig cfg_;
+    unsigned page_shift_;
+    std::unordered_map<Addr, ClusterId> homes_;
+    ClusterId rr_next_ = 0;
+  };
+
+  /// Placement lookup by page address (page number << shift). Returns the
+  /// owning processor, if any.
+  [[nodiscard]] std::optional<ProcId> placement_of_page(Addr page_base,
+                                                        unsigned page_bytes) const;
+
+ private:
+  friend class HomeMap;
+  Addr top_ = 0x1000;  // skip the null page
+  std::vector<Region> regions_;
+  // Placement intervals: page-aligned [base, end) -> proc. Few, scanned
+  // rarely (only on first touch of a page), so a sorted vector suffices.
+  struct Placement {
+    Addr base;
+    Addr end;
+    ProcId proc;
+  };
+  std::vector<Placement> placed_;
+};
+
+}  // namespace csim

@@ -1,0 +1,91 @@
+#include "src/mem/cache.hpp"
+
+#include <stdexcept>
+
+namespace csim {
+
+CacheStorage::CacheStorage(std::size_t capacity_lines, unsigned associativity,
+                           unsigned line_bytes)
+    : capacity_(capacity_lines), ways_(associativity) {
+  line_shift_ = 0;
+  while ((1u << line_shift_) < line_bytes) ++line_shift_;
+  if (capacity_ == 0) {
+    num_sets_ = 0;  // infinite: no sets at all
+  } else if (ways_ == 0) {
+    num_sets_ = 1;  // fully associative
+    sets_.resize(1);
+  } else {
+    if (capacity_ % ways_ != 0) {
+      throw std::invalid_argument("capacity not a multiple of associativity");
+    }
+    num_sets_ = capacity_ / ways_;
+    sets_.resize(num_sets_);
+  }
+}
+
+unsigned CacheStorage::set_index(Addr line) const noexcept {
+  if (num_sets_ <= 1) return 0;
+  return static_cast<unsigned>((line >> line_shift_) % num_sets_);
+}
+
+std::optional<LineState> CacheStorage::lookup(Addr line) const {
+  auto it = map_.find(line);
+  if (it == map_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+void CacheStorage::touch(Addr line) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(line);
+  if (it == map_.end()) return;
+  auto& lru = sets_[set_index(line)];
+  lru.splice(lru.begin(), lru, it->second.it);
+}
+
+std::optional<Evicted> CacheStorage::insert(Addr line, LineState st) {
+  if (map_.contains(line)) {
+    throw std::logic_error("CacheStorage::insert of resident line");
+  }
+  if (capacity_ == 0) {
+    map_.emplace(line, MapEntry{st, {}});
+    return std::nullopt;
+  }
+  auto& lru = sets_[set_index(line)];
+  std::optional<Evicted> victim;
+  const std::size_t set_cap = (ways_ == 0) ? capacity_ : ways_;
+  if (lru.size() >= set_cap) {
+    const Node& v = lru.back();
+    victim = Evicted{v.line, v.state};
+    map_.erase(v.line);
+    lru.pop_back();
+  }
+  lru.push_front(Node{line, st});
+  map_.emplace(line, MapEntry{st, lru.begin()});
+  return victim;
+}
+
+bool CacheStorage::set_state(Addr line, LineState st) {
+  auto it = map_.find(line);
+  if (it == map_.end()) return false;
+  it->second.state = st;
+  if (capacity_ != 0) it->second.it->state = st;
+  return true;
+}
+
+std::optional<LineState> CacheStorage::erase(Addr line) {
+  auto it = map_.find(line);
+  if (it == map_.end()) return std::nullopt;
+  const LineState st = it->second.state;
+  if (capacity_ != 0) sets_[set_index(line)].erase(it->second.it);
+  map_.erase(it);
+  return st;
+}
+
+std::vector<Addr> CacheStorage::resident_lines() const {
+  std::vector<Addr> out;
+  out.reserve(map_.size());
+  for (const auto& [line, _] : map_) out.push_back(line);
+  return out;
+}
+
+}  // namespace csim

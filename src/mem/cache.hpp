@@ -1,0 +1,86 @@
+// Cluster cache storage: infinite, fully associative LRU, or set associative.
+//
+// The paper simulates fully associative LRU caches ("to exclude the effect of
+// conflict misses from the performance characterizations") and infinite
+// caches (Section 4). Set-associative mode is provided for the paper's
+// stated future work on destructive interference under limited associativity
+// (used by bench/ablation_associativity).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// Cache line states (invalidation protocol, no Owned/Modified distinction:
+/// EXCLUSIVE implies potentially dirty).
+enum class LineState : std::uint8_t { Shared, Exclusive };
+
+/// A line evicted to make room (replacement hint / writeback to home).
+struct Evicted {
+  Addr line;
+  LineState state;
+};
+
+/// One cluster's cache contents. Keys are line-aligned addresses.
+class CacheStorage {
+ public:
+  /// capacity_lines == 0 => infinite. associativity == 0 => fully associative.
+  /// line_bytes is needed only for set indexing in set-associative mode.
+  CacheStorage(std::size_t capacity_lines, unsigned associativity,
+               unsigned line_bytes = 64);
+
+  /// Returns the state of `line` if present (does not touch LRU).
+  [[nodiscard]] std::optional<LineState> lookup(Addr line) const;
+
+  /// Marks `line` most-recently-used. No-op if absent.
+  void touch(Addr line);
+
+  /// Inserts `line` (must not be present), possibly evicting the LRU line of
+  /// the relevant set. Returns the victim, if any.
+  std::optional<Evicted> insert(Addr line, LineState st);
+
+  /// Changes the state of a present line. Returns false if absent.
+  bool set_state(Addr line, LineState st);
+
+  /// Removes `line` (invalidation or external downgrade-erase). Returns its
+  /// prior state if it was present.
+  std::optional<LineState> erase(Addr line);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool infinite() const noexcept { return capacity_ == 0; }
+  [[nodiscard]] std::size_t capacity_lines() const noexcept { return capacity_; }
+
+  /// All resident lines (testing / diagnostics). Order unspecified.
+  [[nodiscard]] std::vector<Addr> resident_lines() const;
+
+ private:
+  struct Node {
+    Addr line;
+    LineState state;
+  };
+  using LruList = std::list<Node>;
+
+  unsigned set_index(Addr line) const noexcept;
+
+  std::size_t capacity_ = 0;     // total lines; 0 = infinite
+  unsigned ways_ = 0;            // 0 = fully associative
+  unsigned line_shift_ = 6;
+  std::size_t num_sets_ = 1;
+  // One LRU list per set (fully associative => single set). For the infinite
+  // cache the list is unused; only the map holds state.
+  std::vector<LruList> sets_;
+  struct MapEntry {
+    LineState state;      // authoritative for infinite mode
+    LruList::iterator it;  // valid only in bounded mode
+  };
+  std::unordered_map<Addr, MapEntry> map_;
+};
+
+}  // namespace csim

@@ -1,0 +1,246 @@
+#include "src/mem/clustered_memory.hpp"
+
+namespace csim {
+
+ClusteredMemorySystem::ClusteredMemorySystem(const MachineConfig& cfg,
+                                             const AddressSpace& as)
+    : cfg_(&cfg), homes_(as, cfg) {
+  caches_.reserve(cfg.num_procs);
+  const std::size_t lines_per_proc =
+      cfg.cache.infinite() ? 0 : cfg.cache.per_proc_bytes / cfg.cache.line_bytes;
+  for (ProcId p = 0; p < cfg.num_procs; ++p) {
+    caches_.push_back(std::make_unique<CacheStorage>(
+        lines_per_proc, cfg.cache.associativity, cfg.cache.line_bytes));
+  }
+  attraction_.resize(cfg.num_clusters());
+  mshrs_.resize(cfg.num_clusters());
+  counters_.resize(cfg.num_clusters());
+}
+
+MissCounters ClusteredMemorySystem::totals() const {
+  MissCounters t{};
+  for (const auto& c : counters_) t += c;
+  return t;
+}
+
+void ClusteredMemorySystem::install_private(ProcId p, Addr line,
+                                            LineState st) {
+  auto victim = caches_[p]->insert(line, st);
+  if (victim) {
+    const ClusterId c = cfg_->cluster_of(p);
+    ++counters_[c].evictions;
+    // The victim falls back to the (infinite) attraction memory: the line
+    // stays in the cluster, so no directory replacement hint is sent.
+    auto it = attraction_[c].find(victim->line);
+    if (it != attraction_[c].end()) {
+      it->second.proc_copies &= ~(std::uint64_t{1} << local_index(p));
+    }
+  }
+}
+
+void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
+  auto it = attraction_[c].find(line);
+  if (it == attraction_[c].end()) return;
+  std::uint64_t copies = it->second.proc_copies;
+  const ProcId base = c * cfg_->procs_per_cluster;
+  while (copies) {
+    const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
+    copies &= copies - 1;
+    caches_[base + li]->erase(line);
+    ++counters_[c].bus_invalidations;
+  }
+  attraction_[c].erase(it);
+  mshrs_[c].release(line);
+  ++counters_[c].invalidations;
+}
+
+void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
+                                                      ClusterId keep) {
+  DirEntry& e = dir_.entry(line);
+  std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
+  while (rest) {
+    const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
+    rest &= rest - 1;
+    purge_cluster(x, line);
+    e.remove(x);
+  }
+  if (e.sharers == 0) e.state = DirState::NotCached;
+}
+
+AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
+                                                 Cycles now, bool exclusive) {
+  const ClusterId c = cfg_->cluster_of(p);
+  DirEntry& e = dir_.entry(line);
+  const LatencyClass lclass = classify_miss(e, c, homes_.home_of(line));
+  const Cycles lat = cfg_->latency.of(lclass);
+  MissCounters& ctr = counters_[c];
+
+  if (exclusive) {
+    invalidate_other_clusters(line, c);
+    e.sharers = 0;
+    e.add(c);
+    e.state = DirState::Exclusive;
+    ++ctr.write_misses;
+  } else {
+    if (e.state == DirState::Exclusive) {
+      // Remote owner cluster keeps a SHARED copy; demote its caches too.
+      const ClusterId o = e.owner();
+      auto it = attraction_[o].find(line);
+      if (it != attraction_[o].end()) {
+        it->second.cluster_exclusive = false;
+        std::uint64_t copies = it->second.proc_copies;
+        const ProcId base = o * cfg_->procs_per_cluster;
+        while (copies) {
+          const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
+          copies &= copies - 1;
+          caches_[base + li]->set_state(line, LineState::Shared);
+        }
+      }
+    }
+    e.add(c);
+    e.state = DirState::Shared;
+    ++ctr.read_misses;
+  }
+  ++ctr.by_class[static_cast<unsigned>(lclass)];
+  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+
+  attraction_[c][line] =
+      ClusterLine{std::uint64_t{1} << local_index(p), exclusive};
+  install_private(p, line, exclusive ? LineState::Exclusive : LineState::Shared);
+  mshrs_[c].allocate(line, MshrEntry{now + lat});
+  return AccessResult{exclusive ? AccessResult::Kind::WriteMiss
+                                : AccessResult::Kind::ReadMiss,
+                      lat, now + lat, lclass};
+}
+
+AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = line_of(a);
+  MissCounters& ctr = counters_[c];
+  ++ctr.reads;
+
+  if (caches_[p]->lookup(line)) {
+    if (MshrEntry* m = mshrs_[c].find(line)) {
+      if (m->fill_time > now) {
+        ++ctr.merges;
+        return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
+                            LatencyClass::LocalClean};
+      }
+      mshrs_[c].release(line);
+    }
+    caches_[p]->touch(line);
+    ++ctr.read_hits;
+    return AccessResult{AccessResult::Kind::Hit};
+  }
+
+  auto it = attraction_[c].find(line);
+  if (it != attraction_[c].end()) {
+    // The line is in the cluster. A fill still in flight merges; otherwise
+    // a peer cache (snoop) or the cluster memory supplies it.
+    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time > now) {
+      ++ctr.merges;
+      return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
+                          LatencyClass::LocalClean};
+    }
+    ClusterLine& cl = it->second;
+    Cycles lat;
+    if (cl.proc_copies) {
+      lat = cfg_->latency.snoop_transfer;
+      ++ctr.snoop_transfers;
+      // Cache-to-cache transfer demotes any proc-exclusive peer copy.
+      std::uint64_t copies = cl.proc_copies;
+      const ProcId base = c * cfg_->procs_per_cluster;
+      while (copies) {
+        const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
+        copies &= copies - 1;
+        caches_[base + li]->set_state(line, LineState::Shared);
+      }
+    } else {
+      lat = cfg_->latency.cluster_memory;
+      ++ctr.cluster_memory_hits;
+    }
+    install_private(p, line, LineState::Shared);
+    attraction_[c][line].proc_copies |= std::uint64_t{1} << local_index(p);
+    return AccessResult{AccessResult::Kind::NearHit, lat, now + lat,
+                        LatencyClass::LocalClean};
+  }
+
+  mshrs_[c].release(line);  // stale entry for a purged line
+  return fetch_remote(p, line, now, /*exclusive=*/false);
+}
+
+AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = line_of(a);
+  MissCounters& ctr = counters_[c];
+  ++ctr.writes;
+
+  auto kill_local_peers = [&](ClusterLine& cl) {
+    std::uint64_t others =
+        cl.proc_copies & ~(std::uint64_t{1} << local_index(p));
+    const ProcId base = c * cfg_->procs_per_cluster;
+    while (others) {
+      const unsigned li = static_cast<unsigned>(__builtin_ctzll(others));
+      others &= others - 1;
+      caches_[base + li]->erase(line);
+      ++ctr.bus_invalidations;
+    }
+    cl.proc_copies = std::uint64_t{1} << local_index(p);
+  };
+
+  if (auto st = caches_[p]->lookup(line)) {
+    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time <= now) {
+      mshrs_[c].release(line);
+    }
+    caches_[p]->touch(line);
+    if (*st == LineState::Exclusive) {
+      ++ctr.write_hits;
+      return AccessResult{AccessResult::Kind::Hit};
+    }
+    // Proc-level upgrade: kill peer copies on the bus; if other clusters
+    // also hold the line, take machine-wide ownership through the directory.
+    ClusterLine& cl = attraction_[c][line];
+    kill_local_peers(cl);
+    caches_[p]->set_state(line, LineState::Exclusive);
+    if (!cl.cluster_exclusive) {
+      invalidate_other_clusters(line, c);
+      DirEntry& e = dir_.entry(line);
+      e.sharers = 0;
+      e.add(c);
+      e.state = DirState::Exclusive;
+      cl.cluster_exclusive = true;
+      ++ctr.upgrade_misses;
+      return AccessResult{AccessResult::Kind::UpgradeMiss};
+    }
+    // Ownership was already in the cluster: the write is a bus transaction
+    // only ("ownership is kept within the cluster").
+    ++ctr.write_hits;
+    return AccessResult{AccessResult::Kind::Hit};
+  }
+
+  auto it = attraction_[c].find(line);
+  if (it != attraction_[c].end()) {
+    // Write-allocate from within the cluster (hidden by the store buffer).
+    ClusterLine& cl = it->second;
+    kill_local_peers(cl);
+    install_private(p, line, LineState::Exclusive);
+    cl.proc_copies |= std::uint64_t{1} << local_index(p);
+    if (!cl.cluster_exclusive) {
+      invalidate_other_clusters(line, c);
+      DirEntry& e = dir_.entry(line);
+      e.sharers = 0;
+      e.add(c);
+      e.state = DirState::Exclusive;
+      cl.cluster_exclusive = true;
+      ++ctr.upgrade_misses;
+      return AccessResult{AccessResult::Kind::UpgradeMiss};
+    }
+    ++ctr.write_hits;
+    return AccessResult{AccessResult::Kind::Hit};
+  }
+
+  mshrs_[c].release(line);
+  return fetch_remote(p, line, now, /*exclusive=*/true);
+}
+
+}  // namespace csim

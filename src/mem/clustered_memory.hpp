@@ -1,0 +1,105 @@
+// ClusteredMemorySystem: the paper's *shared main memory* cluster
+// organization (Section 2).
+//
+// Each processor has a private cache; processors of a cluster sit on a
+// snoopy bus backed by an effectively infinite COMA-style attraction memory.
+// Between clusters, the same invalidation-based full-bit-vector directory as
+// the shared-cache organization keeps cluster copies coherent.
+//
+// Paper semantics implemented here:
+//  - "In a clustered memory architecture, the invalidations are sent to
+//    processors that have copies, but ownership is kept within the cluster.
+//    Subsequent accesses by other processors within the cluster are
+//    satisfied by cache to cache transfers."
+//  - "In a shared main memory cluster working sets are still duplicated but
+//    the parts of the working set replaced by one processor may not have
+//    been replaced by other processors, providing cache to cache sharing
+//    opportunities."
+//  - "In clustered memory systems destructive interference does not exist,
+//    since the caches are separate."
+//
+// A read that misses the private cache is satisfied, in order of preference:
+//  (1) by a peer cache on the bus   -> NearHit, snoop_transfer latency;
+//  (2) by the cluster memory        -> NearHit, cluster_memory latency;
+//  (3) remotely through the directory (Table 1 latencies, MERGE on
+//      outstanding cluster fills, store-buffered writes) — a real miss.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/directory.hpp"
+#include "src/mem/memory_system.hpp"
+#include "src/mem/mshr.hpp"
+
+namespace csim {
+
+class ClusteredMemorySystem final : public MemorySystem {
+ public:
+  ClusteredMemorySystem(const MachineConfig& cfg, const AddressSpace& as);
+
+  AccessResult read(ProcId p, Addr a, Cycles now) override;
+  AccessResult write(ProcId p, Addr a, Cycles now) override;
+
+  [[nodiscard]] const MissCounters& cluster_counters(
+      ClusterId c) const override {
+    return counters_[c];
+  }
+  [[nodiscard]] MissCounters totals() const override;
+
+  // --- Introspection for tests -------------------------------------------
+  [[nodiscard]] const CacheStorage& private_cache(ProcId p) const {
+    return *caches_[p];
+  }
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+  [[nodiscard]] bool in_attraction(ClusterId c, Addr a) const {
+    return attraction_[c].contains(a & ~Addr{cfg_->cache.line_bytes - 1});
+  }
+
+ private:
+  /// Per-cluster per-line bus-level bookkeeping: which local processors hold
+  /// a copy (bit per in-cluster processor index), and whether the cluster
+  /// owns the line exclusively machine-wide.
+  struct ClusterLine {
+    std::uint64_t proc_copies = 0;
+    bool cluster_exclusive = false;
+  };
+  using Attraction = std::unordered_map<Addr, ClusterLine>;
+
+  [[nodiscard]] Addr line_of(Addr a) const noexcept {
+    return a & ~Addr{cfg_->cache.line_bytes - 1};
+  }
+  [[nodiscard]] unsigned local_index(ProcId p) const noexcept {
+    return p % cfg_->procs_per_cluster;
+  }
+
+  /// Installs into `p`'s private cache; evicted victims fall back to the
+  /// attraction memory (still within the cluster, no directory hint).
+  void install_private(ProcId p, Addr line, LineState st);
+
+  /// Removes every copy of `line` in cluster `c` (bus + attraction).
+  void purge_cluster(ClusterId c, Addr line);
+
+  /// Invalidates all other clusters' copies via the directory.
+  void invalidate_other_clusters(Addr line, ClusterId keep);
+
+  /// Brings a line into the cluster from outside (read: SHARED, write:
+  /// EXCLUSIVE); shared miss/merge/latency logic of both access kinds.
+  AccessResult fetch_remote(ProcId p, Addr line, Cycles now, bool exclusive);
+
+  const MachineConfig* cfg_;
+  AddressSpace::HomeMap homes_;
+  Directory dir_;                                     // cluster granularity
+  std::vector<std::unique_ptr<CacheStorage>> caches_; // one per processor
+  std::vector<Attraction> attraction_;                // one per cluster
+  std::vector<MshrTable> mshrs_;                      // one per cluster
+  std::vector<MissCounters> counters_;
+  std::unordered_set<Addr> touched_lines_;
+};
+
+}  // namespace csim

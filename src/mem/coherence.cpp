@@ -1,0 +1,152 @@
+#include "src/mem/coherence.hpp"
+
+namespace csim {
+
+CoherenceController::CoherenceController(const MachineConfig& cfg,
+                                         const AddressSpace& as)
+    : cfg_(&cfg), homes_(as, cfg) {
+  const unsigned nc = cfg.num_clusters();
+  caches_.reserve(nc);
+  for (unsigned c = 0; c < nc; ++c) {
+    caches_.push_back(std::make_unique<CacheStorage>(
+        cfg.cache.infinite() ? 0 : cfg.cluster_cache_lines(),
+        cfg.cache.associativity, cfg.cache.line_bytes));
+  }
+  mshrs_.resize(nc);
+  counters_.resize(nc);
+}
+
+MissCounters CoherenceController::totals() const {
+  MissCounters t{};
+  for (const auto& c : counters_) t += c;
+  return t;
+}
+
+void CoherenceController::install(ClusterId c, Addr line, LineState st) {
+  auto victim = caches_[c]->insert(line, st);
+  if (victim) {
+    ++counters_[c].evictions;
+    dir_.replacement_hint(victim->line, c);
+    // A pending fill whose line was replaced before use is simply dropped;
+    // merged readers already captured their completion times.
+    mshrs_[c].release(victim->line);
+  }
+}
+
+LatencyClass CoherenceController::classify(ClusterId requester, Addr line,
+                                           const DirEntry& e) const {
+  // homes_.home_of is non-const (first-touch assignment), so resolve the
+  // home via the mutable map.
+  auto& self = const_cast<CoherenceController&>(*this);
+  return classify_miss(e, requester, self.homes_.home_of(line));
+}
+
+void CoherenceController::invalidate_others(Addr line, ClusterId keep) {
+  DirEntry& e = dir_.entry(line);
+  std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
+  while (rest) {
+    const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
+    rest &= rest - 1;
+    if (caches_[x]->erase(line)) {
+      ++counters_[x].invalidations;
+      // Kill any in-flight fill: the data will arrive but must not be used
+      // by accesses issued after this point.
+      mshrs_[x].release(line);
+    }
+    e.remove(x);
+  }
+  if (e.sharers == 0) e.state = DirState::NotCached;
+}
+
+AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
+                                                   Cycles now) {
+  DirEntry& e = dir_.entry(line);
+  const LatencyClass lclass = classify(c, line, e);
+  const Cycles lat = cfg_->latency.of(lclass);
+
+  if (e.state == DirState::Exclusive) {
+    // Downgrade the owner's copy: it keeps a SHARED copy, data goes home.
+    caches_[e.owner()]->set_state(line, LineState::Shared);
+  }
+  e.add(c);
+  e.state = DirState::Shared;
+
+  MissCounters& ctr = counters_[c];
+  ++ctr.read_misses;
+  ++ctr.by_class[static_cast<unsigned>(lclass)];
+  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+
+  install(c, line, LineState::Shared);
+  mshrs_[c].allocate(line, MshrEntry{now + lat});
+  return AccessResult{AccessResult::Kind::ReadMiss, lat, now + lat, lclass};
+}
+
+AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = line_of(a);
+  MissCounters& ctr = counters_[c];
+  ++ctr.reads;
+
+  if (caches_[c]->lookup(line)) {
+    if (MshrEntry* m = mshrs_[c].find(line)) {
+      if (m->fill_time > now) {
+        ++ctr.merges;
+        return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
+                            LatencyClass::LocalClean};
+      }
+      mshrs_[c].release(line);  // fill has arrived
+    }
+    caches_[c]->touch(line);
+    ++ctr.read_hits;
+    return AccessResult{AccessResult::Kind::Hit};
+  }
+  mshrs_[c].release(line);  // drop any stale entry for a departed line
+  return handle_read_miss(c, line, now);
+}
+
+AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
+  const ClusterId c = cfg_->cluster_of(p);
+  const Addr line = line_of(a);
+  MissCounters& ctr = counters_[c];
+  ++ctr.writes;
+
+  if (auto st = caches_[c]->lookup(line)) {
+    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time <= now) {
+      mshrs_[c].release(line);
+    }
+    caches_[c]->touch(line);
+    if (*st == LineState::Exclusive) {
+      // Store buffered; a store to our own in-flight exclusive fill merges.
+      ++ctr.write_hits;
+      return AccessResult{AccessResult::Kind::Hit};
+    }
+    // UPGRADE: write found the line SHARED. Ownership moves instantly; the
+    // latency is fully hidden by the store buffer.
+    invalidate_others(line, c);
+    DirEntry& e = dir_.entry(line);
+    e.sharers = 0;
+    e.add(c);
+    e.state = DirState::Exclusive;
+    caches_[c]->set_state(line, LineState::Exclusive);
+    ++ctr.upgrade_misses;
+    return AccessResult{AccessResult::Kind::UpgradeMiss};
+  }
+  mshrs_[c].release(line);  // drop any stale entry for a departed line
+
+  // WRITE miss: fetch the line EXCLUSIVE; latency hidden, fill in flight.
+  DirEntry& e = dir_.entry(line);
+  const LatencyClass lclass = classify(c, line, e);
+  const Cycles lat = cfg_->latency.of(lclass);
+  invalidate_others(line, c);
+  e.sharers = 0;
+  e.add(c);
+  e.state = DirState::Exclusive;
+  ++ctr.write_misses;
+  ++ctr.by_class[static_cast<unsigned>(lclass)];
+  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+  install(c, line, LineState::Exclusive);
+  mshrs_[c].allocate(line, MshrEntry{now + lat});
+  return AccessResult{AccessResult::Kind::WriteMiss, lat, now + lat, lclass};
+}
+
+}  // namespace csim

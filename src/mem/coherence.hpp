@@ -1,0 +1,78 @@
+// CoherenceController: the invalidation-based directory protocol over shared
+// cluster caches, implementing the paper's simulated architecture (Fig. 1).
+//
+// Protocol summary (Section 3.1 of the paper):
+//  - Cache states INVALID / SHARED / EXCLUSIVE; directory NOT_CACHED /
+//    SHARED / EXCLUSIVE (full bit vector of clusters, replacement hints).
+//  - READ misses fetch in SHARED and stall the processor for the Table 1
+//    latency. WRITE and UPGRADE misses are fully hidden (store buffers +
+//    relaxed consistency) but still transfer ownership and create an
+//    in-flight fill (WRITE) that later reads can MERGE on.
+//  - Invalidations are instantaneous, and may invalidate a pending line.
+//  - Directory/ownership transitions and cache-line allocation (with the
+//    victim eviction) happen at request time; only the data arrival is
+//    delayed, tracked by the MSHR for merge accounting.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/stats.hpp"
+#include "src/core/types.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/directory.hpp"
+#include "src/mem/memory_system.hpp"
+#include "src/mem/mshr.hpp"
+
+namespace csim {
+
+class CoherenceController final : public MemorySystem {
+ public:
+  CoherenceController(const MachineConfig& cfg, const AddressSpace& as);
+
+  /// Processor `p` reads address `a` at time `now`.
+  AccessResult read(ProcId p, Addr a, Cycles now) override;
+
+  /// Processor `p` writes address `a` at time `now`.
+  AccessResult write(ProcId p, Addr a, Cycles now) override;
+
+  [[nodiscard]] const MissCounters& cluster_counters(
+      ClusterId c) const override {
+    return counters_[c];
+  }
+  [[nodiscard]] MissCounters totals() const override;
+
+  // --- Introspection for tests -------------------------------------------
+  [[nodiscard]] const CacheStorage& cache(ClusterId c) const { return *caches_[c]; }
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+  [[nodiscard]] const MshrTable& mshrs(ClusterId c) const { return mshrs_[c]; }
+  [[nodiscard]] ClusterId home_of(Addr a) { return homes_.home_of(a); }
+
+ private:
+  Addr line_of(Addr a) const noexcept { return a & ~Addr{cfg_->cache.line_bytes - 1}; }
+
+  /// Classifies a miss per Table 1 and updates remote copies/directory for a
+  /// read (fetch SHARED).
+  AccessResult handle_read_miss(ClusterId c, Addr line, Cycles now);
+
+  /// Invalidates every copy except `keep` (storage and pending fills).
+  void invalidate_others(Addr line, ClusterId keep);
+
+  /// Installs a line into cluster `c`'s storage, processing any eviction.
+  void install(ClusterId c, Addr line, LineState st);
+
+  LatencyClass classify(ClusterId requester, Addr line, const DirEntry& e) const;
+
+  const MachineConfig* cfg_;
+  AddressSpace::HomeMap homes_;
+  Directory dir_;
+  std::vector<std::unique_ptr<CacheStorage>> caches_;
+  std::vector<MshrTable> mshrs_;
+  std::vector<MissCounters> counters_;
+  std::unordered_set<Addr> touched_lines_;  // cold-miss tracking
+};
+
+}  // namespace csim

@@ -1,0 +1,41 @@
+#include "src/mem/directory.hpp"
+
+namespace csim {
+
+void Directory::replacement_hint(Addr line, ClusterId c) {
+  auto it = map_.find(line);
+  if (it == map_.end()) return;
+  DirEntry& e = it->second;
+  e.remove(c);
+  if (e.sharers == 0) {
+    e.state = DirState::NotCached;
+  } else if (e.state == DirState::Exclusive) {
+    // The owner evicted (writeback); nobody else can have held a copy.
+    e.state = DirState::NotCached;
+    e.sharers = 0;
+  }
+}
+
+std::vector<Addr> Directory::lines_in_state(DirState s) const {
+  std::vector<Addr> out;
+  for (const auto& [line, e] : map_) {
+    if (e.state == s) out.push_back(line);
+  }
+  return out;
+}
+
+LatencyClass classify_miss(const DirEntry& e, ClusterId requester,
+                           ClusterId home) noexcept {
+  const bool dirty_elsewhere =
+      e.state == DirState::Exclusive && e.owner() != requester;
+  if (home == requester) {
+    return dirty_elsewhere ? LatencyClass::LocalDirtyRemote
+                           : LatencyClass::LocalClean;
+  }
+  if (dirty_elsewhere && e.owner() != home) {
+    return LatencyClass::RemoteDirtyThird;  // three network hops
+  }
+  return LatencyClass::RemoteClean;  // home satisfies in two hops
+}
+
+}  // namespace csim

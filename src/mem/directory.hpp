@@ -1,0 +1,66 @@
+// Full-bit-vector directory with replacement hints.
+//
+// The directory tracks, per cache line, which *clusters* hold copies. States
+// mirror the paper: NOT_CACHED, SHARED (one or more cluster copies, clean),
+// EXCLUSIVE (exactly one cluster owns the line, potentially dirty).
+// Replacement hints keep the sharer vector exact: a cluster evicting a line
+// is removed immediately.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+enum class DirState : std::uint8_t { NotCached, Shared, Exclusive };
+
+struct DirEntry {
+  DirState state = DirState::NotCached;
+  std::uint64_t sharers = 0;  ///< bit per cluster (<= 64 clusters)
+
+  [[nodiscard]] bool has(ClusterId c) const noexcept {
+    return (sharers >> c) & 1u;
+  }
+  void add(ClusterId c) noexcept { sharers |= (std::uint64_t{1} << c); }
+  void remove(ClusterId c) noexcept { sharers &= ~(std::uint64_t{1} << c); }
+  [[nodiscard]] unsigned count() const noexcept {
+    return static_cast<unsigned>(__builtin_popcountll(sharers));
+  }
+  /// Owner cluster; meaningful only in EXCLUSIVE state.
+  [[nodiscard]] ClusterId owner() const noexcept {
+    return static_cast<ClusterId>(__builtin_ctzll(sharers));
+  }
+};
+
+class Directory {
+ public:
+  /// Entry for `line`; creates a NOT_CACHED entry on first touch.
+  DirEntry& entry(Addr line) { return map_[line]; }
+
+  /// Read-only view; returns NOT_CACHED default for untracked lines.
+  [[nodiscard]] DirEntry peek(Addr line) const {
+    auto it = map_.find(line);
+    return it == map_.end() ? DirEntry{} : it->second;
+  }
+
+  /// Replacement hint: cluster `c` evicted `line`. Transitions to NOT_CACHED
+  /// when the last copy disappears (EXCLUSIVE eviction = writeback home).
+  void replacement_hint(Addr line, ClusterId c);
+
+  [[nodiscard]] std::size_t tracked_lines() const noexcept { return map_.size(); }
+
+  /// Lines currently in the given state (testing / diagnostics).
+  [[nodiscard]] std::vector<Addr> lines_in_state(DirState s) const;
+
+ private:
+  std::unordered_map<Addr, DirEntry> map_;
+};
+
+/// Table 1 latency classification of a miss by requester/home/ownership.
+[[nodiscard]] LatencyClass classify_miss(const DirEntry& e, ClusterId requester,
+                                         ClusterId home) noexcept;
+
+}  // namespace csim

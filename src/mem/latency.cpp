@@ -1,0 +1,15 @@
+#include "src/mem/latency.hpp"
+
+namespace csim {
+
+std::string_view to_string(LatencyClass c) noexcept {
+  switch (c) {
+    case LatencyClass::LocalClean: return "local-clean";
+    case LatencyClass::LocalDirtyRemote: return "local-dirty-remote";
+    case LatencyClass::RemoteClean: return "remote-clean";
+    case LatencyClass::RemoteDirtyThird: return "remote-dirty-third";
+  }
+  return "?";
+}
+
+}  // namespace csim

@@ -1,0 +1,39 @@
+// Table 1 latency model: cycles charged per miss class.
+#pragma once
+
+#include <string_view>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// Miss latencies in cycles, per the paper's Table 1.
+///
+/// Hit latency is configured separately (MachineConfig::hit_latency); the
+/// event simulator always charges that flat hit cost, and the larger
+/// shared-cache hit times of Table 1 are applied by the Section 6 analytic
+/// estimator (analysis/shared_cache_cost).
+struct LatencyModel {
+  Cycles local_clean = 30;          ///< local home, dir SHARED / NOT_CACHED
+  Cycles local_dirty_remote = 100;  ///< local home, EXCLUSIVE in remote cluster
+  Cycles remote_clean = 100;        ///< remote home satisfies request
+  Cycles remote_dirty_third = 150;  ///< remote home, EXCLUSIVE in third cluster
+  // Shared-main-memory cluster organization (Section 2) only:
+  Cycles snoop_transfer = 15;   ///< cache-to-cache transfer on the cluster bus
+  Cycles cluster_memory = 30;   ///< fetch from the cluster's attraction memory
+
+  [[nodiscard]] Cycles of(LatencyClass c) const noexcept {
+    switch (c) {
+      case LatencyClass::LocalClean: return local_clean;
+      case LatencyClass::LocalDirtyRemote: return local_dirty_remote;
+      case LatencyClass::RemoteClean: return remote_clean;
+      case LatencyClass::RemoteDirtyThird: return remote_dirty_third;
+    }
+    return 0;  // unreachable
+  }
+};
+
+/// Human-readable name for a latency class (for reports and tests).
+std::string_view to_string(LatencyClass c) noexcept;
+
+}  // namespace csim

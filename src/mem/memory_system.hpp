@@ -1,0 +1,51 @@
+// MemorySystem: the interface between processors and a memory-hierarchy
+// organization.
+//
+// The paper analyses two clustered organizations (Section 2):
+//   - *shared cache* clusters: processors share one cache, backed by the
+//     directory-coherent network (CoherenceController);
+//   - *shared main memory* clusters: per-processor caches on a snoopy bus
+//     over a cluster-local COMA-style attraction memory
+//     (ClusteredMemorySystem).
+// Both present the same access interface to the processor model.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/stats.hpp"
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// Outcome of one access, consumed by the processor model for time
+/// accounting.
+struct AccessResult {
+  enum class Kind : std::uint8_t {
+    Hit,          ///< satisfied at the processor's first-level (1 cycle)
+    NearHit,      ///< satisfied within the cluster (snoop / cluster memory);
+                  ///< stalls `latency` cycles but is not a global miss
+    Merge,        ///< read joined an in-flight fill; ready_at = fill time
+    ReadMiss,     ///< processor stalls `latency` cycles (Table 1)
+    WriteMiss,    ///< hidden; fill in flight
+    UpgradeMiss,  ///< hidden; ownership transferred instantly
+  };
+  Kind kind = Kind::Hit;
+  Cycles latency = 0;   ///< stall (ReadMiss/NearHit) or fill (WriteMiss) time
+  Cycles ready_at = 0;  ///< absolute fill time (Merge/ReadMiss/WriteMiss)
+  LatencyClass lclass = LatencyClass::LocalClean;
+};
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  /// Processor `p` reads / writes address `a` at time `now`.
+  virtual AccessResult read(ProcId p, Addr a, Cycles now) = 0;
+  virtual AccessResult write(ProcId p, Addr a, Cycles now) = 0;
+
+  [[nodiscard]] virtual const MissCounters& cluster_counters(
+      ClusterId c) const = 0;
+  [[nodiscard]] virtual MissCounters totals() const = 0;
+};
+
+}  // namespace csim

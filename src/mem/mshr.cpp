@@ -1,0 +1,2 @@
+// MshrTable is header-only; this TU anchors the module in the build.
+#include "src/mem/mshr.hpp"

@@ -1,0 +1,60 @@
+// Outstanding-miss registry (MSHR table), one per cluster.
+//
+// Directory/ownership transitions — and cache-line allocation, including the
+// victim eviction — happen instantaneously at request time (the paper's
+// simplification); only the *data* arrival is delayed. An MSHR entry records
+// the in-flight fill time so that subsequent reads by other processors in
+// the cluster MERGE on it (blocking until the fill completes) instead of
+// issuing duplicate misses.
+//
+// An invalidation from another cluster may kill a pending fill ("possibly
+// invalidating a line still pending in the cache"): the line leaves the
+// cache and the entry is dropped; readers that already merged still complete
+// at the fill time they captured — they logically received the data before
+// it was invalidated.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// One in-flight fill.
+struct MshrEntry {
+  Cycles fill_time = 0;  ///< when the data arrives at the cluster
+};
+
+class MshrTable {
+ public:
+  /// Looks up the pending entry for `line`, if any.
+  [[nodiscard]] const MshrEntry* find(Addr line) const {
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] MshrEntry* find(Addr line) {
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Registers a fill for `line`, replacing any stale entry.
+  void allocate(Addr line, MshrEntry e) { map_[line] = e; }
+
+  /// Removes and returns the entry (fill arrived, line invalidated, or line
+  /// evicted before the data came back).
+  std::optional<MshrEntry> release(Addr line) {
+    auto it = map_.find(line);
+    if (it == map_.end()) return std::nullopt;
+    MshrEntry e = it->second;
+    map_.erase(it);
+    return e;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<Addr, MshrEntry> map_;
+};
+
+}  // namespace csim

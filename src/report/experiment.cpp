@@ -1,0 +1,80 @@
+#include "src/report/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <ostream>
+
+namespace csim {
+
+MachineConfig paper_machine(unsigned procs_per_cluster,
+                            std::size_t cache_bytes_per_proc) {
+  MachineConfig cfg;
+  cfg.num_procs = 64;
+  cfg.procs_per_cluster = procs_per_cluster;
+  cfg.cache.per_proc_bytes = cache_bytes_per_proc;
+  cfg.cache.line_bytes = 64;
+  cfg.cache.associativity = 0;  // fully associative (paper)
+  return cfg;
+}
+
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineConfig>& configs) {
+  std::vector<std::future<SimResult>> futures;
+  futures.reserve(configs.size());
+  for (const MachineConfig& cfg : configs) {
+    futures.push_back(std::async(std::launch::async, [&make_app, cfg] {
+      auto app = make_app();
+      return simulate(*app, cfg);
+    }));
+  }
+  std::vector<SimResult> out;
+  out.reserve(configs.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+std::vector<SimResult> sweep_clusters(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    std::size_t cache_bytes_per_proc,
+    const std::vector<unsigned>& cluster_sizes) {
+  std::vector<MachineConfig> configs;
+  configs.reserve(cluster_sizes.size());
+  for (unsigned ppc : cluster_sizes) {
+    configs.push_back(paper_machine(ppc, cache_bytes_per_proc));
+  }
+  return run_configs(make_app, configs);
+}
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      o.scale = ProblemScale::Paper;
+    } else if (std::strcmp(argv[i], "--test") == 0) {
+      o.scale = ProblemScale::Test;
+    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+      o.num_procs = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+  }
+  return o;
+}
+
+void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
+  os << "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,reads,writes,"
+        "read_misses,write_misses,upgrades,merges,cold,invalidations\n";
+  for (const SimResult& r : results) {
+    const TimeBuckets a = r.aggregate();
+    os << r.app_name << ",default," << r.config.num_procs << ','
+       << r.config.procs_per_cluster << ','
+       << r.config.cache.per_proc_bytes / 1024 << ',' << r.wall_time << ','
+       << a.cpu << ',' << a.load << ',' << a.merge << ',' << a.sync << ','
+       << r.totals.reads << ',' << r.totals.writes << ','
+       << r.totals.read_misses << ',' << r.totals.write_misses << ','
+       << r.totals.upgrade_misses << ',' << r.totals.merges << ','
+       << r.totals.cold_misses << ',' << r.totals.invalidations << '\n';
+  }
+}
+
+}  // namespace csim

@@ -1,0 +1,49 @@
+// Experiment matrix runner: sweeps machine configurations over applications
+// and collects SimResults for the figure/table generators.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+
+namespace csim {
+
+/// The paper's fixed experimental frame: 64 processors, 64-byte lines,
+/// fully associative LRU cluster caches, Table 1 latencies.
+MachineConfig paper_machine(unsigned procs_per_cluster,
+                            std::size_t cache_bytes_per_proc);
+
+/// Runs `make_app()` fresh for every cluster size (programs are stateful) on
+/// the given per-processor cache size (0 = infinite). Returns results in
+/// cluster-size order. Runs are independent simulations and execute on a
+/// thread per configuration (each simulation itself is single-threaded and
+/// deterministic, so results are identical to a serial sweep).
+std::vector<SimResult> sweep_clusters(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    std::size_t cache_bytes_per_proc,
+    const std::vector<unsigned>& cluster_sizes = {1, 2, 4, 8});
+
+/// Generic parallel map over machine configurations: simulates a fresh app
+/// per configuration concurrently, preserving input order.
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineConfig>& configs);
+
+/// Standard bench command line: `--paper` switches problem sizes to the
+/// paper's Table 2 inputs, `--procs N` overrides the processor count.
+struct BenchOptions {
+  ProblemScale scale = ProblemScale::Default;
+  unsigned num_procs = 64;
+
+  static BenchOptions parse(int argc, char** argv);
+};
+
+/// One CSV line per result: app,scale,procs,ppc,cacheKB,wall,cpu,load,merge,
+/// sync,reads,writes,read_misses,write_misses,upgrades,merges,cold,inv.
+void write_csv(std::ostream& os, const std::vector<SimResult>& results);
+
+}  // namespace csim

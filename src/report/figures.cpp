@@ -1,0 +1,59 @@
+#include "src/report/figures.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/report/table.hpp"
+
+namespace csim {
+
+std::string render_figure(const std::string& title,
+                          const std::vector<FigureBar>& bars) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  os << "  (percent of the 1-processor-per-cluster execution time of the "
+        "same group)\n";
+  TextTable t({"bar", "total", "cpu", "load", "merge", "sync", "", ""});
+
+  double base = 1.0;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const FigureBar& b = bars[i];
+    if (i == 0 || b.new_group) {
+      base = std::max<double>(1.0, static_cast<double>(b.buckets.total()));
+    }
+    const double cpu = 100.0 * static_cast<double>(b.buckets.cpu) / base;
+    const double load = 100.0 * static_cast<double>(b.buckets.load) / base;
+    const double merge = 100.0 * static_cast<double>(b.buckets.merge) / base;
+    const double sync = 100.0 * static_cast<double>(b.buckets.sync) / base;
+    const double total = cpu + load + merge + sync;
+
+    // 50-character bar: '#' cpu, 'o' load, '~' merge, '=' sync.
+    std::string bar;
+    auto extend = [&](double pct, char ch) {
+      const auto want = static_cast<std::size_t>(pct * 0.5 + 0.5);
+      bar.append(want, ch);
+    };
+    extend(cpu, '#');
+    extend(load, 'o');
+    extend(merge, '~');
+    extend(sync, '=');
+
+    t.add_row({b.label, fmt(total, 1), fmt(cpu, 1), fmt(load, 1),
+               fmt(merge, 1), fmt(sync, 1), "|", bar});
+  }
+  os << t.str();
+  os << "  legend: '#' cpu busy, 'o' load stall, '~' merge stall, '=' sync\n";
+  return os.str();
+}
+
+std::vector<FigureBar> bars_from_sweep(const std::vector<SimResult>& sweep) {
+  std::vector<FigureBar> bars;
+  for (const SimResult& r : sweep) {
+    bars.push_back(FigureBar{
+        std::to_string(r.config.procs_per_cluster) + "p", r.aggregate(),
+        false});
+  }
+  return bars;
+}
+
+}  // namespace csim

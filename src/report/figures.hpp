@@ -1,0 +1,29 @@
+// Text rendering of the paper's stacked-bar execution-time figures.
+//
+// Every figure in the paper's evaluation (Figures 2-8) is a set of bars,
+// one per (cache size, cluster size) point, normalized to the 1-processor
+// cluster of the same cache size, split into cpu / load / merge / sync.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+struct FigureBar {
+  std::string label;     ///< e.g. "2p" or "16k/4p"
+  TimeBuckets buckets;   ///< aggregated over processors
+  bool new_group = false;  ///< start of a new normalization group (cache size)
+};
+
+/// Renders bars as the paper's stacked percentages plus an ASCII bar.
+/// Bars are normalized to the first bar of their group (==100).
+std::string render_figure(const std::string& title,
+                          const std::vector<FigureBar>& bars);
+
+/// Builds bars from a sweep of results over cluster sizes (single group).
+std::vector<FigureBar> bars_from_sweep(const std::vector<SimResult>& sweep);
+
+}  // namespace csim

@@ -1,0 +1,47 @@
+#include "src/report/gnuplot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace csim {
+
+void write_gnuplot_figure(const std::string& basename,
+                          const std::string& title,
+                          const std::vector<FigureBar>& bars) {
+  std::ofstream dat(basename + ".dat");
+  if (!dat) throw std::runtime_error("cannot write " + basename + ".dat");
+  dat << "# label cpu load merge sync\n";
+  double base = 1.0;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const FigureBar& b = bars[i];
+    if (i == 0 || b.new_group) {
+      base = std::max<double>(1.0, static_cast<double>(b.buckets.total()));
+    }
+    dat << '"' << b.label << "\" " << 100.0 * b.buckets.cpu / base << ' '
+        << 100.0 * b.buckets.load / base << ' '
+        << 100.0 * b.buckets.merge / base << ' '
+        << 100.0 * b.buckets.sync / base << '\n';
+  }
+  dat.close();
+
+  std::ofstream gp(basename + ".gp");
+  if (!gp) throw std::runtime_error("cannot write " + basename + ".gp");
+  gp << "set terminal pngcairo size 900,520\n"
+     << "set output '" << basename << ".png'\n"
+     << "set title '" << title << "'\n"
+     << "set style data histograms\n"
+     << "set style histogram rowstacked\n"
+     << "set style fill solid 0.9 border -1\n"
+     << "set boxwidth 0.7\n"
+     << "set ylabel 'normalized execution time (%)'\n"
+     << "set yrange [0:*]\n"
+     << "set key outside right\n"
+     << "set xtics rotate by -40\n"
+     << "plot '" << basename << ".dat' using 2:xtic(1) title 'cpu', \\\n"
+     << "     '' using 3 title 'load', \\\n"
+     << "     '' using 4 title 'merge', \\\n"
+     << "     '' using 5 title 'sync'\n";
+}
+
+}  // namespace csim

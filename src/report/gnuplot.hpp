@@ -1,0 +1,19 @@
+// Gnuplot export: writes a .dat + .gp pair that renders a paper-style
+// stacked-bar figure (cpu / load / merge / sync) graphically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/report/figures.hpp"
+
+namespace csim {
+
+/// Writes `<basename>.dat` and `<basename>.gp`. Running
+/// `gnuplot <basename>.gp` produces `<basename>.png`. Bars are normalized
+/// exactly as in render_figure (first bar of each group = 100).
+void write_gnuplot_figure(const std::string& basename,
+                          const std::string& title,
+                          const std::vector<FigureBar>& bars);
+
+}  // namespace csim

@@ -1,0 +1,36 @@
+// Minimal ASCII table renderer for bench/experiment output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column auto-sizing; first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("3.142").
+std::string fmt(double v, int precision = 3);
+
+/// Percent formatting ("97.7").
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace csim

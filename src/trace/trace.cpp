@@ -1,0 +1,171 @@
+#include "src/trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/core/simulator.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/clustered_memory.hpp"
+#include "src/mem/coherence.hpp"
+
+namespace csim {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'S', 'T', 'R'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char b[8];
+  is.read(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void Trace::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("Trace::save: cannot open " + path);
+  os.write(kMagic, 4);
+  os.put(static_cast<char>(kVersion));
+  os.put(static_cast<char>(num_procs_));
+  os.put(static_cast<char>(line_bytes_ & 0xff));
+  os.put(static_cast<char>((line_bytes_ >> 8) & 0xff));
+  put_u64(os, records_.size());
+  for (const TraceRecord& r : records_) {
+    os.put(static_cast<char>(r.proc));
+    os.put(static_cast<char>(r.kind == AccessKind::Write ? 1 : 0));
+    put_u64(os, r.addr);
+  }
+  if (!os) throw std::runtime_error("Trace::save: write failed");
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("Trace::load: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("Trace::load: bad magic");
+  }
+  const int version = is.get();
+  if (version != kVersion) throw std::runtime_error("Trace::load: bad version");
+  Trace t;
+  t.num_procs_ = static_cast<unsigned>(is.get());
+  const unsigned lo = static_cast<unsigned>(is.get());
+  const unsigned hi = static_cast<unsigned>(is.get());
+  t.line_bytes_ = lo | (hi << 8);
+  const std::uint64_t n = get_u64(is);
+  t.records_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.proc = static_cast<ProcId>(is.get());
+    r.kind = is.get() ? AccessKind::Write : AccessKind::Read;
+    r.addr = get_u64(is);
+    t.records_.push_back(r);
+  }
+  if (!is) throw std::runtime_error("Trace::load: truncated trace");
+  return t;
+}
+
+ReplayResult replay_trace(const Trace& trace, const MachineConfig& cfg) {
+  if (cfg.num_procs != trace.num_procs()) {
+    throw std::invalid_argument("replay_trace: processor count mismatch");
+  }
+  cfg.validate();
+  // Homes revert to pure first-touch round robin: a raw reference trace
+  // carries no placement metadata (a known limitation of trace-driven
+  // methodology).
+  AddressSpace as;
+  std::unique_ptr<MemorySystem> mem;
+  if (cfg.cluster_style == ClusterStyle::SharedMemory) {
+    mem = std::make_unique<ClusteredMemorySystem>(cfg, as);
+  } else {
+    mem = std::make_unique<CoherenceController>(cfg, as);
+  }
+
+  ReplayResult out;
+  std::vector<Cycles> clock(cfg.num_procs, 0);
+  for (const TraceRecord& r : trace.records()) {
+    Cycles& t = clock[r.proc];
+    if (r.kind == AccessKind::Read) {
+      const AccessResult a = mem->read(r.proc, r.addr, t);
+      switch (a.kind) {
+        case AccessResult::Kind::ReadMiss:
+        case AccessResult::Kind::NearHit:
+          t += 1 + a.latency;
+          break;
+        case AccessResult::Kind::Merge:
+          t = std::max(t + 1, a.ready_at);
+          break;
+        default:
+          t += 1;
+      }
+    } else {
+      (void)mem->write(r.proc, r.addr, t);
+      t += 1;
+    }
+  }
+  out.totals = mem->totals();
+  for (Cycles t : clock) out.approx_time = std::max(out.approx_time, t);
+  return out;
+}
+
+Trace record_trace(Program& prog, const MachineConfig& cfg) {
+  cfg.validate();
+  Trace trace(cfg.num_procs, cfg.cache.line_bytes);
+  // Run execution-driven with a recording decorator over the configured
+  // memory system. The inner system must be built over the program's address
+  // space, so mirror Simulator::run's construction here via a profiler-style
+  // override: record against a *stand-in* run.
+  struct Recorder final : MemorySystem {
+    explicit Recorder(const MachineConfig& c) : cfg(&c) {}
+    void bind(const AddressSpace& as) {
+      if (cfg->cluster_style == ClusterStyle::SharedMemory) {
+        inner = std::make_unique<ClusteredMemorySystem>(*cfg, as);
+      } else {
+        inner = std::make_unique<CoherenceController>(*cfg, as);
+      }
+    }
+    AccessResult read(ProcId p, Addr a, Cycles now) override {
+      out->append(TraceRecord{p, AccessKind::Read, a});
+      return inner->read(p, a, now);
+    }
+    AccessResult write(ProcId p, Addr a, Cycles now) override {
+      out->append(TraceRecord{p, AccessKind::Write, a});
+      return inner->write(p, a, now);
+    }
+    const MissCounters& cluster_counters(ClusterId c) const override {
+      return inner->cluster_counters(c);
+    }
+    MissCounters totals() const override { return inner->totals(); }
+    const MachineConfig* cfg;
+    std::unique_ptr<MemorySystem> inner;
+    Trace* out = nullptr;
+  };
+
+  // The recorder needs the AddressSpace created inside Simulator::run; since
+  // homes are first-touch there is no coupling beyond placement, which the
+  // recording run reproduces by building its own space: placement metadata
+  // affects only latency classes, not the reference stream we record.
+  AddressSpace as;
+  Recorder rec(cfg);
+  rec.bind(as);
+  rec.out = &trace;
+  Simulator sim(cfg);
+  (void)sim.run(prog, &rec);
+  return trace;
+}
+
+}  // namespace csim

@@ -1,0 +1,109 @@
+// Reference-trace capture and trace-driven replay.
+//
+// The paper's methodology is execution-driven simulation (Tango-lite):
+// reference *timing* feeds back into reference *interleaving*. This module
+// provides the classic alternative for comparison and tooling:
+//
+//  - RecordingMemorySystem decorates any MemorySystem and writes every
+//    reference (proc, kind, line address) to a compact binary trace;
+//  - TraceReader loads a trace;
+//  - replay_trace() drives a fresh MemorySystem with the recorded global
+//    interleaving, yielding miss statistics for any machine configuration
+//    without re-running the application.
+//
+// Replay preserves the recorded interleaving but not timing feedback, so
+// clustering studies based on replay under-account merge effects — the
+// example `trace_replay` quantifies exactly that gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/mem/memory_system.hpp"
+
+namespace csim {
+
+struct TraceRecord {
+  ProcId proc;
+  AccessKind kind;
+  Addr addr;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// In-memory trace with binary (de)serialization.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(unsigned num_procs, unsigned line_bytes)
+      : num_procs_(num_procs), line_bytes_(line_bytes) {}
+
+  void append(TraceRecord r) { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] unsigned num_procs() const noexcept { return num_procs_; }
+  [[nodiscard]] unsigned line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Binary format: 16-byte header (magic "CSTR", version, num_procs,
+  /// line_bytes, record count) followed by 10-byte records
+  /// (proc:1, kind:1, addr:8, little-endian).
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+ private:
+  unsigned num_procs_ = 0;
+  unsigned line_bytes_ = 64;
+  std::vector<TraceRecord> records_;
+};
+
+/// Decorator that records every access while forwarding to the real system.
+class RecordingMemorySystem final : public MemorySystem {
+ public:
+  RecordingMemorySystem(MemorySystem& inner, Trace& out)
+      : inner_(&inner), out_(&out) {}
+
+  AccessResult read(ProcId p, Addr a, Cycles now) override {
+    out_->append(TraceRecord{p, AccessKind::Read, a});
+    return inner_->read(p, a, now);
+  }
+  AccessResult write(ProcId p, Addr a, Cycles now) override {
+    out_->append(TraceRecord{p, AccessKind::Write, a});
+    return inner_->write(p, a, now);
+  }
+  [[nodiscard]] const MissCounters& cluster_counters(
+      ClusterId c) const override {
+    return inner_->cluster_counters(c);
+  }
+  [[nodiscard]] MissCounters totals() const override {
+    return inner_->totals();
+  }
+
+ private:
+  MemorySystem* inner_;
+  Trace* out_;
+};
+
+/// Result of a trace-driven replay.
+struct ReplayResult {
+  MissCounters totals{};
+  /// Approximate cycles: per-processor clocks advanced by 1 per reference
+  /// plus read-miss latencies; the result is max over processors.
+  Cycles approx_time = 0;
+};
+
+/// Replays the trace's global interleaving against a memory system built for
+/// `cfg` (which may differ from the recording configuration in clustering
+/// and cache size, but must have the same processor count).
+ReplayResult replay_trace(const Trace& trace, const MachineConfig& cfg);
+
+/// Records an execution-driven run of `prog` under `cfg` into a Trace.
+class Program;
+Trace record_trace(Program& prog, const MachineConfig& cfg);
+
+}  // namespace csim

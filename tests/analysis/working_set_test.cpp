@@ -1,0 +1,112 @@
+// Working-set profiler tests: stack-distance math and app-level properties.
+#include "src/analysis/working_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+
+namespace csim {
+namespace {
+
+TEST(StackDistance, FirstTouchIsCold) {
+  StackDistance sd;
+  EXPECT_EQ(sd.touch(0x40), SIZE_MAX);
+  EXPECT_EQ(sd.cold(), 1u);
+  EXPECT_EQ(sd.distinct_lines(), 1u);
+}
+
+TEST(StackDistance, ImmediateReuseIsDistanceZero) {
+  StackDistance sd;
+  sd.touch(0x40);
+  EXPECT_EQ(sd.touch(0x40), 0u);
+}
+
+TEST(StackDistance, DistanceCountsDistinctInterveningLines) {
+  StackDistance sd;
+  sd.touch(0x40);
+  sd.touch(0x80);
+  sd.touch(0xc0);
+  sd.touch(0x80);              // distance 1 (only 0xc0 since)
+  EXPECT_EQ(sd.touch(0x40), 2u);  // 0x80 and 0xc0 since
+}
+
+TEST(StackDistance, MissRatioMatchesLruSemantics) {
+  // Cyclic access to 3 lines: a 2-line LRU cache always misses, a 3-line
+  // cache always hits after warmup.
+  StackDistance sd;
+  for (int i = 0; i < 30; ++i) {
+    sd.touch(0x40);
+    sd.touch(0x80);
+    sd.touch(0xc0);
+  }
+  EXPECT_DOUBLE_EQ(sd.rereference_miss_ratio(3), 0.0);
+  EXPECT_DOUBLE_EQ(sd.rereference_miss_ratio(2), 1.0);
+  EXPECT_GT(sd.miss_ratio(3), 0.0) << "cold misses remain";
+}
+
+TEST(StackDistance, WorkingSetDetectsLoopSize) {
+  StackDistance sd;
+  for (int i = 0; i < 50; ++i) {
+    for (Addr l = 0; l < 8; ++l) sd.touch(l * 64);
+  }
+  EXPECT_EQ(sd.working_set_lines(0.99), 8u);
+  EXPECT_EQ(sd.working_set_lines(0.5), 8u) << "all-or-nothing loop";
+}
+
+TEST(StackDistance, MissRatioMonotoneInCacheSize) {
+  StackDistance sd;
+  std::uint64_t x = 123;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    sd.touch(((x >> 33) % 256) * 64);
+  }
+  double prev = 1.1;
+  for (std::size_t lines : {1ul, 4ul, 16ul, 64ul, 256ul}) {
+    const double m = sd.miss_ratio(lines);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(WorkingSetProfiler, NeverStallsAndCountsRefs) {
+  auto app = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg = paper_machine(1, 0);
+  auto prof = profile_working_sets(*app, cfg);
+  EXPECT_GT(prof->totals().reads, 0u);
+  // Reference counts match a real simulation of the same app.
+  auto app2 = make_app("fft", ProblemScale::Test);
+  const SimResult r = simulate(*app2, cfg);
+  EXPECT_EQ(prof->totals().reads, r.totals.reads);
+  EXPECT_EQ(prof->totals().writes, r.totals.writes);
+}
+
+TEST(WorkingSetProfiler, ClusterWorkingSetNoLargerThanSumOfMembers) {
+  for (const char* name : {"barnes", "volrend"}) {
+    auto a1 = make_app(name, ProblemScale::Test);
+    auto prof1 = profile_working_sets(*a1, paper_machine(1, 0));
+    auto a4 = make_app(name, ProblemScale::Test);
+    auto prof4 = profile_working_sets(*a4, paper_machine(4, 0));
+    const double per_proc = prof1->mean_working_set_bytes(0.95);
+    const double per_cluster = prof4->mean_working_set_bytes(0.95);
+    EXPECT_LE(per_cluster, 4.0 * per_proc * 1.15)
+        << name << ": overlap can only shrink the union (15% slack for "
+        << "interleaving effects)";
+    EXPECT_GT(per_cluster, 0.0);
+  }
+}
+
+TEST(WorkingSetProfiler, OrderingMatchesPaperTable3) {
+  // Volrend's working set ("quite small" in Table 3) must be far smaller
+  // than Raytrace's ("large") at tail coverage — the reflecting rays are
+  // exactly what blows Raytrace's working set up relative to Volrend's.
+  auto vol = make_app("volrend", ProblemScale::Default);
+  auto ray = make_app("raytrace", ProblemScale::Default);
+  auto vol_p = profile_working_sets(*vol, paper_machine(1, 0));
+  auto ray_p = profile_working_sets(*ray, paper_machine(1, 0));
+  EXPECT_LT(vol_p->mean_working_set_bytes(0.98),
+            ray_p->mean_working_set_bytes(0.98));
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,50 @@
+// End-to-end smoke tests: every application runs to completion at Test scale
+// on several machine configurations, and its self-verification passes.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+
+namespace csim {
+namespace {
+
+MachineConfig small_machine(unsigned ppc, std::size_t kb_per_proc) {
+  MachineConfig cfg;
+  cfg.num_procs = 16;
+  cfg.procs_per_cluster = ppc;
+  cfg.cache.per_proc_bytes = kb_per_proc * 1024;
+  return cfg;
+}
+
+class AppSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppSmoke, RunsAndVerifiesInfiniteCache) {
+  auto app = make_app(GetParam(), ProblemScale::Test);
+  const SimResult r = simulate(*app, small_machine(1, 0));
+  EXPECT_GT(r.wall_time, 0u);
+  EXPECT_GT(r.totals.reads, 0u);
+  EXPECT_EQ(r.per_proc.size(), 16u);
+}
+
+TEST_P(AppSmoke, RunsAndVerifiesClusteredFinite) {
+  auto app = make_app(GetParam(), ProblemScale::Test);
+  const SimResult r = simulate(*app, small_machine(4, 4));
+  EXPECT_GT(r.wall_time, 0u);
+  EXPECT_GT(r.totals.read_misses, 0u);
+}
+
+TEST_P(AppSmoke, BucketsSumToWallTime) {
+  auto app = make_app(GetParam(), ProblemScale::Test);
+  const SimResult r = simulate(*app, small_machine(2, 16));
+  for (const auto& b : r.per_proc) {
+    EXPECT_EQ(b.total(), r.wall_time)
+        << "cpu+load+merge+sync must equal wall time for every processor";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSmoke,
+                         ::testing::ValuesIn(app_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace csim

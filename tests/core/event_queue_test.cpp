@@ -1,0 +1,79 @@
+#include "src/core/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace csim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> log;
+  q.schedule(30, [&] { log.push_back(3); });
+  q.schedule(10, [&] { log.push_back(1); });
+  q.schedule(20, [&] { log.push_back(2); });
+  q.run_to_completion();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> log;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&log, i] { log.push_back(i); });
+  }
+  q.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  Cycles seen = 0;
+  q.schedule(42, [&] { seen = q.now(); });
+  q.run_one();
+  EXPECT_EQ(seen, 42u);
+  EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastClampsToNow) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.run_one();
+  Cycles seen = 0;
+  q.schedule(10, [&] { seen = q.now(); });  // in the past
+  q.run_one();
+  EXPECT_EQ(seen, 100u) << "past events must be clamped to now()";
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule(q.now() + 1, chain);
+  };
+  q.schedule(0, chain);
+  const Cycles end = q.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(end, 4u);
+}
+
+TEST(EventQueue, RunOneOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.run_one(), std::logic_error);
+}
+
+TEST(EventQueue, SizeAndEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 1u);
+  q.run_to_completion();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,64 @@
+// In-simulation shared-cache hit-cost modeling (MachineConfig::
+// model_shared_hit_costs): Table 1 hit latencies and Table 4 conflicts
+// applied per access.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+
+namespace csim {
+namespace {
+
+MachineConfig mc(unsigned ppc, bool model) {
+  MachineConfig c;
+  c.num_procs = 16;
+  c.procs_per_cluster = ppc;
+  c.cache.per_proc_bytes = 0;
+  c.model_shared_hit_costs = model;
+  return c;
+}
+
+TEST(HitCostModel, SharedHitLatencyTable) {
+  MachineConfig c;
+  c.procs_per_cluster = 1;
+  EXPECT_EQ(c.shared_cache_hit_latency(), 1u);
+  c.procs_per_cluster = 2;
+  EXPECT_EQ(c.shared_cache_hit_latency(), 2u);
+  c.procs_per_cluster = 4;
+  EXPECT_EQ(c.shared_cache_hit_latency(), 3u);
+  c.procs_per_cluster = 8;
+  EXPECT_EQ(c.shared_cache_hit_latency(), 3u);
+}
+
+TEST(HitCostModel, UnclusteredIsUnaffected) {
+  auto a = make_app("fft", ProblemScale::Test);
+  auto b = make_app("fft", ProblemScale::Test);
+  const SimResult off = simulate(*a, mc(1, false));
+  const SimResult on = simulate(*b, mc(1, true));
+  EXPECT_EQ(off.wall_time, on.wall_time)
+      << "1-way clusters have 1-cycle hits and zero conflict probability";
+}
+
+TEST(HitCostModel, ClusteredRunsSlowDown) {
+  auto a = make_app("fft", ProblemScale::Test);
+  auto b = make_app("fft", ProblemScale::Test);
+  const SimResult off = simulate(*a, mc(4, false));
+  const SimResult on = simulate(*b, mc(4, true));
+  EXPECT_GT(on.aggregate().cpu, off.aggregate().cpu)
+      << "3-cycle hits must inflate busy time";
+  EXPECT_GT(on.wall_time, off.wall_time);
+  // Sanity bound: cpu inflation is at most ~4x (3 cycles + conflicts).
+  EXPECT_LT(on.aggregate().cpu, off.aggregate().cpu * 5);
+}
+
+TEST(HitCostModel, DeterministicConflicts) {
+  auto a = make_app("radix", ProblemScale::Test);
+  auto b = make_app("radix", ProblemScale::Test);
+  const SimResult r1 = simulate(*a, mc(8, true));
+  const SimResult r2 = simulate(*b, mc(8, true));
+  EXPECT_EQ(r1.wall_time, r2.wall_time)
+      << "bank-conflict jitter must be deterministic per configuration";
+}
+
+}  // namespace
+}  // namespace csim

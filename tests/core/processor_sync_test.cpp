@@ -1,0 +1,214 @@
+// Processor timing semantics and synchronization primitives, exercised
+// through small purpose-built Programs.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/core/simulator.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+namespace {
+
+/// A Program built from a lambda body (test scaffolding).
+class LambdaProgram : public Program {
+ public:
+  using Body = std::function<SimTask(Proc&, LambdaProgram&)>;
+  LambdaProgram(std::size_t mem_bytes, Body body) : bytes_(mem_bytes), body_(std::move(body)) {}
+
+  [[nodiscard]] std::string name() const override { return "lambda"; }
+  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+    base = as.alloc(bytes_, "mem");
+    bar = std::make_unique<Barrier>(cfg.num_procs);
+  }
+  SimTask body(Proc& p) override { return body_(p, *this); }
+
+  Addr base = 0;
+  std::unique_ptr<Barrier> bar;
+  Lock lock;
+
+ private:
+  std::size_t bytes_;
+  Body body_;
+};
+
+MachineConfig tiny(unsigned procs, unsigned ppc) {
+  MachineConfig c;
+  c.num_procs = procs;
+  c.procs_per_cluster = ppc;
+  c.cache.per_proc_bytes = 0;
+  return c;
+}
+
+TEST(ProcessorTiming, ComputeChargesCpu) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram&) -> SimTask {
+    co_await p.compute(100);
+  });
+  const SimResult r = simulate(prog, tiny(1, 1));
+  EXPECT_EQ(r.wall_time, 100u);
+  EXPECT_EQ(r.per_proc[0].cpu, 100u);
+  EXPECT_EQ(r.per_proc[0].load, 0u);
+}
+
+TEST(ProcessorTiming, ReadMissChargesLoadStall) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.read(g.base);  // cold miss, home local (single cluster): 30
+  });
+  const SimResult r = simulate(prog, tiny(1, 1));
+  EXPECT_EQ(r.per_proc[0].load, 30u);
+  EXPECT_EQ(r.per_proc[0].cpu, 1u);  // the issue cycle
+  EXPECT_EQ(r.wall_time, 31u);
+}
+
+TEST(ProcessorTiming, ReadHitChargesOneCpuCycle) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.read(g.base);
+    co_await p.read(g.base);  // hit
+  });
+  const SimResult r = simulate(prog, tiny(1, 1));
+  EXPECT_EQ(r.per_proc[0].cpu, 2u);
+  EXPECT_EQ(r.per_proc[0].load, 30u);
+}
+
+TEST(ProcessorTiming, WritesNeverStall) {
+  LambdaProgram prog(4096, [](Proc& p, LambdaProgram& g) -> SimTask {
+    for (unsigned i = 0; i < 10; ++i) {
+      co_await p.write(g.base + i * 64);  // all write misses
+    }
+  });
+  const SimResult r = simulate(prog, tiny(1, 1));
+  EXPECT_EQ(r.per_proc[0].load, 0u);
+  EXPECT_EQ(r.per_proc[0].cpu, 10u);
+  EXPECT_EQ(r.totals.write_misses, 10u);
+}
+
+TEST(ProcessorTiming, MergeStallWaitsForClusterMateFill) {
+  // Two procs in one cluster read the same cold line at t=0: the second
+  // merges and waits out the remaining fill time.
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    if (p.id() == 1) co_await p.compute(5);  // issue 5 cycles later
+    co_await p.read(g.base);
+  });
+  const SimResult r = simulate(prog, tiny(2, 2));
+  EXPECT_EQ(r.totals.merges, 1u);
+  EXPECT_EQ(r.per_proc[0].load, 30u);
+  EXPECT_GT(r.per_proc[1].merge, 0u);
+  EXPECT_EQ(r.per_proc[1].merge, 24u);  // fill at 30 - (5 + 1 issue cycle)
+}
+
+TEST(Barriers, ChargeWaitersNotLastArriver) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.compute(p.id() == 0 ? 10 : 100);
+    co_await p.barrier(*g.bar);
+    co_await p.compute(1);
+  });
+  const SimResult r = simulate(prog, tiny(2, 1));
+  EXPECT_EQ(r.wall_time, 101u);
+  EXPECT_EQ(r.per_proc[0].sync, 90u);
+  EXPECT_EQ(r.per_proc[1].sync, 0u);
+}
+
+TEST(Barriers, Reusable) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    for (int i = 0; i < 10; ++i) {
+      co_await p.compute(1 + p.id());
+      co_await p.barrier(*g.bar);
+    }
+  });
+  MachineConfig cfg = tiny(4, 1);
+  LambdaProgram* pp = &prog;
+  const SimResult r = simulate(*pp, cfg);
+  EXPECT_EQ(prog.bar->generations(), 10u);
+  // Slowest proc (id 3) computes 4 cycles per round: wall = 40.
+  EXPECT_EQ(r.wall_time, 40u);
+}
+
+TEST(Barriers, MismatchedParticipationDeadlocks) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    if (p.id() == 0) co_await p.barrier(*g.bar);  // others never arrive
+  });
+  EXPECT_THROW(simulate(prog, tiny(2, 1)), std::runtime_error);
+}
+
+TEST(Locks, MutualExclusionSerializes) {
+  // Each proc holds the lock for 10 cycles; total serial time ~ P * 10.
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.acquire(g.lock);
+    co_await p.compute(10);
+    p.release(g.lock);
+  });
+  const SimResult r = simulate(prog, tiny(4, 1));
+  EXPECT_EQ(r.wall_time, 40u);
+  EXPECT_EQ(prog.lock.acquisitions(), 4u);
+  EXPECT_EQ(prog.lock.contended_acquisitions(), 3u);
+}
+
+TEST(Locks, FifoOrder) {
+  std::vector<ProcId> order;
+  LambdaProgram prog(64, [&order](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.compute(1 + p.id());  // stagger arrivals: 0 first
+    co_await p.acquire(g.lock);
+    order.push_back(p.id());
+    co_await p.compute(50);
+    p.release(g.lock);
+  });
+  (void)simulate(prog, tiny(4, 1));
+  EXPECT_EQ(order, (std::vector<ProcId>{0, 1, 2, 3}));
+}
+
+TEST(Locks, WaitChargedToSync) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram& g) -> SimTask {
+    co_await p.acquire(g.lock);
+    co_await p.compute(20);
+    p.release(g.lock);
+  });
+  const SimResult r = simulate(prog, tiny(2, 1));
+  EXPECT_EQ(r.per_proc[1].sync, 20u);
+  EXPECT_EQ(r.per_proc[0].sync, 20u) << "final-barrier wait for proc 0";
+}
+
+TEST(Quantum, StrictAndRelaxedAgreeWithinSkew) {
+  auto make = [] {
+    return LambdaProgram(1 << 16, [](Proc& p, LambdaProgram& g) -> SimTask {
+      for (unsigned i = 0; i < 200; ++i) {
+        co_await p.read(g.base + (i % 32) * 64);
+        co_await p.compute(3);
+      }
+      co_await p.barrier(*g.bar);
+    });
+  };
+  MachineConfig strict = tiny(8, 2);
+  strict.runahead_quantum = 1;
+  MachineConfig relaxed = tiny(8, 2);
+  relaxed.runahead_quantum = 64;
+  auto p1 = make();
+  auto p2 = make();
+  const SimResult a = simulate(p1, strict);
+  const SimResult b = simulate(p2, relaxed);
+  const double drift =
+      std::abs(static_cast<double>(a.wall_time) - static_cast<double>(b.wall_time)) /
+      static_cast<double>(a.wall_time);
+  EXPECT_LT(drift, 0.05) << "relaxed quantum must stay within bounded skew";
+  EXPECT_EQ(a.totals.reads, b.totals.reads);
+}
+
+TEST(Simulator, EarlyFinishersAccrueFinalSync) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram&) -> SimTask {
+    co_await p.compute(p.id() == 0 ? 5 : 50);
+  });
+  const SimResult r = simulate(prog, tiny(2, 1));
+  EXPECT_EQ(r.wall_time, 50u);
+  EXPECT_EQ(r.per_proc[0].sync, 45u);
+  EXPECT_EQ(r.per_proc[0].total(), r.per_proc[1].total());
+}
+
+TEST(Simulator, AppExceptionPropagates) {
+  LambdaProgram prog(64, [](Proc& p, LambdaProgram&) -> SimTask {
+    co_await p.compute(1);
+    if (p.id() == 1) throw std::logic_error("app bug");
+  });
+  EXPECT_THROW(simulate(prog, tiny(2, 1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,157 @@
+// Tests for the SimTask coroutine type: laziness, nesting, exceptions.
+#include "src/core/sim_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace csim {
+namespace {
+
+SimTask trivial(int& x) {
+  x = 42;
+  co_return;
+}
+
+TEST(SimTask, LazyStart) {
+  int x = 0;
+  SimTask t = trivial(x);
+  EXPECT_EQ(x, 0) << "coroutine must not run before start()";
+  EXPECT_FALSE(t.done());
+  t.start();
+  EXPECT_EQ(x, 42);
+  EXPECT_TRUE(t.done());
+}
+
+SimTask child(std::vector<int>& log, int id) {
+  log.push_back(id);
+  co_return;
+}
+
+SimTask parent(std::vector<int>& log) {
+  log.push_back(0);
+  co_await child(log, 1);
+  log.push_back(2);
+  co_await child(log, 3);
+  log.push_back(4);
+}
+
+TEST(SimTask, NestedTasksRunInOrder) {
+  std::vector<int> log;
+  SimTask t = parent(log);
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+SimTask deep(std::vector<int>& log, int depth) {
+  log.push_back(depth);
+  if (depth > 0) co_await deep(log, depth - 1);
+}
+
+TEST(SimTask, DeepRecursion) {
+  std::vector<int> log;
+  SimTask t = deep(log, 100);
+  t.start();
+  EXPECT_TRUE(t.done());
+  ASSERT_EQ(log.size(), 101u);
+  EXPECT_EQ(log.front(), 100);
+  EXPECT_EQ(log.back(), 0);
+}
+
+SimTask thrower() {
+  throw std::runtime_error("boom");
+  co_return;  // unreachable; makes this a coroutine
+}
+
+TEST(SimTask, ExceptionPropagatesFromRoot) {
+  SimTask t = thrower();
+  EXPECT_THROW(t.start(), std::runtime_error);
+}
+
+SimTask catcher(bool& caught) {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(SimTask, ExceptionPropagatesThroughNesting) {
+  bool caught = false;
+  SimTask t = catcher(caught);
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_TRUE(caught);
+}
+
+// A manual awaitable that suspends once, modelling the scheduler handshake.
+struct ManualSuspend {
+  std::coroutine_handle<>* slot;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const noexcept { *slot = h; }
+  void await_resume() const noexcept {}
+};
+
+SimTask suspender(std::coroutine_handle<>& slot, int& phase) {
+  phase = 1;
+  co_await ManualSuspend{&slot};
+  phase = 2;
+}
+
+TEST(SimTask, SuspensionAndExternalResume) {
+  std::coroutine_handle<> slot{};
+  int phase = 0;
+  SimTask t = suspender(slot, phase);
+  t.start();
+  EXPECT_EQ(phase, 1);
+  EXPECT_FALSE(t.done());
+  ASSERT_TRUE(slot);
+  slot.resume();
+  EXPECT_EQ(phase, 2);
+  EXPECT_TRUE(t.done());
+}
+
+SimTask nested_suspender(std::coroutine_handle<>& slot, std::vector<int>& log) {
+  log.push_back(1);
+  co_await ManualSuspend{&slot};
+  log.push_back(2);
+}
+
+SimTask outer_of_suspender(std::coroutine_handle<>& slot, std::vector<int>& log) {
+  log.push_back(0);
+  co_await nested_suspender(slot, log);
+  log.push_back(3);
+}
+
+TEST(SimTask, ResumeOfNestedLeafCompletesChain) {
+  std::coroutine_handle<> slot{};
+  std::vector<int> log;
+  SimTask t = outer_of_suspender(slot, log);
+  t.start();
+  EXPECT_EQ(log, (std::vector<int>{0, 1}));
+  ASSERT_TRUE(slot);
+  slot.resume();  // resumes the leaf; completion must unwind to the root
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(t.done());
+}
+
+TEST(SimTask, MoveTransfersOwnership) {
+  int x = 0;
+  SimTask a = trivial(x);
+  SimTask b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing moved-from state
+  EXPECT_TRUE(b.valid());
+  b.start();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(SimTask, DestroyWithoutStartDoesNotLeakOrCrash) {
+  int x = 0;
+  { SimTask t = trivial(x); }
+  EXPECT_EQ(x, 0);
+}
+
+}  // namespace
+}  // namespace csim

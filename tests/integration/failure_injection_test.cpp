@@ -1,0 +1,124 @@
+// Failure injection: the simulator must fail loudly and cleanly — no hangs,
+// no crashes, no corrupted state — when programs or configurations are
+// broken.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim {
+namespace {
+
+MachineConfig mc(unsigned procs = 4) {
+  MachineConfig c;
+  c.num_procs = procs;
+  c.procs_per_cluster = 2;
+  return c;
+}
+
+class FaultyProgram : public Program {
+ public:
+  enum class Fault {
+    ThrowInSetup,
+    ThrowMidRun,
+    ThrowInVerify,
+    BarrierTooFew,
+    LockNeverReleased,
+    EmptyBody,
+  };
+  explicit FaultyProgram(Fault f) : fault_(f) {}
+
+  [[nodiscard]] std::string name() const override { return "faulty"; }
+
+  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+    if (fault_ == Fault::ThrowInSetup) throw std::runtime_error("setup bug");
+    base_ = as.alloc(4096, "mem");
+    bar_ = std::make_unique<Barrier>(cfg.num_procs);
+  }
+
+  SimTask body(Proc& p) override {
+    switch (fault_) {
+      case Fault::ThrowMidRun:
+        co_await p.read(base_);
+        if (p.id() == 1) throw std::logic_error("mid-run bug");
+        co_await p.compute(10);
+        break;
+      case Fault::BarrierTooFew:
+        if (p.id() != 0) co_await p.barrier(*bar_);  // proc 0 skips
+        break;
+      case Fault::LockNeverReleased:
+        co_await p.acquire(lock_);  // nobody releases: all but one deadlock
+        break;
+      case Fault::EmptyBody:
+        break;  // completing without any operation must be legal
+      default:
+        co_await p.compute(1);
+    }
+  }
+
+  void verify() const override {
+    if (fault_ == Fault::ThrowInVerify) {
+      throw std::runtime_error("verification failed");
+    }
+  }
+
+ private:
+  Fault fault_;
+  Addr base_ = 0;
+  std::unique_ptr<Barrier> bar_;
+  Lock lock_;
+};
+
+TEST(FailureInjection, SetupExceptionPropagates) {
+  FaultyProgram p(FaultyProgram::Fault::ThrowInSetup);
+  EXPECT_THROW(simulate(p, mc()), std::runtime_error);
+}
+
+TEST(FailureInjection, MidRunExceptionPropagates) {
+  FaultyProgram p(FaultyProgram::Fault::ThrowMidRun);
+  EXPECT_THROW(simulate(p, mc()), std::logic_error);
+}
+
+TEST(FailureInjection, VerifyExceptionPropagates) {
+  FaultyProgram p(FaultyProgram::Fault::ThrowInVerify);
+  EXPECT_THROW(simulate(p, mc()), std::runtime_error);
+}
+
+TEST(FailureInjection, MismatchedBarrierIsDeadlockNotHang) {
+  FaultyProgram p(FaultyProgram::Fault::BarrierTooFew);
+  EXPECT_THROW(simulate(p, mc()), std::runtime_error);
+}
+
+TEST(FailureInjection, AbandonedLockIsDeadlockNotHang) {
+  FaultyProgram p(FaultyProgram::Fault::LockNeverReleased);
+  EXPECT_THROW(simulate(p, mc()), std::runtime_error);
+}
+
+TEST(FailureInjection, EmptyBodiesFinishAtTimeZero) {
+  FaultyProgram p(FaultyProgram::Fault::EmptyBody);
+  const SimResult r = simulate(p, mc());
+  EXPECT_EQ(r.wall_time, 0u);
+}
+
+TEST(FailureInjection, SimulatorReusableAfterFailure) {
+  // A failed run must not poison subsequent runs of the same Simulator.
+  Simulator sim(mc());
+  FaultyProgram bad(FaultyProgram::Fault::ThrowMidRun);
+  EXPECT_THROW(sim.run(bad), std::logic_error);
+  auto good = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg = mc(16);
+  Simulator sim2(cfg);
+  EXPECT_NO_THROW(sim2.run(*good));
+}
+
+TEST(FailureInjection, InvalidConfigRejectedBeforeRunning) {
+  MachineConfig bad = mc();
+  bad.procs_per_cluster = 3;  // does not divide 4
+  EXPECT_THROW(Simulator{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,27 @@
+// Paper-scale (Table 2) problem sizes: every application must run and
+// self-verify at the exact sizes the paper simulated. These are the largest
+// tests in the suite (a few seconds each).
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+
+namespace csim {
+namespace {
+
+class PaperScale : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperScale, RunsAndVerifiesOn64Processors) {
+  auto app = make_app(GetParam(), ProblemScale::Paper);
+  const SimResult r = simulate(*app, paper_machine(4, 0));
+  EXPECT_GT(r.wall_time, 0u);
+  EXPECT_GT(r.totals.reads, 100000u)
+      << "paper-size inputs must produce substantial reference streams";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PaperScale,
+                         ::testing::ValuesIn(app_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,119 @@
+#include "src/mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csim {
+namespace {
+
+MachineConfig cfg16(unsigned ppc = 4) {
+  MachineConfig c;
+  c.num_procs = 16;
+  c.procs_per_cluster = ppc;
+  return c;
+}
+
+TEST(AddressSpace, AllocationsArePageAlignedAndDisjoint) {
+  AddressSpace as;
+  const Addr a = as.alloc(100, "a");
+  const Addr b = as.alloc(5000, "b");
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GE(b, a + 4096);
+  EXPECT_NE(a, 0u) << "null page must not be allocated";
+}
+
+TEST(AddressSpace, ZeroAllocThrows) {
+  AddressSpace as;
+  EXPECT_THROW(as.alloc(0), std::invalid_argument);
+}
+
+TEST(AddressSpace, RegionsAreRecorded) {
+  AddressSpace as;
+  const Addr a = as.alloc(100, "matrix");
+  const auto r = as.find_region("matrix");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->base, a);
+  EXPECT_EQ(r->bytes, 100u);
+  EXPECT_TRUE(r->contains(a + 50));
+  EXPECT_FALSE(r->contains(a + 200));
+  EXPECT_FALSE(as.find_region("nope").has_value());
+}
+
+TEST(AddressSpace, FirstTouchAssignsRoundRobin) {
+  AddressSpace as;
+  const Addr a = as.alloc(1 << 20, "big");
+  const MachineConfig cfg = cfg16();  // 4 clusters
+  AddressSpace::HomeMap homes(as, cfg);
+  // Pages touched in order must cycle 0,1,2,3,0,...
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(homes.home_of(a + i * 4096), i % 4);
+  }
+  EXPECT_EQ(homes.pages_touched(), 8u);
+}
+
+TEST(AddressSpace, HomeIsStableAfterFirstTouch) {
+  AddressSpace as;
+  const Addr a = as.alloc(1 << 16);
+  const MachineConfig cfg = cfg16();
+  AddressSpace::HomeMap homes(as, cfg);
+  const ClusterId h = homes.home_of(a + 12345);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(homes.home_of(a + 12300 + i), h) << "same page, same home";
+  }
+}
+
+TEST(AddressSpace, ExplicitPlacementOverridesFirstTouch) {
+  AddressSpace as;
+  const Addr a = as.alloc(1 << 16, "placed");
+  as.place(a, 8192, /*proc=*/7);  // proc 7 -> cluster 1 with ppc=4
+  const MachineConfig cfg = cfg16();
+  AddressSpace::HomeMap homes(as, cfg);
+  EXPECT_EQ(homes.home_of(a), 1u);
+  EXPECT_EQ(homes.home_of(a + 4096), 1u);
+  // Page beyond the placement reverts to round robin.
+  const ClusterId h2 = homes.home_of(a + 8192);
+  EXPECT_LT(h2, 4u);
+}
+
+TEST(AddressSpace, PlacementResolvesPerConfiguration) {
+  AddressSpace as;
+  const Addr a = as.alloc(4096);
+  as.place(a, 4096, /*proc=*/6);
+  {
+    AddressSpace::HomeMap homes(as, cfg16(1));  // 16 clusters
+    EXPECT_EQ(homes.home_of(a), 6u);
+  }
+  {
+    AddressSpace::HomeMap homes(as, cfg16(8));  // 2 clusters
+    EXPECT_EQ(homes.home_of(a), 0u);
+  }
+}
+
+TEST(AddressSpace, LaterPlacementWins) {
+  AddressSpace as;
+  const Addr a = as.alloc(4096);
+  as.place(a, 4096, 1);
+  as.place(a, 4096, 9);
+  AddressSpace::HomeMap homes(as, cfg16(1));
+  EXPECT_EQ(homes.home_of(a), 9u);
+}
+
+TEST(AddressSpace, PartialOverlapStillPlacesPage) {
+  AddressSpace as;
+  const Addr a = as.alloc(8192);
+  as.place(a + 1000, 100, 5);  // overlaps only the first page
+  AddressSpace::HomeMap homes(as, cfg16(1));
+  EXPECT_EQ(homes.home_of(a + 4000), 5u);
+}
+
+TEST(AddressSpace, ClearPlacements) {
+  AddressSpace as;
+  const Addr a = as.alloc(4096);
+  as.place(a, 4096, 9);
+  as.clear_placements();
+  AddressSpace::HomeMap homes(as, cfg16(1));
+  EXPECT_EQ(homes.home_of(a), 0u) << "round robin starts at cluster 0";
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,99 @@
+#include "src/mem/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/mshr.hpp"
+
+namespace csim {
+namespace {
+
+TEST(Directory, DefaultsToNotCached) {
+  Directory d;
+  EXPECT_EQ(d.peek(0x1000).state, DirState::NotCached);
+  EXPECT_EQ(d.tracked_lines(), 0u);
+}
+
+TEST(DirEntry, SharerBitOps) {
+  DirEntry e;
+  e.add(3);
+  e.add(17);
+  EXPECT_TRUE(e.has(3));
+  EXPECT_TRUE(e.has(17));
+  EXPECT_FALSE(e.has(4));
+  EXPECT_EQ(e.count(), 2u);
+  e.remove(3);
+  EXPECT_FALSE(e.has(3));
+  EXPECT_EQ(e.count(), 1u);
+  EXPECT_EQ(e.owner(), 17u);
+}
+
+TEST(Directory, ReplacementHintRemovesSharer) {
+  Directory d;
+  DirEntry& e = d.entry(0x40);
+  e.state = DirState::Shared;
+  e.add(1);
+  e.add(2);
+  d.replacement_hint(0x40, 1);
+  EXPECT_EQ(d.peek(0x40).state, DirState::Shared);
+  EXPECT_FALSE(d.peek(0x40).has(1));
+  EXPECT_TRUE(d.peek(0x40).has(2));
+}
+
+TEST(Directory, LastSharerHintGoesNotCached) {
+  Directory d;
+  DirEntry& e = d.entry(0x40);
+  e.state = DirState::Shared;
+  e.add(2);
+  d.replacement_hint(0x40, 2);
+  EXPECT_EQ(d.peek(0x40).state, DirState::NotCached);
+  EXPECT_EQ(d.peek(0x40).count(), 0u);
+}
+
+TEST(Directory, ExclusiveEvictionWritesBackHome) {
+  Directory d;
+  DirEntry& e = d.entry(0x80);
+  e.state = DirState::Exclusive;
+  e.add(5);
+  d.replacement_hint(0x80, 5);
+  EXPECT_EQ(d.peek(0x80).state, DirState::NotCached);
+  EXPECT_EQ(d.peek(0x80).count(), 0u);
+}
+
+TEST(Directory, HintForUntrackedLineIsNoop) {
+  Directory d;
+  d.replacement_hint(0xdead00, 1);
+  EXPECT_EQ(d.tracked_lines(), 0u);
+}
+
+TEST(Directory, LinesInState) {
+  Directory d;
+  d.entry(0x40).state = DirState::Shared;
+  d.entry(0x80).state = DirState::Exclusive;
+  d.entry(0xc0).state = DirState::Shared;
+  EXPECT_EQ(d.lines_in_state(DirState::Shared).size(), 2u);
+  EXPECT_EQ(d.lines_in_state(DirState::Exclusive).size(), 1u);
+}
+
+TEST(Mshr, AllocateFindRelease) {
+  MshrTable t;
+  EXPECT_EQ(t.find(0x40), nullptr);
+  t.allocate(0x40, MshrEntry{100});
+  ASSERT_NE(t.find(0x40), nullptr);
+  EXPECT_EQ(t.find(0x40)->fill_time, 100u);
+  const auto e = t.release(0x40);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(t.find(0x40), nullptr);
+  EXPECT_FALSE(t.release(0x40).has_value());
+}
+
+TEST(Mshr, AllocateReplacesStaleEntry) {
+  MshrTable t;
+  t.allocate(0x40, MshrEntry{100});
+  t.allocate(0x40, MshrEntry{200});
+  ASSERT_NE(t.find(0x40), nullptr);
+  EXPECT_EQ(t.find(0x40)->fill_time, 200u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace csim

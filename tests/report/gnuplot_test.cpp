@@ -1,0 +1,58 @@
+#include "src/report/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace csim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Gnuplot, WritesDataAndScript) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "csim_fig").string();
+  std::vector<FigureBar> bars;
+  bars.push_back(FigureBar{"1p", TimeBuckets{60, 30, 0, 10}, false});
+  bars.push_back(FigureBar{"2p", TimeBuckets{60, 15, 5, 10}, false});
+  write_gnuplot_figure(base, "test figure", bars);
+
+  const std::string dat = slurp(base + ".dat");
+  EXPECT_NE(dat.find("\"1p\" 60 30 0 10"), std::string::npos);
+  EXPECT_NE(dat.find("\"2p\" 60 15 5 10"), std::string::npos);
+  const std::string gp = slurp(base + ".gp");
+  EXPECT_NE(gp.find("rowstacked"), std::string::npos);
+  EXPECT_NE(gp.find("test figure"), std::string::npos);
+  std::remove((base + ".dat").c_str());
+  std::remove((base + ".gp").c_str());
+}
+
+TEST(Gnuplot, GroupsRenormalize) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "csim_fig2").string();
+  std::vector<FigureBar> bars;
+  bars.push_back(FigureBar{"a", TimeBuckets{200, 0, 0, 0}, true});
+  bars.push_back(FigureBar{"b", TimeBuckets{50, 0, 0, 0}, true});
+  write_gnuplot_figure(base, "t", bars);
+  const std::string dat = slurp(base + ".dat");
+  EXPECT_NE(dat.find("\"a\" 100 0 0 0"), std::string::npos);
+  EXPECT_NE(dat.find("\"b\" 100 0 0 0"), std::string::npos);
+  std::remove((base + ".dat").c_str());
+  std::remove((base + ".gp").c_str());
+}
+
+TEST(Gnuplot, UnwritablePathThrows) {
+  EXPECT_THROW(write_gnuplot_figure("/nonexistent-dir/x", "t", {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace csim

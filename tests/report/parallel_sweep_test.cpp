@@ -1,0 +1,50 @@
+// Parallel experiment sweeps must be bit-identical to serial simulation:
+// each run is an isolated, deterministic, single-threaded simulation.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+
+namespace csim {
+namespace {
+
+TEST(ParallelSweep, MatchesSerialRuns) {
+  auto factory = [] { return make_app("radix", ProblemScale::Test); };
+  const auto sweep = sweep_clusters(factory, 8 * 1024, {1, 2, 4, 8});
+  ASSERT_EQ(sweep.size(), 4u);
+  for (const SimResult& r : sweep) {
+    auto app = factory();
+    const SimResult serial = simulate(*app, r.config);
+    EXPECT_EQ(serial.wall_time, r.wall_time)
+        << r.config.procs_per_cluster << "ppc";
+    EXPECT_EQ(serial.totals.read_misses, r.totals.read_misses);
+    EXPECT_EQ(serial.totals.merges, r.totals.merges);
+  }
+}
+
+TEST(ParallelSweep, RunConfigsPreservesOrder) {
+  std::vector<MachineConfig> configs;
+  for (unsigned ppc : {8u, 1u, 4u, 2u}) {  // deliberately shuffled
+    configs.push_back(paper_machine(ppc, 0));
+  }
+  const auto results = run_configs(
+      [] { return make_app("fft", ProblemScale::Test); }, configs);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].config.procs_per_cluster, 8u);
+  EXPECT_EQ(results[1].config.procs_per_cluster, 1u);
+  EXPECT_EQ(results[2].config.procs_per_cluster, 4u);
+  EXPECT_EQ(results[3].config.procs_per_cluster, 2u);
+}
+
+TEST(ParallelSweep, PropagatesExceptions) {
+  std::vector<MachineConfig> configs = {paper_machine(1, 0)};
+  EXPECT_THROW(run_configs(
+                   []() -> std::unique_ptr<Program> {
+                     throw std::runtime_error("factory failure");
+                   },
+                   configs),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,98 @@
+// Trace capture / replay tests.
+#include "src/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/apps/app.hpp"
+#include "src/report/experiment.hpp"
+
+namespace csim {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Trace, SaveLoadRoundtrip) {
+  Trace t(16, 64);
+  t.append(TraceRecord{3, AccessKind::Read, 0x1040});
+  t.append(TraceRecord{7, AccessKind::Write, 0xdeadbee0});
+  t.append(TraceRecord{0, AccessKind::Read, 0});
+  const std::string path = temp_path("csim_roundtrip.trace");
+  t.save(path);
+  const Trace u = Trace::load(path);
+  EXPECT_EQ(u.num_procs(), 16u);
+  EXPECT_EQ(u.line_bytes(), 64u);
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.records()[0], t.records()[0]);
+  EXPECT_EQ(u.records()[1], t.records()[1]);
+  EXPECT_EQ(u.records()[2], t.records()[2]);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = temp_path("csim_garbage.trace");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(Trace::load("/nonexistent/dir/x.trace"), std::runtime_error);
+}
+
+TEST(Trace, RecordCapturesEveryReference) {
+  auto app = make_app("radix", ProblemScale::Test);
+  MachineConfig cfg = paper_machine(1, 0);
+  cfg.num_procs = 16;
+  const Trace t = record_trace(*app, cfg);
+
+  auto app2 = make_app("radix", ProblemScale::Test);
+  const SimResult r = simulate(*app2, cfg);
+  EXPECT_EQ(t.size(), r.totals.reads + r.totals.writes);
+}
+
+TEST(Trace, ReplayMatchesExecutionDrivenMissesOnSameConfig) {
+  auto app = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg = paper_machine(2, 8 * 1024);
+  cfg.num_procs = 16;
+  const Trace t = record_trace(*app, cfg);
+  const ReplayResult rr = replay_trace(t, cfg);
+
+  auto app2 = make_app("fft", ProblemScale::Test);
+  const SimResult r = simulate(*app2, cfg);
+  // Same interleaving, so hit/miss classification agrees closely; timing
+  // (and with it merge-vs-hit boundaries and home assignment) differs.
+  EXPECT_EQ(rr.totals.reads, r.totals.reads);
+  EXPECT_EQ(rr.totals.writes, r.totals.writes);
+  const double a = static_cast<double>(rr.totals.total_misses());
+  const double b = static_cast<double>(r.totals.total_misses());
+  EXPECT_NEAR(a, b, 0.15 * b) << "trace-driven misses should be within 15%";
+}
+
+TEST(Trace, ReplayAcrossClusterSizes) {
+  auto app = make_app("ocean", ProblemScale::Test);
+  MachineConfig cfg = paper_machine(1, 0);
+  cfg.num_procs = 16;
+  const Trace t = record_trace(*app, cfg);
+
+  MachineConfig clustered = cfg;
+  clustered.procs_per_cluster = 4;
+  const ReplayResult r1 = replay_trace(t, cfg);
+  const ReplayResult r4 = replay_trace(t, clustered);
+  EXPECT_LT(r4.totals.total_misses(), r1.totals.total_misses())
+      << "clustering must reduce Ocean's misses even in replay";
+}
+
+TEST(Trace, ReplayRejectsProcCountMismatch) {
+  Trace t(16, 64);
+  MachineConfig cfg = paper_machine(1, 0);  // 64 procs
+  EXPECT_THROW(replay_trace(t, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csim
