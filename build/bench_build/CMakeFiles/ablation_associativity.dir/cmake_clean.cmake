@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_associativity"
+  "../bench/ablation_associativity.pdb"
+  "CMakeFiles/ablation_associativity.dir/ablation_associativity.cpp.o"
+  "CMakeFiles/ablation_associativity.dir/ablation_associativity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

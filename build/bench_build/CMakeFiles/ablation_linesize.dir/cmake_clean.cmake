@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_linesize"
+  "../bench/ablation_linesize.pdb"
+  "CMakeFiles/ablation_linesize.dir/ablation_linesize.cpp.o"
+  "CMakeFiles/ablation_linesize.dir/ablation_linesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_infinite"
+  "../bench/fig2_infinite.pdb"
+  "CMakeFiles/fig2_infinite.dir/fig2_infinite.cpp.o"
+  "CMakeFiles/fig2_infinite.dir/fig2_infinite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

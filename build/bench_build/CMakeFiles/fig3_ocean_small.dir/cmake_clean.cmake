@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_ocean_small"
+  "../bench/fig3_ocean_small.pdb"
+  "CMakeFiles/fig3_ocean_small.dir/fig3_ocean_small.cpp.o"
+  "CMakeFiles/fig3_ocean_small.dir/fig3_ocean_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ocean_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_raytrace"
+  "../bench/fig4_raytrace.pdb"
+  "CMakeFiles/fig4_raytrace.dir/fig4_raytrace.cpp.o"
+  "CMakeFiles/fig4_raytrace.dir/fig4_raytrace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

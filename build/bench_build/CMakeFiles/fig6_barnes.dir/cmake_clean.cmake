@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_barnes"
+  "../bench/fig6_barnes.pdb"
+  "CMakeFiles/fig6_barnes.dir/fig6_barnes.cpp.o"
+  "CMakeFiles/fig6_barnes.dir/fig6_barnes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_barnes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_fmm"
+  "../bench/fig7_fmm.pdb"
+  "CMakeFiles/fig7_fmm.dir/fig7_fmm.cpp.o"
+  "CMakeFiles/fig7_fmm.dir/fig7_fmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

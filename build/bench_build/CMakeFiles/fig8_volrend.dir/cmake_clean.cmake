@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_volrend"
+  "../bench/fig8_volrend.pdb"
+  "CMakeFiles/fig8_volrend.dir/fig8_volrend.cpp.o"
+  "CMakeFiles/fig8_volrend.dir/fig8_volrend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_volrend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/org_comparison"
+  "../bench/org_comparison.pdb"
+  "CMakeFiles/org_comparison.dir/org_comparison.cpp.o"
+  "CMakeFiles/org_comparison.dir/org_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/org_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_procs"
+  "../bench/scaling_procs.pdb"
+  "CMakeFiles/scaling_procs.dir/scaling_procs.cpp.o"
+  "CMakeFiles/scaling_procs.dir/scaling_procs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

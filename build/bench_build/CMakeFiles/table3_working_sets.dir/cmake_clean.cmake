@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_working_sets"
+  "../bench/table3_working_sets.pdb"
+  "CMakeFiles/table3_working_sets.dir/table3_working_sets.cpp.o"
+  "CMakeFiles/table3_working_sets.dir/table3_working_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

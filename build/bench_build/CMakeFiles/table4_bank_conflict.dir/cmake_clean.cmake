@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_bank_conflict"
+  "../bench/table4_bank_conflict.pdb"
+  "CMakeFiles/table4_bank_conflict.dir/table4_bank_conflict.cpp.o"
+  "CMakeFiles/table4_bank_conflict.dir/table4_bank_conflict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bank_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

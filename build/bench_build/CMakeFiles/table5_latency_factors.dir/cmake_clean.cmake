@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_latency_factors"
+  "../bench/table5_latency_factors.pdb"
+  "CMakeFiles/table5_latency_factors.dir/table5_latency_factors.cpp.o"
+  "CMakeFiles/table5_latency_factors.dir/table5_latency_factors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_latency_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

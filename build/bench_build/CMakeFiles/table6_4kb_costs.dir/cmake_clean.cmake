@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_4kb_costs"
+  "../bench/table6_4kb_costs.pdb"
+  "CMakeFiles/table6_4kb_costs.dir/table6_4kb_costs.cpp.o"
+  "CMakeFiles/table6_4kb_costs.dir/table6_4kb_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_4kb_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

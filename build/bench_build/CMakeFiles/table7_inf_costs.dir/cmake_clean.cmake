@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_inf_costs"
+  "../bench/table7_inf_costs.pdb"
+  "CMakeFiles/table7_inf_costs.dir/table7_inf_costs.cpp.o"
+  "CMakeFiles/table7_inf_costs.dir/table7_inf_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_inf_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_hit_cost"
+  "../bench/validation_hit_cost.pdb"
+  "CMakeFiles/validation_hit_cost.dir/validation_hit_cost.cpp.o"
+  "CMakeFiles/validation_hit_cost.dir/validation_hit_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_hit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

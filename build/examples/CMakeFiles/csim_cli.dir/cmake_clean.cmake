@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csim_cli.dir/csim_cli.cpp.o"
+  "CMakeFiles/csim_cli.dir/csim_cli.cpp.o.d"
+  "csim_cli"
+  "csim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

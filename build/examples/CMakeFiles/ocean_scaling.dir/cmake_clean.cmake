@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_scaling.dir/ocean_scaling.cpp.o"
+  "CMakeFiles/ocean_scaling.dir/ocean_scaling.cpp.o.d"
+  "ocean_scaling"
+  "ocean_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bank_conflict.cpp" "src/CMakeFiles/clustersim.dir/analysis/bank_conflict.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/analysis/bank_conflict.cpp.o.d"
+  "/root/repo/src/analysis/latency_expansion.cpp" "src/CMakeFiles/clustersim.dir/analysis/latency_expansion.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/analysis/latency_expansion.cpp.o.d"
+  "/root/repo/src/analysis/shared_cache_cost.cpp" "src/CMakeFiles/clustersim.dir/analysis/shared_cache_cost.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/analysis/shared_cache_cost.cpp.o.d"
+  "/root/repo/src/analysis/working_set.cpp" "src/CMakeFiles/clustersim.dir/analysis/working_set.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/analysis/working_set.cpp.o.d"
+  "/root/repo/src/apps/app.cpp" "src/CMakeFiles/clustersim.dir/apps/app.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/app.cpp.o.d"
+  "/root/repo/src/apps/barnes.cpp" "src/CMakeFiles/clustersim.dir/apps/barnes.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/barnes.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/clustersim.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/fmm.cpp" "src/CMakeFiles/clustersim.dir/apps/fmm.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/fmm.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/clustersim.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/mp3d.cpp" "src/CMakeFiles/clustersim.dir/apps/mp3d.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/mp3d.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/CMakeFiles/clustersim.dir/apps/ocean.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/ocean.cpp.o.d"
+  "/root/repo/src/apps/octree.cpp" "src/CMakeFiles/clustersim.dir/apps/octree.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/octree.cpp.o.d"
+  "/root/repo/src/apps/partition.cpp" "src/CMakeFiles/clustersim.dir/apps/partition.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/partition.cpp.o.d"
+  "/root/repo/src/apps/prng.cpp" "src/CMakeFiles/clustersim.dir/apps/prng.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/prng.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/CMakeFiles/clustersim.dir/apps/radix.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/radix.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/CMakeFiles/clustersim.dir/apps/raytrace.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/raytrace.cpp.o.d"
+  "/root/repo/src/apps/volrend.cpp" "src/CMakeFiles/clustersim.dir/apps/volrend.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/apps/volrend.cpp.o.d"
+  "/root/repo/src/core/event_queue.cpp" "src/CMakeFiles/clustersim.dir/core/event_queue.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/core/event_queue.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/clustersim.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/processor.cpp" "src/CMakeFiles/clustersim.dir/core/processor.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/core/processor.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/clustersim.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/clustersim.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/core/stats.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/clustersim.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/clustersim.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/clustered_memory.cpp" "src/CMakeFiles/clustersim.dir/mem/clustered_memory.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/clustered_memory.cpp.o.d"
+  "/root/repo/src/mem/coherence.cpp" "src/CMakeFiles/clustersim.dir/mem/coherence.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/coherence.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/clustersim.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/latency.cpp" "src/CMakeFiles/clustersim.dir/mem/latency.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/latency.cpp.o.d"
+  "/root/repo/src/mem/mshr.cpp" "src/CMakeFiles/clustersim.dir/mem/mshr.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/mem/mshr.cpp.o.d"
+  "/root/repo/src/report/experiment.cpp" "src/CMakeFiles/clustersim.dir/report/experiment.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/report/experiment.cpp.o.d"
+  "/root/repo/src/report/figures.cpp" "src/CMakeFiles/clustersim.dir/report/figures.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/report/figures.cpp.o.d"
+  "/root/repo/src/report/gnuplot.cpp" "src/CMakeFiles/clustersim.dir/report/gnuplot.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/report/gnuplot.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/clustersim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/report/table.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/clustersim.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/clustersim.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

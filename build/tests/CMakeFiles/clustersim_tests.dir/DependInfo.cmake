@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analysis_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/analysis/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/analysis/analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis/working_set_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/analysis/working_set_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/analysis/working_set_test.cpp.o.d"
+  "/root/repo/tests/apps/app_behavior_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/apps/app_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/apps/app_behavior_test.cpp.o.d"
+  "/root/repo/tests/apps/app_correctness_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/apps/app_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/apps/app_correctness_test.cpp.o.d"
+  "/root/repo/tests/apps/apps_smoke_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/apps/apps_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/apps/apps_smoke_test.cpp.o.d"
+  "/root/repo/tests/core/event_queue_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/core/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/core/event_queue_test.cpp.o.d"
+  "/root/repo/tests/core/hit_cost_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/core/hit_cost_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/core/hit_cost_test.cpp.o.d"
+  "/root/repo/tests/core/machine_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/core/machine_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/core/machine_test.cpp.o.d"
+  "/root/repo/tests/core/processor_sync_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/core/processor_sync_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/core/processor_sync_test.cpp.o.d"
+  "/root/repo/tests/core/sim_task_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/core/sim_task_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/core/sim_task_test.cpp.o.d"
+  "/root/repo/tests/integration/clustering_properties_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/integration/clustering_properties_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/integration/clustering_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/org_properties_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/integration/org_properties_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/integration/org_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_scale_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/integration/paper_scale_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/integration/paper_scale_test.cpp.o.d"
+  "/root/repo/tests/mem/address_space_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/mem/address_space_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/mem/address_space_test.cpp.o.d"
+  "/root/repo/tests/mem/cache_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/mem/cache_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/mem/cache_test.cpp.o.d"
+  "/root/repo/tests/mem/clustered_memory_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/mem/clustered_memory_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/mem/clustered_memory_test.cpp.o.d"
+  "/root/repo/tests/mem/coherence_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/mem/coherence_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/mem/coherence_test.cpp.o.d"
+  "/root/repo/tests/mem/directory_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/mem/directory_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/mem/directory_test.cpp.o.d"
+  "/root/repo/tests/report/gnuplot_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/report/gnuplot_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/report/gnuplot_test.cpp.o.d"
+  "/root/repo/tests/report/parallel_sweep_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/report/parallel_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/report/parallel_sweep_test.cpp.o.d"
+  "/root/repo/tests/report/report_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/report/report_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/report/report_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/clustersim_tests.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/clustersim_tests.dir/trace/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clustersim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
