@@ -69,52 +69,59 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", a.c_str());
         usage();
         std::exit(2);
       }
       return argv[++i];
     };
-    if (a == "--app") {
-      app = next();
-    } else if (a == "--list") {
-      for (const auto& f : app_registry()) {
-        std::printf("%-10s %s\n", f.name.c_str(), f.description.c_str());
+    try {
+      if (a == "--app") {
+        app = next();
+      } else if (a == "--list") {
+        for (const auto& f : app_registry()) {
+          std::printf("%-10s %s\n", f.name.c_str(), f.description.c_str());
+        }
+        return 0;
+      } else if (a == "--scale") {
+        const std::string s = next();
+        scale = s == "paper" ? ProblemScale::Paper
+                : s == "test" ? ProblemScale::Test
+                              : ProblemScale::Default;
+      } else if (a == "--procs") {
+        procs = static_cast<unsigned>(std::stoul(next()));
+      } else if (a == "--ppc") {
+        ppcs = parse_list(next());
+      } else if (a == "--cache") {
+        cache_kb = std::stoul(next());
+      } else if (a == "--assoc") {
+        assoc = static_cast<unsigned>(std::stoul(next()));
+      } else if (a == "--line") {
+        line = static_cast<unsigned>(std::stoul(next()));
+      } else if (a == "--style") {
+        style = next() == "memory" ? ClusterStyle::SharedMemory
+                                   : ClusterStyle::SharedCache;
+      } else if (a == "--quantum") {
+        quantum = std::stoul(next());
+      } else if (a == "--hit-costs") {
+        hit_costs = true;
+      } else if (a == "--csv") {
+        csv = true;
+      } else if (a == "--gnuplot") {
+        gnuplot_base = next();
+      } else {
+        usage();
+        return a == "--help" || a == "-h" ? 0 : 2;
       }
-      return 0;
-    } else if (a == "--scale") {
-      const std::string s = next();
-      scale = s == "paper" ? ProblemScale::Paper
-              : s == "test" ? ProblemScale::Test
-                            : ProblemScale::Default;
-    } else if (a == "--procs") {
-      procs = static_cast<unsigned>(std::stoul(next()));
-    } else if (a == "--ppc") {
-      ppcs = parse_list(next());
-    } else if (a == "--cache") {
-      cache_kb = std::stoul(next());
-    } else if (a == "--assoc") {
-      assoc = static_cast<unsigned>(std::stoul(next()));
-    } else if (a == "--line") {
-      line = static_cast<unsigned>(std::stoul(next()));
-    } else if (a == "--style") {
-      style = next() == "memory" ? ClusterStyle::SharedMemory
-                                 : ClusterStyle::SharedCache;
-    } else if (a == "--quantum") {
-      quantum = std::stoul(next());
-    } else if (a == "--hit-costs") {
-      hit_costs = true;
-    } else if (a == "--csv") {
-      csv = true;
-    } else if (a == "--gnuplot") {
-      gnuplot_base = next();
-    } else {
+    } catch (const std::exception&) {  // e.g. std::stoul on a non-number
+      std::fprintf(stderr, "%s: invalid value\n", a.c_str());
       usage();
-      return a == "--help" || a == "-h" ? 0 : 2;
+      return 2;
     }
   }
 
   try {
-    std::vector<SimResult> results;
+    std::vector<MachineConfig> configs;
     for (unsigned ppc : ppcs) {
       MachineConfig cfg;
       cfg.num_procs = procs;
@@ -125,9 +132,15 @@ int main(int argc, char** argv) {
       cfg.cluster_style = style;
       cfg.runahead_quantum = quantum;
       cfg.model_shared_hit_costs = hit_costs;
-      auto prog = make_app(app, scale);
-      results.push_back(simulate(*prog, cfg));
+      configs.push_back(cfg);
     }
+    // run_configs degrades gracefully: a failing configuration becomes an
+    // ok == false row (rendered below) instead of aborting the sweep.
+    std::vector<SimResult> results =
+        run_configs([&] { return make_app(app, scale); }, configs);
+    const std::size_t failures = write_failures(std::cerr, results);
+    std::erase_if(results, [](const SimResult& r) { return !r.ok; });
+    if (results.empty()) return 1;
     if (!gnuplot_base.empty()) {
       write_gnuplot_figure(gnuplot_base, app, bars_from_sweep(results));
       std::printf("wrote %s.dat and %s.gp\n", gnuplot_base.c_str(),
@@ -144,6 +157,7 @@ int main(int argc, char** argv) {
               ")",
           bars_from_sweep(results));
     }
+    if (failures != 0) return 1;  // partial results were still emitted
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

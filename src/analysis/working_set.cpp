@@ -56,16 +56,16 @@ std::size_t StackDistance::working_set_lines(double coverage) const {
 }
 
 AccessResult WorkingSetProfiler::read(ProcId p, Addr a, Cycles /*now*/) {
-  const ClusterId c = cfg_->cluster_of(p);
-  const Addr line = a & ~Addr{cfg_->cache.line_bytes - 1};
+  const ClusterId c = cfg_.cluster_of(p);
+  const Addr line = a & ~Addr{cfg_.cache.line_bytes - 1};
   ++counters_[c].reads;
   if (units_[c].touch(line) == SIZE_MAX) ++counters_[c].cold_misses;
   return AccessResult{AccessResult::Kind::Hit};
 }
 
 AccessResult WorkingSetProfiler::write(ProcId p, Addr a, Cycles /*now*/) {
-  const ClusterId c = cfg_->cluster_of(p);
-  const Addr line = a & ~Addr{cfg_->cache.line_bytes - 1};
+  const ClusterId c = cfg_.cluster_of(p);
+  const Addr line = a & ~Addr{cfg_.cache.line_bytes - 1};
   ++counters_[c].writes;
   ++counters_[c].write_hits;
   if (units_[c].touch(line) == SIZE_MAX) ++counters_[c].cold_misses;
@@ -84,7 +84,7 @@ double WorkingSetProfiler::mean_working_set_bytes(double coverage) const {
   for (const auto& u : units_) {
     if (u.references() == 0) continue;
     sum += static_cast<double>(u.working_set_lines(coverage)) *
-           cfg_->cache.line_bytes;
+           cfg_.cache.line_bytes;
     ++n;
   }
   return n ? sum / n : 0.0;

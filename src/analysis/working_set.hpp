@@ -59,8 +59,10 @@ class StackDistance {
 /// cluster-level (overlapped) working sets.
 class WorkingSetProfiler final : public MemorySystem {
  public:
+  // Copies the config: profilers outlive the (often temporary) config
+  // expression they are constructed from.
   explicit WorkingSetProfiler(const MachineConfig& cfg)
-      : cfg_(&cfg),
+      : cfg_(cfg),
         units_(cfg.num_clusters()),
         counters_(cfg.num_clusters()) {}
 
@@ -77,14 +79,14 @@ class WorkingSetProfiler final : public MemorySystem {
     return units_[c];
   }
   [[nodiscard]] unsigned num_units() const noexcept {
-    return cfg_->num_clusters();
+    return cfg_.num_clusters();
   }
 
   /// Mean over units of working_set_lines(coverage), in bytes.
   [[nodiscard]] double mean_working_set_bytes(double coverage) const;
 
  private:
-  const MachineConfig* cfg_;
+  MachineConfig cfg_;
   std::vector<StackDistance> units_;
   std::vector<MissCounters> counters_;
 };

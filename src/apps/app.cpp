@@ -4,15 +4,6 @@
 
 namespace csim {
 
-std::string_view to_string(ProblemScale s) noexcept {
-  switch (s) {
-    case ProblemScale::Test: return "test";
-    case ProblemScale::Default: return "default";
-    case ProblemScale::Paper: return "paper";
-  }
-  return "?";
-}
-
 const std::vector<AppFactory>& app_registry() {
   static const std::vector<AppFactory> reg = {
       {"barnes", "Hierarchical N-body (Barnes-Hut octree)", make_barnes},
@@ -35,7 +26,11 @@ const std::vector<AppFactory>& app_registry() {
 
 std::unique_ptr<Program> make_app(std::string_view name, ProblemScale s) {
   for (const auto& f : app_registry()) {
-    if (f.name == name) return f.make(s);
+    if (f.name == name) {
+      auto app = f.make(s);
+      app->set_scale(s);  // safety net; the factories also set it
+      return app;
+    }
   }
   throw std::invalid_argument("unknown application: " + std::string(name));
 }

@@ -24,9 +24,8 @@
 
 namespace csim {
 
-enum class ProblemScale { Test, Default, Paper };
-
-std::string_view to_string(ProblemScale s) noexcept;
+// ProblemScale (Test / Default / Paper) and to_string live in
+// src/core/types.hpp so SimResult can record the preset that produced it.
 
 /// Factory functions for each application (declared in their own headers as
 /// well; collected here for generic sweeps).

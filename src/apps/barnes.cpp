@@ -25,7 +25,9 @@ BarnesConfig BarnesConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_barnes(ProblemScale s) {
-  return std::make_unique<BarnesApp>(BarnesConfig::preset(s));
+  auto app = std::make_unique<BarnesApp>(BarnesConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void BarnesApp::setup(AddressSpace& as, const MachineConfig& mc) {

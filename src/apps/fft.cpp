@@ -25,7 +25,9 @@ FftConfig FftConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_fft(ProblemScale s) {
-  return std::make_unique<FftApp>(FftConfig::preset(s));
+  auto app = std::make_unique<FftApp>(FftConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void FftApp::setup(AddressSpace& as, const MachineConfig& mc) {

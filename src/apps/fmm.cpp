@@ -28,7 +28,9 @@ FmmConfig FmmConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_fmm(ProblemScale s) {
-  return std::make_unique<FmmApp>(FmmConfig::preset(s));
+  auto app = std::make_unique<FmmApp>(FmmConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void FmmApp::setup(AddressSpace& as, const MachineConfig& mc) {

@@ -27,7 +27,9 @@ LuConfig LuConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_lu(ProblemScale s) {
-  return std::make_unique<LuApp>(LuConfig::preset(s));
+  auto app = std::make_unique<LuApp>(LuConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 double& LuApp::el(unsigned gi, unsigned gj) noexcept {

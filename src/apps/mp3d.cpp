@@ -27,7 +27,9 @@ Mp3dConfig Mp3dConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_mp3d(ProblemScale s) {
-  return std::make_unique<Mp3dApp>(Mp3dConfig::preset(s));
+  auto app = std::make_unique<Mp3dApp>(Mp3dConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 unsigned Mp3dApp::cell_of(const Particle& q) const noexcept {

@@ -37,7 +37,9 @@ OceanConfig OceanConfig::small_problem() {
 }
 
 std::unique_ptr<Program> make_ocean(ProblemScale s) {
-  return std::make_unique<OceanApp>(OceanConfig::preset(s));
+  auto app = std::make_unique<OceanApp>(OceanConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void OceanApp::build_level(Level& L, unsigned dim, const MachineConfig& mc) {

@@ -28,7 +28,9 @@ RadixConfig RadixConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_radix(ProblemScale s) {
-  return std::make_unique<RadixApp>(RadixConfig::preset(s));
+  auto app = std::make_unique<RadixApp>(RadixConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void RadixApp::setup(AddressSpace& as, const MachineConfig& mc) {

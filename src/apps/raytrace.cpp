@@ -38,7 +38,9 @@ RaytraceConfig RaytraceConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_raytrace(ProblemScale s) {
-  return std::make_unique<RaytraceApp>(RaytraceConfig::preset(s));
+  auto app = std::make_unique<RaytraceApp>(RaytraceConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 void RaytraceApp::add_flake(Vec3 c, double r, int depth, int exclude_dir) {

@@ -25,7 +25,9 @@ VolrendConfig VolrendConfig::preset(ProblemScale s) {
 }
 
 std::unique_ptr<Program> make_volrend(ProblemScale s) {
-  return std::make_unique<VolrendApp>(VolrendConfig::preset(s));
+  auto app = std::make_unique<VolrendApp>(VolrendConfig::preset(s));
+  app->set_scale(s);
+  return app;
 }
 
 float VolrendApp::block_max(unsigned bx, unsigned by, unsigned bz) const {

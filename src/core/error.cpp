@@ -1,0 +1,30 @@
+#include "src/core/error.hpp"
+
+namespace csim {
+
+std::string MachineSnapshot::format() const {
+  std::string s;
+  s += "  cycle " + std::to_string(cycle) + ", " +
+       std::to_string(events_processed) + " events processed, " +
+       std::to_string(event_queue_depth) + " pending\n";
+  for (const ProcState& p : procs) {
+    s += "  proc " + std::to_string(p.id) + ": " + p.detail +
+         " (last progress cycle " + std::to_string(p.last_progress) + ")\n";
+  }
+  return s;
+}
+
+namespace detail {
+
+std::string render_error(SimErrorKind kind, const std::string& summary,
+                         const MachineSnapshot& snap) {
+  std::string s = std::string(to_string(kind)) + ": " + summary;
+  if (!snap.empty()) {
+    s += "\nmachine state at failure:\n";
+    s += snap.format();
+  }
+  return s;
+}
+
+}  // namespace detail
+}  // namespace csim

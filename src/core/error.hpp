@@ -1,0 +1,122 @@
+// Structured simulator failure taxonomy.
+//
+// Every way the simulator can fail maps to one error class, and every error
+// carries a MachineSnapshot — the machine state at the moment of failure —
+// rendered into what() so a failed run (CI log, sweep failure table) is
+// diagnosable without re-running under a debugger:
+//
+//   ConfigError    inconsistent MachineConfig / malformed options
+//                  (also a std::invalid_argument, like the checks it absorbs)
+//   DeadlockError  the event queue drained with processors still parked on a
+//                  barrier or lock
+//   LivelockError  a watchdog budget tripped: the program exceeded
+//                  max_cycles / max_events, or kept processing events without
+//                  simulated time advancing
+//   ProtocolError  a coherence invariant audit failed (directory and cache
+//                  state disagree) — see MemorySystem::audit()
+//   AppError       the application's setup() or verify() threw
+//
+// All five implement the SimError interface, so sweep drivers can
+// `catch (const SimError&)` and record kind + snapshot uniformly while each
+// class remains catchable as the std exception its domain suggests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+enum class SimErrorKind : std::uint8_t { Config, Deadlock, Livelock, Protocol, App };
+
+[[nodiscard]] constexpr std::string_view to_string(SimErrorKind k) noexcept {
+  switch (k) {
+    case SimErrorKind::Config: return "config";
+    case SimErrorKind::Deadlock: return "deadlock";
+    case SimErrorKind::Livelock: return "livelock";
+    case SimErrorKind::Protocol: return "protocol";
+    case SimErrorKind::App: return "app";
+  }
+  return "?";
+}
+
+/// Machine state attached to a structured error: what every processor was
+/// doing, how deep the event queue was, and when. Captured by the Simulator
+/// at the point of failure (errors raised outside a run carry an empty one).
+struct MachineSnapshot {
+  Cycles cycle = 0;                  ///< simulated time of the failure
+  std::size_t event_queue_depth = 0; ///< events still pending
+  std::uint64_t events_processed = 0;
+
+  struct ProcState {
+    ProcId id = 0;
+    bool finished = false;
+    Cycles last_progress = 0;  ///< local clock when the proc last ran
+    std::string detail;        ///< "running", "blocked on barrier ...", ...
+  };
+  std::vector<ProcState> procs;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return procs.empty() && cycle == 0 && event_queue_depth == 0 &&
+           events_processed == 0;
+  }
+
+  /// Multi-line human-readable rendering (indented, one line per proc).
+  [[nodiscard]] std::string format() const;
+};
+
+/// Interface common to all structured simulator errors. Not itself an
+/// exception type: concrete errors derive from the std exception matching
+/// their domain *and* from this, so `catch (const SimError& e)` works
+/// alongside `catch (const std::invalid_argument&)` etc.
+class SimError {
+ public:
+  virtual ~SimError() = default;
+
+  [[nodiscard]] virtual SimErrorKind kind() const noexcept = 0;
+  [[nodiscard]] virtual const MachineSnapshot& snapshot() const noexcept = 0;
+  /// The one-line failure summary (what() minus the snapshot rendering).
+  [[nodiscard]] virtual std::string_view summary() const noexcept = 0;
+};
+
+namespace detail {
+/// what() text: "<kind>: <summary>" plus the snapshot block when non-empty.
+[[nodiscard]] std::string render_error(SimErrorKind kind,
+                                       const std::string& summary,
+                                       const MachineSnapshot& snap);
+}  // namespace detail
+
+/// Concrete error template: `StdBase` picks the std exception domain, `K`
+/// the taxonomy slot. Distinct K => distinct type, individually catchable.
+template <SimErrorKind K, class StdBase>
+class BasicSimError : public StdBase, public SimError {
+ public:
+  explicit BasicSimError(std::string summary, MachineSnapshot snap = {})
+      : StdBase(detail::render_error(K, summary, snap)),
+        summary_(std::move(summary)),
+        snap_(std::move(snap)) {}
+
+  [[nodiscard]] SimErrorKind kind() const noexcept override { return K; }
+  [[nodiscard]] const MachineSnapshot& snapshot() const noexcept override {
+    return snap_;
+  }
+  [[nodiscard]] std::string_view summary() const noexcept override {
+    return summary_;
+  }
+
+ private:
+  std::string summary_;
+  MachineSnapshot snap_;
+};
+
+using ConfigError = BasicSimError<SimErrorKind::Config, std::invalid_argument>;
+using DeadlockError = BasicSimError<SimErrorKind::Deadlock, std::runtime_error>;
+using LivelockError = BasicSimError<SimErrorKind::Livelock, std::runtime_error>;
+using ProtocolError = BasicSimError<SimErrorKind::Protocol, std::runtime_error>;
+using AppError = BasicSimError<SimErrorKind::App, std::runtime_error>;
+
+}  // namespace csim

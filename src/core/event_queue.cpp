@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/error.hpp"
+
 namespace csim {
 
 void EventQueue::schedule(Cycles t, Callback fn) {
@@ -18,12 +20,43 @@ void EventQueue::run_one() {
   // relative to protocol work.
   Event ev = heap_.top();
   heap_.pop();
+  const bool advanced = ev.t > now_;
   now_ = ev.t;
+  ++events_run_;
+  if (advanced) events_at_last_advance_ = events_run_;
   ev.fn();
 }
 
+std::optional<std::string> EventQueue::budget_violation() const {
+  if (budget_.max_cycles != 0 && now_ > budget_.max_cycles) {
+    return "exceeded max_cycles budget (" + std::to_string(budget_.max_cycles) +
+           ") at cycle " + std::to_string(now_);
+  }
+  if (budget_.max_events != 0 && events_run_ > budget_.max_events) {
+    return "exceeded max_events budget (" + std::to_string(budget_.max_events) +
+           ") at cycle " + std::to_string(now_);
+  }
+  if (budget_.no_progress_events != 0 &&
+      events_run_ - events_at_last_advance_ >= budget_.no_progress_events) {
+    return "no progress: " +
+           std::to_string(events_run_ - events_at_last_advance_) +
+           " events without simulated time advancing past cycle " +
+           std::to_string(now_);
+  }
+  return std::nullopt;
+}
+
 Cycles EventQueue::run_to_completion() {
-  while (!heap_.empty()) run_one();
+  while (!heap_.empty()) {
+    run_one();
+    if (auto v = budget_violation()) {
+      MachineSnapshot snap;
+      snap.cycle = now_;
+      snap.event_queue_depth = heap_.size();
+      snap.events_processed = events_run_;
+      throw LivelockError(*std::move(v), std::move(snap));
+    }
+  }
   return now_;
 }
 

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "src/core/types.hpp"
@@ -17,6 +19,15 @@ namespace csim {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  /// Watchdog budgets. A zero field disables that check. `no_progress_events`
+  /// bounds the number of events processed without simulated time advancing
+  /// (the livelock signature: the queue churns at a fixed cycle forever).
+  struct Budget {
+    std::uint64_t max_cycles = 0;
+    std::uint64_t max_events = 0;
+    std::uint64_t no_progress_events = 0;
+  };
 
   /// Schedules `fn` to run at absolute simulated time `t`.
   void schedule(Cycles t, Callback fn);
@@ -36,8 +47,19 @@ class EventQueue {
   /// !empty().
   void run_one();
 
-  /// Runs events until the queue drains. Returns the final time.
+  /// Runs events until the queue drains. Returns the final time. If a budget
+  /// is set, throws LivelockError (with a queue-level snapshot) on violation.
   Cycles run_to_completion();
+
+  /// Arms the watchdog. The budget is checked by run_to_completion() after
+  /// every event; external drivers (Simulator::run) poll budget_violation().
+  void set_budget(const Budget& b) noexcept { budget_ = b; }
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t events_run() const noexcept { return events_run_; }
+
+  /// Description of the violated budget, or nullopt while within budget.
+  [[nodiscard]] std::optional<std::string> budget_violation() const;
 
  private:
   struct Event {
@@ -53,6 +75,9 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
   Cycles now_ = 0;
+  Budget budget_{};
+  std::uint64_t events_run_ = 0;
+  std::uint64_t events_at_last_advance_ = 0;  // events_run_ when now_ last grew
 };
 
 }  // namespace csim

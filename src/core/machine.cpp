@@ -2,37 +2,39 @@
 
 #include <bit>
 
+#include "src/core/error.hpp"
+
 namespace csim {
 
 void MachineConfig::validate() const {
-  if (num_procs == 0) throw std::invalid_argument("num_procs must be > 0");
+  if (num_procs == 0) throw ConfigError("num_procs must be > 0");
   if (procs_per_cluster == 0 || num_procs % procs_per_cluster != 0) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "procs_per_cluster must divide num_procs evenly");
   }
   if (cache.line_bytes == 0 || !std::has_single_bit(cache.line_bytes)) {
-    throw std::invalid_argument("line_bytes must be a power of two");
+    throw ConfigError("line_bytes must be a power of two");
   }
   if (page_bytes == 0 || !std::has_single_bit(page_bytes) ||
       page_bytes < cache.line_bytes) {
-    throw std::invalid_argument("page_bytes must be a power of two >= line size");
+    throw ConfigError("page_bytes must be a power of two >= line size");
   }
   if (!cache.infinite()) {
     if (cache.per_proc_bytes % cache.line_bytes != 0) {
-      throw std::invalid_argument("cache size must be a multiple of line size");
+      throw ConfigError("cache size must be a multiple of line size");
     }
     const std::size_t lines = cluster_cache_lines();
-    if (lines == 0) throw std::invalid_argument("cache has zero lines");
+    if (lines == 0) throw ConfigError("cache has zero lines");
     if (cache.associativity != 0 && lines % cache.associativity != 0) {
-      throw std::invalid_argument("lines must be a multiple of associativity");
+      throw ConfigError("lines must be a multiple of associativity");
     }
   }
-  if (hit_latency == 0) throw std::invalid_argument("hit_latency must be >= 1");
+  if (hit_latency == 0) throw ConfigError("hit_latency must be >= 1");
   if (runahead_quantum == 0) {
-    throw std::invalid_argument("runahead_quantum must be >= 1");
+    throw ConfigError("runahead_quantum must be >= 1");
   }
   if (num_clusters() > 64) {
-    throw std::invalid_argument("at most 64 clusters (directory bit vector)");
+    throw ConfigError("at most 64 clusters (directory bit vector)");
   }
 }
 

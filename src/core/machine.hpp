@@ -54,6 +54,20 @@ struct MachineConfig {
   /// yielding to the global event queue. 1 = strict global ordering.
   Cycles runahead_quantum = 32;
 
+  // --- Robustness knobs (see docs/ROBUSTNESS.md) ---------------------------
+  /// Watchdog: abort with LivelockError once simulated time exceeds this
+  /// many cycles. 0 = unlimited.
+  std::uint64_t max_cycles = 0;
+  /// Watchdog: abort with LivelockError after this many events. 0 = unlimited.
+  std::uint64_t max_events = 0;
+  /// Livelock detector: abort if this many consecutive events execute without
+  /// simulated time advancing (the queue churning at a fixed cycle forever).
+  /// 0 disables; the default is far above any legitimate same-cycle burst.
+  std::uint64_t no_progress_events = 1u << 22;
+  /// Run the coherence invariant audit (MemorySystem::audit) every N events
+  /// during the simulation. 0 = audit at end of run only (always done).
+  std::uint64_t audit_interval = 0;
+
   [[nodiscard]] unsigned num_clusters() const noexcept {
     return num_procs / procs_per_cluster;
   }
@@ -73,7 +87,8 @@ struct MachineConfig {
     return procs_per_cluster == 2 ? 2 : 3;
   }
 
-  /// Throws std::invalid_argument if the configuration is inconsistent.
+  /// Throws ConfigError (a std::invalid_argument) if the configuration is
+  /// inconsistent.
   void validate() const;
 
   /// e.g. "64p/4ppc/16KB" — used in reports.

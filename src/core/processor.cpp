@@ -30,23 +30,28 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
       now_ += hit;
       return check_slice(resume_at);
     case AccessResult::Kind::Merge: {
+      const Cycles issued = now_;
       buckets_.cpu += hit;
       const Cycles issue_done = now_ + hit;
       const Cycles stall = r.ready_at > issue_done ? r.ready_at - issue_done : 0;
       buckets_.merge += stall;
       now_ = issue_done + stall;
       resume_at = now_;
+      wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, now_, issued};
       return false;  // a stall always yields to the queue
     }
     case AccessResult::Kind::ReadMiss:
-    case AccessResult::Kind::NearHit:
+    case AccessResult::Kind::NearHit: {
       // NearHit: served within the cluster (snoop / attraction memory) in
       // the shared-main-memory organization; the stall is still load time.
+      const Cycles issued = now_;
       buckets_.cpu += hit;
       buckets_.load += r.latency;
       now_ += hit + r.latency;
       resume_at = now_;
+      wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, now_, issued};
       return false;
+    }
     default:
       // Writes never come back from CoherenceController::read.
       return check_slice(resume_at);
@@ -89,6 +94,7 @@ void Proc::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) const {
   Barrier& bar = *b;
   ++bar.arrived_;
   bar.waiters_.push_back(Barrier::Waiter{h, p, p->now_});
+  p->wait_ = WaitInfo{WaitKind::Barrier, b, nullptr, 0, 0, p->now_};
 }
 
 bool Proc::AcquireAwaiter::await_ready() const {
@@ -110,6 +116,7 @@ void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
   }
   ++lk.contended_;
   lk.waiters_.push_back(Lock::Waiter{h, p, p->now_});
+  p->wait_ = WaitInfo{WaitKind::Lock, nullptr, l, 0, 0, p->now_};
 }
 
 void Proc::release(Lock& l) {

@@ -36,6 +36,23 @@ class Lock;
 
 class Proc {
  public:
+  /// What a suspended processor is waiting for (diagnostics: the Simulator
+  /// renders this into MachineSnapshot / DeadlockError messages).
+  enum class WaitKind : std::uint8_t {
+    None,     ///< runnable (between slices) or never suspended
+    Barrier,  ///< parked in a Barrier's waiter list
+    Lock,     ///< queued on a contended Lock
+    Memory,   ///< stalled on an outstanding miss / merged fill
+  };
+  struct WaitInfo {
+    WaitKind kind = WaitKind::None;
+    const class Barrier* barrier = nullptr;  ///< set when kind == Barrier
+    const class Lock* lock = nullptr;        ///< set when kind == Lock
+    Addr addr = 0;                           ///< set when kind == Memory
+    Cycles ready_at = 0;                     ///< fill time (kind == Memory)
+    Cycles since = 0;                        ///< local clock at suspension
+  };
+
   Proc(const MachineConfig& cfg, EventQueue& q, MemorySystem& coh,
        ProcId id)
       : cfg_(&cfg), queue_(&q), coh_(&coh), id_(id),
@@ -59,6 +76,9 @@ class Proc {
   [[nodiscard]] Cycles now() const noexcept { return now_; }
   [[nodiscard]] const TimeBuckets& buckets() const noexcept { return buckets_; }
   [[nodiscard]] const MachineConfig& config() const noexcept { return *cfg_; }
+  /// Current wait state; WaitKind::None while runnable. Stable after the
+  /// event queue drains, which is what deadlock diagnostics read.
+  [[nodiscard]] const WaitInfo& wait() const noexcept { return wait_; }
 
   /// Generic suspension awaiter: if `ready` is false the coroutine parks and
   /// is resumed (via the event queue) at `resume_at`.
@@ -114,6 +134,7 @@ class Proc {
   void begin_slice(Cycles t) noexcept {
     now_ = t;
     slice_end_ = t + cfg_->runahead_quantum;
+    wait_ = WaitInfo{};  // resumed: whatever we waited for is over
   }
 
   /// Schedules `h` to resume at absolute time `t` (with a fresh slice).
@@ -161,6 +182,7 @@ class Proc {
   ClusterId cluster_;
   Cycles now_ = 0;
   Cycles slice_end_ = 0;
+  WaitInfo wait_{};
   TimeBuckets buckets_{};
   std::uint64_t rng_state_ = 0;
   std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32

@@ -1,20 +1,98 @@
 #include "src/core/simulator.hpp"
 
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
 
+#include "src/core/error.hpp"
 #include "src/core/event_queue.hpp"
+#include "src/core/sync.hpp"
 #include "src/mem/clustered_memory.hpp"
 #include "src/mem/coherence.hpp"
 
 namespace csim {
+namespace {
+
+std::string sync_name(const std::string& name, const void* fallback) {
+  if (!name.empty()) return "'" + name + "'";
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "@%p", fallback);
+  return buf;
+}
+
+/// One-line description of what a processor is doing / waiting for.
+std::string describe_wait(const Proc& p) {
+  const Proc::WaitInfo& w = p.wait();
+  switch (w.kind) {
+    case Proc::WaitKind::Barrier: {
+      const Barrier* b = w.barrier;
+      return "blocked on barrier " + sync_name(b->name(), b) + " (arrived " +
+             std::to_string(b->arrived()) + "/" +
+             std::to_string(b->participants()) + ") since cycle " +
+             std::to_string(w.since);
+    }
+    case Proc::WaitKind::Lock: {
+      const Lock* l = w.lock;
+      std::string s = "blocked on lock " + sync_name(l->name(), l);
+      if (l->held()) s += " (owner proc " + std::to_string(l->owner()) + ")";
+      s += ", queue length " + std::to_string(l->queue_length()) +
+           ", since cycle " + std::to_string(w.since);
+      return s;
+    }
+    case Proc::WaitKind::Memory: {
+      char buf[2 + 16 + 1];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(w.addr));
+      return std::string("stalled on outstanding miss at ") + buf +
+             " (fill due cycle " + std::to_string(w.ready_at) + ")";
+    }
+    case Proc::WaitKind::None:
+      break;
+  }
+  return "running";
+}
+
+MachineSnapshot capture_snapshot(const EventQueue& queue,
+                                 const std::vector<std::unique_ptr<Proc>>& procs) {
+  MachineSnapshot snap;
+  snap.cycle = queue.now();
+  snap.event_queue_depth = queue.size();
+  snap.events_processed = queue.events_run();
+  snap.procs.reserve(procs.size());
+  for (const auto& pp : procs) {
+    MachineSnapshot::ProcState st;
+    st.id = pp->id();
+    st.finished = pp->finished;
+    st.last_progress = pp->now();
+    st.detail = pp->finished
+                    ? "finished at cycle " + std::to_string(pp->finish_time)
+                    : describe_wait(*pp);
+    snap.procs.push_back(std::move(st));
+  }
+  return snap;
+}
+
+}  // namespace
 
 Simulator::Simulator(MachineConfig cfg) : cfg_(cfg) { cfg_.validate(); }
 
 SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   AddressSpace as;
-  prog.setup(as, cfg_);
+  try {
+    prog.setup(as, cfg_);
+  } catch (const SimError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    // Bad app parameters are configuration errors (and stay catchable as
+    // std::invalid_argument, which ConfigError derives from).
+    throw ConfigError("setup of '" + prog.name() + "' rejected: " + e.what());
+  } catch (const std::exception& e) {
+    throw AppError("setup of '" + prog.name() + "' failed: " + e.what());
+  }
 
   EventQueue queue;
+  queue.set_budget(EventQueue::Budget{cfg_.max_cycles, cfg_.max_events,
+                                      cfg_.no_progress_events});
   std::unique_ptr<MemorySystem> mem;
   if (memory_override == nullptr) {
     if (cfg_.cluster_style == ClusterStyle::SharedMemory) {
@@ -43,26 +121,50 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
     });
   }
 
-  // Drive the event queue to exhaustion; processors record their own
-  // completion when their root coroutine finishes.
-  queue.run_to_completion();
+  // Drive the event queue to exhaustion under the watchdog; processors
+  // record their own completion when their root coroutine finishes.
+  const std::uint64_t audit_every = cfg_.audit_interval;
+  while (!queue.empty()) {
+    queue.run_one();
+    if (auto v = queue.budget_violation()) {
+      throw LivelockError(*std::move(v), capture_snapshot(queue, procs));
+    }
+    if (audit_every != 0 && queue.events_run() % audit_every == 0) {
+      coh.audit();
+    }
+  }
 
   for (auto& pp : procs) {
     pp->root.rethrow_if_failed();
   }
 
+  // Protocol state must be internally consistent once the machine is idle.
+  coh.audit();
+
+  unsigned unfinished = 0;
+  for (auto& pp : procs) {
+    if (!pp->finished) ++unfinished;
+  }
+  if (unfinished != 0) {
+    std::string summary = std::to_string(unfinished) + " of " +
+                          std::to_string(cfg_.num_procs) +
+                          " processors never finished:";
+    for (auto& pp : procs) {
+      if (pp->finished) continue;
+      summary += " proc " + std::to_string(pp->id()) + " " +
+                 describe_wait(*pp) + ";";
+    }
+    summary.pop_back();
+    throw DeadlockError(std::move(summary), capture_snapshot(queue, procs));
+  }
+
   SimResult res;
   res.config = cfg_;
   res.app_name = prog.name();
+  res.scale = prog.scale();
 
   Cycles wall = 0;
-  for (auto& pp : procs) {
-    if (!pp->finished) {
-      throw std::runtime_error("deadlock: processor " + std::to_string(pp->id()) +
-                               " never finished (mismatched barrier/lock?)");
-    }
-    wall = std::max(wall, pp->finish_time);
-  }
+  for (auto& pp : procs) wall = std::max(wall, pp->finish_time);
   res.wall_time = wall;
 
   res.per_proc.reserve(cfg_.num_procs);
@@ -79,7 +181,14 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   }
   res.totals = coh.totals();
 
-  prog.verify();
+  try {
+    prog.verify();
+  } catch (const SimError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw AppError("verification of '" + prog.name() + "' failed: " + e.what(),
+                   capture_snapshot(queue, procs));
+  }
   return res;
 }
 

@@ -21,6 +21,11 @@ class Program {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Problem-size preset this instance was built from. Set by the app
+  /// factories; recorded into SimResult::scale for reporting.
+  [[nodiscard]] ProblemScale scale() const noexcept { return scale_; }
+  void set_scale(ProblemScale s) noexcept { scale_ = s; }
+
   /// Allocates simulated memory (and optional explicit placement). Called
   /// once per simulation run, before any body starts.
   virtual void setup(AddressSpace& as, const MachineConfig& cfg) = 0;
@@ -31,6 +36,9 @@ class Program {
   /// Optional post-run check of the computation's real result; throws on
   /// failure. Lets tests prove the reference stream is the real algorithm.
   virtual void verify() const {}
+
+ private:
+  ProblemScale scale_ = ProblemScale::Default;
 };
 
 /// Runs programs under a machine configuration and collects results.
@@ -39,7 +47,16 @@ class Simulator {
   explicit Simulator(MachineConfig cfg);
 
   /// Simulates `prog` to completion and returns timing + miss statistics.
-  /// Throws std::runtime_error on deadlock (e.g. mismatched barriers).
+  ///
+  /// Failure taxonomy (src/core/error.hpp) — all carry a MachineSnapshot:
+  ///  - DeadlockError: the event queue drained with processors still parked
+  ///    on a barrier or lock (e.g. mismatched barriers);
+  ///  - LivelockError: a watchdog budget tripped (MachineConfig::max_cycles /
+  ///    max_events / no_progress_events);
+  ///  - ProtocolError: the coherence invariant audit failed (end of run, and
+  ///    every MachineConfig::audit_interval events when set);
+  ///  - AppError: the program's setup() or verify() threw.
+  /// Exceptions escaping processor bodies propagate unwrapped.
   ///
   /// `memory_override` substitutes the memory system built from the
   /// configuration (used by the working-set profiler and trace tooling);

@@ -60,14 +60,21 @@ struct MissCounters {
   }
 };
 
-/// Result of one simulation run.
+/// Result of one simulation run. A failed run (captured by run_configs'
+/// graceful degradation) has ok == false, empty statistics, and the error
+/// fields describing the SimError that killed it.
 struct SimResult {
   MachineConfig config{};
   std::string app_name;
+  ProblemScale scale = ProblemScale::Default;
   Cycles wall_time = 0;
   std::vector<TimeBuckets> per_proc;
   std::vector<MissCounters> per_cluster;
   MissCounters totals{};
+
+  bool ok = true;          ///< false: the run threw instead of completing
+  std::string error_kind;  ///< to_string(SimErrorKind), or "exception"
+  std::string error;       ///< full what(), including the machine snapshot
 
   /// Sum of per-processor buckets. With final-barrier accounting,
   /// aggregate().total() == num_procs * wall_time.

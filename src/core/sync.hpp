@@ -9,6 +9,8 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/types.hpp"
@@ -17,14 +19,17 @@ namespace csim {
 
 class Proc;
 
-/// A reusable counting barrier for a fixed set of participants.
+/// A reusable counting barrier for a fixed set of participants. The optional
+/// name shows up in deadlock/livelock diagnostics (MachineSnapshot).
 class Barrier {
  public:
-  explicit Barrier(unsigned participants) : participants_(participants) {}
+  explicit Barrier(unsigned participants, std::string name = {})
+      : participants_(participants), name_(std::move(name)) {}
 
   [[nodiscard]] unsigned participants() const noexcept { return participants_; }
   [[nodiscard]] unsigned arrived() const noexcept { return arrived_; }
   [[nodiscard]] std::uint64_t generations() const noexcept { return generations_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
   friend class Proc;
@@ -36,12 +41,18 @@ class Barrier {
   unsigned participants_;
   unsigned arrived_ = 0;
   std::uint64_t generations_ = 0;
+  std::string name_;
   std::vector<Waiter> waiters_;
 };
 
-/// A FIFO mutual-exclusion lock.
+/// A FIFO mutual-exclusion lock. The optional name shows up in
+/// deadlock/livelock diagnostics (MachineSnapshot).
 class Lock {
  public:
+  Lock() = default;
+  explicit Lock(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool held() const noexcept { return held_; }
   [[nodiscard]] ProcId owner() const noexcept { return owner_; }
   [[nodiscard]] std::size_t queue_length() const noexcept { return waiters_.size(); }
@@ -61,6 +72,7 @@ class Lock {
   ProcId owner_ = 0;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t contended_ = 0;
+  std::string name_;
   std::deque<Waiter> waiters_;
 };
 

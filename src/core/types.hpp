@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace csim {
 
@@ -34,5 +35,18 @@ enum class LatencyClass : std::uint8_t {
 };
 
 inline constexpr unsigned kNumLatencyClasses = 4;
+
+/// Problem-size preset of a workload (see src/apps/app.hpp for the presets).
+/// Lives here so results (SimResult) can record which preset produced them.
+enum class ProblemScale : std::uint8_t { Test, Default, Paper };
+
+[[nodiscard]] constexpr std::string_view to_string(ProblemScale s) noexcept {
+  switch (s) {
+    case ProblemScale::Test: return "test";
+    case ProblemScale::Default: return "default";
+    case ProblemScale::Paper: return "paper";
+  }
+  return "?";
+}
 
 }  // namespace csim

@@ -1,0 +1,33 @@
+// Shared helpers for the coherence invariant auditors
+// (CoherenceController::audit, ClusteredMemorySystem::audit).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/error.hpp"
+#include "src/mem/directory.hpp"
+
+namespace csim::audit_util {
+
+inline std::string hex_line(Addr line) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(line));
+  return buf;
+}
+
+inline const char* dir_state_name(DirState s) {
+  switch (s) {
+    case DirState::NotCached: return "NOT_CACHED";
+    case DirState::Shared: return "SHARED";
+    case DirState::Exclusive: return "EXCLUSIVE";
+  }
+  return "?";
+}
+
+[[noreturn]] inline void violation(Addr line, const std::string& what) {
+  throw ProtocolError("audit: line " + hex_line(line) + ": " + what);
+}
+
+}  // namespace csim::audit_util

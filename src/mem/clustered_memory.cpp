@@ -1,10 +1,13 @@
 #include "src/mem/clustered_memory.hpp"
 
+#include "src/core/error.hpp"
+#include "src/mem/audit_util.hpp"
+
 namespace csim {
 
 ClusteredMemorySystem::ClusteredMemorySystem(const MachineConfig& cfg,
                                              const AddressSpace& as)
-    : cfg_(&cfg), homes_(as, cfg) {
+    : cfg_(cfg), homes_(as, cfg) {
   caches_.reserve(cfg.num_procs);
   const std::size_t lines_per_proc =
       cfg.cache.infinite() ? 0 : cfg.cache.per_proc_bytes / cfg.cache.line_bytes;
@@ -23,11 +26,118 @@ MissCounters ClusteredMemorySystem::totals() const {
   return t;
 }
 
+void ClusteredMemorySystem::audit() const {
+  using audit_util::violation;
+  const unsigned nc = cfg_.num_clusters();
+  const unsigned ppc = cfg_.procs_per_cluster;
+
+  // Private cache occupancy never exceeds capacity.
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    if (!caches_[p]->infinite() &&
+        caches_[p]->size() > caches_[p]->capacity_lines()) {
+      throw ProtocolError("audit: proc " + std::to_string(p) + " cache holds " +
+                          std::to_string(caches_[p]->size()) + " lines, capacity " +
+                          std::to_string(caches_[p]->capacity_lines()));
+    }
+  }
+
+  // Directory sharer bits agree with attraction-memory residency, and the
+  // EXCLUSIVE owner is exactly the cluster flagged cluster_exclusive.
+  for (const auto& [line, e] : dir_.entries()) {
+    if (nc < 64 && (e.sharers >> nc) != 0) {
+      violation(line, "sharer bit set beyond cluster count");
+    }
+    if (e.state == DirState::NotCached && e.sharers != 0) {
+      violation(line, "NOT_CACHED but sharer bits set");
+    }
+    if (e.state == DirState::Shared && e.sharers == 0) {
+      violation(line, "SHARED with empty sharer vector");
+    }
+    if (e.state == DirState::Exclusive && e.count() != 1) {
+      violation(line, "EXCLUSIVE with " + std::to_string(e.count()) +
+                          " sharers (want exactly 1)");
+    }
+    for (unsigned c = 0; c < nc; ++c) {
+      const auto it = attraction_[c].find(line);
+      const bool resident = it != attraction_[c].end();
+      if (e.has(c) != resident) {
+        violation(line, std::string("directory ") +
+                            (e.has(c) ? "lists" : "omits") + " cluster " +
+                            std::to_string(c) + " but the line is " +
+                            (resident ? "present" : "absent") +
+                            " in its attraction memory");
+      }
+      if (resident) {
+        const bool owner = e.state == DirState::Exclusive && e.owner() == c;
+        if (it->second.cluster_exclusive != owner) {
+          violation(line, "cluster " + std::to_string(c) +
+                              (it->second.cluster_exclusive
+                                   ? " flagged cluster_exclusive but directory disagrees"
+                                   : " owns the line per directory but is not "
+                                     "flagged cluster_exclusive"));
+        }
+      }
+    }
+  }
+
+  // Bus-level copy bits agree with private cache contents; an EXCLUSIVE
+  // private copy is the sole copy of a cluster_exclusive line.
+  for (unsigned c = 0; c < nc; ++c) {
+    const ProcId base = c * ppc;
+    for (const auto& [line, cl] : attraction_[c]) {
+      if (ppc < 64 && (cl.proc_copies >> ppc) != 0) {
+        violation(line, "proc_copies bit set beyond cluster size");
+      }
+      for (unsigned li = 0; li < ppc; ++li) {
+        const auto st = caches_[base + li]->lookup(line);
+        const bool bit = (cl.proc_copies >> li) & 1u;
+        if (bit != st.has_value()) {
+          violation(line, "proc " + std::to_string(base + li) +
+                              (bit ? " listed on the bus but line not in its cache"
+                                   : " caches the line but is missing from "
+                                     "proc_copies"));
+        }
+        if (st && *st == LineState::Exclusive) {
+          if (!cl.cluster_exclusive) {
+            violation(line, "proc " + std::to_string(base + li) +
+                                " holds the line EXCLUSIVE in a non-exclusive "
+                                "cluster");
+          }
+          if (cl.proc_copies != (std::uint64_t{1} << li)) {
+            violation(line, "proc " + std::to_string(base + li) +
+                                " holds the line EXCLUSIVE alongside peer "
+                                "copies");
+          }
+        }
+      }
+    }
+    // Private cache contents are always tracked on the bus.
+    for (unsigned li = 0; li < ppc; ++li) {
+      for (Addr line : caches_[base + li]->resident_lines()) {
+        const auto it = attraction_[c].find(line);
+        if (it == attraction_[c].end() ||
+            ((it->second.proc_copies >> li) & 1u) == 0) {
+          violation(line, "cached by proc " + std::to_string(base + li) +
+                              " but untracked by its cluster's attraction "
+                              "memory");
+        }
+      }
+    }
+    // An in-flight fill implies the line is resident in the cluster.
+    for (const auto& [line, m] : mshrs_[c].entries()) {
+      if (!attraction_[c].contains(line)) {
+        violation(line, "MSHR entry in cluster " + std::to_string(c) +
+                            " for a line absent from its attraction memory");
+      }
+    }
+  }
+}
+
 void ClusteredMemorySystem::install_private(ProcId p, Addr line,
                                             LineState st) {
   auto victim = caches_[p]->insert(line, st);
   if (victim) {
-    const ClusterId c = cfg_->cluster_of(p);
+    const ClusterId c = cfg_.cluster_of(p);
     ++counters_[c].evictions;
     // The victim falls back to the (infinite) attraction memory: the line
     // stays in the cluster, so no directory replacement hint is sent.
@@ -42,7 +152,7 @@ void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
   auto it = attraction_[c].find(line);
   if (it == attraction_[c].end()) return;
   std::uint64_t copies = it->second.proc_copies;
-  const ProcId base = c * cfg_->procs_per_cluster;
+  const ProcId base = c * cfg_.procs_per_cluster;
   while (copies) {
     const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
     copies &= copies - 1;
@@ -69,10 +179,10 @@ void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
 
 AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
                                                  Cycles now, bool exclusive) {
-  const ClusterId c = cfg_->cluster_of(p);
+  const ClusterId c = cfg_.cluster_of(p);
   DirEntry& e = dir_.entry(line);
   const LatencyClass lclass = classify_miss(e, c, homes_.home_of(line));
-  const Cycles lat = cfg_->latency.of(lclass);
+  const Cycles lat = cfg_.latency.of(lclass);
   MissCounters& ctr = counters_[c];
 
   if (exclusive) {
@@ -89,7 +199,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
       if (it != attraction_[o].end()) {
         it->second.cluster_exclusive = false;
         std::uint64_t copies = it->second.proc_copies;
-        const ProcId base = o * cfg_->procs_per_cluster;
+        const ProcId base = o * cfg_.procs_per_cluster;
         while (copies) {
           const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
           copies &= copies - 1;
@@ -114,7 +224,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
 }
 
 AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
-  const ClusterId c = cfg_->cluster_of(p);
+  const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
@@ -145,18 +255,18 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     ClusterLine& cl = it->second;
     Cycles lat;
     if (cl.proc_copies) {
-      lat = cfg_->latency.snoop_transfer;
+      lat = cfg_.latency.snoop_transfer;
       ++ctr.snoop_transfers;
       // Cache-to-cache transfer demotes any proc-exclusive peer copy.
       std::uint64_t copies = cl.proc_copies;
-      const ProcId base = c * cfg_->procs_per_cluster;
+      const ProcId base = c * cfg_.procs_per_cluster;
       while (copies) {
         const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
         copies &= copies - 1;
         caches_[base + li]->set_state(line, LineState::Shared);
       }
     } else {
-      lat = cfg_->latency.cluster_memory;
+      lat = cfg_.latency.cluster_memory;
       ++ctr.cluster_memory_hits;
     }
     install_private(p, line, LineState::Shared);
@@ -170,7 +280,7 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
 }
 
 AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
-  const ClusterId c = cfg_->cluster_of(p);
+  const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.writes;
@@ -178,7 +288,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
   auto kill_local_peers = [&](ClusterLine& cl) {
     std::uint64_t others =
         cl.proc_copies & ~(std::uint64_t{1} << local_index(p));
-    const ProcId base = c * cfg_->procs_per_cluster;
+    const ProcId base = c * cfg_.procs_per_cluster;
     while (others) {
       const unsigned li = static_cast<unsigned>(__builtin_ctzll(others));
       others &= others - 1;

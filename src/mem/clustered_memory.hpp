@@ -52,13 +52,21 @@ class ClusteredMemorySystem final : public MemorySystem {
   }
   [[nodiscard]] MissCounters totals() const override;
 
+  /// Invariant audit (directory vs. attraction memories vs. private caches
+  /// vs. MSHRs); throws ProtocolError on the first violation. See
+  /// docs/ROBUSTNESS.md.
+  void audit() const override;
+
   // --- Introspection for tests -------------------------------------------
   [[nodiscard]] const CacheStorage& private_cache(ProcId p) const {
     return *caches_[p];
   }
   [[nodiscard]] const Directory& directory() const { return dir_; }
+  /// Test-only mutation hook: lets failure-injection tests corrupt directory
+  /// state to prove audit() catches it. Never use outside tests.
+  [[nodiscard]] Directory& mutable_directory_for_test() { return dir_; }
   [[nodiscard]] bool in_attraction(ClusterId c, Addr a) const {
-    return attraction_[c].contains(a & ~Addr{cfg_->cache.line_bytes - 1});
+    return attraction_[c].contains(a & ~Addr{cfg_.cache.line_bytes - 1});
   }
 
  private:
@@ -72,10 +80,10 @@ class ClusteredMemorySystem final : public MemorySystem {
   using Attraction = std::unordered_map<Addr, ClusterLine>;
 
   [[nodiscard]] Addr line_of(Addr a) const noexcept {
-    return a & ~Addr{cfg_->cache.line_bytes - 1};
+    return a & ~Addr{cfg_.cache.line_bytes - 1};
   }
   [[nodiscard]] unsigned local_index(ProcId p) const noexcept {
-    return p % cfg_->procs_per_cluster;
+    return p % cfg_.procs_per_cluster;
   }
 
   /// Installs into `p`'s private cache; evicted victims fall back to the
@@ -92,7 +100,7 @@ class ClusteredMemorySystem final : public MemorySystem {
   /// EXCLUSIVE); shared miss/merge/latency logic of both access kinds.
   AccessResult fetch_remote(ProcId p, Addr line, Cycles now, bool exclusive);
 
-  const MachineConfig* cfg_;
+  MachineConfig cfg_;  // copied: safe against temporary configs
   AddressSpace::HomeMap homes_;
   Directory dir_;                                     // cluster granularity
   std::vector<std::unique_ptr<CacheStorage>> caches_; // one per processor

@@ -1,10 +1,13 @@
 #include "src/mem/coherence.hpp"
 
+#include "src/core/error.hpp"
+#include "src/mem/audit_util.hpp"
+
 namespace csim {
 
 CoherenceController::CoherenceController(const MachineConfig& cfg,
                                          const AddressSpace& as)
-    : cfg_(&cfg), homes_(as, cfg) {
+    : cfg_(cfg), homes_(as, cfg) {
   const unsigned nc = cfg.num_clusters();
   caches_.reserve(nc);
   for (unsigned c = 0; c < nc; ++c) {
@@ -20,6 +23,77 @@ MissCounters CoherenceController::totals() const {
   MissCounters t{};
   for (const auto& c : counters_) t += c;
   return t;
+}
+
+void CoherenceController::audit() const {
+  using audit_util::dir_state_name;
+  using audit_util::violation;
+  const unsigned nc = cfg_.num_clusters();
+
+  // Occupancy never exceeds capacity.
+  for (unsigned c = 0; c < nc; ++c) {
+    if (!caches_[c]->infinite() &&
+        caches_[c]->size() > caches_[c]->capacity_lines()) {
+      throw ProtocolError("audit: cluster " + std::to_string(c) + " cache holds " +
+                          std::to_string(caches_[c]->size()) + " lines, capacity " +
+                          std::to_string(caches_[c]->capacity_lines()));
+    }
+  }
+
+  // Directory entries agree with cluster cache contents and states.
+  for (const auto& [line, e] : dir_.entries()) {
+    if (nc < 64 && (e.sharers >> nc) != 0) {
+      violation(line, "sharer bit set beyond cluster count");
+    }
+    switch (e.state) {
+      case DirState::NotCached:
+        if (e.sharers != 0) violation(line, "NOT_CACHED but sharer bits set");
+        break;
+      case DirState::Shared:
+        if (e.sharers == 0) violation(line, "SHARED with empty sharer vector");
+        break;
+      case DirState::Exclusive:
+        if (e.count() != 1) {
+          violation(line, "EXCLUSIVE with " + std::to_string(e.count()) +
+                              " sharers (want exactly 1)");
+        }
+        break;
+    }
+    for (unsigned c = 0; c < nc; ++c) {
+      const auto st = caches_[c]->lookup(line);
+      if (e.has(c) != st.has_value()) {
+        violation(line, std::string("directory ") + dir_state_name(e.state) +
+                            (e.has(c) ? " lists" : " omits") + " cluster " +
+                            std::to_string(c) + " but the line is " +
+                            (st ? "cached" : "not cached") + " there");
+      }
+      if (st && e.state == DirState::Exclusive && *st != LineState::Exclusive) {
+        violation(line, "directory EXCLUSIVE in cluster " + std::to_string(c) +
+                            " but cached SHARED");
+      }
+      if (st && e.state == DirState::Shared && *st != LineState::Shared) {
+        violation(line, "directory SHARED but cluster " + std::to_string(c) +
+                            " caches it EXCLUSIVE");
+      }
+    }
+  }
+
+  // Every cached line is tracked by the directory (catches dropped entries).
+  for (unsigned c = 0; c < nc; ++c) {
+    for (Addr line : caches_[c]->resident_lines()) {
+      if (!dir_.peek(line).has(c)) {
+        violation(line, "cached in cluster " + std::to_string(c) +
+                            " but absent from its directory sharer vector");
+      }
+    }
+    // An in-flight fill implies the line was allocated in this cluster.
+    for (const auto& [line, m] : mshrs_[c].entries()) {
+      if (!caches_[c]->lookup(line)) {
+        violation(line, "MSHR entry in cluster " + std::to_string(c) +
+                            " for a line not resident in its cache");
+      }
+    }
+  }
 }
 
 void CoherenceController::install(ClusterId c, Addr line, LineState st) {
@@ -62,7 +136,7 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
                                                    Cycles now) {
   DirEntry& e = dir_.entry(line);
   const LatencyClass lclass = classify(c, line, e);
-  const Cycles lat = cfg_->latency.of(lclass);
+  const Cycles lat = cfg_.latency.of(lclass);
 
   if (e.state == DirState::Exclusive) {
     // Downgrade the owner's copy: it keeps a SHARED copy, data goes home.
@@ -82,7 +156,7 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
 }
 
 AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
-  const ClusterId c = cfg_->cluster_of(p);
+  const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
@@ -105,7 +179,7 @@ AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
 }
 
 AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
-  const ClusterId c = cfg_->cluster_of(p);
+  const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.writes;
@@ -136,7 +210,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   // WRITE miss: fetch the line EXCLUSIVE; latency hidden, fill in flight.
   DirEntry& e = dir_.entry(line);
   const LatencyClass lclass = classify(c, line, e);
-  const Cycles lat = cfg_->latency.of(lclass);
+  const Cycles lat = cfg_.latency.of(lclass);
   invalidate_others(line, c);
   e.sharers = 0;
   e.add(c);

@@ -45,14 +45,21 @@ class CoherenceController final : public MemorySystem {
   }
   [[nodiscard]] MissCounters totals() const override;
 
+  /// Invariant audit (directory vs. cluster caches vs. MSHRs); throws
+  /// ProtocolError on the first violation. See docs/ROBUSTNESS.md.
+  void audit() const override;
+
   // --- Introspection for tests -------------------------------------------
   [[nodiscard]] const CacheStorage& cache(ClusterId c) const { return *caches_[c]; }
   [[nodiscard]] const Directory& directory() const { return dir_; }
+  /// Test-only mutation hook: lets failure-injection tests corrupt directory
+  /// state to prove audit() catches it. Never use outside tests.
+  [[nodiscard]] Directory& mutable_directory_for_test() { return dir_; }
   [[nodiscard]] const MshrTable& mshrs(ClusterId c) const { return mshrs_[c]; }
   [[nodiscard]] ClusterId home_of(Addr a) { return homes_.home_of(a); }
 
  private:
-  Addr line_of(Addr a) const noexcept { return a & ~Addr{cfg_->cache.line_bytes - 1}; }
+  Addr line_of(Addr a) const noexcept { return a & ~Addr{cfg_.cache.line_bytes - 1}; }
 
   /// Classifies a miss per Table 1 and updates remote copies/directory for a
   /// read (fetch SHARED).
@@ -66,7 +73,7 @@ class CoherenceController final : public MemorySystem {
 
   LatencyClass classify(ClusterId requester, Addr line, const DirEntry& e) const;
 
-  const MachineConfig* cfg_;
+  MachineConfig cfg_;  // copied: safe against temporary configs
   AddressSpace::HomeMap homes_;
   Directory dir_;
   std::vector<std::unique_ptr<CacheStorage>> caches_;

@@ -52,6 +52,12 @@ class Directory {
 
   [[nodiscard]] std::size_t tracked_lines() const noexcept { return map_.size(); }
 
+  /// All tracked entries (auditing / diagnostics). Iteration order
+  /// unspecified.
+  [[nodiscard]] const std::unordered_map<Addr, DirEntry>& entries() const noexcept {
+    return map_;
+  }
+
   /// Lines currently in the given state (testing / diagnostics).
   [[nodiscard]] std::vector<Addr> lines_in_state(DirState s) const;
 

@@ -46,6 +46,14 @@ class MemorySystem {
   [[nodiscard]] virtual const MissCounters& cluster_counters(
       ClusterId c) const = 0;
   [[nodiscard]] virtual MissCounters totals() const = 0;
+
+  /// Coherence invariant audit: cross-checks directory state against cache
+  /// state and throws ProtocolError (naming the line and the disagreeing
+  /// states) on any violation. The Simulator runs this at the end of every
+  /// run and, when MachineConfig::audit_interval is set, every N events.
+  /// Default is a no-op for memory systems with no coherence state to check
+  /// (profilers, recorders). Invariants: docs/ROBUSTNESS.md.
+  virtual void audit() const {}
 };
 
 }  // namespace csim

@@ -53,6 +53,11 @@ class MshrTable {
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
 
+  /// All in-flight entries (auditing / diagnostics).
+  [[nodiscard]] const std::unordered_map<Addr, MshrEntry>& entries() const noexcept {
+    return map_;
+  }
+
  private:
   std::unordered_map<Addr, MshrEntry> map_;
 };

@@ -1,9 +1,13 @@
 #include "src/report/experiment.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <ostream>
+
+#include "src/core/error.hpp"
 
 namespace csim {
 
@@ -24,9 +28,34 @@ std::vector<SimResult> run_configs(
   std::vector<std::future<SimResult>> futures;
   futures.reserve(configs.size());
   for (const MachineConfig& cfg : configs) {
-    futures.push_back(std::async(std::launch::async, [&make_app, cfg] {
-      auto app = make_app();
-      return simulate(*app, cfg);
+    futures.push_back(std::async(std::launch::async, [&make_app, cfg]() -> SimResult {
+      // Graceful degradation: one broken configuration (or a failing run)
+      // must not abort the whole sweep. Failures become ok == false rows
+      // carrying the SimError diagnostics; write_failures renders them.
+      std::unique_ptr<Program> app;
+      try {
+        app = make_app();
+        return simulate(*app, cfg);
+      } catch (const std::exception& e) {
+        SimResult r;
+        r.config = cfg;
+        if (app) {
+          r.app_name = app->name();
+          r.scale = app->scale();
+        }
+        r.ok = false;
+        const auto* se = dynamic_cast<const SimError*>(&e);
+        r.error_kind = se ? std::string(to_string(se->kind())) : "exception";
+        r.error = e.what();
+        return r;
+      } catch (...) {
+        SimResult r;
+        r.config = cfg;
+        r.ok = false;
+        r.error_kind = "exception";
+        r.error = "unknown exception";
+        return r;
+      }
     }));
   }
   std::vector<SimResult> out;
@@ -47,27 +76,54 @@ std::vector<SimResult> sweep_clusters(
   return run_configs(make_app, configs);
 }
 
-BenchOptions BenchOptions::parse(int argc, char** argv) {
+BenchOptions BenchOptions::parse_checked(int argc, char** argv) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--paper") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--paper") == 0) {
       o.scale = ProblemScale::Paper;
-    } else if (std::strcmp(argv[i], "--test") == 0) {
+    } else if (std::strcmp(arg, "--test") == 0) {
       o.scale = ProblemScale::Test;
-    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
-      o.num_procs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--procs") == 0) {
+      if (i + 1 >= argc) throw ConfigError("--procs requires a value");
+      const char* val = argv[++i];
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(val, &end, 10);
+      if (end == val || *end != '\0' || errno == ERANGE) {
+        throw ConfigError(std::string("--procs: not a number: '") + val + "'");
+      }
+      if (n == 0 || n > 4096) {
+        throw ConfigError(std::string("--procs: out of range (1..4096): '") +
+                          val + "'");
+      }
+      o.num_procs = static_cast<unsigned>(n);
+    } else {
+      throw ConfigError(std::string("unknown flag: '") + arg +
+                        "' (expected --paper, --test, or --procs N)");
     }
   }
   return o;
+}
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  try {
+    return parse_checked(argc, argv);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\nusage: %s [--paper | --test] [--procs N]\n",
+                 e.what(), argc > 0 ? argv[0] : "bench");
+    std::exit(2);
+  }
 }
 
 void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
   os << "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,reads,writes,"
         "read_misses,write_misses,upgrades,merges,cold,invalidations\n";
   for (const SimResult& r : results) {
+    if (!r.ok) continue;  // failures go to write_failures
     const TimeBuckets a = r.aggregate();
-    os << r.app_name << ",default," << r.config.num_procs << ','
-       << r.config.procs_per_cluster << ','
+    os << r.app_name << ',' << to_string(r.scale) << ','
+       << r.config.num_procs << ',' << r.config.procs_per_cluster << ','
        << r.config.cache.per_proc_bytes / 1024 << ',' << r.wall_time << ','
        << a.cpu << ',' << a.load << ',' << a.merge << ',' << a.sync << ','
        << r.totals.reads << ',' << r.totals.writes << ','
@@ -75,6 +131,27 @@ void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
        << r.totals.upgrade_misses << ',' << r.totals.merges << ','
        << r.totals.cold_misses << ',' << r.totals.invalidations << '\n';
   }
+}
+
+std::size_t write_failures(std::ostream& os,
+                           const std::vector<SimResult>& results) {
+  std::size_t n = 0;
+  for (const SimResult& r : results) {
+    if (r.ok) continue;
+    if (n == 0) os << "=== failed configurations ===\n";
+    ++n;
+    os << (r.app_name.empty() ? std::string("?") : r.app_name) << " ["
+       << r.config.label() << "] " << r.error_kind << " error:\n";
+    // Indent the (possibly multi-line) diagnostic under its header.
+    std::size_t start = 0;
+    while (start < r.error.size()) {
+      std::size_t end = r.error.find('\n', start);
+      if (end == std::string::npos) end = r.error.size();
+      os << "    " << r.error.substr(start, end - start) << '\n';
+      start = end + 1;
+    }
+  }
+  return n;
 }
 
 }  // namespace csim

@@ -29,21 +29,39 @@ std::vector<SimResult> sweep_clusters(
 
 /// Generic parallel map over machine configurations: simulates a fresh app
 /// per configuration concurrently, preserving input order.
+///
+/// Degrades gracefully: a configuration whose run throws (bad config,
+/// deadlock, livelock, protocol violation, app bug) does not abort the
+/// sweep — its slot comes back with ok == false and the SimError
+/// diagnostics in error_kind / error, while every other configuration's
+/// results are returned normally. Render failures with write_failures().
 std::vector<SimResult> run_configs(
     const std::function<std::unique_ptr<Program>()>& make_app,
     const std::vector<MachineConfig>& configs);
 
-/// Standard bench command line: `--paper` switches problem sizes to the
-/// paper's Table 2 inputs, `--procs N` overrides the processor count.
+/// Standard bench command line: `--paper`/`--test` switch problem sizes,
+/// `--procs N` overrides the processor count.
 struct BenchOptions {
   ProblemScale scale = ProblemScale::Default;
   unsigned num_procs = 64;
 
+  /// Parses, printing a usage message and exiting with status 2 on bad
+  /// input (unknown flags, non-numeric/zero/out-of-range --procs).
   static BenchOptions parse(int argc, char** argv);
+
+  /// Like parse() but throws ConfigError instead of exiting (testable core).
+  static BenchOptions parse_checked(int argc, char** argv);
 };
 
-/// One CSV line per result: app,scale,procs,ppc,cacheKB,wall,cpu,load,merge,
-/// sync,reads,writes,read_misses,write_misses,upgrades,merges,cold,inv.
+/// One CSV line per successful result: app,scale,procs,ppc,cacheKB,wall,cpu,
+/// load,merge,sync,reads,writes,read_misses,write_misses,upgrades,merges,
+/// cold,inv. Failed results are skipped (see write_failures).
 void write_csv(std::ostream& os, const std::vector<SimResult>& results);
+
+/// Renders the failure table for every ok == false result (app, config
+/// label, error kind, full diagnostic). Returns the number of failures, 0
+/// when the sweep was clean (then nothing is written).
+std::size_t write_failures(std::ostream& os,
+                           const std::vector<SimResult>& results);
 
 }  // namespace csim

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/error.hpp"
+
 namespace csim {
 namespace {
 
@@ -73,6 +75,67 @@ TEST(EventQueue, SizeAndEmpty) {
   EXPECT_EQ(q.next_time(), 1u);
   q.run_to_completion();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountsEventsRun) {
+  EventQueue q;
+  for (Cycles t = 0; t < 7; ++t) q.schedule(t, [] {});
+  q.run_to_completion();
+  EXPECT_EQ(q.events_run(), 7u);
+}
+
+TEST(EventQueueBudget, SelfReschedulingEventTripsMaxEvents) {
+  EventQueue q;
+  q.set_budget({0, 100, 0});
+  std::function<void()> forever = [&] { q.schedule(q.now() + 1, forever); };
+  q.schedule(0, forever);
+  EXPECT_THROW(q.run_to_completion(), LivelockError);
+  EXPECT_EQ(q.events_run(), 101u);  // first event past the budget
+}
+
+TEST(EventQueueBudget, MaxCyclesTripsOnceTimePassesBudget) {
+  EventQueue q;
+  q.set_budget({500, 0, 0});
+  std::function<void()> forever = [&] { q.schedule(q.now() + 10, forever); };
+  q.schedule(0, forever);
+  try {
+    q.run_to_completion();
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_GT(q.now(), 500u);
+    EXPECT_NE(std::string(e.what()).find("max_cycles"), std::string::npos);
+    EXPECT_EQ(e.snapshot().cycle, q.now());
+  }
+}
+
+TEST(EventQueueBudget, NoProgressDetectorTripsOnSameCycleChurn) {
+  EventQueue q;
+  q.set_budget({0, 0, 50});
+  std::function<void()> spin = [&] { q.schedule(q.now(), spin); };  // never advances
+  q.schedule(7, spin);
+  EXPECT_THROW(q.run_to_completion(), LivelockError);
+  EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(EventQueueBudget, NoProgressDetectorResetsWhenTimeAdvances) {
+  EventQueue q;
+  q.set_budget({0, 0, 50});
+  // 40 same-cycle events, then advance, repeatedly: never trips.
+  int rounds = 0;
+  std::function<void()> burst = [&] {
+    for (int i = 0; i < 40; ++i) q.schedule(q.now(), [] {});
+    if (++rounds < 5) q.schedule(q.now() + 1, burst);
+  };
+  q.schedule(0, burst);
+  EXPECT_NO_THROW(q.run_to_completion());
+  EXPECT_EQ(rounds, 5);
+}
+
+TEST(EventQueueBudget, UnsetBudgetNeverTrips) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) q.schedule(0, [] {});
+  EXPECT_NO_THROW(q.run_to_completion());
+  EXPECT_FALSE(q.budget_violation().has_value());
 }
 
 }  // namespace

@@ -4,10 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "src/apps/app.hpp"
+#include "src/core/error.hpp"
 #include "src/core/simulator.hpp"
 #include "src/core/sync.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/clustered_memory.hpp"
+#include "src/mem/coherence.hpp"
+#include "src/report/experiment.hpp"
 
 namespace csim {
 namespace {
@@ -28,6 +34,8 @@ class FaultyProgram : public Program {
     BarrierTooFew,
     LockNeverReleased,
     EmptyBody,
+    InfiniteCompute,
+    SameCycleSpin,
   };
   explicit FaultyProgram(Fault f) : fault_(f) {}
 
@@ -36,7 +44,7 @@ class FaultyProgram : public Program {
   void setup(AddressSpace& as, const MachineConfig& cfg) override {
     if (fault_ == Fault::ThrowInSetup) throw std::runtime_error("setup bug");
     base_ = as.alloc(4096, "mem");
-    bar_ = std::make_unique<Barrier>(cfg.num_procs);
+    bar_ = std::make_unique<Barrier>(cfg.num_procs, "phase");
   }
 
   SimTask body(Proc& p) override {
@@ -54,6 +62,15 @@ class FaultyProgram : public Program {
         break;
       case Fault::EmptyBody:
         break;  // completing without any operation must be legal
+      case Fault::InfiniteCompute:
+        for (;;) co_await p.compute(1);  // runs forever, time advances
+      case Fault::SameCycleSpin:
+        // Livelock signature: lock ping-pong generates events forever
+        // without simulated time ever advancing.
+        for (;;) {
+          co_await p.acquire(lock_);
+          p.release(lock_);
+        }
       default:
         co_await p.compute(1);
     }
@@ -118,6 +135,236 @@ TEST(FailureInjection, InvalidConfigRejectedBeforeRunning) {
   MachineConfig bad = mc();
   bad.procs_per_cluster = 3;  // does not divide 4
   EXPECT_THROW(Simulator{bad}, std::invalid_argument);
+  EXPECT_THROW(Simulator{bad}, ConfigError);
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+TEST(Watchdog, InfiniteProgramTripsMaxCyclesInsteadOfHanging) {
+  FaultyProgram p(FaultyProgram::Fault::InfiniteCompute);
+  MachineConfig cfg = mc();
+  cfg.max_cycles = 50000;
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::Livelock);
+    EXPECT_NE(std::string(e.what()).find("max_cycles"), std::string::npos);
+    // The snapshot names every processor and the machine state.
+    EXPECT_EQ(e.snapshot().procs.size(), 4u);
+    EXPECT_GE(e.snapshot().cycle, 50000u);
+  }
+}
+
+TEST(Watchdog, InfiniteProgramTripsMaxEvents) {
+  FaultyProgram p(FaultyProgram::Fault::InfiniteCompute);
+  MachineConfig cfg = mc();
+  cfg.max_events = 10000;
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_events"), std::string::npos);
+    EXPECT_GE(e.snapshot().events_processed, 10000u);
+  }
+}
+
+TEST(Watchdog, SameCycleSpinTripsNoProgressDetector) {
+  FaultyProgram p(FaultyProgram::Fault::SameCycleSpin);
+  MachineConfig cfg = mc();
+  cfg.no_progress_events = 5000;  // default is millions; keep the test fast
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_NE(std::string(e.what()).find("no progress"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, BudgetsDoNotDisturbHealthyRuns) {
+  auto app = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg = mc(16);
+  cfg.max_cycles = 100'000'000;
+  cfg.max_events = 100'000'000;
+  EXPECT_NO_THROW(Simulator(cfg).run(*app));
+}
+
+// --- Deadlock diagnostics ---------------------------------------------------
+
+TEST(DeadlockDiagnostics, SnapshotNamesParkedBarrierAndBlockedProcs) {
+  FaultyProgram p(FaultyProgram::Fault::BarrierTooFew);
+  try {
+    simulate(p, mc());
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    // Procs 1..3 are parked on barrier 'phase' with 3 of 4 arrivals; proc 0
+    // finished. The message alone must say all of that.
+    EXPECT_NE(msg.find("barrier 'phase'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("arrived 3/4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("proc 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("proc 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("proc 3"), std::string::npos) << msg;
+    ASSERT_EQ(e.snapshot().procs.size(), 4u);
+    EXPECT_TRUE(e.snapshot().procs[0].finished);
+    EXPECT_FALSE(e.snapshot().procs[1].finished);
+  }
+}
+
+TEST(DeadlockDiagnostics, AbandonedLockNamesOwnerAndQueue) {
+  FaultyProgram p(FaultyProgram::Fault::LockNeverReleased);
+  try {
+    simulate(p, mc());
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("blocked on lock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("owner proc"), std::string::npos) << msg;
+  }
+}
+
+// --- Coherence invariant auditor --------------------------------------------
+
+/// Drives a few processors directly against a memory system, then corrupts
+/// the directory and checks audit() notices.
+TEST(CoherenceAudit, CatchesCorruptedDirectoryEntry) {
+  MachineConfig cfg = mc();
+  cfg.validate();
+  AddressSpace as;
+  const Addr base = as.alloc(4096, "mem");
+  CoherenceController cc(cfg, as);
+  (void)cc.read(0, base, 0);
+  (void)cc.write(2, base + 64, 0);
+  EXPECT_NO_THROW(cc.audit());
+
+  // Corrupt: claim a cluster caches the line that never touched it.
+  DirEntry& e = cc.mutable_directory_for_test().entry(base);
+  e.add(1);
+  try {
+    cc.audit();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& ex) {
+    EXPECT_EQ(ex.kind(), SimErrorKind::Protocol);
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("0x"), std::string::npos) << msg;  // names the line
+    EXPECT_NE(msg.find("cluster 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(CoherenceAudit, CatchesStateMismatch) {
+  MachineConfig cfg = mc();
+  AddressSpace as;
+  const Addr base = as.alloc(4096, "mem");
+  CoherenceController cc(cfg, as);
+  (void)cc.write(0, base, 0);  // line EXCLUSIVE in cluster 0
+  EXPECT_NO_THROW(cc.audit());
+
+  // Corrupt: directory says SHARED while the cache still holds EXCLUSIVE.
+  cc.mutable_directory_for_test().entry(base).state = DirState::Shared;
+  EXPECT_THROW(cc.audit(), ProtocolError);
+}
+
+TEST(CoherenceAudit, CatchesClusteredMemoryCorruption) {
+  MachineConfig cfg = mc();
+  cfg.cluster_style = ClusterStyle::SharedMemory;
+  AddressSpace as;
+  const Addr base = as.alloc(4096, "mem");
+  ClusteredMemorySystem cms(cfg, as);
+  (void)cms.read(0, base, 0);
+  (void)cms.read(3, base, 0);  // second cluster fetches too
+  EXPECT_NO_THROW(cms.audit());
+
+  // Corrupt: drop a cluster from the sharer vector while its attraction
+  // memory still holds the line.
+  cms.mutable_directory_for_test().entry(base).remove(1);
+  EXPECT_THROW(cms.audit(), ProtocolError);
+}
+
+TEST(CoherenceAudit, PeriodicAuditPassesOnHealthyApps) {
+  for (const char* style : {"shared-cache", "shared-memory"}) {
+    auto app = make_app("radix", ProblemScale::Test);
+    MachineConfig cfg = mc(16);
+    cfg.cluster_style = std::string(style) == "shared-cache"
+                            ? ClusterStyle::SharedCache
+                            : ClusterStyle::SharedMemory;
+    cfg.cache.per_proc_bytes = 4 * 1024;  // finite: exercise evictions
+    cfg.audit_interval = 256;
+    EXPECT_NO_THROW(Simulator(cfg).run(*app)) << style;
+  }
+}
+
+// --- Sweep degradation ------------------------------------------------------
+
+class ConfigSensitiveProgram : public Program {
+ public:
+  [[nodiscard]] std::string name() const override { return "config-sensitive"; }
+  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+    base_ = as.alloc(4096, "mem");
+    if (cfg.procs_per_cluster == 2) {
+      throw std::runtime_error("refuses to run at 2 procs per cluster");
+    }
+  }
+  SimTask body(Proc& p) override {
+    co_await p.read(base_);
+    co_await p.compute(10);
+  }
+
+ private:
+  Addr base_ = 0;
+};
+
+TEST(SweepDegradation, OneBrokenConfigStillReturnsTheOthers) {
+  std::vector<MachineConfig> configs;
+  for (unsigned ppc : {1u, 2u, 4u}) {
+    MachineConfig cfg = mc(8);
+    cfg.procs_per_cluster = ppc;
+    configs.push_back(cfg);
+  }
+  const auto results = run_configs(
+      [] { return std::make_unique<ConfigSensitiveProgram>(); }, configs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_GT(results[0].wall_time, 0u);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error_kind, "app");
+  EXPECT_NE(results[1].error.find("refuses to run"), std::string::npos);
+  EXPECT_EQ(results[1].app_name, "config-sensitive");
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_GT(results[2].wall_time, 0u);
+
+  // The failure table renders exactly the broken config.
+  std::ostringstream os;
+  EXPECT_EQ(write_failures(os, results), 1u);
+  EXPECT_NE(os.str().find("config-sensitive"), std::string::npos);
+  EXPECT_NE(os.str().find("app error"), std::string::npos);
+}
+
+TEST(SweepDegradation, InvalidConfigReportedAsConfigError) {
+  MachineConfig good = mc(8);
+  MachineConfig bad = mc(8);
+  bad.procs_per_cluster = 3;  // does not divide 8
+  const auto results = run_configs(
+      [] { return make_app("fft", ProblemScale::Test); }, {good, bad});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error_kind, "config");
+}
+
+TEST(SweepDegradation, DeadlockedConfigCarriesSnapshotDiagnostics) {
+  // A sweep where one config's program deadlocks: the row's error text must
+  // contain the snapshot (parked barrier), and healthy rows still complete.
+  std::vector<MachineConfig> configs = {mc()};
+  const auto results = run_configs(
+      [] {
+        return std::make_unique<FaultyProgram>(
+            FaultyProgram::Fault::BarrierTooFew);
+      },
+      configs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_kind, "deadlock");
+  EXPECT_NE(results[0].error.find("arrived 3/4"), std::string::npos);
 }
 
 }  // namespace

@@ -36,14 +36,19 @@ TEST(ParallelSweep, RunConfigsPreservesOrder) {
   EXPECT_EQ(results[3].config.procs_per_cluster, 2u);
 }
 
-TEST(ParallelSweep, PropagatesExceptions) {
+TEST(ParallelSweep, CapturesFactoryFailuresInsteadOfThrowing) {
+  // Graceful degradation: a throwing factory yields an ok == false row with
+  // the diagnostics attached, not a sweep-wide exception.
   std::vector<MachineConfig> configs = {paper_machine(1, 0)};
-  EXPECT_THROW(run_configs(
-                   []() -> std::unique_ptr<Program> {
-                     throw std::runtime_error("factory failure");
-                   },
-                   configs),
-               std::runtime_error);
+  const auto results = run_configs(
+      []() -> std::unique_ptr<Program> {
+        throw std::runtime_error("factory failure");
+      },
+      configs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_kind, "exception");
+  EXPECT_NE(results[0].error.find("factory failure"), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/core/error.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/figures.hpp"
 #include "src/report/table.hpp"
@@ -90,6 +91,44 @@ TEST(Experiment, BenchOptionsParse) {
   EXPECT_EQ(o3.scale, ProblemScale::Default);
 }
 
+TEST(Experiment, BenchOptionsRejectBadProcs) {
+  const char* zero[] = {"bench", "--procs", "0"};
+  EXPECT_THROW(BenchOptions::parse_checked(3, const_cast<char**>(zero)),
+               ConfigError);
+  const char* negative[] = {"bench", "--procs", "-4"};
+  EXPECT_THROW(BenchOptions::parse_checked(3, const_cast<char**>(negative)),
+               ConfigError);
+  const char* text[] = {"bench", "--procs", "abc"};
+  EXPECT_THROW(BenchOptions::parse_checked(3, const_cast<char**>(text)),
+               ConfigError);
+  const char* trailing[] = {"bench", "--procs", "16x"};
+  EXPECT_THROW(BenchOptions::parse_checked(3, const_cast<char**>(trailing)),
+               ConfigError);
+  const char* missing[] = {"bench", "--procs"};
+  EXPECT_THROW(BenchOptions::parse_checked(2, const_cast<char**>(missing)),
+               ConfigError);
+  const char* huge[] = {"bench", "--procs", "999999"};
+  EXPECT_THROW(BenchOptions::parse_checked(3, const_cast<char**>(huge)),
+               ConfigError);
+}
+
+TEST(Experiment, BenchOptionsRejectUnknownFlag) {
+  const char* argv[] = {"bench", "--bogus"};
+  try {
+    BenchOptions::parse_checked(2, const_cast<char**>(argv));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+  }
+}
+
+TEST(Experiment, BenchOptionsParseCheckedAcceptsValidInput) {
+  const char* argv[] = {"bench", "--paper", "--procs", "16"};
+  const auto o = BenchOptions::parse_checked(4, const_cast<char**>(argv));
+  EXPECT_EQ(o.scale, ProblemScale::Paper);
+  EXPECT_EQ(o.num_procs, 16u);
+}
+
 TEST(Experiment, CsvHasHeaderAndRows) {
   std::ostringstream os;
   write_csv(os, {fake_result(1, 10, 5, 0, 1), fake_result(2, 10, 3, 1, 1)});
@@ -97,6 +136,39 @@ TEST(Experiment, CsvHasHeaderAndRows) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
   EXPECT_NE(s.find("app,scale,procs,ppc"), std::string::npos);
   EXPECT_NE(s.find("fake"), std::string::npos);
+}
+
+TEST(Experiment, CsvCarriesProblemScale) {
+  SimResult paper = fake_result(1, 10, 5, 0, 1);
+  paper.scale = ProblemScale::Paper;
+  SimResult test = fake_result(2, 10, 3, 1, 1);
+  test.scale = ProblemScale::Test;
+  std::ostringstream os;
+  write_csv(os, {paper, test});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("fake,paper,"), std::string::npos);
+  EXPECT_NE(s.find("fake,test,"), std::string::npos);
+  EXPECT_EQ(s.find("default"), std::string::npos)
+      << "scale must come from the result, not a hard-coded literal";
+}
+
+TEST(Experiment, CsvSkipsFailedRowsAndFailureTableIsQuietWhenClean) {
+  SimResult ok = fake_result(1, 10, 5, 0, 1);
+  SimResult bad = fake_result(2, 10, 3, 1, 1);
+  bad.ok = false;
+  bad.error_kind = "deadlock";
+  bad.error = "deadlock: stuck";
+  std::ostringstream csv;
+  write_csv(csv, {ok, bad});
+  const std::string s = csv.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2)
+      << "header plus the one successful row";
+  std::ostringstream clean;
+  EXPECT_EQ(write_failures(clean, {ok}), 0u);
+  EXPECT_TRUE(clean.str().empty());
+  std::ostringstream dirty;
+  EXPECT_EQ(write_failures(dirty, {ok, bad}), 1u);
+  EXPECT_NE(dirty.str().find("deadlock"), std::string::npos);
 }
 
 TEST(Experiment, SweepRunsEveryClusterSize) {
