@@ -4,8 +4,11 @@
 //   --test    run tiny problem sizes (CI smoke)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,43 @@
 #include "src/report/table.hpp"
 
 namespace csim::bench {
+
+/// One row of the end-to-end throughput report (perf_micro --json). The
+/// headline metric is simulated references per wall-clock second: how fast
+/// the simulator retires application loads+stores, the number the perf
+/// baseline tracks across commits (docs/PERFORMANCE.md).
+struct PerfRecord {
+  std::string name;              ///< e.g. "end_to_end/shared_cache/ppc8"
+  std::uint64_t simulated_refs = 0;
+  double wall_seconds = 0;
+  double sim_refs_per_sec = 0;
+};
+
+/// Writes BENCH_perf.json: a flat, diff-friendly report consumed by CI (the
+/// Release perf-smoke step uploads it) and by humans comparing two commits.
+inline void write_perf_json(const std::string& path,
+                            const std::string& description,
+                            const std::vector<PerfRecord>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n";
+  out << "  \"benchmark\": \"" << description << "\",\n";
+  out << "  \"metric\": \"sim_refs_per_sec\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PerfRecord& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"simulated_refs\": %llu, "
+                  "\"wall_seconds\": %.6f, \"sim_refs_per_sec\": %.0f}%s\n",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.simulated_refs),
+                  r.wall_seconds, r.sim_refs_per_sec,
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
 
 inline std::vector<unsigned> cluster_sizes() { return {1, 2, 4, 8}; }
 

@@ -1,8 +1,16 @@
 // Micro-benchmarks of the simulator core (google-benchmark): protocol
 // operations, cache storage, event queue, and end-to-end simulation
 // throughput in simulated references per second.
+//
+// `perf_micro --json [path]` skips google-benchmark and runs only the
+// end-to-end configurations, writing a machine-readable report (default
+// BENCH_perf.json) for the CI perf-smoke step — see docs/PERFORMANCE.md.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string_view>
+
+#include "bench/bench_util.hpp"
 #include "src/apps/app.hpp"
 #include "src/core/event_queue.hpp"
 #include "src/core/simulator.hpp"
@@ -11,6 +19,19 @@
 
 namespace csim {
 namespace {
+
+/// One end-to-end run: fft at test scale on 64 processors with 16 KB caches
+/// — the tracked perf-baseline configuration. Returns retired references.
+std::uint64_t end_to_end_once(ClusterStyle style, unsigned ppc) {
+  auto app = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg;
+  cfg.num_procs = 64;
+  cfg.procs_per_cluster = ppc;
+  cfg.cluster_style = style;
+  cfg.cache.per_proc_bytes = 16 * 1024;
+  const SimResult r = simulate(*app, cfg);
+  return r.totals.reads + r.totals.writes;
+}
 
 void BM_CacheInsertLookup(benchmark::State& state) {
   const std::size_t lines = static_cast<std::size_t>(state.range(0));
@@ -79,23 +100,75 @@ BENCHMARK(BM_CoherenceCommunicationMiss);
 
 void BM_EndToEndSim(benchmark::State& state) {
   const unsigned ppc = static_cast<unsigned>(state.range(0));
+  const auto style = static_cast<ClusterStyle>(state.range(1));
   std::uint64_t refs = 0;
   for (auto _ : state) {
-    auto app = make_app("fft", ProblemScale::Test);
-    MachineConfig cfg;
-    cfg.num_procs = 64;
-    cfg.procs_per_cluster = ppc;
-    cfg.cache.per_proc_bytes = 16 * 1024;
-    const SimResult r = simulate(*app, cfg);
-    refs += r.totals.reads + r.totals.writes;
-    benchmark::DoNotOptimize(r.wall_time);
+    refs += end_to_end_once(style, ppc);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(refs));
   state.SetLabel("simulated refs/s");
 }
-BENCHMARK(BM_EndToEndSim)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndSim)
+    ->ArgNames({"ppc", "org"})
+    ->Args({1, static_cast<int>(ClusterStyle::SharedCache)})
+    ->Args({8, static_cast<int>(ClusterStyle::SharedCache)})
+    ->Args({1, static_cast<int>(ClusterStyle::SharedMemory)})
+    ->Args({8, static_cast<int>(ClusterStyle::SharedMemory)})
+    ->Unit(benchmark::kMillisecond);
+
+/// --json mode: measure each end-to-end configuration for at least
+/// `min_seconds` of wall time and write the report.
+int json_main(const std::string& path) {
+  using clock = std::chrono::steady_clock;
+  constexpr double min_seconds = 1.0;
+  std::vector<bench::PerfRecord> rows;
+  const std::pair<ClusterStyle, const char*> orgs[] = {
+      {ClusterStyle::SharedCache, "shared_cache"},
+      {ClusterStyle::SharedMemory, "shared_memory"},
+  };
+  for (const auto& [style, org] : orgs) {
+    for (unsigned ppc : {1u, 8u}) {
+      end_to_end_once(style, ppc);  // warm-up (page cache, allocator)
+      std::uint64_t refs = 0;
+      const auto start = clock::now();
+      double elapsed = 0;
+      do {
+        refs += end_to_end_once(style, ppc);
+        elapsed = std::chrono::duration<double>(clock::now() - start).count();
+      } while (elapsed < min_seconds);
+      bench::PerfRecord r;
+      r.name = std::string("end_to_end/") + org + "/ppc" + std::to_string(ppc);
+      r.simulated_refs = refs;
+      r.wall_seconds = elapsed;
+      r.sim_refs_per_sec = static_cast<double>(refs) / elapsed;
+      std::printf("%-34s %12.0f sim refs/s  (%llu refs in %.2fs)\n",
+                  r.name.c_str(), r.sim_refs_per_sec,
+                  static_cast<unsigned long long>(r.simulated_refs),
+                  r.wall_seconds);
+      rows.push_back(std::move(r));
+    }
+  }
+  bench::write_perf_json(
+      path, "end-to-end simulation throughput (fft, test scale, 64 procs, "
+            "16 KB caches)", rows);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
 
 }  // namespace
 }  // namespace csim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      const std::string path =
+          i + 1 < argc ? argv[i + 1] : "BENCH_perf.json";
+      return csim::json_main(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -175,14 +175,20 @@ void FftApp::verify() const {
     throw std::runtime_error("FFT verification failed: Parseval mismatch");
   }
 
-  // At test scale, compare against a direct DFT.
+  // At test scale, compare against a direct DFT. The twiddle w^l is built by
+  // recurrence (one complex multiply per term instead of a sincos); its
+  // accumulated rounding error over n <= 4096 steps is ~n*eps ~ 1e-12, far
+  // inside the 1e-6 comparison tolerance.
   if (cfg_.n <= 4096) {
     for (std::size_t k = 0; k < cfg_.n; k += 7) {
+      const double ang = -2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(cfg_.n);
+      const Cx w{std::cos(ang), std::sin(ang)};
       Cx x{};
+      Cx wl{1.0, 0.0};
       for (std::size_t l = 0; l < cfg_.n; ++l) {
-        const double ang = -2.0 * kPi * static_cast<double>(k) *
-                           static_cast<double>(l) / static_cast<double>(cfg_.n);
-        x += input_[l] * Cx{std::cos(ang), std::sin(ang)};
+        x += input_[l] * wl;
+        wl *= w;
       }
       if (std::abs(x - out(k)) > 1e-6 * (std::abs(x) + 1.0)) {
         throw std::runtime_error("FFT verification failed: DFT mismatch at k=" +

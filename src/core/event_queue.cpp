@@ -1,5 +1,6 @@
 #include "src/core/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,24 +8,61 @@
 
 namespace csim {
 
+void EventQueue::push(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::schedule(Cycles t, Callback fn) {
   if (t < now_) t = now_;  // never schedule into the past
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  }
+  Event ev;
+  ev.t = t;
+  ev.seq = next_seq_++;
+  ev.target = nullptr;
+  ev.slot = slot;
+  push(ev);
+}
+
+void EventQueue::schedule_resume(Cycles t, Resumable* r,
+                                 std::coroutine_handle<> h) {
+  if (t < now_) t = now_;  // never schedule into the past
+  Event ev;
+  ev.t = t;
+  ev.seq = next_seq_++;
+  ev.target = r;
+  ev.handle = h.address();
+  push(ev);
 }
 
 void EventQueue::run_one() {
   if (heap_.empty()) throw std::logic_error("EventQueue::run_one on empty queue");
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
-  // copy the callback (std::function copy) before popping. Events are popped
-  // once each, and callbacks are small, so this is not a hot-path concern
-  // relative to protocol work.
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event ev = heap_.back();
+  heap_.pop_back();
   const bool advanced = ev.t > now_;
   now_ = ev.t;
   ++events_run_;
   if (advanced) events_at_last_advance_ = events_run_;
-  ev.fn();
+  if (ev.target != nullptr) {
+    ev.target->resume_event(ev.t,
+                            std::coroutine_handle<>::from_address(ev.handle));
+  } else {
+    // Move the callback out and recycle its slot before invoking: the
+    // callback may schedule further events (growing slots_ / heap_).
+    Callback fn = std::move(slots_[ev.slot]);
+    slots_[ev.slot] = nullptr;
+    free_slots_.push_back(ev.slot);
+    fn();
+  }
 }
 
 std::optional<std::string> EventQueue::budget_violation() const {

@@ -1,10 +1,10 @@
 // Deterministic time-ordered event queue for the simulation engine.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -12,13 +12,30 @@
 
 namespace csim {
 
-/// A min-heap of (time, sequence) ordered callbacks.
+/// A min-heap of (time, sequence) ordered events.
 ///
 /// Ties in time are broken by insertion order, which makes simulations fully
 /// deterministic for a given workload and configuration.
+///
+/// The dominant event — "resume coroutine handle h on target r at time t",
+/// scheduled once per processor suspension — is stored inline in a 32-byte
+/// trivially copyable record with no heap allocation. Generic callbacks
+/// (simulation launch, tests, tooling) go through a std::function escape
+/// hatch whose storage is recycled in a slot table.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  /// Target of the allocation-free fast path. Implemented by Proc: the
+  /// queue's only dependency is "something that can resume a coroutine at a
+  /// simulated time".
+  class Resumable {
+   public:
+    virtual void resume_event(Cycles t, std::coroutine_handle<> h) = 0;
+
+   protected:
+    ~Resumable() = default;
+  };
 
   /// Watchdog budgets. A zero field disables that check. `no_progress_events`
   /// bounds the number of events processed without simulated time advancing
@@ -29,8 +46,14 @@ class EventQueue {
     std::uint64_t no_progress_events = 0;
   };
 
-  /// Schedules `fn` to run at absolute simulated time `t`.
+  /// Schedules `fn` to run at absolute simulated time `t` (escape hatch;
+  /// allocates whatever the std::function needs).
   void schedule(Cycles t, Callback fn);
+
+  /// Allocation-free fast path: schedules `r->resume_event(t, h)` at
+  /// absolute simulated time `t`. Shares the (time, seq) order with
+  /// schedule(), so interleavings stay deterministic.
+  void schedule_resume(Cycles t, Resumable* r, std::coroutine_handle<> h);
 
   /// True when no events remain.
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -38,7 +61,7 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] Cycles next_time() const { return heap_.top().t; }
+  [[nodiscard]] Cycles next_time() const { return heap_.front().t; }
 
   /// Current simulated time (time of the last event popped).
   [[nodiscard]] Cycles now() const noexcept { return now_; }
@@ -62,17 +85,32 @@ class EventQueue {
   [[nodiscard]] std::optional<std::string> budget_violation() const;
 
  private:
+  /// 32 bytes, trivially copyable, so heap sift operations are cheap moves.
+  /// target != nullptr: resume-coroutine fast path, payload is the coroutine
+  /// frame address (`handle`). target == nullptr: generic callback, payload
+  /// is `slot` into slots_. The handle is stored as its address because
+  /// std::coroutine_handle is not a valid union member (non-trivial default
+  /// constructor); from_address() restores it losslessly.
   struct Event {
     Cycles t;
     std::uint64_t seq;
-    Callback fn;
+    Resumable* target;
+    union {
+      void* handle;
+      std::uint32_t slot;
+    };
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  void push(Event ev);
+
+  std::vector<Event> heap_;            // std::push_heap/pop_heap min-heap
+  std::vector<Callback> slots_;        // generic callback storage
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   Cycles now_ = 0;
   Budget budget_{};

@@ -7,11 +7,13 @@
 namespace csim {
 
 void Proc::schedule_resume(Cycles t, std::coroutine_handle<> h) {
-  queue_->schedule(t, [this, t, h] {
-    begin_slice(t);
-    h.resume();
-    note_if_finished();
-  });
+  queue_->schedule_resume(t, this, h);
+}
+
+void Proc::resume_event(Cycles t, std::coroutine_handle<> h) {
+  begin_slice(t);
+  h.resume();
+  note_if_finished();
 }
 
 void Proc::note_if_finished() noexcept {
@@ -22,7 +24,23 @@ void Proc::note_if_finished() noexcept {
 }
 
 bool Proc::do_read(Addr a, Cycles& resume_at) {
+  const Addr line = a & line_mask_;
+  if (line == mru_line_ && coh_->access_epoch() == mru_epoch_) {
+    // Repeat hit to the hinted line with no intervening access anywhere:
+    // bypass the memory system, mirroring its hit-path counter updates.
+    ++hot_->reads;
+    ++hot_->read_hits;
+    const Cycles hit = access_cost();
+    buckets_.cpu += hit;
+    now_ += hit;
+    return check_slice(resume_at);
+  }
   const AccessResult r = coh_->read(id_, a, now_);
+  if (r.hint != MruHint::None && hot_ != nullptr) {
+    mru_line_ = line;
+    mru_epoch_ = coh_->access_epoch();
+    mru_writable_ = r.hint == MruHint::ReadWrite;
+  }
   const Cycles hit = access_cost();
   switch (r.kind) {
     case AccessResult::Kind::Hit:
@@ -59,7 +77,21 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
 }
 
 bool Proc::do_write(Addr a, Cycles& resume_at) {
-  (void)coh_->write(id_, a, now_);
+  const Addr line = a & line_mask_;
+  if (line == mru_line_ && mru_writable_ &&
+      coh_->access_epoch() == mru_epoch_) {
+    // Repeat store to our own EXCLUSIVE line, nothing intervening: bypass
+    // the memory system, mirroring its write-hit counter updates.
+    ++hot_->writes;
+    ++hot_->write_hits;
+  } else {
+    const AccessResult r = coh_->write(id_, a, now_);
+    if (r.hint != MruHint::None && hot_ != nullptr) {
+      mru_line_ = line;
+      mru_epoch_ = coh_->access_epoch();
+      mru_writable_ = r.hint == MruHint::ReadWrite;
+    }
+  }
   // Store issue occupies the cache for one access; all miss/upgrade latency
   // is hidden by the store buffer under relaxed consistency.
   const Cycles cost = access_cost();

@@ -34,7 +34,7 @@ namespace csim {
 class Barrier;
 class Lock;
 
-class Proc {
+class Proc : public EventQueue::Resumable {
  public:
   /// What a suspended processor is waiting for (diagnostics: the Simulator
   /// renders this into MachineSnapshot / DeadlockError messages).
@@ -56,7 +56,10 @@ class Proc {
   Proc(const MachineConfig& cfg, EventQueue& q, MemorySystem& coh,
        ProcId id)
       : cfg_(&cfg), queue_(&q), coh_(&coh), id_(id),
-        cluster_(cfg.cluster_of(id)), rng_state_(0x9e3779b9u ^ (id * 2654435761u)) {
+        cluster_(cfg.cluster_of(id)),
+        line_mask_(~Addr{cfg.cache.line_bytes - 1}),
+        hot_(coh.hot_counters(cfg.cluster_of(id))),
+        rng_state_(0x9e3779b9u ^ (id * 2654435761u)) {
     if (cfg.model_shared_hit_costs && cfg.procs_per_cluster > 1) {
       const unsigned n = cfg.procs_per_cluster;
       const double m = static_cast<double>(cfg.banks_per_proc) * n;
@@ -140,6 +143,9 @@ class Proc {
   /// Schedules `h` to resume at absolute time `t` (with a fresh slice).
   void schedule_resume(Cycles t, std::coroutine_handle<> h);
 
+  /// EventQueue fast-path dispatch: fresh slice, resume, completion check.
+  void resume_event(Cycles t, std::coroutine_handle<> h) override;
+
   /// Records completion if the root coroutine has finished.
   void note_if_finished() noexcept;
 
@@ -180,10 +186,24 @@ class Proc {
   MemorySystem* coh_;
   ProcId id_;
   ClusterId cluster_;
+  Addr line_mask_;
   Cycles now_ = 0;
   Cycles slice_end_ = 0;
   WaitInfo wait_{};
   TimeBuckets buckets_{};
+
+  // MRU line filter (docs/PERFORMANCE.md): the last line this processor hit,
+  // valid only while the memory system's access epoch is unchanged — i.e.
+  // nothing anywhere in the machine has touched the memory system since.
+  // Repeat hits then bypass the virtual access call and its hash lookups
+  // entirely, charging access_cost() and bumping reads/hits via hot_ so the
+  // counters stay bit-identical to the slow path. hot_ == nullptr (profilers,
+  // trace recorders) disables the filter.
+  MissCounters* hot_ = nullptr;
+  Addr mru_line_ = ~Addr{0};  // never line-aligned: matches no real line
+  std::uint64_t mru_epoch_ = 0;
+  bool mru_writable_ = false;
+
   std::uint64_t rng_state_ = 0;
   std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32
 };

@@ -166,6 +166,7 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   Cycles wall = 0;
   for (auto& pp : procs) wall = std::max(wall, pp->finish_time);
   res.wall_time = wall;
+  res.events = queue.events_run();
 
   res.per_proc.reserve(cfg_.num_procs);
   for (auto& pp : procs) {

@@ -20,6 +20,7 @@ struct TimeBuckets {
   Cycles sync = 0;   ///< barrier / lock wait (incl. final-barrier wait)
 
   [[nodiscard]] Cycles total() const noexcept { return cpu + load + merge + sync; }
+  bool operator==(const TimeBuckets&) const noexcept = default;
   TimeBuckets& operator+=(const TimeBuckets& o) noexcept {
     cpu += o.cpu;
     load += o.load;
@@ -51,6 +52,7 @@ struct MissCounters {
   std::array<std::uint64_t, kNumLatencyClasses> by_class{};
 
   MissCounters& operator+=(const MissCounters& o) noexcept;
+  bool operator==(const MissCounters&) const noexcept = default;
 
   [[nodiscard]] std::uint64_t total_misses() const noexcept {
     return read_misses + write_misses;
@@ -68,6 +70,7 @@ struct SimResult {
   std::string app_name;
   ProblemScale scale = ProblemScale::Default;
   Cycles wall_time = 0;
+  std::uint64_t events = 0;  ///< events the queue dispatched during the run
   std::vector<TimeBuckets> per_proc;
   std::vector<MissCounters> per_cluster;
   MissCounters totals{};

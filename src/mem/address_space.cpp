@@ -45,8 +45,8 @@ std::optional<ProcId> AddressSpace::placement_of_page(
 
 ClusterId AddressSpace::HomeMap::home_of(Addr a) {
   const Addr page = (a >> page_shift_) << page_shift_;
-  auto it = homes_.find(page);
-  if (it != homes_.end()) return it->second;
+  auto [slot, fresh] = homes_.try_emplace(page);
+  if (!fresh) return *slot;
   ClusterId home;
   if (auto proc = as_->placement_of_page(page, cfg_.page_bytes)) {
     home = cfg_.cluster_of(std::min<ProcId>(*proc, cfg_.num_procs - 1));
@@ -54,7 +54,7 @@ ClusterId AddressSpace::HomeMap::home_of(Addr a) {
     home = rr_next_;
     rr_next_ = (rr_next_ + 1) % cfg_.num_clusters();
   }
-  homes_.emplace(page, home);
+  *slot = home;
   return home;
 }
 

@@ -15,9 +15,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/types.hpp"
 
@@ -66,7 +66,10 @@ class AddressSpace {
     /// The configuration is copied (it is small), so temporaries are safe;
     /// the AddressSpace must outlive the map.
     HomeMap(const AddressSpace& as, const MachineConfig& cfg)
-        : as_(&as), cfg_(cfg), page_shift_(page_shift(cfg.page_bytes)) {}
+        : as_(&as), cfg_(cfg), page_shift_(page_shift(cfg.page_bytes)) {
+      homes_.reserve(
+          static_cast<std::size_t>(as.bytes_allocated() >> page_shift_));
+    }
 
     /// Home cluster of the page containing `a`; assigns round-robin on first
     /// touch unless the page was explicitly placed.
@@ -86,7 +89,7 @@ class AddressSpace {
     const AddressSpace* as_;
     MachineConfig cfg_;
     unsigned page_shift_;
-    std::unordered_map<Addr, ClusterId> homes_;
+    FlatMap<ClusterId> homes_;
     ClusterId rr_next_ = 0;
   };
 

@@ -21,6 +21,9 @@ CacheStorage::CacheStorage(std::size_t capacity_lines, unsigned associativity,
     num_sets_ = capacity_ / ways_;
     sets_.resize(num_sets_);
   }
+  // A bounded cache can never hold more than capacity_ lines: size the line
+  // table once so steady-state operation never rehashes.
+  if (capacity_ != 0) map_.reserve(capacity_);
 }
 
 unsigned CacheStorage::set_index(Addr line) const noexcept {
@@ -29,26 +32,28 @@ unsigned CacheStorage::set_index(Addr line) const noexcept {
 }
 
 std::optional<LineState> CacheStorage::lookup(Addr line) const {
-  auto it = map_.find(line);
-  if (it == map_.end()) return std::nullopt;
-  return it->second.state;
+  const MapEntry* e = map_.find(line);
+  if (e == nullptr) return std::nullopt;
+  return e->state;
 }
 
 void CacheStorage::touch(Addr line) {
   if (capacity_ == 0) return;
-  auto it = map_.find(line);
-  if (it == map_.end()) return;
+  MapEntry* e = map_.find(line);
+  if (e == nullptr) return;
   auto& lru = sets_[set_index(line)];
-  lru.splice(lru.begin(), lru, it->second.it);
+  lru.splice(lru.begin(), lru, e->it);
 }
 
 std::optional<Evicted> CacheStorage::insert(Addr line, LineState st) {
+  if (capacity_ == 0) {
+    auto [e, fresh] = map_.try_emplace(line);
+    if (!fresh) throw std::logic_error("CacheStorage::insert of resident line");
+    e->state = st;
+    return std::nullopt;
+  }
   if (map_.contains(line)) {
     throw std::logic_error("CacheStorage::insert of resident line");
-  }
-  if (capacity_ == 0) {
-    map_.emplace(line, MapEntry{st, {}});
-    return std::nullopt;
   }
   auto& lru = sets_[set_index(line)];
   std::optional<Evicted> victim;
@@ -60,31 +65,36 @@ std::optional<Evicted> CacheStorage::insert(Addr line, LineState st) {
     lru.pop_back();
   }
   lru.push_front(Node{line, st});
-  map_.emplace(line, MapEntry{st, lru.begin()});
+  MapEntry& e = map_[line];
+  e.state = st;
+  e.it = lru.begin();
   return victim;
 }
 
 bool CacheStorage::set_state(Addr line, LineState st) {
-  auto it = map_.find(line);
-  if (it == map_.end()) return false;
-  it->second.state = st;
-  if (capacity_ != 0) it->second.it->state = st;
+  MapEntry* e = map_.find(line);
+  if (e == nullptr) return false;
+  e->state = st;
+  if (capacity_ != 0) e->it->state = st;
   return true;
 }
 
 std::optional<LineState> CacheStorage::erase(Addr line) {
-  auto it = map_.find(line);
-  if (it == map_.end()) return std::nullopt;
-  const LineState st = it->second.state;
-  if (capacity_ != 0) sets_[set_index(line)].erase(it->second.it);
-  map_.erase(it);
+  MapEntry* e = map_.find(line);
+  if (e == nullptr) return std::nullopt;
+  const LineState st = e->state;
+  if (capacity_ != 0) sets_[set_index(line)].erase(e->it);
+  map_.erase(line);
   return st;
 }
 
 std::vector<Addr> CacheStorage::resident_lines() const {
   std::vector<Addr> out;
   out.reserve(map_.size());
-  for (const auto& [line, _] : map_) out.push_back(line);
+  for (const auto& [line, e] : map_) {
+    (void)e;
+    out.push_back(line);
+  }
   return out;
 }
 

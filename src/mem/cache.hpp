@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/types.hpp"
 
@@ -35,6 +35,10 @@ class CacheStorage {
   /// line_bytes is needed only for set indexing in set-associative mode.
   CacheStorage(std::size_t capacity_lines, unsigned associativity,
                unsigned line_bytes = 64);
+
+  /// Pre-sizes the line table for an expected footprint (bounded caches are
+  /// already sized to their capacity at construction).
+  void reserve(std::size_t lines) { map_.reserve(lines); }
 
   /// Returns the state of `line` if present (does not touch LRU).
   [[nodiscard]] std::optional<LineState> lookup(Addr line) const;
@@ -77,10 +81,10 @@ class CacheStorage {
   // cache the list is unused; only the map holds state.
   std::vector<LruList> sets_;
   struct MapEntry {
-    LineState state;      // authoritative for infinite mode
-    LruList::iterator it;  // valid only in bounded mode
+    LineState state = LineState::Shared;  // authoritative for infinite mode
+    LruList::iterator it{};               // valid only in bounded mode
   };
-  std::unordered_map<Addr, MapEntry> map_;
+  FlatMap<MapEntry> map_;
 };
 
 }  // namespace csim

@@ -18,6 +18,17 @@ ClusteredMemorySystem::ClusteredMemorySystem(const MachineConfig& cfg,
   attraction_.resize(cfg.num_clusters());
   mshrs_.resize(cfg.num_clusters());
   counters_.resize(cfg.num_clusters());
+  // Size the directory, cold-line set, attraction memories, and (infinite)
+  // private caches to the application's allocated footprint so steady-state
+  // operation never rehashes.
+  const std::size_t lines =
+      static_cast<std::size_t>(as.bytes_allocated() / cfg.cache.line_bytes);
+  dir_.reserve(lines);
+  touched_lines_.reserve(lines);
+  for (auto& a : attraction_) a.reserve(lines);
+  if (cfg.cache.infinite()) {
+    for (auto& c : caches_) c->reserve(lines);
+  }
 }
 
 MissCounters ClusteredMemorySystem::totals() const {
@@ -58,8 +69,8 @@ void ClusteredMemorySystem::audit() const {
                           " sharers (want exactly 1)");
     }
     for (unsigned c = 0; c < nc; ++c) {
-      const auto it = attraction_[c].find(line);
-      const bool resident = it != attraction_[c].end();
+      const ClusterLine* cl = attraction_[c].find(line);
+      const bool resident = cl != nullptr;
       if (e.has(c) != resident) {
         violation(line, std::string("directory ") +
                             (e.has(c) ? "lists" : "omits") + " cluster " +
@@ -69,9 +80,9 @@ void ClusteredMemorySystem::audit() const {
       }
       if (resident) {
         const bool owner = e.state == DirState::Exclusive && e.owner() == c;
-        if (it->second.cluster_exclusive != owner) {
+        if (cl->cluster_exclusive != owner) {
           violation(line, "cluster " + std::to_string(c) +
-                              (it->second.cluster_exclusive
+                              (cl->cluster_exclusive
                                    ? " flagged cluster_exclusive but directory disagrees"
                                    : " owns the line per directory but is not "
                                      "flagged cluster_exclusive"));
@@ -114,9 +125,8 @@ void ClusteredMemorySystem::audit() const {
     // Private cache contents are always tracked on the bus.
     for (unsigned li = 0; li < ppc; ++li) {
       for (Addr line : caches_[base + li]->resident_lines()) {
-        const auto it = attraction_[c].find(line);
-        if (it == attraction_[c].end() ||
-            ((it->second.proc_copies >> li) & 1u) == 0) {
+        const ClusterLine* cl = attraction_[c].find(line);
+        if (cl == nullptr || ((cl->proc_copies >> li) & 1u) == 0) {
           violation(line, "cached by proc " + std::to_string(base + li) +
                               " but untracked by its cluster's attraction "
                               "memory");
@@ -141,17 +151,16 @@ void ClusteredMemorySystem::install_private(ProcId p, Addr line,
     ++counters_[c].evictions;
     // The victim falls back to the (infinite) attraction memory: the line
     // stays in the cluster, so no directory replacement hint is sent.
-    auto it = attraction_[c].find(victim->line);
-    if (it != attraction_[c].end()) {
-      it->second.proc_copies &= ~(std::uint64_t{1} << local_index(p));
+    if (ClusterLine* cl = attraction_[c].find(victim->line)) {
+      cl->proc_copies &= ~(std::uint64_t{1} << local_index(p));
     }
   }
 }
 
 void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
-  auto it = attraction_[c].find(line);
-  if (it == attraction_[c].end()) return;
-  std::uint64_t copies = it->second.proc_copies;
+  ClusterLine* cl = attraction_[c].find(line);
+  if (cl == nullptr) return;
+  std::uint64_t copies = cl->proc_copies;
   const ProcId base = c * cfg_.procs_per_cluster;
   while (copies) {
     const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
@@ -159,14 +168,20 @@ void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
     caches_[base + li]->erase(line);
     ++counters_[c].bus_invalidations;
   }
-  attraction_[c].erase(it);
+  attraction_[c].erase(line);
   mshrs_[c].release(line);
   ++counters_[c].invalidations;
 }
 
 void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
                                                       ClusterId keep) {
-  DirEntry& e = dir_.entry(line);
+  // find(): this path only mutates existing state — an untracked line has no
+  // copies to purge, and entry() would grow the directory with NOT_CACHED
+  // garbage. Callers may hold a reference to this entry; no insertion or
+  // erasure happens here, so it stays valid.
+  DirEntry* pe = dir_.find(line);
+  if (pe == nullptr) return;
+  DirEntry& e = *pe;
   std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
   while (rest) {
     const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
@@ -195,10 +210,9 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
     if (e.state == DirState::Exclusive) {
       // Remote owner cluster keeps a SHARED copy; demote its caches too.
       const ClusterId o = e.owner();
-      auto it = attraction_[o].find(line);
-      if (it != attraction_[o].end()) {
-        it->second.cluster_exclusive = false;
-        std::uint64_t copies = it->second.proc_copies;
+      if (ClusterLine* ocl = attraction_[o].find(line)) {
+        ocl->cluster_exclusive = false;
+        std::uint64_t copies = ocl->proc_copies;
         const ProcId base = o * cfg_.procs_per_cluster;
         while (copies) {
           const unsigned li = static_cast<unsigned>(__builtin_ctzll(copies));
@@ -212,7 +226,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
     ++ctr.read_misses;
   }
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+  if (touched_lines_.insert(line)) ++ctr.cold_misses;
 
   attraction_[c][line] =
       ClusterLine{std::uint64_t{1} << local_index(p), exclusive};
@@ -224,12 +238,13 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
 }
 
 AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
+  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
 
-  if (caches_[p]->lookup(line)) {
+  if (auto st = caches_[p]->lookup(line)) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time > now) {
         ++ctr.merges;
@@ -240,11 +255,15 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     }
     caches_[p]->touch(line);
     ++ctr.read_hits;
-    return AccessResult{AccessResult::Kind::Hit};
+    AccessResult r{AccessResult::Kind::Hit};
+    // No pending fill remains (a live one returned Merge above), so a repeat
+    // access while the epoch holds is a plain hit: writes too, if EXCLUSIVE.
+    r.hint = *st == LineState::Exclusive ? MruHint::ReadWrite
+                                         : MruHint::ReadOnly;
+    return r;
   }
 
-  auto it = attraction_[c].find(line);
-  if (it != attraction_[c].end()) {
+  if (ClusterLine* pcl = attraction_[c].find(line)) {
     // The line is in the cluster. A fill still in flight merges; otherwise
     // a peer cache (snoop) or the cluster memory supplies it.
     if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time > now) {
@@ -252,7 +271,7 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
       return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
                           LatencyClass::LocalClean};
     }
-    ClusterLine& cl = it->second;
+    ClusterLine& cl = *pcl;
     Cycles lat;
     if (cl.proc_copies) {
       lat = cfg_.latency.snoop_transfer;
@@ -280,6 +299,7 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
 }
 
 AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
+  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
@@ -299,13 +319,20 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
   };
 
   if (auto st = caches_[p]->lookup(line)) {
-    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time <= now) {
-      mshrs_[c].release(line);
+    bool pending = false;
+    if (MshrEntry* m = mshrs_[c].find(line)) {
+      if (m->fill_time <= now) {
+        mshrs_[c].release(line);
+      } else {
+        pending = true;  // a read while this fill is in flight must Merge
+      }
     }
     caches_[p]->touch(line);
     if (*st == LineState::Exclusive) {
       ++ctr.write_hits;
-      return AccessResult{AccessResult::Kind::Hit};
+      AccessResult r{AccessResult::Kind::Hit};
+      r.hint = pending ? MruHint::None : MruHint::ReadWrite;
+      return r;
     }
     // Proc-level upgrade: kill peer copies on the bus; if other clusters
     // also hold the line, take machine-wide ownership through the directory.
@@ -323,15 +350,17 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       return AccessResult{AccessResult::Kind::UpgradeMiss};
     }
     // Ownership was already in the cluster: the write is a bus transaction
-    // only ("ownership is kept within the cluster").
+    // only ("ownership is kept within the cluster"). The private copy is now
+    // EXCLUSIVE, so repeat accesses are plain hits unless a fill is pending.
     ++ctr.write_hits;
-    return AccessResult{AccessResult::Kind::Hit};
+    AccessResult r{AccessResult::Kind::Hit};
+    r.hint = pending ? MruHint::None : MruHint::ReadWrite;
+    return r;
   }
 
-  auto it = attraction_[c].find(line);
-  if (it != attraction_[c].end()) {
+  if (ClusterLine* pcl = attraction_[c].find(line)) {
     // Write-allocate from within the cluster (hidden by the store buffer).
-    ClusterLine& cl = it->second;
+    ClusterLine& cl = *pcl;
     kill_local_peers(cl);
     install_private(p, line, LineState::Exclusive);
     cl.proc_copies |= std::uint64_t{1} << local_index(p);

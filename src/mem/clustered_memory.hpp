@@ -26,10 +26,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/machine.hpp"
 #include "src/mem/address_space.hpp"
 #include "src/mem/cache.hpp"
@@ -51,6 +50,12 @@ class ClusteredMemorySystem final : public MemorySystem {
     return counters_[c];
   }
   [[nodiscard]] MissCounters totals() const override;
+
+  /// Opts into the processor MRU fast path (docs/PERFORMANCE.md): repeat
+  /// hits short-circuited by the processor bump these counters directly.
+  [[nodiscard]] MissCounters* hot_counters(ClusterId c) noexcept override {
+    return &counters_[c];
+  }
 
   /// Invariant audit (directory vs. attraction memories vs. private caches
   /// vs. MSHRs); throws ProtocolError on the first violation. See
@@ -77,7 +82,7 @@ class ClusteredMemorySystem final : public MemorySystem {
     std::uint64_t proc_copies = 0;
     bool cluster_exclusive = false;
   };
-  using Attraction = std::unordered_map<Addr, ClusterLine>;
+  using Attraction = FlatMap<ClusterLine>;
 
   [[nodiscard]] Addr line_of(Addr a) const noexcept {
     return a & ~Addr{cfg_.cache.line_bytes - 1};
@@ -107,7 +112,7 @@ class ClusteredMemorySystem final : public MemorySystem {
   std::vector<Attraction> attraction_;                // one per cluster
   std::vector<MshrTable> mshrs_;                      // one per cluster
   std::vector<MissCounters> counters_;
-  std::unordered_set<Addr> touched_lines_;
+  FlatSet touched_lines_;
 };
 
 }  // namespace csim

@@ -17,6 +17,15 @@ CoherenceController::CoherenceController(const MachineConfig& cfg,
   }
   mshrs_.resize(nc);
   counters_.resize(nc);
+  // Size the directory and cold-line set to the application's allocated
+  // footprint so steady-state operation never rehashes.
+  const std::size_t lines =
+      static_cast<std::size_t>(as.bytes_allocated() / cfg.cache.line_bytes);
+  dir_.reserve(lines);
+  touched_lines_.reserve(lines);
+  if (cfg.cache.infinite()) {
+    for (auto& c : caches_) c->reserve(lines);
+  }
 }
 
 MissCounters CoherenceController::totals() const {
@@ -116,7 +125,13 @@ LatencyClass CoherenceController::classify(ClusterId requester, Addr line,
 }
 
 void CoherenceController::invalidate_others(Addr line, ClusterId keep) {
-  DirEntry& e = dir_.entry(line);
+  // find(): this path only mutates existing state — an untracked line has no
+  // copies to invalidate, and entry() would grow the directory with
+  // NOT_CACHED garbage. Callers may hold a reference to this entry; no
+  // insertion or erasure happens here, so it stays valid.
+  DirEntry* pe = dir_.find(line);
+  if (pe == nullptr) return;
+  DirEntry& e = *pe;
   std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
   while (rest) {
     const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
@@ -148,7 +163,7 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
   MissCounters& ctr = counters_[c];
   ++ctr.read_misses;
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+  if (touched_lines_.insert(line)) ++ctr.cold_misses;
 
   install(c, line, LineState::Shared);
   mshrs_[c].allocate(line, MshrEntry{now + lat});
@@ -156,12 +171,13 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
 }
 
 AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
+  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
 
-  if (caches_[c]->lookup(line)) {
+  if (auto st = caches_[c]->lookup(line)) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time > now) {
         ++ctr.merges;
@@ -172,27 +188,40 @@ AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
     }
     caches_[c]->touch(line);
     ++ctr.read_hits;
-    return AccessResult{AccessResult::Kind::Hit};
+    AccessResult r{AccessResult::Kind::Hit};
+    // No pending fill remains (a live one returned Merge above), so a repeat
+    // access while the epoch holds is a plain hit: writes too, if EXCLUSIVE.
+    r.hint = *st == LineState::Exclusive ? MruHint::ReadWrite
+                                         : MruHint::ReadOnly;
+    return r;
   }
   mshrs_[c].release(line);  // drop any stale entry for a departed line
   return handle_read_miss(c, line, now);
 }
 
 AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
+  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.writes;
 
   if (auto st = caches_[c]->lookup(line)) {
-    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time <= now) {
-      mshrs_[c].release(line);
+    bool pending = false;
+    if (MshrEntry* m = mshrs_[c].find(line)) {
+      if (m->fill_time <= now) {
+        mshrs_[c].release(line);
+      } else {
+        pending = true;  // a read while this fill is in flight must Merge
+      }
     }
     caches_[c]->touch(line);
     if (*st == LineState::Exclusive) {
       // Store buffered; a store to our own in-flight exclusive fill merges.
       ++ctr.write_hits;
-      return AccessResult{AccessResult::Kind::Hit};
+      AccessResult r{AccessResult::Kind::Hit};
+      r.hint = pending ? MruHint::None : MruHint::ReadWrite;
+      return r;
     }
     // UPGRADE: write found the line SHARED. Ownership moves instantly; the
     // latency is fully hidden by the store buffer.
@@ -217,7 +246,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   e.state = DirState::Exclusive;
   ++ctr.write_misses;
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line).second) ++ctr.cold_misses;
+  if (touched_lines_.insert(line)) ++ctr.cold_misses;
   install(c, line, LineState::Exclusive);
   mshrs_[c].allocate(line, MshrEntry{now + lat});
   return AccessResult{AccessResult::Kind::WriteMiss, lat, now + lat, lclass};

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/stats.hpp"
 #include "src/core/types.hpp"
@@ -44,6 +44,12 @@ class CoherenceController final : public MemorySystem {
     return counters_[c];
   }
   [[nodiscard]] MissCounters totals() const override;
+
+  /// Opts into the processor MRU fast path (docs/PERFORMANCE.md): repeat
+  /// hits short-circuited by the processor bump these counters directly.
+  [[nodiscard]] MissCounters* hot_counters(ClusterId c) noexcept override {
+    return &counters_[c];
+  }
 
   /// Invariant audit (directory vs. cluster caches vs. MSHRs); throws
   /// ProtocolError on the first violation. See docs/ROBUSTNESS.md.
@@ -79,7 +85,7 @@ class CoherenceController final : public MemorySystem {
   std::vector<std::unique_ptr<CacheStorage>> caches_;
   std::vector<MshrTable> mshrs_;
   std::vector<MissCounters> counters_;
-  std::unordered_set<Addr> touched_lines_;  // cold-miss tracking
+  FlatSet touched_lines_;  // cold-miss tracking
 };
 
 }  // namespace csim

@@ -3,16 +3,14 @@
 namespace csim {
 
 void Directory::replacement_hint(Addr line, ClusterId c) {
-  auto it = map_.find(line);
-  if (it == map_.end()) return;
-  DirEntry& e = it->second;
-  e.remove(c);
-  if (e.sharers == 0) {
-    e.state = DirState::NotCached;
-  } else if (e.state == DirState::Exclusive) {
-    // The owner evicted (writeback); nobody else can have held a copy.
-    e.state = DirState::NotCached;
-    e.sharers = 0;
+  DirEntry* e = map_.find(line);
+  if (e == nullptr) return;
+  e->remove(c);
+  if (e->sharers == 0 || e->state == DirState::Exclusive) {
+    // Last copy gone (or the owner evicted — writeback; nobody else can have
+    // held a copy): the line is NOT_CACHED, which is what peek() reports for
+    // absent lines, so drop the entry entirely.
+    map_.erase(line);
   }
 }
 

@@ -4,13 +4,14 @@
 // mirror the paper: NOT_CACHED, SHARED (one or more cluster copies, clean),
 // EXCLUSIVE (exactly one cluster owns the line, potentially dirty).
 // Replacement hints keep the sharer vector exact: a cluster evicting a line
-// is removed immediately.
+// is removed immediately, and an entry whose last copy disappears is erased
+// so tracked_lines() reflects only lines actually cached somewhere.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/types.hpp"
 
 namespace csim {
@@ -37,24 +38,34 @@ struct DirEntry {
 
 class Directory {
  public:
-  /// Entry for `line`; creates a NOT_CACHED entry on first touch.
+  /// Entry for `line`; creates a NOT_CACHED entry on first touch. May rehash:
+  /// invalidates pointers/references from earlier entry()/find() calls.
   DirEntry& entry(Addr line) { return map_[line]; }
+
+  /// Entry for `line` if tracked, else nullptr. Never inserts — use on paths
+  /// that only mutate existing state (invalidations, downgrades) so misses
+  /// don't grow the table with NOT_CACHED garbage.
+  [[nodiscard]] DirEntry* find(Addr line) { return map_.find(line); }
 
   /// Read-only view; returns NOT_CACHED default for untracked lines.
   [[nodiscard]] DirEntry peek(Addr line) const {
-    auto it = map_.find(line);
-    return it == map_.end() ? DirEntry{} : it->second;
+    const DirEntry* e = map_.find(line);
+    return e == nullptr ? DirEntry{} : *e;
   }
 
-  /// Replacement hint: cluster `c` evicted `line`. Transitions to NOT_CACHED
-  /// when the last copy disappears (EXCLUSIVE eviction = writeback home).
+  /// Pre-sizes the table for an expected number of distinct lines.
+  void reserve(std::size_t lines) { map_.reserve(lines); }
+
+  /// Replacement hint: cluster `c` evicted `line`. Erases the entry when the
+  /// last copy disappears (EXCLUSIVE eviction = writeback home). Erasure is
+  /// tombstone-based: references to *other* entries stay valid.
   void replacement_hint(Addr line, ClusterId c);
 
   [[nodiscard]] std::size_t tracked_lines() const noexcept { return map_.size(); }
 
   /// All tracked entries (auditing / diagnostics). Iteration order
   /// unspecified.
-  [[nodiscard]] const std::unordered_map<Addr, DirEntry>& entries() const noexcept {
+  [[nodiscard]] const FlatMap<DirEntry>& entries() const noexcept {
     return map_;
   }
 
@@ -62,7 +73,7 @@ class Directory {
   [[nodiscard]] std::vector<Addr> lines_in_state(DirState s) const;
 
  private:
-  std::unordered_map<Addr, DirEntry> map_;
+  FlatMap<DirEntry> map_;
 };
 
 /// Table 1 latency classification of a miss by requester/home/ownership.

@@ -17,6 +17,17 @@
 
 namespace csim {
 
+/// Repeat-access eligibility of a Hit, used by the processor's MRU line
+/// filter (docs/PERFORMANCE.md). The memory system promises that, as long as
+/// it has processed no further access (access_epoch() unchanged), another
+/// access to the same line by the same processor would be a plain Hit with
+/// exactly the same counter updates — so the processor may short-circuit it.
+enum class MruHint : std::uint8_t {
+  None,       ///< not eligible (miss, merge, pending fill, …)
+  ReadOnly,   ///< repeat reads are plain hits (line SHARED)
+  ReadWrite,  ///< repeat reads and writes are plain hits (line EXCLUSIVE)
+};
+
 /// Outcome of one access, consumed by the processor model for time
 /// accounting.
 struct AccessResult {
@@ -33,6 +44,7 @@ struct AccessResult {
   Cycles latency = 0;   ///< stall (ReadMiss/NearHit) or fill (WriteMiss) time
   Cycles ready_at = 0;  ///< absolute fill time (Merge/ReadMiss/WriteMiss)
   LatencyClass lclass = LatencyClass::LocalClean;
+  MruHint hint = MruHint::None;  ///< set only by opted-in memory systems
 };
 
 class MemorySystem {
@@ -54,6 +66,26 @@ class MemorySystem {
   /// Default is a no-op for memory systems with no coherence state to check
   /// (profilers, recorders). Invariants: docs/ROBUSTNESS.md.
   virtual void audit() const {}
+
+  // --- Processor MRU fast-path support (docs/PERFORMANCE.md) ---------------
+
+  /// Monotone counter bumped by every read()/write() a participating memory
+  /// system processes. A processor's cached MruHint is valid only while this
+  /// value is unchanged since the access that produced it: any intervening
+  /// access anywhere in the machine may have invalidated, evicted, downgraded
+  /// or reordered (LRU) the hinted line, so the hint is dropped.
+  [[nodiscard]] std::uint64_t access_epoch() const noexcept { return epoch_; }
+
+  /// Counters the processor fast path bumps directly for short-circuited
+  /// hits. nullptr (the default) disables the fast path entirely — memory
+  /// systems that must observe every access (working-set profilers, trace
+  /// recorders) simply don't override this.
+  [[nodiscard]] virtual MissCounters* hot_counters(ClusterId) noexcept {
+    return nullptr;
+  }
+
+ protected:
+  std::uint64_t epoch_ = 0;  ///< see access_epoch()
 };
 
 }  // namespace csim

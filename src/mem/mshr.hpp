@@ -15,8 +15,8 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
+#include "src/core/flat_map.hpp"
 #include "src/core/types.hpp"
 
 namespace csim {
@@ -30,13 +30,9 @@ class MshrTable {
  public:
   /// Looks up the pending entry for `line`, if any.
   [[nodiscard]] const MshrEntry* find(Addr line) const {
-    auto it = map_.find(line);
-    return it == map_.end() ? nullptr : &it->second;
+    return map_.find(line);
   }
-  [[nodiscard]] MshrEntry* find(Addr line) {
-    auto it = map_.find(line);
-    return it == map_.end() ? nullptr : &it->second;
-  }
+  [[nodiscard]] MshrEntry* find(Addr line) { return map_.find(line); }
 
   /// Registers a fill for `line`, replacing any stale entry.
   void allocate(Addr line, MshrEntry e) { map_[line] = e; }
@@ -44,22 +40,22 @@ class MshrTable {
   /// Removes and returns the entry (fill arrived, line invalidated, or line
   /// evicted before the data came back).
   std::optional<MshrEntry> release(Addr line) {
-    auto it = map_.find(line);
-    if (it == map_.end()) return std::nullopt;
-    MshrEntry e = it->second;
-    map_.erase(it);
-    return e;
+    MshrEntry* e = map_.find(line);
+    if (e == nullptr) return std::nullopt;
+    MshrEntry out = *e;
+    map_.erase(line);
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
 
   /// All in-flight entries (auditing / diagnostics).
-  [[nodiscard]] const std::unordered_map<Addr, MshrEntry>& entries() const noexcept {
+  [[nodiscard]] const FlatMap<MshrEntry>& entries() const noexcept {
     return map_;
   }
 
  private:
-  std::unordered_map<Addr, MshrEntry> map_;
+  FlatMap<MshrEntry> map_;
 };
 
 }  // namespace csim

@@ -1,11 +1,13 @@
 #include "src/report/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <future>
 #include <ostream>
+#include <thread>
 
 #include "src/core/error.hpp"
 
@@ -25,42 +27,66 @@ MachineConfig paper_machine(unsigned procs_per_cluster,
 std::vector<SimResult> run_configs(
     const std::function<std::unique_ptr<Program>()>& make_app,
     const std::vector<MachineConfig>& configs) {
-  std::vector<std::future<SimResult>> futures;
-  futures.reserve(configs.size());
-  for (const MachineConfig& cfg : configs) {
-    futures.push_back(std::async(std::launch::async, [&make_app, cfg]() -> SimResult {
-      // Graceful degradation: one broken configuration (or a failing run)
-      // must not abort the whole sweep. Failures become ok == false rows
-      // carrying the SimError diagnostics; write_failures renders them.
-      std::unique_ptr<Program> app;
-      try {
-        app = make_app();
-        return simulate(*app, cfg);
-      } catch (const std::exception& e) {
-        SimResult r;
-        r.config = cfg;
-        if (app) {
-          r.app_name = app->name();
-          r.scale = app->scale();
-        }
-        r.ok = false;
-        const auto* se = dynamic_cast<const SimError*>(&e);
-        r.error_kind = se ? std::string(to_string(se->kind())) : "exception";
-        r.error = e.what();
-        return r;
-      } catch (...) {
-        SimResult r;
-        r.config = cfg;
-        r.ok = false;
-        r.error_kind = "exception";
-        r.error = "unknown exception";
-        return r;
+  // Runs one simulation per configuration. Failures become ok == false rows
+  // carrying the SimError diagnostics (graceful degradation: one broken
+  // configuration must not abort the whole sweep; write_failures renders
+  // them). Results come back in input order.
+  const auto run_one = [&make_app](const MachineConfig& cfg) -> SimResult {
+    std::unique_ptr<Program> app;
+    try {
+      app = make_app();
+      return simulate(*app, cfg);
+    } catch (const std::exception& e) {
+      SimResult r;
+      r.config = cfg;
+      if (app) {
+        r.app_name = app->name();
+        r.scale = app->scale();
       }
-    }));
+      r.ok = false;
+      const auto* se = dynamic_cast<const SimError*>(&e);
+      r.error_kind = se ? std::string(to_string(se->kind())) : "exception";
+      r.error = e.what();
+      return r;
+    } catch (...) {
+      SimResult r;
+      r.config = cfg;
+      r.ok = false;
+      r.error_kind = "exception";
+      r.error = "unknown exception";
+      return r;
+    }
+  };
+
+  std::vector<SimResult> out(configs.size());
+  if (configs.empty()) return out;
+
+  // Bounded worker pool: large sweeps (org_comparison runs 9 apps x 4
+  // cluster sizes x 2 organizations) previously spawned one thread per
+  // configuration. Workers claim the next unstarted configuration from a
+  // shared counter, so at most hardware_concurrency() simulations (each
+  // single-threaded and deterministic) run at once and a long run steals no
+  // capacity from the short ones queued behind it.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(hw, configs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) out[i] = run_one(configs[i]);
+    return out;
   }
-  std::vector<SimResult> out;
-  out.reserve(configs.size());
-  for (auto& f : futures) out.push_back(f.get());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      out[i] = run_one(configs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : pool) t.join();
   return out;
 }
 

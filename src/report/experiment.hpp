@@ -20,8 +20,9 @@ MachineConfig paper_machine(unsigned procs_per_cluster,
 /// Runs `make_app()` fresh for every cluster size (programs are stateful) on
 /// the given per-processor cache size (0 = infinite). Returns results in
 /// cluster-size order. Runs are independent simulations and execute on a
-/// thread per configuration (each simulation itself is single-threaded and
-/// deterministic, so results are identical to a serial sweep).
+/// worker pool bounded at hardware_concurrency() threads (each simulation
+/// itself is single-threaded and deterministic, so results are identical to
+/// a serial sweep).
 std::vector<SimResult> sweep_clusters(
     const std::function<std::unique_ptr<Program>()>& make_app,
     std::size_t cache_bytes_per_proc,

@@ -1,0 +1,114 @@
+// Determinism regression suite.
+//
+// The simulator's contract is that a (program, configuration) pair produces
+// bit-identical results on every run: same wall time, same event count, same
+// miss taxonomy, same per-processor and per-cluster breakdowns. The hot-path
+// machinery (allocation-free event scheduling, flat-hash coherence state, the
+// per-processor MRU line filter) must never perturb these — a perf change
+// that shifts any counter is a correctness bug, not an optimization.
+//
+// Two layers of defence:
+//  1. Every registered application runs twice under both cluster
+//     organizations and the two SimResults must match field for field.
+//  2. Golden-value pins for one application (fft) freeze absolute numbers at
+//     the tracked baseline configuration (64 processors, 16 KB caches, test
+//     scale), so a change that is self-consistent but alters behaviour —
+//     e.g. a reordered event tie-break — still fails loudly. If a pin fails
+//     after an *intentional* semantic change, re-derive the constants with a
+//     fresh run and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+
+namespace csim {
+namespace {
+
+MachineConfig baseline(ClusterStyle style, unsigned ppc) {
+  MachineConfig c;
+  c.num_procs = 64;
+  c.procs_per_cluster = ppc;
+  c.cluster_style = style;
+  c.cache.per_proc_bytes = 16 * 1024;
+  return c;
+}
+
+using Param = std::tuple<std::string, ClusterStyle>;
+
+class Determinism : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Determinism, RepeatedRunsAreBitIdentical) {
+  const auto& [app_name, style] = GetParam();
+  auto a = make_app(app_name, ProblemScale::Test);
+  auto b = make_app(app_name, ProblemScale::Test);
+  const SimResult r1 = simulate(*a, baseline(style, 4));
+  const SimResult r2 = simulate(*b, baseline(style, 4));
+
+  EXPECT_EQ(r1.wall_time, r2.wall_time);
+  EXPECT_EQ(r1.events, r2.events);
+  EXPECT_TRUE(r1.totals == r2.totals);
+  EXPECT_TRUE(r1.per_proc == r2.per_proc);
+  EXPECT_TRUE(r1.per_cluster == r2.per_cluster);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [app_name, style] = info.param;
+  return app_name + "_" +
+         (style == ClusterStyle::SharedCache ? "shared_cache"
+                                             : "shared_memory");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, Determinism,
+    ::testing::Combine(::testing::ValuesIn(app_names()),
+                       ::testing::Values(ClusterStyle::SharedCache,
+                                         ClusterStyle::SharedMemory)),
+    param_name);
+
+// --- Golden pins (fft, test scale, 64 procs, 16 KB caches) ---------------
+
+TEST(DeterminismGolden, FftSharedCacheOneProcClusters) {
+  auto app = make_app("fft", ProblemScale::Test);
+  const SimResult r = simulate(*app, baseline(ClusterStyle::SharedCache, 1));
+  EXPECT_EQ(r.wall_time, 15204u);
+  EXPECT_EQ(r.totals.reads, 15872u);
+  EXPECT_EQ(r.totals.writes, 15872u);
+  EXPECT_EQ(r.totals.read_hits, 12864u);
+  EXPECT_EQ(r.totals.write_hits, 15104u);
+  EXPECT_EQ(r.totals.read_misses, 3008u);
+  EXPECT_EQ(r.totals.write_misses, 480u);
+  EXPECT_EQ(r.totals.upgrade_misses, 288u);
+  EXPECT_EQ(r.totals.merges, 0u);
+  EXPECT_EQ(r.totals.cold_misses, 512u);
+  EXPECT_EQ(r.totals.invalidations, 1984u);
+  ASSERT_EQ(r.totals.by_class.size(), 4u);
+  EXPECT_EQ(r.totals.by_class[0], 116u);
+  EXPECT_EQ(r.totals.by_class[1], 32u);
+  EXPECT_EQ(r.totals.by_class[2], 2924u);
+  EXPECT_EQ(r.totals.by_class[3], 416u);
+}
+
+TEST(DeterminismGolden, FftSharedMemoryEightProcClusters) {
+  auto app = make_app("fft", ProblemScale::Test);
+  const SimResult r = simulate(*app, baseline(ClusterStyle::SharedMemory, 8));
+  EXPECT_EQ(r.wall_time, 12233u);
+  EXPECT_EQ(r.totals.reads, 15872u);
+  EXPECT_EQ(r.totals.writes, 15872u);
+  EXPECT_EQ(r.totals.read_hits, 12864u);
+  EXPECT_EQ(r.totals.write_hits, 15168u);
+  EXPECT_EQ(r.totals.read_misses, 640u);
+  EXPECT_EQ(r.totals.write_misses, 448u);
+  EXPECT_EQ(r.totals.upgrade_misses, 256u);
+  EXPECT_EQ(r.totals.merges, 1812u);
+  EXPECT_EQ(r.totals.cold_misses, 512u);
+  EXPECT_EQ(r.totals.invalidations, 384u);
+  EXPECT_EQ(r.totals.snoop_transfers, 556u);
+  EXPECT_EQ(r.totals.cluster_memory_hits, 0u);
+  EXPECT_EQ(r.totals.bus_invalidations, 748u);
+}
+
+}  // namespace
+}  // namespace csim
