@@ -4,10 +4,14 @@
 //
 // `perf_micro --json [path]` skips google-benchmark and runs only the
 // end-to-end configurations, writing a machine-readable report (default
-// BENCH_perf.json) for the CI perf-smoke step — see docs/PERFORMANCE.md.
+// BENCH_perf.json) for the CI perf gate (tools/perf_check) — see
+// docs/PERFORMANCE.md. `--trace-out` / `--metrics-interval` attach the
+// src/obs observability layer to one end-to-end run (useful for profiling
+// the baseline workload itself).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <string_view>
 
 #include "bench/bench_util.hpp"
@@ -16,20 +20,22 @@
 #include "src/core/simulator.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/coherence.hpp"
+#include "src/obs/run_observer.hpp"
 
 namespace csim {
 namespace {
 
 /// One end-to-end run: fft at test scale on 64 processors with 16 KB caches
 /// — the tracked perf-baseline configuration. Returns retired references.
-std::uint64_t end_to_end_once(ClusterStyle style, unsigned ppc) {
+std::uint64_t end_to_end_once(ClusterStyle style, unsigned ppc,
+                              Observer* obs = nullptr) {
   auto app = make_app("fft", ProblemScale::Test);
   MachineConfig cfg;
   cfg.num_procs = 64;
   cfg.procs_per_cluster = ppc;
   cfg.cluster_style = style;
   cfg.cache.per_proc_bytes = 16 * 1024;
-  const SimResult r = simulate(*app, cfg);
+  const SimResult r = simulate(*app, cfg, obs);
   return r.totals.reads + r.totals.writes;
 }
 
@@ -155,16 +161,52 @@ int json_main(const std::string& path) {
   return 0;
 }
 
+/// --trace-out / --metrics-interval mode: one observed end-to-end run
+/// (shared-cache, ppc 8) emitting the requested artifacts.
+int observed_main(const std::string& trace_out, Cycles metrics_interval,
+                  const std::string& metrics_out) {
+  obs::RunObserver ro;
+  if (!trace_out.empty()) ro.enable_trace(trace_out);
+  if (metrics_interval != 0) {
+    ro.enable_metrics(metrics_interval, metrics_out + ".csv",
+                      metrics_out + ".json");
+  }
+  const std::uint64_t refs =
+      end_to_end_once(ClusterStyle::SharedCache, 8, &ro);
+  std::printf("observed end_to_end/shared_cache/ppc8: %llu refs\n",
+              static_cast<unsigned long long>(refs));
+  if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
+  if (metrics_interval != 0) {
+    std::printf("wrote %s.csv and %s.json\n", metrics_out.c_str(),
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace csim
 
 int main(int argc, char** argv) {
+  std::string trace_out;
+  csim::Cycles metrics_interval = 0;
+  std::string metrics_out = "metrics";
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
+    const std::string_view a = argv[i];
+    if (a == "--json") {
       const std::string path =
           i + 1 < argc ? argv[i + 1] : "BENCH_perf.json";
       return csim::json_main(path);
     }
+    if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics-interval" && i + 1 < argc) {
+      metrics_interval = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+  if (!trace_out.empty() || metrics_interval != 0) {
+    return csim::observed_main(trace_out, metrics_interval, metrics_out);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/apps/app.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/run_observer.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/figures.hpp"
 #include "src/report/gnuplot.hpp"
@@ -46,7 +48,13 @@ void usage() {
       "  --quantum N       run-ahead quantum in cycles (default 32)\n"
       "  --hit-costs       model shared-cache hit costs in-simulation\n"
       "  --csv             emit CSV instead of the stacked-bar figure\n"
-      "  --gnuplot BASE    also write BASE.dat/BASE.gp for gnuplot\n");
+      "  --gnuplot BASE    also write BASE.dat/BASE.gp for gnuplot\n"
+      "  --trace-out FILE      write a Chrome trace-event timeline per row\n"
+      "                        (multi-row sweeps write FILE_ppcN variants)\n"
+      "  --metrics-interval N  sample interval metrics every N cycles\n"
+      "  --metrics-out BASE    interval metrics path base (default: metrics;\n"
+      "                        writes BASE[.ppcN].csv and .json)\n"
+      "  --manifest FILE       write a run manifest (config, git, digests)\n");
 }
 
 }  // namespace
@@ -64,6 +72,10 @@ int main(int argc, char** argv) {
   bool hit_costs = false;
   bool csv = false;
   std::string gnuplot_base;
+  std::string trace_out;
+  Cycles metrics_interval = 0;
+  std::string metrics_out = "metrics";
+  std::string manifest_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -109,6 +121,18 @@ int main(int argc, char** argv) {
         csv = true;
       } else if (a == "--gnuplot") {
         gnuplot_base = next();
+      } else if (a == "--trace-out") {
+        trace_out = next();
+      } else if (a == "--metrics-interval") {
+        metrics_interval = std::stoul(next());
+        if (metrics_interval == 0) {
+          std::fprintf(stderr, "--metrics-interval must be > 0\n");
+          return 2;
+        }
+      } else if (a == "--metrics-out") {
+        metrics_out = next();
+      } else if (a == "--manifest") {
+        manifest_out = next();
       } else {
         usage();
         return a == "--help" || a == "-h" ? 0 : 2;
@@ -134,10 +158,39 @@ int main(int argc, char** argv) {
       cfg.model_shared_hit_costs = hit_costs;
       configs.push_back(cfg);
     }
+    // Observability (src/obs): one RunObserver per sweep row, each writing
+    // its artifacts (trace JSON / metrics CSV+JSON) when its row completes.
+    ObserverFactory make_observer;
+    if (!trace_out.empty() || metrics_interval != 0) {
+      const std::size_t rows = configs.size();
+      make_observer = [&, rows](const MachineConfig& cfg, std::size_t)
+          -> std::unique_ptr<Observer> {
+        auto ro = std::make_unique<obs::RunObserver>();
+        if (!trace_out.empty()) {
+          ro->enable_trace(
+              obs::row_path(trace_out, cfg.procs_per_cluster, rows));
+        }
+        if (metrics_interval != 0) {
+          const std::string base =
+              obs::row_path(metrics_out, cfg.procs_per_cluster, rows);
+          ro->enable_metrics(metrics_interval, base + ".csv", base + ".json");
+        }
+        return ro;
+      };
+    }
+
     // run_configs degrades gracefully: a failing configuration becomes an
     // ok == false row (rendered below) instead of aborting the sweep.
     std::vector<SimResult> results =
-        run_configs([&] { return make_app(app, scale); }, configs);
+        run_configs([&] { return make_app(app, scale); }, configs,
+                    make_observer);
+    if (!manifest_out.empty()) {
+      // Manifests include failed rows (error kind instead of statistics).
+      obs::write_run_manifest_file(manifest_out, "csim_cli", results);
+      std::printf("wrote manifest %s (sweep digest %s)\n",
+                  manifest_out.c_str(),
+                  obs::digest_hex(obs::sweep_digest(results)).c_str());
+    }
     const std::size_t failures = write_failures(std::cerr, results);
     std::erase_if(results, [](const SimResult& r) { return !r.ok; });
     if (results.empty()) return 1;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/core/error.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 
@@ -63,6 +64,7 @@ void EventQueue::run_one() {
     free_slots_.push_back(ev.slot);
     fn();
   }
+  if (obs_ != nullptr) obs_->on_event_dispatched(now_, events_run_);
 }
 
 std::optional<std::string> EventQueue::budget_violation() const {

@@ -12,6 +12,8 @@
 
 namespace csim {
 
+class Observer;
+
 /// A min-heap of (time, sequence) ordered events.
 ///
 /// Ties in time are broken by insertion order, which makes simulations fully
@@ -84,6 +86,17 @@ class EventQueue {
   /// Description of the violated budget, or nullopt while within budget.
   [[nodiscard]] std::optional<std::string> budget_violation() const;
 
+  /// Attaches an observability sink (src/obs/observer.hpp): run_one()
+  /// reports every dispatched event. Null (the default) disables the hook —
+  /// a single branch on the hot path.
+  void set_observer(Observer* obs) noexcept { obs_ = obs; }
+
+  /// Address of the events-run counter, stable for this queue's lifetime
+  /// (bound into Observer::RunBinding for interval sampling).
+  [[nodiscard]] const std::uint64_t* events_run_addr() const noexcept {
+    return &events_run_;
+  }
+
  private:
   /// 32 bytes, trivially copyable, so heap sift operations are cheap moves.
   /// target != nullptr: resume-coroutine fast path, payload is the coroutine
@@ -114,6 +127,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   Cycles now_ = 0;
   Budget budget_{};
+  Observer* obs_ = nullptr;
   std::uint64_t events_run_ = 0;
   std::uint64_t events_at_last_advance_ = 0;  // events_run_ when now_ last grew
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/sync.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 
@@ -14,6 +15,14 @@ void Proc::resume_event(Cycles t, std::coroutine_handle<> h) {
   begin_slice(t);
   h.resume();
   note_if_finished();
+  if (obs_ != nullptr) obs_->on_slice(id_, t, now_);
+}
+
+void Proc::launch() {
+  begin_slice(0);
+  root.start();
+  note_if_finished();
+  if (obs_ != nullptr) obs_->on_slice(id_, 0, now_);
 }
 
 void Proc::note_if_finished() noexcept {
@@ -56,6 +65,10 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
       now_ = issue_done + stall;
       resume_at = now_;
       wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, now_, issued};
+      if (obs_ != nullptr) {
+        obs_->on_memory_stall(id_, a, Observer::Stall::Merge, issue_done, now_,
+                              r.lclass);
+      }
       return false;  // a stall always yields to the queue
     }
     case AccessResult::Kind::ReadMiss:
@@ -68,6 +81,10 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
       now_ += hit + r.latency;
       resume_at = now_;
       wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, now_, issued};
+      if (obs_ != nullptr) {
+        obs_->on_memory_stall(id_, a, Observer::Stall::Load, issued + hit,
+                              now_, r.lclass);
+      }
       return false;
     }
     default:
@@ -111,6 +128,8 @@ bool Proc::BarrierAwaiter::await_ready() const {
   if (bar.arrived_ + 1 < bar.participants_) return false;
   // Last arriver: release everyone at (no earlier than) our current time.
   const Cycles release = p->now_;
+  if (p->obs_ != nullptr) p->obs_->on_barrier_arrive(p->id_, b, release);
+  const unsigned released = static_cast<unsigned>(bar.waiters_.size()) + 1;
   for (auto& w : bar.waiters_) {
     const Cycles t = std::max(release, w.arrival);
     w.p->mutable_buckets().sync += t - w.arrival;
@@ -119,6 +138,7 @@ bool Proc::BarrierAwaiter::await_ready() const {
   bar.waiters_.clear();
   bar.arrived_ = 0;
   ++bar.generations_;
+  if (p->obs_ != nullptr) p->obs_->on_barrier_release(b, released, release);
   return true;
 }
 
@@ -127,6 +147,7 @@ void Proc::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) const {
   ++bar.arrived_;
   bar.waiters_.push_back(Barrier::Waiter{h, p, p->now_});
   p->wait_ = WaitInfo{WaitKind::Barrier, b, nullptr, 0, 0, p->now_};
+  if (p->obs_ != nullptr) p->obs_->on_barrier_arrive(p->id_, b, p->now_);
 }
 
 bool Proc::AcquireAwaiter::await_ready() const {
@@ -149,6 +170,7 @@ void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
   ++lk.contended_;
   lk.waiters_.push_back(Lock::Waiter{h, p, p->now_});
   p->wait_ = WaitInfo{WaitKind::Lock, nullptr, l, 0, 0, p->now_};
+  if (p->obs_ != nullptr) p->obs_->on_lock_wait(p->id_, l, p->now_);
 }
 
 void Proc::release(Lock& l) {

@@ -33,6 +33,7 @@ namespace csim {
 
 class Barrier;
 class Lock;
+class Observer;
 
 class Proc : public EventQueue::Resumable {
  public:
@@ -146,6 +147,13 @@ class Proc : public EventQueue::Resumable {
   /// EventQueue fast-path dispatch: fresh slice, resume, completion check.
   void resume_event(Cycles t, std::coroutine_handle<> h) override;
 
+  /// Starts the root coroutine at t = 0 (first slice; used by Simulator).
+  void launch();
+
+  /// Attaches an observability sink (src/obs/observer.hpp). Null (the
+  /// default) disables every hook — a single branch per site.
+  void set_observer(Observer* obs) noexcept { obs_ = obs; }
+
   /// Records completion if the root coroutine has finished.
   void note_if_finished() noexcept;
 
@@ -184,6 +192,7 @@ class Proc : public EventQueue::Resumable {
   const MachineConfig* cfg_;
   EventQueue* queue_;
   MemorySystem* coh_;
+  Observer* obs_ = nullptr;
   ProcId id_;
   ClusterId cluster_;
   Addr line_mask_;

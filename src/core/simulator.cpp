@@ -1,5 +1,6 @@
 #include "src/core/simulator.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "src/core/sync.hpp"
 #include "src/mem/clustered_memory.hpp"
 #include "src/mem/coherence.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 namespace {
@@ -77,6 +79,7 @@ MachineSnapshot capture_snapshot(const EventQueue& queue,
 Simulator::Simulator(MachineConfig cfg) : cfg_(cfg) { cfg_.validate(); }
 
 SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
+  const auto host_start = std::chrono::steady_clock::now();
   AddressSpace as;
   try {
     prog.setup(as, cfg_);
@@ -109,16 +112,27 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
     procs.push_back(std::make_unique<Proc>(cfg_, queue, coh, p));
   }
 
+  if (obs_ != nullptr) {
+    queue.set_observer(obs_);
+    coh.set_observer(obs_);
+    Observer::RunBinding binding;
+    binding.config = &cfg_;
+    binding.mem = &coh;
+    binding.proc_buckets.reserve(procs.size());
+    for (auto& pp : procs) {
+      pp->set_observer(obs_);
+      binding.proc_buckets.push_back(&pp->buckets());
+    }
+    binding.events_run = queue.events_run_addr();
+    obs_->on_run_begin(binding);
+  }
+
   // Launch every processor at t = 0. A body runs until its first suspension;
   // completion is detected after each resume via the root task.
   for (auto& pp : procs) {
     Proc* proc = pp.get();
     proc->root = prog.body(*proc);
-    queue.schedule(0, [proc] {
-      proc->begin_slice(0);
-      proc->root.start();
-      proc->note_if_finished();
-    });
+    queue.schedule(0, [proc] { proc->launch(); });
   }
 
   // Drive the event queue to exhaustion under the watchdog; processors
@@ -167,6 +181,7 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   for (auto& pp : procs) wall = std::max(wall, pp->finish_time);
   res.wall_time = wall;
   res.events = queue.events_run();
+  if (obs_ != nullptr) obs_->on_run_end(wall);
 
   res.per_proc.reserve(cfg_.num_procs);
   for (auto& pp : procs) {
@@ -190,11 +205,21 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
     throw AppError("verification of '" + prog.name() + "' failed: " + e.what(),
                    capture_snapshot(queue, procs));
   }
+  res.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
   return res;
 }
 
 SimResult simulate(Program& prog, const MachineConfig& cfg) {
   return Simulator(cfg).run(prog);
+}
+
+SimResult simulate(Program& prog, const MachineConfig& cfg, Observer* obs) {
+  Simulator sim(cfg);
+  sim.set_observer(obs);
+  return sim.run(prog);
 }
 
 }  // namespace csim

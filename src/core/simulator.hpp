@@ -13,6 +13,8 @@
 
 namespace csim {
 
+class Observer;
+
 /// A simulated parallel program. Implementations allocate their simulated
 /// data in setup() and provide one coroutine body per processor.
 class Program {
@@ -63,13 +65,23 @@ class Simulator {
   /// the caller keeps ownership and the object must outlive the run.
   SimResult run(Program& prog, MemorySystem* memory_override = nullptr);
 
+  /// Attaches an observability sink (src/obs/observer.hpp) to subsequent
+  /// run() calls: the event queue, every processor, and the memory system
+  /// report into it. Null (the default) leaves every hook disabled — one
+  /// branch per site, no other cost.
+  void set_observer(Observer* obs) noexcept { obs_ = obs; }
+
   [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
 
  private:
   MachineConfig cfg_;
+  Observer* obs_ = nullptr;
 };
 
 /// Convenience: one-shot run.
 SimResult simulate(Program& prog, const MachineConfig& cfg);
+
+/// Convenience: one-shot observed run (obs may be null).
+SimResult simulate(Program& prog, const MachineConfig& cfg, Observer* obs);
 
 }  // namespace csim

@@ -71,6 +71,7 @@ struct SimResult {
   ProblemScale scale = ProblemScale::Default;
   Cycles wall_time = 0;
   std::uint64_t events = 0;  ///< events the queue dispatched during the run
+  double host_seconds = 0;   ///< real (wall-clock) time the run took to simulate
   std::vector<TimeBuckets> per_proc;
   std::vector<MissCounters> per_cluster;
   MissCounters totals{};

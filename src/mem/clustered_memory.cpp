@@ -2,6 +2,7 @@
 
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 
@@ -174,7 +175,8 @@ void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
 }
 
 void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
-                                                      ClusterId keep) {
+                                                      ClusterId keep,
+                                                      Cycles now) {
   // find(): this path only mutates existing state — an untracked line has no
   // copies to purge, and entry() would grow the directory with NOT_CACHED
   // garbage. Callers may hold a reference to this entry; no insertion or
@@ -183,13 +185,16 @@ void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
   if (pe == nullptr) return;
   DirEntry& e = *pe;
   std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
+  unsigned purged = 0;
   while (rest) {
     const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
     rest &= rest - 1;
+    if (attraction_[x].contains(line)) ++purged;
     purge_cluster(x, line);
     e.remove(x);
   }
   if (e.sharers == 0) e.state = DirState::NotCached;
+  if (obs_ != nullptr && purged != 0) obs_->on_invalidation(line, purged, now);
 }
 
 AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
@@ -201,7 +206,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
   MissCounters& ctr = counters_[c];
 
   if (exclusive) {
-    invalidate_other_clusters(line, c);
+    invalidate_other_clusters(line, c, now);
     e.sharers = 0;
     e.add(c);
     e.state = DirState::Exclusive;
@@ -232,6 +237,10 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
       ClusterLine{std::uint64_t{1} << local_index(p), exclusive};
   install_private(p, line, exclusive ? LineState::Exclusive : LineState::Shared);
   mshrs_[c].allocate(line, MshrEntry{now + lat});
+  if (exclusive && obs_ != nullptr) {
+    obs_->on_memory_stall(p, line, Observer::Stall::Store, now, now + lat,
+                          lclass);
+  }
   return AccessResult{exclusive ? AccessResult::Kind::WriteMiss
                                 : AccessResult::Kind::ReadMiss,
                       lat, now + lat, lclass};
@@ -340,7 +349,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     kill_local_peers(cl);
     caches_[p]->set_state(line, LineState::Exclusive);
     if (!cl.cluster_exclusive) {
-      invalidate_other_clusters(line, c);
+      invalidate_other_clusters(line, c, now);
       DirEntry& e = dir_.entry(line);
       e.sharers = 0;
       e.add(c);
@@ -365,7 +374,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     install_private(p, line, LineState::Exclusive);
     cl.proc_copies |= std::uint64_t{1} << local_index(p);
     if (!cl.cluster_exclusive) {
-      invalidate_other_clusters(line, c);
+      invalidate_other_clusters(line, c, now);
       DirEntry& e = dir_.entry(line);
       e.sharers = 0;
       e.add(c);

@@ -98,8 +98,9 @@ class ClusteredMemorySystem final : public MemorySystem {
   /// Removes every copy of `line` in cluster `c` (bus + attraction).
   void purge_cluster(ClusterId c, Addr line);
 
-  /// Invalidates all other clusters' copies via the directory.
-  void invalidate_other_clusters(Addr line, ClusterId keep);
+  /// Invalidates all other clusters' copies via the directory, reporting the
+  /// round to the observer at time `now`.
+  void invalidate_other_clusters(Addr line, ClusterId keep, Cycles now);
 
   /// Brings a line into the cluster from outside (read: SHARED, write:
   /// EXCLUSIVE); shared miss/merge/latency logic of both access kinds.

@@ -2,6 +2,7 @@
 
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 
@@ -124,7 +125,8 @@ LatencyClass CoherenceController::classify(ClusterId requester, Addr line,
   return classify_miss(e, requester, self.homes_.home_of(line));
 }
 
-void CoherenceController::invalidate_others(Addr line, ClusterId keep) {
+void CoherenceController::invalidate_others(Addr line, ClusterId keep,
+                                            Cycles now) {
   // find(): this path only mutates existing state — an untracked line has no
   // copies to invalidate, and entry() would grow the directory with
   // NOT_CACHED garbage. Callers may hold a reference to this entry; no
@@ -133,11 +135,13 @@ void CoherenceController::invalidate_others(Addr line, ClusterId keep) {
   if (pe == nullptr) return;
   DirEntry& e = *pe;
   std::uint64_t rest = e.sharers & ~(std::uint64_t{1} << keep);
+  unsigned killed = 0;
   while (rest) {
     const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
     rest &= rest - 1;
     if (caches_[x]->erase(line)) {
       ++counters_[x].invalidations;
+      ++killed;
       // Kill any in-flight fill: the data will arrive but must not be used
       // by accesses issued after this point.
       mshrs_[x].release(line);
@@ -145,6 +149,7 @@ void CoherenceController::invalidate_others(Addr line, ClusterId keep) {
     e.remove(x);
   }
   if (e.sharers == 0) e.state = DirState::NotCached;
+  if (obs_ != nullptr && killed != 0) obs_->on_invalidation(line, killed, now);
 }
 
 AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
@@ -225,7 +230,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
     }
     // UPGRADE: write found the line SHARED. Ownership moves instantly; the
     // latency is fully hidden by the store buffer.
-    invalidate_others(line, c);
+    invalidate_others(line, c, now);
     DirEntry& e = dir_.entry(line);
     e.sharers = 0;
     e.add(c);
@@ -240,7 +245,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   DirEntry& e = dir_.entry(line);
   const LatencyClass lclass = classify(c, line, e);
   const Cycles lat = cfg_.latency.of(lclass);
-  invalidate_others(line, c);
+  invalidate_others(line, c, now);
   e.sharers = 0;
   e.add(c);
   e.state = DirState::Exclusive;
@@ -249,6 +254,9 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   if (touched_lines_.insert(line)) ++ctr.cold_misses;
   install(c, line, LineState::Exclusive);
   mshrs_[c].allocate(line, MshrEntry{now + lat});
+  if (obs_ != nullptr) {
+    obs_->on_memory_stall(p, a, Observer::Stall::Store, now, now + lat, lclass);
+  }
   return AccessResult{AccessResult::Kind::WriteMiss, lat, now + lat, lclass};
 }
 

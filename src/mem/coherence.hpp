@@ -71,8 +71,9 @@ class CoherenceController final : public MemorySystem {
   /// read (fetch SHARED).
   AccessResult handle_read_miss(ClusterId c, Addr line, Cycles now);
 
-  /// Invalidates every copy except `keep` (storage and pending fills).
-  void invalidate_others(Addr line, ClusterId keep);
+  /// Invalidates every copy except `keep` (storage and pending fills),
+  /// reporting the round to the observer at time `now`.
+  void invalidate_others(Addr line, ClusterId keep, Cycles now);
 
   /// Installs a line into cluster `c`'s storage, processing any eviction.
   void install(ClusterId c, Addr line, LineState st);

@@ -17,6 +17,8 @@
 
 namespace csim {
 
+class Observer;
+
 /// Repeat-access eligibility of a Hit, used by the processor's MRU line
 /// filter (docs/PERFORMANCE.md). The memory system promises that, as long as
 /// it has processed no further access (access_epoch() unchanged), another
@@ -84,8 +86,13 @@ class MemorySystem {
     return nullptr;
   }
 
+  /// Attaches an observability sink (src/obs/observer.hpp). Null (the
+  /// default) disables every hook — a single branch per site.
+  void set_observer(Observer* obs) noexcept { obs_ = obs; }
+
  protected:
   std::uint64_t epoch_ = 0;  ///< see access_epoch()
+  Observer* obs_ = nullptr;  ///< invalidation / store-stall hook sink
 };
 
 }  // namespace csim

@@ -1,0 +1,13 @@
+#include "src/obs/build_info.hpp"
+
+// CSIM_GIT_DESCRIBE is injected per-source by src/CMakeLists.txt from
+// `git describe --always --dirty --tags` at configure time.
+#ifndef CSIM_GIT_DESCRIBE
+#define CSIM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace csim::obs {
+
+std::string_view git_describe() noexcept { return CSIM_GIT_DESCRIBE; }
+
+}  // namespace csim::obs

@@ -1,0 +1,13 @@
+// Build provenance for run manifests (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string_view>
+
+namespace csim::obs {
+
+/// `git describe --always --dirty --tags` of the source tree, captured at
+/// CMake configure time; "unknown" when the tree is not a git checkout.
+/// Note: re-run CMake (or rebuild) after committing for a fresh value.
+[[nodiscard]] std::string_view git_describe() noexcept;
+
+}  // namespace csim::obs

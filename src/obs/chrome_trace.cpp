@@ -1,0 +1,208 @@
+#include "src/obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/core/machine.hpp"
+#include "src/mem/latency.hpp"
+
+namespace csim::obs {
+
+namespace {
+
+const char* stall_name(Observer::Stall k) {
+  switch (k) {
+    case Observer::Stall::Load: return "stall:load";
+    case Observer::Stall::Merge: return "stall:merge";
+    case Observer::Stall::Store: return "stall:store";
+  }
+  return "stall";
+}
+
+const char* miss_name(Observer::Stall k) {
+  switch (k) {
+    case Observer::Stall::Load: return "miss:load";
+    case Observer::Stall::Merge: return "miss:merge";
+    case Observer::Stall::Store: return "miss:store";
+  }
+  return "miss";
+}
+
+}  // namespace
+
+std::uint32_t TimelineTracer::pid_of(ProcId p) const noexcept {
+  return p / procs_per_cluster_;
+}
+
+void TimelineTracer::on_run_begin(const RunBinding& b) {
+  num_procs_ = b.config->num_procs;
+  procs_per_cluster_ = b.config->procs_per_cluster;
+  memory_pid_ = b.config->num_clusters();
+  stall_.assign(num_procs_, PendingStall{});
+  wait_.assign(num_procs_, PendingWait{});
+  events_.clear();
+  events_.reserve(4096);
+}
+
+void TimelineTracer::on_slice(ProcId p, Cycles begin, Cycles end) {
+  if (p >= num_procs_) return;
+  // A sync wait ended when this slice began: render the waiting interval.
+  PendingWait& w = wait_[p];
+  if (w.active) {
+    if (begin > w.since) {
+      Event e{Event::Ph::Complete, w.what, "sync", pid_of(p), p, w.since,
+              begin - w.since};
+      push(e);
+    }
+    w.active = false;
+  }
+  Cycles run_end = end;
+  // A memory stall ended the slice: split [begin, end] into the computing
+  // part and the stall part so the track shows where time actually went.
+  PendingStall& s = stall_[p];
+  if (s.active) {
+    if (s.ready == end && s.issue >= begin && s.issue <= end) {
+      run_end = s.issue;
+      Event st{Event::Ph::Complete, stall_name(s.kind), "mem", pid_of(p), p,
+               s.issue, end - s.issue};
+      push(st);
+    }
+    s.active = false;
+  }
+  Event e{Event::Ph::Complete, "run", "cpu", pid_of(p), p, begin,
+          run_end > begin ? run_end - begin : 0};
+  push(e);
+}
+
+void TimelineTracer::on_memory_stall(ProcId p, Addr a, Stall kind,
+                                     Cycles issue, Cycles ready,
+                                     LatencyClass lclass) {
+  if (p >= num_procs_) return;
+  if (kind != Stall::Store) {
+    stall_[p] = PendingStall{true, kind, issue, ready};
+  }
+  // Async begin/end pair: Perfetto draws the round-trip as a span with
+  // arrows on the requesting processor's track.
+  const std::uint64_t id = next_async_id_++;
+  Event b{Event::Ph::AsyncBegin, miss_name(kind), "mem", pid_of(p), p, issue};
+  b.id = id;
+  b.addr = a;
+  b.detail = static_cast<std::uint8_t>(lclass);
+  b.has_args = true;
+  push(b);
+  Event e{Event::Ph::AsyncEnd, miss_name(kind), "mem", pid_of(p), p,
+          ready > issue ? ready : issue};
+  e.id = id;
+  push(e);
+}
+
+void TimelineTracer::on_barrier_arrive(ProcId p, const Barrier*, Cycles t) {
+  if (p >= num_procs_) return;
+  wait_[p] = PendingWait{true, "wait:barrier", t};
+  Event e{Event::Ph::Instant, "barrier:arrive", "sync", pid_of(p), p, t};
+  push(e);
+}
+
+void TimelineTracer::on_barrier_release(const Barrier*, unsigned released,
+                                        Cycles t) {
+  Event e{Event::Ph::Instant, "barrier:release", "sync", memory_pid_, 0, t};
+  e.detail = static_cast<std::uint8_t>(released > 255 ? 255 : released);
+  e.has_args = true;
+  push(e);
+}
+
+void TimelineTracer::on_lock_wait(ProcId p, const Lock*, Cycles t) {
+  if (p >= num_procs_) return;
+  wait_[p] = PendingWait{true, "wait:lock", t};
+  Event e{Event::Ph::Instant, "lock:wait", "sync", pid_of(p), p, t};
+  push(e);
+}
+
+void TimelineTracer::on_invalidation(Addr line, unsigned copies, Cycles t) {
+  Event e{Event::Ph::Instant, "invalidation", "mem", memory_pid_, 0, t};
+  e.addr = line;
+  e.detail = static_cast<std::uint8_t>(copies > 255 ? 255 : copies);
+  e.has_args = true;
+  push(e);
+}
+
+void TimelineTracer::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Metadata: name clusters as processes and processors as threads.
+  const unsigned num_clusters =
+      num_procs_ != 0 ? (num_procs_ / procs_per_cluster_) : 0;
+  for (unsigned c = 0; c < num_clusters; ++c) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << c
+       << ",\"tid\":0,\"args\":{\"name\":\"cluster " << c << "\"}}";
+  }
+  if (num_clusters != 0) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << memory_pid_
+       << ",\"tid\":0,\"args\":{\"name\":\"memory system\"}}";
+  }
+  for (unsigned p = 0; p < num_procs_; ++p) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid_of(p)
+       << ",\"tid\":" << p << ",\"args\":{\"name\":\"proc " << p << "\"}}";
+  }
+  for (const Event& e : events_) {
+    sep();
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+       << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    switch (e.ph) {
+      case Event::Ph::Complete:
+        os << ",\"ph\":\"X\",\"dur\":" << e.dur;
+        break;
+      case Event::Ph::AsyncBegin:
+        os << ",\"ph\":\"b\",\"id\":" << e.id;
+        break;
+      case Event::Ph::AsyncEnd:
+        os << ",\"ph\":\"e\",\"id\":" << e.id;
+        break;
+      case Event::Ph::Instant:
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+    }
+    if (e.has_args) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      if (e.addr != 0 || e.ph == Event::Ph::AsyncBegin) {
+        os << "\"addr\":\"0x" << std::hex << e.addr << std::dec << "\"";
+        afirst = false;
+      }
+      if (e.ph == Event::Ph::AsyncBegin) {
+        if (!afirst) os << ",";
+        os << "\"class\":\""
+           << to_string(static_cast<LatencyClass>(
+                  e.detail < kNumLatencyClasses ? e.detail : 0))
+           << "\"";
+        afirst = false;
+      } else if (e.detail != 0) {
+        if (!afirst) os << ",";
+        os << "\"count\":" << static_cast<unsigned>(e.detail);
+        afirst = false;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TimelineTracer::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("TimelineTracer: cannot write " + path);
+  write_json(os);
+  if (!os.flush()) {
+    throw std::runtime_error("TimelineTracer: write failed: " + path);
+  }
+}
+
+}  // namespace csim::obs

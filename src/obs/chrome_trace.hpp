@@ -1,0 +1,94 @@
+// TimelineTracer: records simulator events into the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Track layout (docs/OBSERVABILITY.md):
+//  - one process per cluster (pid = cluster id, named "cluster N"),
+//  - one thread per processor (tid = proc id, named "proc N"),
+//  - "run" complete events for execution slices, "stall:load" /
+//    "stall:merge" complete events for read-stall intervals,
+//  - async begin/end pairs ("miss:*") spanning each miss round-trip, which
+//    Perfetto renders as arrows from issue to fill,
+//  - instant events for barrier arrivals/releases, lock waits, and
+//    invalidation rounds (the latter on a dedicated "memory system" track).
+//
+// Simulated cycles map 1:1 to trace microseconds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/observer.hpp"
+
+namespace csim::obs {
+
+class TimelineTracer final : public Observer {
+ public:
+  TimelineTracer() = default;
+
+  // Observer hooks.
+  void on_run_begin(const RunBinding& b) override;
+  void on_slice(ProcId p, Cycles begin, Cycles end) override;
+  void on_memory_stall(ProcId p, Addr a, Stall kind, Cycles issue,
+                       Cycles ready, LatencyClass lclass) override;
+  void on_barrier_arrive(ProcId p, const Barrier* b, Cycles t) override;
+  void on_barrier_release(const Barrier* b, unsigned released,
+                          Cycles t) override;
+  void on_lock_wait(ProcId p, const Lock* l, Cycles t) override;
+  void on_invalidation(Addr line, unsigned copies, Cycles t) override;
+
+  /// Number of trace events recorded so far (metadata excluded).
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Writes the full {"traceEvents": [...]} JSON document.
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+
+ private:
+  /// One recorded event; rendered to a JSON object at export time.
+  struct Event {
+    enum class Ph : std::uint8_t {
+      Complete,    // "X" (uses dur)
+      AsyncBegin,  // "b" (uses id)
+      AsyncEnd,    // "e" (uses id)
+      Instant,     // "i"
+    };
+    Ph ph;
+    const char* name;       // static string
+    const char* cat;        // static string
+    std::uint32_t pid = 0;  // cluster (or the memory-system track)
+    std::uint32_t tid = 0;  // processor
+    Cycles ts = 0;
+    Cycles dur = 0;           // Complete only
+    std::uint64_t id = 0;     // Async only
+    Addr addr = 0;            // args.addr when nonzero kind_has_addr
+    std::uint8_t detail = 0;  // args: latency class / copies / released
+    bool has_args = false;
+  };
+
+  struct PendingStall {
+    bool active = false;
+    Stall kind = Stall::Load;
+    Cycles issue = 0;
+    Cycles ready = 0;
+  };
+  struct PendingWait {
+    bool active = false;
+    const char* what = "";  // "wait:barrier" | "wait:lock"
+    Cycles since = 0;
+  };
+
+  void push(const Event& e) { events_.push_back(e); }
+  [[nodiscard]] std::uint32_t pid_of(ProcId p) const noexcept;
+
+  unsigned num_procs_ = 0;
+  unsigned procs_per_cluster_ = 1;
+  std::uint32_t memory_pid_ = 1;  // num_clusters (one past the last cluster)
+  std::uint64_t next_async_id_ = 1;
+  std::vector<PendingStall> stall_;  // per processor
+  std::vector<PendingWait> wait_;    // per processor
+  std::vector<Event> events_;
+};
+
+}  // namespace csim::obs

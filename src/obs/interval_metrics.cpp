@@ -1,0 +1,162 @@
+#include "src/obs/interval_metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/core/stats.hpp"
+#include "src/mem/memory_system.hpp"
+
+namespace csim::obs {
+
+IntervalSampler::IntervalSampler(Cycles interval_cycles)
+    : interval_(interval_cycles) {
+  if (interval_ == 0) {
+    throw std::invalid_argument("IntervalSampler: interval must be > 0");
+  }
+}
+
+void IntervalSampler::on_run_begin(const RunBinding& b) {
+  registry_.clear();
+  rows_.clear();
+  row_start_ = 0;
+  next_ = interval_;
+
+  const MemorySystem* mem = b.mem;
+  // MissCounters columns (machine totals; totals() re-sums per cluster).
+  const auto ctr = [mem](std::uint64_t MissCounters::* field) {
+    return [mem, field]() { return mem->totals().*field; };
+  };
+  registry_.add("reads", ctr(&MissCounters::reads));
+  registry_.add("writes", ctr(&MissCounters::writes));
+  registry_.add("read_hits", ctr(&MissCounters::read_hits));
+  registry_.add("write_hits", ctr(&MissCounters::write_hits));
+  registry_.add("read_misses", ctr(&MissCounters::read_misses));
+  registry_.add("write_misses", ctr(&MissCounters::write_misses));
+  registry_.add("upgrade_misses", ctr(&MissCounters::upgrade_misses));
+  registry_.add("merges", ctr(&MissCounters::merges));
+  registry_.add("cold_misses", ctr(&MissCounters::cold_misses));
+  registry_.add("invalidations", ctr(&MissCounters::invalidations));
+  registry_.add("evictions", ctr(&MissCounters::evictions));
+  registry_.add("snoop_transfers", ctr(&MissCounters::snoop_transfers));
+  registry_.add("cluster_memory_hits",
+                ctr(&MissCounters::cluster_memory_hits));
+  registry_.add("bus_invalidations", ctr(&MissCounters::bus_invalidations));
+
+  // TimeBuckets columns: machine-wide sums of the raw per-processor buckets
+  // (no final-barrier adjustment — that is applied post-run by SimResult).
+  const auto bkt = [procs = b.proc_buckets](Cycles TimeBuckets::* field) {
+    return [procs, field]() {
+      std::uint64_t sum = 0;
+      for (const TimeBuckets* t : procs) sum += t->*field;
+      return sum;
+    };
+  };
+  registry_.add("t_cpu", bkt(&TimeBuckets::cpu));
+  registry_.add("t_load", bkt(&TimeBuckets::load));
+  registry_.add("t_merge", bkt(&TimeBuckets::merge));
+  registry_.add("t_sync", bkt(&TimeBuckets::sync));
+
+  // Event-queue throughput.
+  if (b.events_run != nullptr) {
+    registry_.add("events", [n = b.events_run]() { return *n; });
+  }
+
+  // User-registered extras ride along.
+  for (std::size_t i = 0; i < extra_.size(); ++i) {
+    // Re-adding by sampling through the extra registry keeps Fn copies
+    // alive in registry_ without exposing its internals.
+    registry_.add(extra_.names()[i],
+                  [this, i]() {
+                    std::vector<std::uint64_t> one;
+                    extra_.sample(one);
+                    return one[i];
+                  });
+  }
+
+  registry_.sample(last_);  // baseline (normally all zero at t = 0)
+}
+
+void IntervalSampler::flush(Cycles boundary) {
+  registry_.sample(cur_);
+  Row row;
+  row.start = row_start_;
+  row.end = boundary;
+  row.delta.resize(cur_.size());
+  for (std::size_t i = 0; i < cur_.size(); ++i) {
+    row.delta[i] = cur_[i] - last_[i];
+  }
+  rows_.push_back(std::move(row));
+  last_ = cur_;
+  row_start_ = boundary;
+}
+
+void IntervalSampler::on_event_dispatched(Cycles now, std::uint64_t) {
+  if (now < next_) return;
+  // All activity since the previous snapshot is attributed to the interval
+  // ending at the first crossed boundary; empty intervals are skipped.
+  flush(next_);
+  next_ += interval_;
+  while (next_ <= now) next_ += interval_;
+}
+
+void IntervalSampler::on_run_end(Cycles wall_time) {
+  const Cycles end = wall_time > row_start_ ? wall_time : row_start_;
+  flush(end == row_start_ ? row_start_ + 1 : end);
+}
+
+void IntervalSampler::write_csv(std::ostream& os) const {
+  os << "interval,start_cycle,end_cycle";
+  for (const std::string& n : registry_.names()) os << ',' << n;
+  os << '\n';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    os << i << ',' << r.start << ',' << r.end;
+    for (std::uint64_t v : r.delta) os << ',' << v;
+    os << '\n';
+  }
+}
+
+void IntervalSampler::write_json(std::ostream& os) const {
+  os << "{\n  \"interval_cycles\": " << interval_ << ",\n  \"columns\": [";
+  const auto& names = registry_.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << (i ? ", " : "") << '"' << names[i] << '"';
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    os << "    {\"start\": " << r.start << ", \"end\": " << r.end
+       << ", \"delta\": [";
+    for (std::size_t j = 0; j < r.delta.size(); ++j) {
+      os << (j ? ", " : "") << r.delta[j];
+    }
+    os << "]}" << (i + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"final\": {";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << (i ? ", " : "") << '"' << names[i]
+       << "\": " << (i < last_.size() ? last_[i] : 0);
+  }
+  os << "}\n}\n";
+}
+
+void IntervalSampler::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("IntervalSampler: cannot write " + path);
+  write_csv(os);
+  if (!os.flush()) {
+    throw std::runtime_error("IntervalSampler: write failed: " + path);
+  }
+}
+
+void IntervalSampler::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("IntervalSampler: cannot write " + path);
+  write_json(os);
+  if (!os.flush()) {
+    throw std::runtime_error("IntervalSampler: write failed: " + path);
+  }
+}
+
+}  // namespace csim::obs

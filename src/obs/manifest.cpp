@@ -1,0 +1,180 @@
+#include "src/obs/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/obs/build_info.hpp"
+
+namespace csim::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void byte(std::uint8_t b) noexcept {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+void hash_counters(Fnv& f, const MissCounters& c) {
+  f.u64(c.reads);
+  f.u64(c.writes);
+  f.u64(c.read_hits);
+  f.u64(c.write_hits);
+  f.u64(c.read_misses);
+  f.u64(c.write_misses);
+  f.u64(c.upgrade_misses);
+  f.u64(c.merges);
+  f.u64(c.cold_misses);
+  f.u64(c.invalidations);
+  f.u64(c.evictions);
+  f.u64(c.snoop_transfers);
+  f.u64(c.cluster_memory_hits);
+  f.u64(c.bus_invalidations);
+  for (std::uint64_t v : c.by_class) f.u64(v);
+}
+
+void hash_buckets(Fnv& f, const TimeBuckets& b) {
+  f.u64(b.cpu);
+  f.u64(b.load);
+  f.u64(b.merge);
+  f.u64(b.sync);
+}
+
+const char* style_name(ClusterStyle s) {
+  return s == ClusterStyle::SharedMemory ? "shared_memory" : "shared_cache";
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t result_digest(const SimResult& r) {
+  Fnv f;
+  f.str(r.app_name);
+  f.byte(static_cast<std::uint8_t>(r.scale));
+  f.u64(r.config.num_procs);
+  f.u64(r.config.procs_per_cluster);
+  f.byte(static_cast<std::uint8_t>(r.config.cluster_style));
+  f.u64(r.config.cache.per_proc_bytes);
+  f.u64(r.config.cache.line_bytes);
+  f.u64(r.config.cache.associativity);
+  f.u64(r.config.hit_latency);
+  f.u64(r.config.runahead_quantum);
+  f.byte(r.config.model_shared_hit_costs ? 1 : 0);
+  f.byte(r.ok ? 1 : 0);
+  if (!r.ok) {
+    f.str(r.error_kind);
+    return f.h;
+  }
+  f.u64(r.wall_time);
+  f.u64(r.events);
+  hash_counters(f, r.totals);
+  f.u64(r.per_proc.size());
+  for (const TimeBuckets& b : r.per_proc) hash_buckets(f, b);
+  f.u64(r.per_cluster.size());
+  for (const MissCounters& c : r.per_cluster) hash_counters(f, c);
+  return f.h;
+}
+
+std::uint64_t sweep_digest(const std::vector<SimResult>& rows) {
+  Fnv f;
+  f.u64(rows.size());
+  for (const SimResult& r : rows) f.u64(result_digest(r));
+  return f.h;
+}
+
+std::string digest_hex(std::uint64_t d) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(d));
+  return buf;
+}
+
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const std::vector<SimResult>& rows,
+                        std::time_t generated_unix) {
+  os << "{\n";
+  os << "  \"schema\": \"csim.run_manifest/1\",\n";
+  os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  os << "  \"git\": \"" << json_escape(std::string(git_describe()))
+     << "\",\n";
+  os << "  \"generated_unix\": " << static_cast<long long>(generated_unix)
+     << ",\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimResult& r = rows[i];
+    os << "    {\"app\": \"" << json_escape(r.app_name) << "\", \"scale\": \""
+       << to_string(r.scale) << "\", \"ok\": " << (r.ok ? "true" : "false")
+       << ",\n     \"config\": {\"label\": \"" << json_escape(r.config.label())
+       << "\", \"procs\": " << r.config.num_procs
+       << ", \"ppc\": " << r.config.procs_per_cluster << ", \"style\": \""
+       << style_name(r.config.cluster_style)
+       << "\", \"cache_bytes\": " << r.config.cache.per_proc_bytes
+       << ", \"line_bytes\": " << r.config.cache.line_bytes
+       << ", \"assoc\": " << r.config.cache.associativity
+       << ", \"quantum\": " << r.config.runahead_quantum << "},\n";
+    if (r.ok) {
+      os << "     \"wall_time\": " << r.wall_time
+         << ", \"events\": " << r.events;
+    } else {
+      os << "     \"error_kind\": \"" << json_escape(r.error_kind) << "\"";
+    }
+    char host[32];
+    std::snprintf(host, sizeof host, "%.6f", r.host_seconds);
+    os << ", \"host_seconds\": " << host << ",\n     \"digest\": \""
+       << digest_hex(result_digest(r)) << "\"}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"sweep_digest\": \"" << digest_hex(sweep_digest(rows)) << "\"\n";
+  os << "}\n";
+}
+
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const std::vector<SimResult>& rows) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_run_manifest: cannot write " + path);
+  write_run_manifest(os, tool, rows, std::time(nullptr));
+  if (!os.flush()) {
+    throw std::runtime_error("write_run_manifest: write failed: " + path);
+  }
+}
+
+}  // namespace csim::obs

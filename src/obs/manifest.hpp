@@ -1,0 +1,43 @@
+// Run manifests: one JSON record per sweep row capturing configuration,
+// build provenance (git describe), host wall time, and a digest of the
+// simulation result — enough to reproduce (and verify the reproduction of)
+// any figure from its manifest alone.
+//
+// The digest covers only deterministic simulation outputs (configuration,
+// wall_time in cycles, event count, miss taxonomy, time buckets); host wall
+// time and timestamps are recorded but excluded, so two identical runs
+// always produce the same digest (pinned by the determinism suite).
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/stats.hpp"
+
+namespace csim::obs {
+
+/// FNV-1a 64-bit digest of a simulation result's deterministic fields.
+/// Failed runs (ok == false) hash their error kind instead of statistics.
+[[nodiscard]] std::uint64_t result_digest(const SimResult& r);
+
+/// Digest of a whole sweep: FNV-1a over the row digests, in order.
+[[nodiscard]] std::uint64_t sweep_digest(const std::vector<SimResult>& rows);
+
+/// 16-hex-digit lowercase rendering of a digest.
+[[nodiscard]] std::string digest_hex(std::uint64_t d);
+
+/// Writes the "csim.run_manifest/1" JSON document for a sweep.
+/// `tool` names the producing driver (e.g. "csim_cli"); `generated_unix`
+/// stamps the manifest (pass a fixed value in tests for byte-stable output).
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const std::vector<SimResult>& rows,
+                        std::time_t generated_unix);
+
+/// Convenience: writes to `path`, stamped with the current time.
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const std::vector<SimResult>& rows);
+
+}  // namespace csim::obs

@@ -1,0 +1,161 @@
+// Observability hook interface (docs/OBSERVABILITY.md).
+//
+// An Observer attaches to a single simulation run via
+// Simulator::set_observer() and receives callbacks from the engine's
+// instrumentation points:
+//
+//   EventQueue       -> on_event_dispatched   (every event, after execution)
+//   Proc             -> on_slice              (coroutine resume .. suspend)
+//                       on_memory_stall       (load / merge stalls)
+//                       on_barrier_arrive, on_lock_wait
+//   Barrier release  -> on_barrier_release
+//   memory systems   -> on_memory_stall       (hidden store-miss fills)
+//                       on_invalidation       (invalidation rounds)
+//
+// Every hook site is guarded by a single `if (obs_ != nullptr)` branch on a
+// pointer that is null unless an observer was explicitly attached, so the
+// disabled cost is one predictable branch — the PR 2 hot path is untouched
+// (verified by the CI perf gate against BENCH_perf.json).
+//
+// Concrete observers live in src/obs/: TimelineTracer (chrome_trace.hpp)
+// and IntervalSampler (interval_metrics.hpp). MultiObserver fans one run
+// out to several observers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace csim {
+
+struct MachineConfig;
+struct TimeBuckets;
+class MemorySystem;
+class Barrier;
+class Lock;
+
+class Observer {
+ public:
+  /// What a processor-visible memory stall was: a read miss (NearHit
+  /// included), a read merged onto an in-flight fill, or a store-buffered
+  /// write-miss fill (hidden from the processor, visible on the wire).
+  enum class Stall : std::uint8_t { Load, Merge, Store };
+
+  /// Read-only bindings into the running machine, valid for the duration of
+  /// the run (between on_run_begin and on_run_end).
+  struct RunBinding {
+    const MachineConfig* config = nullptr;
+    const MemorySystem* mem = nullptr;
+    /// Per-processor raw time buckets (no final-barrier adjustment).
+    std::vector<const TimeBuckets*> proc_buckets;
+    /// Cumulative events dispatched, from the event queue.
+    const std::uint64_t* events_run = nullptr;
+  };
+
+  virtual ~Observer() = default;
+
+  virtual void on_run_begin(const RunBinding&) {}
+  /// Called once when the run completes successfully (never on failure).
+  virtual void on_run_end(Cycles wall_time) { (void)wall_time; }
+
+  /// EventQueue::run_one, after the event executed; `now` is the event time.
+  virtual void on_event_dispatched(Cycles now, std::uint64_t events_run) {
+    (void)now;
+    (void)events_run;
+  }
+
+  /// One processor execution slice: resumed at `begin`, suspended (or
+  /// finished) with local clock `end`. When the slice ended in a memory
+  /// stall, `end` includes the stall (see on_memory_stall for the split).
+  virtual void on_slice(ProcId p, Cycles begin, Cycles end) {
+    (void)p;
+    (void)begin;
+    (void)end;
+  }
+
+  /// A miss round-trip: issued at `issue`, data arrives at `ready`. For
+  /// Stall::Load / Stall::Merge the processor stalls until `ready`; for
+  /// Stall::Store the fill is hidden by the store buffer.
+  virtual void on_memory_stall(ProcId p, Addr a, Stall kind, Cycles issue,
+                               Cycles ready, LatencyClass lclass) {
+    (void)p;
+    (void)a;
+    (void)kind;
+    (void)issue;
+    (void)ready;
+    (void)lclass;
+  }
+
+  virtual void on_barrier_arrive(ProcId p, const Barrier* b, Cycles t) {
+    (void)p;
+    (void)b;
+    (void)t;
+  }
+  /// Emitted by the last arriver; `released` waiters resume at `t`.
+  virtual void on_barrier_release(const Barrier* b, unsigned released,
+                                  Cycles t) {
+    (void)b;
+    (void)released;
+    (void)t;
+  }
+  /// Processor `p` queued on a contended lock at `t`.
+  virtual void on_lock_wait(ProcId p, const Lock* l, Cycles t) {
+    (void)p;
+    (void)l;
+    (void)t;
+  }
+
+  /// An invalidation round destroyed `copies` cluster copies of `line`.
+  virtual void on_invalidation(Addr line, unsigned copies, Cycles t) {
+    (void)line;
+    (void)copies;
+    (void)t;
+  }
+};
+
+/// Fans every callback out to a fixed list of observers (e.g. a tracer and
+/// an interval sampler on the same run). Does not own its children.
+/// Subclasses may override hooks to add behaviour (call the base to keep the
+/// fan-out; obs::RunObserver writes output files from on_run_end this way).
+class MultiObserver : public Observer {
+ public:
+  void add(Observer* o) {
+    if (o != nullptr) children_.push_back(o);
+  }
+  [[nodiscard]] bool empty() const noexcept { return children_.empty(); }
+
+  void on_run_begin(const RunBinding& b) override {
+    for (Observer* o : children_) o->on_run_begin(b);
+  }
+  void on_run_end(Cycles wall) override {
+    for (Observer* o : children_) o->on_run_end(wall);
+  }
+  void on_event_dispatched(Cycles now, std::uint64_t n) override {
+    for (Observer* o : children_) o->on_event_dispatched(now, n);
+  }
+  void on_slice(ProcId p, Cycles b, Cycles e) override {
+    for (Observer* o : children_) o->on_slice(p, b, e);
+  }
+  void on_memory_stall(ProcId p, Addr a, Stall k, Cycles i, Cycles r,
+                       LatencyClass c) override {
+    for (Observer* o : children_) o->on_memory_stall(p, a, k, i, r, c);
+  }
+  void on_barrier_arrive(ProcId p, const Barrier* b, Cycles t) override {
+    for (Observer* o : children_) o->on_barrier_arrive(p, b, t);
+  }
+  void on_barrier_release(const Barrier* b, unsigned n, Cycles t) override {
+    for (Observer* o : children_) o->on_barrier_release(b, n, t);
+  }
+  void on_lock_wait(ProcId p, const Lock* l, Cycles t) override {
+    for (Observer* o : children_) o->on_lock_wait(p, l, t);
+  }
+  void on_invalidation(Addr line, unsigned copies, Cycles t) override {
+    for (Observer* o : children_) o->on_invalidation(line, copies, t);
+  }
+
+ private:
+  std::vector<Observer*> children_;
+};
+
+}  // namespace csim

@@ -1,0 +1,127 @@
+#include "src/obs/perf_baseline.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace csim::obs {
+
+namespace {
+
+/// Extracts the quoted string value following `"key":` at/after `pos` in
+/// `line`. Returns false when the key is absent.
+bool find_string(const std::string& line, const std::string& key,
+                 std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t k = line.find(needle);
+  if (k == std::string::npos) return false;
+  std::size_t i = line.find('"', k + needle.size());
+  if (i == std::string::npos) return false;
+  const std::size_t j = line.find('"', i + 1);
+  if (j == std::string::npos) return false;
+  out = line.substr(i + 1, j - i - 1);
+  return true;
+}
+
+bool find_number(const std::string& line, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t k = line.find(needle);
+  if (k == std::string::npos) return false;
+  const char* s = line.c_str() + k + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+PerfReport load_perf_report(std::istream& is) {
+  PerfReport rep;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string s;
+    if (rep.benchmark.empty() && find_string(line, "benchmark", s)) {
+      rep.benchmark = s;
+    }
+    PerfRow row;
+    if (find_string(line, "name", row.name) &&
+        find_number(line, "sim_refs_per_sec", row.refs_per_sec)) {
+      if (row.refs_per_sec <= 0) {
+        throw std::runtime_error("perf report: non-positive throughput for " +
+                                 row.name);
+      }
+      rep.rows.push_back(std::move(row));
+    }
+  }
+  if (rep.rows.empty()) {
+    throw std::runtime_error(
+        "perf report: no result rows found (expected BENCH_perf.json format)");
+  }
+  return rep;
+}
+
+PerfReport load_perf_report_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("perf report: cannot open " + path);
+  return load_perf_report(is);
+}
+
+GateResult check_perf(const PerfReport& baseline, const PerfReport& current,
+                      double max_regression) {
+  GateResult g;
+  for (const PerfRow& b : baseline.rows) {
+    const PerfRow* cur = nullptr;
+    for (const PerfRow& c : current.rows) {
+      if (c.name == b.name) {
+        cur = &c;
+        break;
+      }
+    }
+    if (cur == nullptr) {
+      g.missing.push_back(b.name);
+      g.ok = false;
+      continue;
+    }
+    PerfDelta d;
+    d.name = b.name;
+    d.baseline = b.refs_per_sec;
+    d.current = cur->refs_per_sec;
+    d.ratio = d.current / d.baseline;
+    d.regressed = d.current < (1.0 - max_regression) * d.baseline;
+    if (d.regressed) g.ok = false;
+    g.deltas.push_back(std::move(d));
+  }
+  return g;
+}
+
+void write_delta_table(std::ostream& os, const GateResult& g,
+                       double max_regression) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-36s %14s %14s %8s  %s\n", "benchmark",
+                "baseline", "current", "ratio", "verdict");
+  os << buf;
+  for (const PerfDelta& d : g.deltas) {
+    std::snprintf(buf, sizeof buf, "%-36s %14.0f %14.0f %7.2fx  %s\n",
+                  d.name.c_str(), d.baseline, d.current, d.ratio,
+                  d.regressed ? "REGRESSED" : "ok");
+    os << buf;
+  }
+  for (const std::string& m : g.missing) {
+    std::snprintf(buf, sizeof buf, "%-36s %14s %14s %8s  %s\n", m.c_str(),
+                  "-", "missing", "-", "MISSING");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "gate: fail below %.0f%% of baseline -> %s\n",
+                (1.0 - max_regression) * 100.0, g.ok ? "PASS" : "FAIL");
+  os << buf;
+}
+
+}  // namespace csim::obs

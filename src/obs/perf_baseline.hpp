@@ -1,0 +1,59 @@
+// Perf-baseline reports and the CI regression gate (docs/PERFORMANCE.md).
+//
+// `perf_micro --json` writes BENCH_perf.json; the committed copy is the
+// tracked baseline. load_perf_report() parses that exact format (a minimal
+// scanner, not a general JSON parser) and check_perf() compares a fresh
+// report against the baseline: any benchmark whose throughput drops by more
+// than `max_regression` (fraction, e.g. 0.25) fails the gate. The
+// `tools/perf_check` binary wraps this for the release-perf CI job.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csim::obs {
+
+struct PerfRow {
+  std::string name;
+  double refs_per_sec = 0;
+};
+
+struct PerfReport {
+  std::string benchmark;
+  std::vector<PerfRow> rows;
+};
+
+/// Parses a BENCH_perf.json document. Throws std::runtime_error on a
+/// malformed report (no rows, or a row without both fields).
+[[nodiscard]] PerfReport load_perf_report(std::istream& is);
+[[nodiscard]] PerfReport load_perf_report_file(const std::string& path);
+
+struct PerfDelta {
+  std::string name;
+  double baseline = 0;
+  double current = 0;
+  /// current / baseline: < 1 is a slowdown.
+  double ratio = 0;
+  bool regressed = false;
+};
+
+struct GateResult {
+  std::vector<PerfDelta> deltas;
+  /// Baseline rows absent from the current report (fails the gate: a
+  /// silently vanished benchmark must not pass).
+  std::vector<std::string> missing;
+  bool ok = true;
+};
+
+/// Compares `current` against `baseline`; a row regresses when
+/// current < (1 - max_regression) * baseline.
+[[nodiscard]] GateResult check_perf(const PerfReport& baseline,
+                                    const PerfReport& current,
+                                    double max_regression);
+
+/// Renders the delta table (printed by the CI step on every run).
+void write_delta_table(std::ostream& os, const GateResult& g,
+                       double max_regression);
+
+}  // namespace csim::obs

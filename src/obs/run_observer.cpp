@@ -1,0 +1,55 @@
+#include "src/obs/run_observer.hpp"
+
+#include <utility>
+
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/interval_metrics.hpp"
+
+namespace csim::obs {
+
+RunObserver::RunObserver() = default;
+RunObserver::~RunObserver() = default;
+
+void RunObserver::enable_trace(std::string path) {
+  tracer_ = std::make_unique<TimelineTracer>();
+  trace_path_ = std::move(path);
+  add(tracer_.get());
+}
+
+void RunObserver::enable_metrics(Cycles interval, std::string csv_path,
+                                 std::string json_path) {
+  sampler_ = std::make_unique<IntervalSampler>(interval);
+  metrics_csv_path_ = std::move(csv_path);
+  metrics_json_path_ = std::move(json_path);
+  add(sampler_.get());
+}
+
+void RunObserver::on_run_end(Cycles wall_time) {
+  MultiObserver::on_run_end(wall_time);  // children flush first
+  if (tracer_ != nullptr && !trace_path_.empty()) {
+    tracer_->write_json_file(trace_path_);
+  }
+  if (sampler_ != nullptr) {
+    if (!metrics_csv_path_.empty()) {
+      sampler_->write_csv_file(metrics_csv_path_);
+    }
+    if (!metrics_json_path_.empty()) {
+      sampler_->write_json_file(metrics_json_path_);
+    }
+  }
+}
+
+std::string row_path(const std::string& base, unsigned ppc,
+                     std::size_t num_rows) {
+  if (num_rows <= 1) return base;
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  const std::string suffix = "_ppc" + std::to_string(ppc);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+}  // namespace csim::obs

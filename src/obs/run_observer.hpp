@@ -1,0 +1,54 @@
+// RunObserver: the driver-facing bundle behind --trace-out and
+// --metrics-interval. Owns an optional TimelineTracer and IntervalSampler,
+// fans the run's callbacks out to whichever are enabled, and writes their
+// output files when the run completes (on_run_end fires only on success, so
+// a failed run leaves no partial artifacts).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/types.hpp"
+#include "src/obs/observer.hpp"
+
+namespace csim::obs {
+
+class TimelineTracer;
+class IntervalSampler;
+
+class RunObserver final : public MultiObserver {
+ public:
+  RunObserver();
+  ~RunObserver() override;
+
+  /// Records a Chrome trace-event timeline, written to `path` at run end.
+  void enable_trace(std::string path);
+
+  /// Samples interval metrics every `interval` cycles; the time series is
+  /// written to `csv_path` (and, when non-empty, `json_path`) at run end.
+  void enable_metrics(Cycles interval, std::string csv_path,
+                      std::string json_path = {});
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return tracer_ != nullptr || sampler_ != nullptr;
+  }
+  [[nodiscard]] TimelineTracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] IntervalSampler* sampler() noexcept { return sampler_.get(); }
+
+  void on_run_end(Cycles wall_time) override;
+
+ private:
+  std::unique_ptr<TimelineTracer> tracer_;
+  std::unique_ptr<IntervalSampler> sampler_;
+  std::string trace_path_;
+  std::string metrics_csv_path_;
+  std::string metrics_json_path_;
+};
+
+/// Derives the output path for sweep row `index`: `base` unchanged for a
+/// single-row sweep, otherwise "name_ppc<P>.ext" so each row's artifact is
+/// distinct (P = the row's procs-per-cluster).
+[[nodiscard]] std::string row_path(const std::string& base, unsigned ppc,
+                                   std::size_t num_rows);
+
+}  // namespace csim::obs

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/core/error.hpp"
+#include "src/obs/observer.hpp"
 
 namespace csim {
 
@@ -27,15 +28,26 @@ MachineConfig paper_machine(unsigned procs_per_cluster,
 std::vector<SimResult> run_configs(
     const std::function<std::unique_ptr<Program>()>& make_app,
     const std::vector<MachineConfig>& configs) {
+  return run_configs(make_app, configs, ObserverFactory{});
+}
+
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineConfig>& configs,
+    const ObserverFactory& make_observer) {
   // Runs one simulation per configuration. Failures become ok == false rows
   // carrying the SimError diagnostics (graceful degradation: one broken
   // configuration must not abort the whole sweep; write_failures renders
   // them). Results come back in input order.
-  const auto run_one = [&make_app](const MachineConfig& cfg) -> SimResult {
+  const auto run_one = [&make_app, &make_observer](const MachineConfig& cfg,
+                                                   std::size_t index)
+      -> SimResult {
     std::unique_ptr<Program> app;
     try {
       app = make_app();
-      return simulate(*app, cfg);
+      std::unique_ptr<Observer> obs;
+      if (make_observer) obs = make_observer(cfg, index);
+      return simulate(*app, cfg, obs.get());
     } catch (const std::exception& e) {
       SimResult r;
       r.config = cfg;
@@ -71,7 +83,9 @@ std::vector<SimResult> run_configs(
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(hw, configs.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) out[i] = run_one(configs[i]);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      out[i] = run_one(configs[i], i);
+    }
     return out;
   }
   std::atomic<std::size_t> next{0};
@@ -79,7 +93,7 @@ std::vector<SimResult> run_configs(
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) return;
-      out[i] = run_one(configs[i]);
+      out[i] = run_one(configs[i], i);
     }
   };
   std::vector<std::thread> pool;

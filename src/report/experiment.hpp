@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "src/core/simulator.hpp"
 
 namespace csim {
+
+class Observer;
 
 /// The paper's fixed experimental frame: 64 processors, 64-byte lines,
 /// fully associative LRU cluster caches, Table 1 latencies.
@@ -39,6 +42,21 @@ std::vector<SimResult> sweep_clusters(
 std::vector<SimResult> run_configs(
     const std::function<std::unique_ptr<Program>()>& make_app,
     const std::vector<MachineConfig>& configs);
+
+/// Builds one Observer per sweep row (src/obs/observer.hpp); may return null
+/// to leave that row unobserved. Called with the row's configuration and its
+/// index in the sweep. Each row gets its own instance because rows run
+/// concurrently; the runner keeps it alive for the row's whole simulation.
+using ObserverFactory = std::function<std::unique_ptr<Observer>(
+    const MachineConfig& cfg, std::size_t index)>;
+
+/// run_configs with per-row observability: `make_observer` (when non-null)
+/// attaches a fresh observer to every row's simulation. Used by the sweep
+/// drivers for --trace-out / --metrics-interval.
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineConfig>& configs,
+    const ObserverFactory& make_observer);
 
 /// Standard bench command line: `--paper`/`--test` switch problem sizes,
 /// `--procs N` overrides the processor count.

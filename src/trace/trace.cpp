@@ -54,6 +54,18 @@ void Trace::save(const std::string& path) const {
 Trace Trace::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("Trace::load: cannot open " + path);
+  // Header: magic(4) version(1) procs(1) line_bytes(2) count(8); each record
+  // is proc(1) kind(1) addr(8). Validate the declared record count against
+  // the real file size before reserving: a truncated or corrupt header must
+  // fail cleanly, not attempt a multi-gigabyte allocation.
+  constexpr std::uint64_t kHeaderBytes = 4 + 1 + 1 + 2 + 8;
+  constexpr std::uint64_t kRecordBytes = 1 + 1 + 8;
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  if (file_size < kHeaderBytes) {
+    throw std::runtime_error("Trace::load: truncated header");
+  }
   char magic[4];
   is.read(magic, 4);
   if (!is || std::memcmp(magic, kMagic, 4) != 0) {
@@ -66,13 +78,32 @@ Trace Trace::load(const std::string& path) {
   const unsigned lo = static_cast<unsigned>(is.get());
   const unsigned hi = static_cast<unsigned>(is.get());
   t.line_bytes_ = lo | (hi << 8);
+  if (t.num_procs_ == 0) {
+    throw std::runtime_error("Trace::load: header declares zero processors");
+  }
+  if (t.line_bytes_ == 0 || (t.line_bytes_ & (t.line_bytes_ - 1)) != 0) {
+    throw std::runtime_error(
+        "Trace::load: line_bytes not a power of two: " +
+        std::to_string(t.line_bytes_));
+  }
   const std::uint64_t n = get_u64(is);
+  if (n > (file_size - kHeaderBytes) / kRecordBytes) {
+    throw std::runtime_error(
+        "Trace::load: header declares " + std::to_string(n) +
+        " records but the file holds at most " +
+        std::to_string((file_size - kHeaderBytes) / kRecordBytes));
+  }
   t.records_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     TraceRecord r;
     r.proc = static_cast<ProcId>(is.get());
     r.kind = is.get() ? AccessKind::Write : AccessKind::Read;
     r.addr = get_u64(is);
+    if (r.proc >= t.num_procs_) {
+      throw std::runtime_error(
+          "Trace::load: record " + std::to_string(i) + " names proc " +
+          std::to_string(r.proc) + " of " + std::to_string(t.num_procs_));
+    }
     t.records_.push_back(r);
   }
   if (!is) throw std::runtime_error("Trace::load: truncated trace");

@@ -1,0 +1,217 @@
+// Minimal strict JSON parser for observability-format tests: parses a
+// document into a small DOM (or throws std::runtime_error with position
+// info). Supports the full JSON grammar the simulator emits: objects,
+// arrays, strings with escapes, numbers, booleans, null. Test-only — the
+// library itself never parses JSON it didn't write.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace csim::testjson {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is(Kind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) != 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("json: missing key '" + key + "'");
+    return object.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing data after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                fail("bad \\u escape");
+              }
+            }
+            out += '?';  // tests only check structure, not code points
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value value() {
+    skip_ws();
+    Value v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = Value::Kind::Object;
+      ++pos_;
+      skip_ws();
+      if (consume('}')) return v;
+      while (true) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.object[std::move(key)] = value();
+        skip_ws();
+        if (consume('}')) return v;
+        expect(',');
+      }
+    }
+    if (c == '[') {
+      v.kind = Value::Kind::Array;
+      ++pos_;
+      skip_ws();
+      if (consume(']')) return v;
+      while (true) {
+        v.array.push_back(value());
+        skip_ws();
+        if (consume(']')) return v;
+        expect(',');
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::String;
+      v.str = string_body();
+      return v;
+    }
+    if (c == 't') {
+      literal("true");
+      v.kind = Value::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      literal("false");
+      v.kind = Value::Kind::Bool;
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return v;
+    }
+    // Number: -?digits[.digits][(e|E)[+-]digits]
+    v.kind = Value::Kind::Number;
+    const std::size_t start = pos_;
+    consume('-');
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("bad number");
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("bad fraction");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("bad exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace csim::testjson

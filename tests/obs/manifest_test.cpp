@@ -1,0 +1,128 @@
+// Run-manifest tests: digest stability across identical runs (the
+// determinism-suite extension), digest sensitivity to what actually changed,
+// host-time exclusion, and manifest JSON structure.
+#include "src/obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/core/simulator.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/report/experiment.hpp"
+#include "tests/obs/json_checker.hpp"
+
+namespace csim {
+namespace {
+
+SimResult run_fft(unsigned ppc, ClusterStyle style) {
+  auto app = make_app("fft", ProblemScale::Test);
+  MachineConfig cfg = paper_machine(ppc, 16 * 1024);
+  cfg.cluster_style = style;
+  return simulate(*app, cfg);
+}
+
+TEST(RunManifest, DigestStableAcrossIdenticalRuns) {
+  const SimResult a = run_fft(8, ClusterStyle::SharedCache);
+  const SimResult b = run_fft(8, ClusterStyle::SharedCache);
+  EXPECT_EQ(obs::result_digest(a), obs::result_digest(b));
+  EXPECT_EQ(obs::sweep_digest({a}), obs::sweep_digest({b}));
+}
+
+TEST(RunManifest, DigestIgnoresHostTime) {
+  SimResult a = run_fft(8, ClusterStyle::SharedCache);
+  SimResult b = a;
+  b.host_seconds = a.host_seconds + 123.0;
+  EXPECT_EQ(obs::result_digest(a), obs::result_digest(b));
+}
+
+TEST(RunManifest, DigestDiscriminatesConfigAndResults) {
+  const SimResult base = run_fft(8, ClusterStyle::SharedCache);
+  EXPECT_NE(obs::result_digest(base),
+            obs::result_digest(run_fft(1, ClusterStyle::SharedCache)));
+  EXPECT_NE(obs::result_digest(base),
+            obs::result_digest(run_fft(8, ClusterStyle::SharedMemory)));
+  SimResult tweaked = base;
+  tweaked.wall_time += 1;
+  EXPECT_NE(obs::result_digest(base), obs::result_digest(tweaked));
+  tweaked = base;
+  tweaked.totals.read_misses += 1;
+  EXPECT_NE(obs::result_digest(base), obs::result_digest(tweaked));
+}
+
+TEST(RunManifest, FailedRowsHashErrorKind) {
+  SimResult failed;
+  failed.ok = false;
+  failed.app_name = "fft";
+  failed.error_kind = "deadlock";
+  SimResult other = failed;
+  other.error_kind = "livelock";
+  EXPECT_NE(obs::result_digest(failed), obs::result_digest(other));
+}
+
+TEST(RunManifest, DigestHexIs16LowercaseDigits) {
+  EXPECT_EQ(obs::digest_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::digest_hex(0xDEADBEEFCAFEF00DULL), "deadbeefcafef00d");
+}
+
+TEST(RunManifest, ManifestJsonIsByteStableAndParses) {
+  const SimResult a = run_fft(1, ClusterStyle::SharedCache);
+  SimResult b = a;
+  b.host_seconds = a.host_seconds * 2 + 1;  // host time may always differ
+
+  std::ostringstream os1, os2;
+  obs::write_run_manifest(os1, "test_tool", {a}, 1700000000);
+  obs::write_run_manifest(os2, "test_tool", {b}, 1700000000);
+  // Identical apart from host_seconds: strip that line and compare.
+  std::string s1 = os1.str(), s2 = os2.str();
+  const auto strip_host = [](std::string& s) {
+    const std::size_t k = s.find("\"host_seconds\": ");
+    ASSERT_NE(k, std::string::npos);
+    const std::size_t comma = s.find(',', k);
+    s.erase(k, comma - k);
+  };
+  strip_host(s1);
+  strip_host(s2);
+  EXPECT_EQ(s1, s2) << "manifest must be byte-stable modulo host time";
+
+  const testjson::Value doc = testjson::parse(os1.str());
+  EXPECT_EQ(doc.at("schema").str, "csim.run_manifest/1");
+  EXPECT_EQ(doc.at("tool").str, "test_tool");
+  EXPECT_EQ(doc.at("git").str, std::string(obs::git_describe()));
+  EXPECT_EQ(doc.at("generated_unix").number, 1700000000.0);
+  ASSERT_EQ(doc.at("rows").array.size(), 1u);
+  const testjson::Value& row = doc.at("rows").array[0];
+  EXPECT_EQ(row.at("app").str, "fft");
+  EXPECT_TRUE(row.at("ok").boolean);
+  EXPECT_EQ(row.at("wall_time").number, static_cast<double>(a.wall_time));
+  EXPECT_EQ(row.at("digest").str, obs::digest_hex(obs::result_digest(a)));
+  EXPECT_EQ(row.at("config").at("ppc").number, 1.0);
+  EXPECT_EQ(doc.at("sweep_digest").str,
+            obs::digest_hex(obs::sweep_digest({a})));
+}
+
+TEST(RunManifest, FailedRowCarriesErrorKindInsteadOfStats) {
+  SimResult failed;
+  failed.ok = false;
+  failed.app_name = "bad\"app";  // exercises JSON escaping too
+  failed.error_kind = "protocol";
+  std::ostringstream os;
+  obs::write_run_manifest(os, "t", {failed}, 0);
+  const testjson::Value doc = testjson::parse(os.str());
+  const testjson::Value& row = doc.at("rows").array[0];
+  EXPECT_FALSE(row.at("ok").boolean);
+  EXPECT_EQ(row.at("app").str, "bad\"app");
+  EXPECT_EQ(row.at("error_kind").str, "protocol");
+  EXPECT_FALSE(row.has("wall_time"));
+}
+
+TEST(RunManifest, WriteFileRejectsBadPath) {
+  EXPECT_THROW(
+      obs::write_run_manifest_file("/nonexistent/dir/m.json", "t", {}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,124 @@
+// Perf-gate tests: parsing the BENCH_perf.json row format, the regression
+// threshold arithmetic, the missing-benchmark failure mode, and the delta
+// table the CI job prints on every run.
+#include "src/obs/perf_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace csim {
+namespace {
+
+/// A report in the shape perf_micro --json emits (Google Benchmark output
+/// with our sim_refs_per_sec counter on each result row).
+std::string report_json(double shared_cache, double shared_memory) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"context\": {\"benchmark\": \"perf_micro\"},\n"
+     << "  \"benchmarks\": [\n"
+     << "    {\"name\": \"end_to_end/shared_cache\", \"sim_refs_per_sec\": "
+     << shared_cache << "},\n"
+     << "    {\"name\": \"end_to_end/shared_memory\", \"sim_refs_per_sec\": "
+     << shared_memory << "}\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+obs::PerfReport parse(const std::string& text) {
+  std::istringstream is(text);
+  return obs::load_perf_report(is);
+}
+
+TEST(PerfBaseline, ParsesNamesAndThroughput) {
+  const obs::PerfReport rep = parse(report_json(2.0e6, 1.5e6));
+  ASSERT_EQ(rep.rows.size(), 2u);
+  EXPECT_EQ(rep.rows[0].name, "end_to_end/shared_cache");
+  EXPECT_DOUBLE_EQ(rep.rows[0].refs_per_sec, 2.0e6);
+  EXPECT_EQ(rep.rows[1].name, "end_to_end/shared_memory");
+  EXPECT_DOUBLE_EQ(rep.rows[1].refs_per_sec, 1.5e6);
+}
+
+TEST(PerfBaseline, ParsesCommittedBaselineFile) {
+  // The in-repo baseline must always stay loadable — the CI gate depends
+  // on it.
+  const obs::PerfReport rep =
+      obs::load_perf_report_file(CSIM_SOURCE_DIR "/BENCH_perf.json");
+  EXPECT_FALSE(rep.rows.empty());
+  for (const obs::PerfRow& r : rep.rows) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_GT(r.refs_per_sec, 0.0);
+  }
+}
+
+TEST(PerfBaseline, RejectsEmptyAndMalformedReports) {
+  EXPECT_THROW(parse("{}"), std::runtime_error);
+  EXPECT_THROW(parse("not json at all"), std::runtime_error);
+  // A row with a name but no throughput is not a result row; with no valid
+  // rows the report is rejected rather than silently passing the gate.
+  EXPECT_THROW(parse("{\"name\": \"end_to_end/x\"}"), std::runtime_error);
+  // Non-positive throughput would make every comparison vacuous.
+  EXPECT_THROW(parse(report_json(0.0, 1.0e6)), std::runtime_error);
+  EXPECT_THROW(obs::load_perf_report_file("/nonexistent/bench.json"),
+               std::runtime_error);
+}
+
+TEST(PerfBaseline, GatePassesWithinThreshold) {
+  const obs::PerfReport base = parse(report_json(1.0e6, 1.0e6));
+  // 20% down and 10% up: both inside a 25% gate.
+  const obs::PerfReport cur = parse(report_json(0.8e6, 1.1e6));
+  const obs::GateResult g = obs::check_perf(base, cur, 0.25);
+  EXPECT_TRUE(g.ok);
+  ASSERT_EQ(g.deltas.size(), 2u);
+  EXPECT_FALSE(g.deltas[0].regressed);
+  EXPECT_FALSE(g.deltas[1].regressed);
+  EXPECT_DOUBLE_EQ(g.deltas[0].ratio, 0.8);
+  EXPECT_TRUE(g.missing.empty());
+}
+
+TEST(PerfBaseline, GateFailsOnRegressionBeyondThreshold) {
+  const obs::PerfReport base = parse(report_json(1.0e6, 1.0e6));
+  const obs::PerfReport cur = parse(report_json(0.7e6, 1.0e6));  // -30%
+  const obs::GateResult g = obs::check_perf(base, cur, 0.25);
+  EXPECT_FALSE(g.ok);
+  EXPECT_TRUE(g.deltas[0].regressed);
+  EXPECT_FALSE(g.deltas[1].regressed);
+  // Exactly at the threshold is still a pass (strict < comparison).
+  const obs::PerfReport edge = parse(report_json(0.75e6, 1.0e6));
+  EXPECT_TRUE(obs::check_perf(base, edge, 0.25).ok);
+}
+
+TEST(PerfBaseline, GateFailsWhenBenchmarkVanishes) {
+  const obs::PerfReport base = parse(report_json(1.0e6, 1.0e6));
+  obs::PerfReport cur = base;
+  cur.rows.pop_back();  // shared_memory disappeared from the current run
+  const obs::GateResult g = obs::check_perf(base, cur, 0.25);
+  EXPECT_FALSE(g.ok);
+  ASSERT_EQ(g.missing.size(), 1u);
+  EXPECT_EQ(g.missing[0], "end_to_end/shared_memory");
+  EXPECT_EQ(g.deltas.size(), 1u);
+}
+
+TEST(PerfBaseline, DeltaTableShowsVerdicts) {
+  const obs::PerfReport base = parse(report_json(1.0e6, 1.0e6));
+  obs::PerfReport cur = parse(report_json(0.5e6, 1.0e6));
+  cur.rows.pop_back();
+  const obs::GateResult g = obs::check_perf(base, cur, 0.25);
+  std::ostringstream os;
+  obs::write_delta_table(os, g, 0.25);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("MISSING"), std::string::npos);
+  EXPECT_NE(table.find("gate: fail below 75% of baseline -> FAIL"),
+            std::string::npos);
+
+  std::ostringstream ok_os;
+  obs::write_delta_table(ok_os, obs::check_perf(base, base, 0.25), 0.25);
+  EXPECT_NE(ok_os.str().find("-> PASS"), std::string::npos);
+  EXPECT_EQ(ok_os.str().find("REGRESSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csim

@@ -5,6 +5,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/apps/app.hpp"
 #include "src/report/experiment.hpp"
@@ -14,6 +17,29 @@ namespace {
 
 std::string temp_path(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Reads a saved trace file into bytes for corruption tests.
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small valid on-disk trace (2 procs, 64-byte lines, 2 records) whose
+/// bytes the error-path tests then corrupt. File layout: magic[0..3],
+/// version[4], procs[5], line_bytes[6..7], count[8..15], records from 16.
+std::vector<char> valid_trace_bytes(const std::string& path) {
+  Trace t(2, 64);
+  t.append(TraceRecord{0, AccessKind::Read, 0x40});
+  t.append(TraceRecord{1, AccessKind::Write, 0x80});
+  t.save(path);
+  return slurp(path);
 }
 
 TEST(Trace, SaveLoadRoundtrip) {
@@ -43,6 +69,79 @@ TEST(Trace, LoadRejectsGarbage) {
   EXPECT_THROW(Trace::load(path), std::runtime_error);
   std::remove(path.c_str());
   EXPECT_THROW(Trace::load("/nonexistent/dir/x.trace"), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsBadVersion) {
+  const std::string path = temp_path("csim_badversion.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes[4] = 2;  // unknown format version
+  spit(path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          Trace::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bad version"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsTruncatedHeader) {
+  const std::string path = temp_path("csim_shortheader.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes.resize(7);  // magic + version + procs, but no line_bytes / count
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsZeroProcessors) {
+  const std::string path = temp_path("csim_zeroprocs.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes[5] = 0;
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsNonPowerOfTwoLineBytes) {
+  const std::string path = temp_path("csim_badline.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes[6] = 65;  // line_bytes = 65
+  bytes[7] = 0;
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsTruncatedRecords) {
+  // A file cut mid-record must fail cleanly — and must not trust the header
+  // record count enough to reserve for it (a corrupt count would otherwise
+  // attempt a huge allocation before hitting EOF).
+  const std::string path = temp_path("csim_truncated.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes.resize(bytes.size() - 5);  // drop half of the last record
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+
+  bytes = valid_trace_bytes(path);
+  bytes[8] = 100;  // count claims 100 records; only 2 are present
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsRecordProcBeyondHeader) {
+  const std::string path = temp_path("csim_badproc.trace");
+  std::vector<char> bytes = valid_trace_bytes(path);
+  bytes[16] = 7;  // first record's proc id; header declares 2 processors
+  spit(path, bytes);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(Trace, RecordCapturesEveryReference) {

@@ -1,0 +1,72 @@
+// perf_check: the CI perf regression gate.
+//
+//   perf_check <baseline.json> <current.json> [--max-regression FRAC]
+//
+// Both files are perf_micro --json reports (BENCH_perf.json format). Prints
+// a delta table of every baseline benchmark and exits nonzero when any
+// benchmark's throughput fell below (1 - FRAC) of its baseline (default
+// FRAC 0.25) or a baseline benchmark is missing from the current report.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+
+#include "src/obs/perf_baseline.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--max-regression FRAC]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double max_regression = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const char* val = argv[++i];
+      errno = 0;
+      char* end = nullptr;
+      max_regression = std::strtod(val, &end);
+      if (end == val || *end != '\0' || errno == ERANGE ||
+          max_regression < 0.0 || max_regression >= 1.0) {
+        std::fprintf(stderr, "--max-regression: bad value '%s' (want [0,1))\n",
+                     val);
+        return 2;
+      }
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    return usage(argv[0]);
+  }
+
+  try {
+    const csim::obs::PerfReport baseline =
+        csim::obs::load_perf_report_file(baseline_path);
+    const csim::obs::PerfReport current =
+        csim::obs::load_perf_report_file(current_path);
+    const csim::obs::GateResult gate =
+        csim::obs::check_perf(baseline, current, max_regression);
+    csim::obs::write_delta_table(std::cout, gate, max_regression);
+    return gate.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_check: %s\n", e.what());
+    return 2;
+  }
+}
