@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       double base = 0;
       for (unsigned ppc : bench::cluster_sizes()) {
         auto a = make_app(app, opt.scale);
-        MachineConfig cfg = paper_machine(ppc, 16 * 1024);
+        MachineSpec cfg = paper_machine(ppc, 16 * 1024);
         cfg.cache.associativity = assoc;
         const SimResult r = simulate(*a, cfg);
         const double total = static_cast<double>(r.aggregate().total());

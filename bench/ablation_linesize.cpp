@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       std::uint64_t misses8 = 0;
       for (unsigned ppc : bench::cluster_sizes()) {
         auto a = make_app(app, opt.scale);
-        MachineConfig cfg = paper_machine(ppc, 0);
+        MachineSpec cfg = paper_machine(ppc, 0);
         cfg.cache.line_bytes = line;
         const SimResult r = simulate(*a, cfg);
         const double total = static_cast<double>(r.aggregate().total());

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     double strict_wall = 0, strict_ms = 0;
     for (unsigned q : {1u, 8u, 32u, 128u}) {
       auto a = make_app(app, opt.scale);
-      MachineConfig cfg = paper_machine(4, 16 * 1024);
+      MachineSpec cfg = paper_machine(4, 16 * 1024);
       cfg.runahead_quantum = q;
       const auto t0 = std::chrono::steady_clock::now();
       const SimResult r = simulate(*a, cfg);

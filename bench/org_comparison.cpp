@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       const SimResult sc = simulate(*sc_app, paper_machine(4, kb * 1024));
 
       auto sm_app = f.make(opt.scale);
-      MachineConfig smc = paper_machine(4, kb * 1024);
+      MachineSpec smc = paper_machine(4, kb * 1024);
       smc.cluster_style = ClusterStyle::SharedMemory;
       const SimResult sm = simulate(*sm_app, smc);
 

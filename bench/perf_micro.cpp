@@ -16,11 +16,13 @@
 
 #include "bench/bench_util.hpp"
 #include "src/apps/app.hpp"
+#include "src/core/error.hpp"
 #include "src/core/event_queue.hpp"
 #include "src/core/simulator.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/coherence.hpp"
 #include "src/obs/run_observer.hpp"
+#include "src/report/cli_args.hpp"
 
 namespace csim {
 namespace {
@@ -28,13 +30,16 @@ namespace {
 /// One end-to-end run: fft at test scale on 64 processors with 16 KB caches
 /// — the tracked perf-baseline configuration. Returns retired references.
 std::uint64_t end_to_end_once(ClusterStyle style, unsigned ppc,
+                              ContentionSpec contention = {},
                               Observer* obs = nullptr) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg;
-  cfg.num_procs = 64;
-  cfg.procs_per_cluster = ppc;
-  cfg.cluster_style = style;
-  cfg.cache.per_proc_bytes = 16 * 1024;
+  const MachineSpec cfg = MachineSpecBuilder{}
+                              .procs(64)
+                              .procs_per_cluster(ppc)
+                              .style(style)
+                              .cache_kb(16)
+                              .contention(contention)
+                              .build();
   const SimResult r = simulate(*app, cfg, obs);
   return r.totals.reads + r.totals.writes;
 }
@@ -69,7 +74,7 @@ void BM_EventQueue(benchmark::State& state) {
 BENCHMARK(BM_EventQueue);
 
 void BM_CoherenceReadHit(benchmark::State& state) {
-  MachineConfig cfg;
+  MachineSpec cfg;
   cfg.num_procs = 64;
   cfg.procs_per_cluster = 4;
   cfg.cache.per_proc_bytes = 0;
@@ -86,7 +91,7 @@ void BM_CoherenceReadHit(benchmark::State& state) {
 BENCHMARK(BM_CoherenceReadHit);
 
 void BM_CoherenceCommunicationMiss(benchmark::State& state) {
-  MachineConfig cfg;
+  MachineSpec cfg;
   cfg.num_procs = 64;
   cfg.procs_per_cluster = 1;
   cfg.cache.per_proc_bytes = 0;
@@ -123,36 +128,50 @@ BENCHMARK(BM_EndToEndSim)
     ->Unit(benchmark::kMillisecond);
 
 /// --json mode: measure each end-to-end configuration for at least
-/// `min_seconds` of wall time and write the report.
+/// `min_seconds` of wall time and write the report. Besides the four
+/// baseline rows, two `/contention` rows track the queued contention
+/// model's overhead (ppc 8, both organizations).
 int json_main(const std::string& path) {
   using clock = std::chrono::steady_clock;
   constexpr double min_seconds = 1.0;
   std::vector<bench::PerfRecord> rows;
-  const std::pair<ClusterStyle, const char*> orgs[] = {
-      {ClusterStyle::SharedCache, "shared_cache"},
-      {ClusterStyle::SharedMemory, "shared_memory"},
+  struct EndToEnd {
+    ClusterStyle style;
+    unsigned ppc;
+    bool contention;
+    const char* name;
   };
-  for (const auto& [style, org] : orgs) {
-    for (unsigned ppc : {1u, 8u}) {
-      end_to_end_once(style, ppc);  // warm-up (page cache, allocator)
-      std::uint64_t refs = 0;
-      const auto start = clock::now();
-      double elapsed = 0;
-      do {
-        refs += end_to_end_once(style, ppc);
-        elapsed = std::chrono::duration<double>(clock::now() - start).count();
-      } while (elapsed < min_seconds);
-      bench::PerfRecord r;
-      r.name = std::string("end_to_end/") + org + "/ppc" + std::to_string(ppc);
-      r.simulated_refs = refs;
-      r.wall_seconds = elapsed;
-      r.sim_refs_per_sec = static_cast<double>(refs) / elapsed;
-      std::printf("%-34s %12.0f sim refs/s  (%llu refs in %.2fs)\n",
-                  r.name.c_str(), r.sim_refs_per_sec,
-                  static_cast<unsigned long long>(r.simulated_refs),
-                  r.wall_seconds);
-      rows.push_back(std::move(r));
-    }
+  const EndToEnd configs[] = {
+      {ClusterStyle::SharedCache, 1, false, "end_to_end/shared_cache/ppc1"},
+      {ClusterStyle::SharedCache, 8, false, "end_to_end/shared_cache/ppc8"},
+      {ClusterStyle::SharedMemory, 1, false, "end_to_end/shared_memory/ppc1"},
+      {ClusterStyle::SharedMemory, 8, false, "end_to_end/shared_memory/ppc8"},
+      {ClusterStyle::SharedCache, 8, true,
+       "end_to_end/shared_cache/ppc8/contention"},
+      {ClusterStyle::SharedMemory, 8, true,
+       "end_to_end/shared_memory/ppc8/contention"},
+  };
+  for (const EndToEnd& c : configs) {
+    ContentionSpec spec;
+    spec.enabled = c.contention;
+    end_to_end_once(c.style, c.ppc, spec);  // warm-up (page cache, allocator)
+    std::uint64_t refs = 0;
+    const auto start = clock::now();
+    double elapsed = 0;
+    do {
+      refs += end_to_end_once(c.style, c.ppc, spec);
+      elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    } while (elapsed < min_seconds);
+    bench::PerfRecord r;
+    r.name = c.name;
+    r.simulated_refs = refs;
+    r.wall_seconds = elapsed;
+    r.sim_refs_per_sec = static_cast<double>(refs) / elapsed;
+    std::printf("%-42s %12.0f sim refs/s  (%llu refs in %.2fs)\n",
+                r.name.c_str(), r.sim_refs_per_sec,
+                static_cast<unsigned long long>(r.simulated_refs),
+                r.wall_seconds);
+    rows.push_back(std::move(r));
   }
   bench::write_perf_json(
       path, "end-to-end simulation throughput (fft, test scale, 64 procs, "
@@ -163,22 +182,22 @@ int json_main(const std::string& path) {
 
 /// --trace-out / --metrics-interval mode: one observed end-to-end run
 /// (shared-cache, ppc 8) emitting the requested artifacts.
-int observed_main(const std::string& trace_out, Cycles metrics_interval,
-                  const std::string& metrics_out) {
+int observed_main(const cli::ObsArgs& args) {
   obs::RunObserver ro;
-  if (!trace_out.empty()) ro.enable_trace(trace_out);
-  if (metrics_interval != 0) {
-    ro.enable_metrics(metrics_interval, metrics_out + ".csv",
-                      metrics_out + ".json");
+  if (!args.trace_out.empty()) ro.enable_trace(args.trace_out);
+  if (args.metrics_interval != 0) {
+    ro.enable_metrics(args.metrics_interval, args.metrics_out + ".csv",
+                      args.metrics_out + ".json");
   }
   const std::uint64_t refs =
-      end_to_end_once(ClusterStyle::SharedCache, 8, &ro);
-  std::printf("observed end_to_end/shared_cache/ppc8: %llu refs\n",
+      end_to_end_once(ClusterStyle::SharedCache, 8, args.contention, &ro);
+  std::printf("observed end_to_end/shared_cache/ppc8%s: %llu refs\n",
+              args.contention.enabled ? "/contention" : "",
               static_cast<unsigned long long>(refs));
-  if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
-  if (metrics_interval != 0) {
-    std::printf("wrote %s.csv and %s.json\n", metrics_out.c_str(),
-                metrics_out.c_str());
+  if (!args.trace_out.empty()) std::printf("wrote %s\n", args.trace_out.c_str());
+  if (args.metrics_interval != 0) {
+    std::printf("wrote %s.csv and %s.json\n", args.metrics_out.c_str(),
+                args.metrics_out.c_str());
   }
   return 0;
 }
@@ -187,30 +206,29 @@ int observed_main(const std::string& trace_out, Cycles metrics_interval,
 }  // namespace csim
 
 int main(int argc, char** argv) {
-  std::string trace_out;
-  csim::Cycles metrics_interval = 0;
-  std::string metrics_out = "metrics";
+  csim::cli::ObsArgs obs_args;  // same flag spellings as csim_cli
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--json") {
-      const std::string path =
-          i + 1 < argc ? argv[i + 1] : "BENCH_perf.json";
-      return csim::json_main(path);
+      // The path operand is optional; a following flag is not a path.
+      const bool has_path =
+          i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--";
+      return csim::json_main(has_path ? argv[i + 1] : "BENCH_perf.json");
     }
-    if (a == "--trace-out" && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else if (a == "--metrics-interval" && i + 1 < argc) {
-      metrics_interval = std::strtoull(argv[++i], nullptr, 10);
-    } else if (a == "--metrics-out" && i + 1 < argc) {
-      metrics_out = argv[++i];
+    try {
+      obs_args.consume(argc, argv, i);
+    } catch (const csim::ConfigError& e) {
+      std::fprintf(stderr, "%s\n%s", e.what(), csim::cli::ObsArgs::usage());
+      return 2;
     }
   }
-  if (!trace_out.empty() || metrics_interval != 0) {
-    return csim::observed_main(trace_out, metrics_interval, metrics_out);
+  if (obs_args.trace_out.empty() && obs_args.metrics_interval == 0 &&
+      !obs_args.contention.enabled) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return csim::observed_main(obs_args);
 }

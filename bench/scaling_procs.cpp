@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   OceanConfig ocfg = OceanConfig::preset(opt.scale);
   auto run = [&](unsigned procs, unsigned ppc) {
     OceanApp app(ocfg);
-    MachineConfig cfg;
+    MachineSpec cfg;
     cfg.num_procs = procs;
     cfg.procs_per_cluster = ppc;
     cfg.cache.per_proc_bytes = 0;

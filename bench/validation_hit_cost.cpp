@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < analytic.cluster_sizes.size(); ++i) {
       const unsigned ppc = analytic.cluster_sizes[i];
       auto a = make_app(app, opt.scale);
-      MachineConfig cfg = paper_machine(ppc, 4 * 1024);
+      MachineSpec cfg = paper_machine(ppc, 4 * 1024);
       cfg.model_shared_hit_costs = true;
       const SimResult r = simulate(*a, cfg);
       const double tot = static_cast<double>(r.aggregate().total());

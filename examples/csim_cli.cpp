@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/contention_check.hpp"
 #include "src/apps/app.hpp"
+#include "src/core/error.hpp"
 #include "src/obs/manifest.hpp"
-#include "src/obs/run_observer.hpp"
+#include "src/report/cli_args.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/figures.hpp"
 #include "src/report/gnuplot.hpp"
@@ -49,12 +51,8 @@ void usage() {
       "  --hit-costs       model shared-cache hit costs in-simulation\n"
       "  --csv             emit CSV instead of the stacked-bar figure\n"
       "  --gnuplot BASE    also write BASE.dat/BASE.gp for gnuplot\n"
-      "  --trace-out FILE      write a Chrome trace-event timeline per row\n"
-      "                        (multi-row sweeps write FILE_ppcN variants)\n"
-      "  --metrics-interval N  sample interval metrics every N cycles\n"
-      "  --metrics-out BASE    interval metrics path base (default: metrics;\n"
-      "                        writes BASE[.ppcN].csv and .json)\n"
-      "  --manifest FILE       write a run manifest (config, git, digests)\n");
+      "%s",
+      cli::ObsArgs::usage());
 }
 
 }  // namespace
@@ -72,10 +70,7 @@ int main(int argc, char** argv) {
   bool hit_costs = false;
   bool csv = false;
   std::string gnuplot_base;
-  std::string trace_out;
-  Cycles metrics_interval = 0;
-  std::string metrics_out = "metrics";
-  std::string manifest_out;
+  cli::ObsArgs obs_args;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -121,22 +116,16 @@ int main(int argc, char** argv) {
         csv = true;
       } else if (a == "--gnuplot") {
         gnuplot_base = next();
-      } else if (a == "--trace-out") {
-        trace_out = next();
-      } else if (a == "--metrics-interval") {
-        metrics_interval = std::stoul(next());
-        if (metrics_interval == 0) {
-          std::fprintf(stderr, "--metrics-interval must be > 0\n");
-          return 2;
-        }
-      } else if (a == "--metrics-out") {
-        metrics_out = next();
-      } else if (a == "--manifest") {
-        manifest_out = next();
+      } else if (obs_args.consume(argc, argv, i)) {
+        // shared observability / contention flags (src/report/cli_args.hpp)
       } else {
         usage();
         return a == "--help" || a == "-h" ? 0 : 2;
       }
+    } catch (const ConfigError& e) {  // checked shared-flag parsing
+      std::fprintf(stderr, "%s\n", e.what());
+      usage();
+      return 2;
     } catch (const std::exception&) {  // e.g. std::stoul on a non-number
       std::fprintf(stderr, "%s: invalid value\n", a.c_str());
       usage();
@@ -145,50 +134,38 @@ int main(int argc, char** argv) {
   }
 
   try {
-    std::vector<MachineConfig> configs;
+    // One builder path for every row: the shared immutable MachineSpec is
+    // the single source of configuration for the whole run.
+    SweepRequest req;
+    req.make_app = [&] { return make_app(app, scale); };
     for (unsigned ppc : ppcs) {
-      MachineConfig cfg;
-      cfg.num_procs = procs;
-      cfg.procs_per_cluster = ppc;
-      cfg.cache.per_proc_bytes = cache_kb * 1024;
-      cfg.cache.associativity = assoc;
-      cfg.cache.line_bytes = line;
-      cfg.cluster_style = style;
-      cfg.runahead_quantum = quantum;
-      cfg.model_shared_hit_costs = hit_costs;
-      configs.push_back(cfg);
+      req.configs.push_back(MachineSpecBuilder{}
+                                .procs(procs)
+                                .procs_per_cluster(ppc)
+                                .cache_kb(cache_kb)
+                                .associativity(assoc)
+                                .line_bytes(line)
+                                .style(style)
+                                .runahead_quantum(quantum)
+                                .model_shared_hit_costs(hit_costs)
+                                .contention(obs_args.contention)
+                                // unchecked: a bad row (e.g. --ppc 3 with 64
+                                // procs) must degrade inside run_sweep, not
+                                // abort the sweep before it starts.
+                                .build_unchecked());
     }
     // Observability (src/obs): one RunObserver per sweep row, each writing
     // its artifacts (trace JSON / metrics CSV+JSON) when its row completes.
-    ObserverFactory make_observer;
-    if (!trace_out.empty() || metrics_interval != 0) {
-      const std::size_t rows = configs.size();
-      make_observer = [&, rows](const MachineConfig& cfg, std::size_t)
-          -> std::unique_ptr<Observer> {
-        auto ro = std::make_unique<obs::RunObserver>();
-        if (!trace_out.empty()) {
-          ro->enable_trace(
-              obs::row_path(trace_out, cfg.procs_per_cluster, rows));
-        }
-        if (metrics_interval != 0) {
-          const std::string base =
-              obs::row_path(metrics_out, cfg.procs_per_cluster, rows);
-          ro->enable_metrics(metrics_interval, base + ".csv", base + ".json");
-        }
-        return ro;
-      };
-    }
+    req.make_observer = obs_args.observer_factory(req.configs.size());
 
-    // run_configs degrades gracefully: a failing configuration becomes an
+    // run_sweep degrades gracefully: a failing configuration becomes an
     // ok == false row (rendered below) instead of aborting the sweep.
-    std::vector<SimResult> results =
-        run_configs([&] { return make_app(app, scale); }, configs,
-                    make_observer);
-    if (!manifest_out.empty()) {
+    std::vector<SimResult> results = run_sweep(req).rows;
+    if (!obs_args.manifest_out.empty()) {
       // Manifests include failed rows (error kind instead of statistics).
-      obs::write_run_manifest_file(manifest_out, "csim_cli", results);
+      obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli", results);
       std::printf("wrote manifest %s (sweep digest %s)\n",
-                  manifest_out.c_str(),
+                  obs_args.manifest_out.c_str(),
                   obs::digest_hex(obs::sweep_digest(results)).c_str());
     }
     const std::size_t failures = write_failures(std::cerr, results);
@@ -209,6 +186,12 @@ int main(int argc, char** argv) {
                                                    : "shared-cache") +
               ")",
           bars_from_sweep(results));
+    }
+    if (obs_args.contention.enabled && !csv) {
+      // Section 6 sanity table: simulated bank-conflict rate vs the paper's
+      // closed form for every shared-cache row of the sweep.
+      const auto check = contention_check(results);
+      if (!check.empty()) write_contention_check(std::cout, check);
     }
     if (failures != 0) return 1;  // partial results were still emitted
   } catch (const std::exception& e) {

@@ -28,7 +28,7 @@ class PipelineApp final : public Program {
 
   [[nodiscard]] std::string name() const override { return "pipeline"; }
 
-  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+  void setup(AddressSpace& as, const MachineSpec& cfg) override {
     nprocs_ = cfg.num_procs;
     bufs_.clear();
     for (ProcId p = 0; p < nprocs_; ++p) {

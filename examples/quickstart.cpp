@@ -3,7 +3,7 @@
 //
 //   $ ./quickstart [app]        (default: ocean)
 //
-// Shows the minimal public API: make_app() -> MachineConfig -> simulate()
+// Shows the minimal public API: make_app() -> MachineSpec -> simulate()
 // -> SimResult, plus the figure renderer.
 #include <cstdio>
 #include <iostream>
@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   // 1. A machine: 64 processors in clusters of 4, each cluster sharing a
   //    fully associative 4 x 16 KB cache, DASH-style directory coherence.
-  MachineConfig cfg = paper_machine(/*procs_per_cluster=*/4,
+  MachineSpec cfg = paper_machine(/*procs_per_cluster=*/4,
                                     /*cache_bytes_per_proc=*/16 * 1024);
 
   // 2. A workload: one of the paper's nine applications. The program runs

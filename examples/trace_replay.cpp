@@ -21,14 +21,14 @@ int main(int argc, char** argv) {
               "unclustered)...\n",
               app_name.c_str());
   auto rec_app = make_app(app_name, ProblemScale::Default);
-  const MachineConfig base = paper_machine(1, 0);
+  const MachineSpec base = paper_machine(1, 0);
   const Trace trace = record_trace(*rec_app, base);
   std::printf("  %zu references captured\n\n", trace.size());
 
   TextTable t({"clusters", "replay misses", "exec misses", "replay merges",
                "exec merges"});
   for (unsigned ppc : {1u, 2u, 4u, 8u}) {
-    MachineConfig cfg = paper_machine(ppc, 0);
+    MachineSpec cfg = paper_machine(ppc, 0);
     const ReplayResult rep = replay_trace(trace, cfg);
     auto app = make_app(app_name, ProblemScale::Default);
     const SimResult ex = simulate(*app, cfg);

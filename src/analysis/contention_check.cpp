@@ -1,0 +1,49 @@
+#include "src/analysis/contention_check.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/analysis/bank_conflict.hpp"
+
+namespace csim {
+
+ContentionCheckRow contention_check_row(const SimResult& r) {
+  ContentionCheckRow row;
+  row.procs_per_cluster = r.config.procs_per_cluster;
+  row.banks = r.config.cluster_banks();
+  row.analytic_rate =
+      bank_conflict_probability(row.banks, row.procs_per_cluster);
+  const std::uint64_t refs = r.totals.reads + r.totals.writes;
+  row.simulated_rate =
+      refs ? static_cast<double>(r.totals.bank_conflicts) /
+                 static_cast<double>(refs)
+           : 0.0;
+  row.abs_error = std::fabs(row.simulated_rate - row.analytic_rate);
+  return row;
+}
+
+std::vector<ContentionCheckRow> contention_check(
+    const std::vector<SimResult>& results) {
+  std::vector<ContentionCheckRow> rows;
+  rows.reserve(results.size());
+  for (const SimResult& r : results) {
+    if (!r.ok || !r.config.contention.enabled) continue;
+    rows.push_back(contention_check_row(r));
+  }
+  return rows;
+}
+
+void write_contention_check(std::ostream& os,
+                            const std::vector<ContentionCheckRow>& rows) {
+  os << "ppc,banks,analytic_conflict_rate,simulated_conflict_rate,abs_error\n";
+  char buf[96];
+  for (const ContentionCheckRow& r : rows) {
+    std::snprintf(buf, sizeof buf, "%u,%u,%.6f,%.6f,%.6f\n",
+                  r.procs_per_cluster, r.banks, r.analytic_rate,
+                  r.simulated_rate, r.abs_error);
+    os << buf;
+  }
+}
+
+}  // namespace csim

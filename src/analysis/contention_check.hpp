@@ -1,0 +1,45 @@
+// Cross-check of the event-driven contention model against the paper's
+// Section 6 closed-form bank-conflict probability (Table 4).
+//
+// The analytic model: each of the n clustered processors references a random
+// one of the m = 4n banks, so a reference collides with probability
+// C = 1 - ((m-1)/m)^(n-1). The simulated counterpart is the fraction of
+// accesses that found their address-interleaved bank busy
+// (MissCounters::bank_conflicts over all issued references). The closed form
+// charges every participant in a collision, while the event queue serializes
+// same-cycle arrivals and stalls only the losers, so under a uniform-random
+// access pattern the simulated rate sits between the losers-only expectation
+// and C (for n = 2: exactly between C/2 and C). Drifting outside that
+// bracket flags a bug in either the queued-resource model or the closed
+// form's transcription (tests/integration/contention_test.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+struct ContentionCheckRow {
+  unsigned procs_per_cluster = 0;
+  unsigned banks = 0;            ///< banks per cluster (m = 4n in the paper)
+  double analytic_rate = 0;      ///< Table 4 closed form C
+  double simulated_rate = 0;     ///< bank_conflicts / (reads + writes)
+  double abs_error = 0;          ///< |simulated - analytic|
+};
+
+/// Builds the cross-check row for one contention-enabled result. The config
+/// names n and m; the counters give the simulated conflict rate.
+ContentionCheckRow contention_check_row(const SimResult& r);
+
+/// Cross-check table for a sweep, skipping failed rows and rows simulated
+/// without the contention model.
+std::vector<ContentionCheckRow> contention_check(
+    const std::vector<SimResult>& results);
+
+/// Renders the table: ppc, banks, analytic, simulated, |error| per row.
+void write_contention_check(std::ostream& os,
+                            const std::vector<ContentionCheckRow>& rows);
+
+}  // namespace csim

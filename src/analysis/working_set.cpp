@@ -91,9 +91,11 @@ double WorkingSetProfiler::mean_working_set_bytes(double coverage) const {
 }
 
 std::unique_ptr<WorkingSetProfiler> profile_working_sets(
-    Program& prog, const MachineConfig& cfg) {
-  auto profiler = std::make_unique<WorkingSetProfiler>(cfg);
+    Program& prog, const MachineSpec& cfg) {
+  // One shared immutable spec for the whole run: the profiler and the
+  // simulator see the same object.
   Simulator sim(cfg);
+  auto profiler = std::make_unique<WorkingSetProfiler>(sim.spec());
   (void)sim.run(prog, profiler.get());
   return profiler;
 }

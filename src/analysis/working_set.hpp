@@ -59,12 +59,18 @@ class StackDistance {
 /// cluster-level (overlapped) working sets.
 class WorkingSetProfiler final : public MemorySystem {
  public:
-  // Copies the config: profilers outlive the (often temporary) config
-  // expression they are constructed from.
-  explicit WorkingSetProfiler(const MachineConfig& cfg)
-      : cfg_(cfg),
-        units_(cfg.num_clusters()),
-        counters_(cfg.num_clusters()) {}
+  /// Primary constructor: shares the run's immutable spec (the same object
+  /// the Simulator and memory systems see).
+  explicit WorkingSetProfiler(std::shared_ptr<const MachineSpec> spec)
+      : spec_(std::move(spec)),
+        cfg_(*spec_),
+        units_(cfg_.num_clusters()),
+        counters_(cfg_.num_clusters()) {}
+
+  /// Legacy convenience: wraps `cfg` in a fresh shared spec (still safe
+  /// against temporary config expressions).
+  explicit WorkingSetProfiler(const MachineSpec& cfg)
+      : WorkingSetProfiler(std::make_shared<const MachineSpec>(cfg)) {}
 
   AccessResult read(ProcId p, Addr a, Cycles now) override;
   AccessResult write(ProcId p, Addr a, Cycles now) override;
@@ -86,7 +92,8 @@ class WorkingSetProfiler final : public MemorySystem {
   [[nodiscard]] double mean_working_set_bytes(double coverage) const;
 
  private:
-  MachineConfig cfg_;
+  std::shared_ptr<const MachineSpec> spec_;  // the run's shared immutable spec
+  const MachineSpec& cfg_;                   // = *spec_
   std::vector<StackDistance> units_;
   std::vector<MissCounters> counters_;
 };
@@ -94,6 +101,6 @@ class WorkingSetProfiler final : public MemorySystem {
 /// Convenience: profile an application and return the profiler.
 class Program;  // from core/simulator.hpp
 std::unique_ptr<WorkingSetProfiler> profile_working_sets(
-    Program& prog, const MachineConfig& cfg);
+    Program& prog, const MachineSpec& cfg);
 
 }  // namespace csim

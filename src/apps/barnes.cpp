@@ -30,7 +30,7 @@ std::unique_ptr<Program> make_barnes(ProblemScale s) {
   return app;
 }
 
-void BarnesApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void BarnesApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   Rng rng(cfg_.seed);
   pos_.resize(cfg_.bodies);

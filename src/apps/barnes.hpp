@@ -40,7 +40,7 @@ class BarnesApp final : public Program {
   explicit BarnesApp(BarnesConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "barnes"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

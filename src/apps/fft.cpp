@@ -30,7 +30,7 @@ std::unique_ptr<Program> make_fft(ProblemScale s) {
   return app;
 }
 
-void FftApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void FftApp::setup(AddressSpace& as, const MachineSpec& mc) {
   m_ = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(cfg_.n))));
   if (m_ * m_ != cfg_.n || !is_pow2(m_)) {
     throw std::invalid_argument("FFT: n must be the square of a power of two");

@@ -35,7 +35,7 @@ class FftApp final : public Program {
   explicit FftApp(FftConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "fft"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

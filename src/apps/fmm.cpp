@@ -33,7 +33,7 @@ std::unique_ptr<Program> make_fmm(ProblemScale s) {
   return app;
 }
 
-void FmmApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void FmmApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   levels_.clear();
   levels_.resize(cfg_.depth + 1);

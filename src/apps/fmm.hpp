@@ -37,7 +37,7 @@ class FmmApp final : public Program {
   explicit FmmApp(FmmConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "fmm"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

@@ -42,7 +42,7 @@ double LuApp::el(unsigned gi, unsigned gj) const noexcept {
   return a_[block_offset(gi / b, gj / b) + (gi % b) * b + (gj % b)];
 }
 
-void LuApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void LuApp::setup(AddressSpace& as, const MachineSpec& mc) {
   if (cfg_.n % cfg_.block != 0) {
     throw std::invalid_argument("LU: block must divide n");
   }

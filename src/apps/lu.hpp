@@ -32,7 +32,7 @@ class LuApp final : public Program {
   explicit LuApp(LuConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "lu"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

@@ -43,7 +43,7 @@ unsigned Mp3dApp::cell_of(const Particle& q) const noexcept {
   return (idx(q.x) * d + idx(q.y)) * d + idx(q.z);
 }
 
-void Mp3dApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void Mp3dApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   const unsigned d = cfg_.cells_per_dim;
 

@@ -37,7 +37,7 @@ class Mp3dApp final : public Program {
   explicit Mp3dApp(Mp3dConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "mp3d"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

@@ -42,7 +42,7 @@ std::unique_ptr<Program> make_ocean(ProblemScale s) {
   return app;
 }
 
-void OceanApp::build_level(Level& L, unsigned dim, const MachineConfig& mc) {
+void OceanApp::build_level(Level& L, unsigned dim, const MachineSpec& mc) {
   L.dim = dim;
   L.owner_row.resize(dim);
   L.owner_col.resize(dim);
@@ -88,7 +88,7 @@ OceanApp::Field OceanApp::make_field(AddressSpace& as, const Level& L,
   return f;
 }
 
-void OceanApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void OceanApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   grid_ = make_proc_grid(nprocs_);
   const unsigned interior = cfg_.n - 2;

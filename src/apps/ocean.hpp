@@ -44,7 +44,7 @@ class OceanApp final : public Program {
   explicit OceanApp(OceanConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "ocean"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 
@@ -75,7 +75,7 @@ class OceanApp final : public Program {
     Addr base = 0;
   };
 
-  void build_level(Level& L, unsigned dim, const MachineConfig& mc);
+  void build_level(Level& L, unsigned dim, const MachineSpec& mc);
   Field make_field(AddressSpace& as, const Level& L, const char* label);
 
   [[nodiscard]] Addr addr(const Field& f, const Level& L, std::size_t gr,

@@ -33,7 +33,7 @@ std::unique_ptr<Program> make_radix(ProblemScale s) {
   return app;
 }
 
-void RadixApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void RadixApp::setup(AddressSpace& as, const MachineSpec& mc) {
   if (!std::has_single_bit(cfg_.radix)) {
     throw std::invalid_argument("Radix: radix must be a power of two");
   }

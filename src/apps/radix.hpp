@@ -35,7 +35,7 @@ class RadixApp final : public Program {
   explicit RadixApp(RadixConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "radix"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

@@ -79,7 +79,7 @@ void RaytraceApp::build_grid() {
   }
 }
 
-void RaytraceApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void RaytraceApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   pgrid_ = make_proc_grid(nprocs_);
   spheres_.clear();

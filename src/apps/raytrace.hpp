@@ -41,7 +41,7 @@ class RaytraceApp final : public Program {
   explicit RaytraceApp(RaytraceConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "raytrace"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

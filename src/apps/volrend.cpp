@@ -76,7 +76,7 @@ int VolrendApp::build_octree(unsigned bx, unsigned by, unsigned bz,
   return me;
 }
 
-void VolrendApp::setup(AddressSpace& as, const MachineConfig& mc) {
+void VolrendApp::setup(AddressSpace& as, const MachineSpec& mc) {
   nprocs_ = mc.num_procs;
   pgrid_ = make_proc_grid(nprocs_);
   const unsigned V = cfg_.volume;

@@ -42,7 +42,7 @@ class VolrendApp final : public Program {
   explicit VolrendApp(VolrendConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "volrend"; }
-  void setup(AddressSpace& as, const MachineConfig& mc) override;
+  void setup(AddressSpace& as, const MachineSpec& mc) override;
   SimTask body(Proc& p) override;
   void verify() const override;
 

@@ -5,7 +5,7 @@
 // rendered into what() so a failed run (CI log, sweep failure table) is
 // diagnosable without re-running under a debugger:
 //
-//   ConfigError    inconsistent MachineConfig / malformed options
+//   ConfigError    inconsistent MachineSpec / malformed options
 //                  (also a std::invalid_argument, like the checks it absorbs)
 //   DeadlockError  the event queue drained with processors still parked on a
 //                  barrier or lock

@@ -6,7 +6,7 @@
 
 namespace csim {
 
-void MachineConfig::validate() const {
+void MachineSpec::validate() const {
   if (num_procs == 0) throw ConfigError("num_procs must be > 0");
   if (procs_per_cluster == 0 || num_procs % procs_per_cluster != 0) {
     throw ConfigError(
@@ -36,9 +36,18 @@ void MachineConfig::validate() const {
   if (num_clusters() > 64) {
     throw ConfigError("at most 64 clusters (directory bit vector)");
   }
+  if (contention.enabled) {
+    if (banks_per_proc == 0) {
+      throw ConfigError("contention model needs banks_per_proc >= 1");
+    }
+    if (contention.bank_busy == 0 || contention.directory_busy == 0 ||
+        contention.nic_busy == 0) {
+      throw ConfigError("contention busy times must be >= 1 cycle");
+    }
+  }
 }
 
-std::string MachineConfig::label() const {
+std::string MachineSpec::label() const {
   std::string s = std::to_string(num_procs) + "p/" +
                   std::to_string(procs_per_cluster) + "ppc/";
   if (cache.infinite()) {

@@ -1,8 +1,13 @@
-// Machine configuration: processor count, clustering, cache geometry.
+// MachineSpec: the full description of a simulated machine — topology
+// (processors, clustering), cache geometry, Table 1 latencies, and the
+// opt-in contention model. One immutable MachineSpec, shared by the run
+// (std::shared_ptr<const MachineSpec>), drives the simulator, both memory
+// system organizations, and the profilers.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -30,8 +35,38 @@ enum class ClusterStyle : std::uint8_t {
   SharedMemory,  ///< private caches + snoopy bus + attraction memory
 };
 
+/// Opt-in event-driven contention model (DESIGN.md "Contention model").
+///
+/// When enabled, three classes of queued occupancy resources augment the
+/// fixed Table 1 latency model with simulated queueing delay:
+///  - the per-cluster shared-cache banks (SharedCache style) or cluster bus
+///    (SharedMemory style): every access occupies its bank/bus for
+///    `bank_busy` cycles; a FIFO backlog stalls later arrivals — the
+///    in-engine counterpart of the Section 6 / Table 4 bank-conflict model;
+///  - the directory controller at a line's home cluster: every miss
+///    occupies it for `directory_busy` cycles;
+///  - the network interface of the requesting cluster: every remote hop
+///    occupies it for `nic_busy` cycles.
+/// Only the *waiting* time is charged to the requester (the service time is
+/// already part of the hit / Table 1 latency); waits land in the
+/// TimeBuckets::contention bucket and the MissCounters contention fields.
+/// With `enabled == false` (the default) results are bit-identical to the
+/// model-free simulator (pinned by the golden digest suite).
+struct ContentionSpec {
+  bool enabled = false;
+  /// Busy time, in cycles, a shared-cache bank (or the cluster bus) is held
+  /// per access.
+  Cycles bank_busy = 1;
+  /// Busy time of the home directory controller per miss it services.
+  Cycles directory_busy = 4;
+  /// Busy time of the cluster network interface per remote hop.
+  Cycles nic_busy = 6;
+
+  bool operator==(const ContentionSpec&) const noexcept = default;
+};
+
 /// Full description of the simulated machine.
-struct MachineConfig {
+struct MachineSpec {
   unsigned num_procs = 64;
   unsigned procs_per_cluster = 1;
   ClusterStyle cluster_style = ClusterStyle::SharedCache;
@@ -48,6 +83,8 @@ struct MachineConfig {
   /// Table 4 model. Used by bench/validation_hit_cost.
   bool model_shared_hit_costs = false;
   unsigned banks_per_proc = 4;
+  /// Queued-resource contention model (disabled by default).
+  ContentionSpec contention{};
   /// Page granularity of home assignment (first-touch round robin).
   unsigned page_bytes = 4096;
   /// Max cycles a processor may run ahead on purely local operations before
@@ -87,12 +124,129 @@ struct MachineConfig {
     return procs_per_cluster == 2 ? 2 : 3;
   }
 
+  /// Banks of the shared cluster cache under the contention model
+  /// (Table 4's m = 4n; a 1-processor cluster still has banks_per_proc
+  /// banks — with one requester it simply never conflicts).
+  [[nodiscard]] unsigned cluster_banks() const noexcept {
+    return banks_per_proc * procs_per_cluster;
+  }
+
   /// Throws ConfigError (a std::invalid_argument) if the configuration is
   /// inconsistent.
   void validate() const;
 
   /// e.g. "64p/4ppc/16KB" — used in reports.
   [[nodiscard]] std::string label() const;
+};
+
+/// Legacy name, kept for downstream source compatibility; new code should
+/// spell it MachineSpec.
+using MachineConfig = MachineSpec;
+
+/// Builder-style construction path for MachineSpec: the single way drivers
+/// (csim_cli, perf_micro, the examples) and tests assemble configurations.
+/// Every setter returns *this for chaining; build() validates and returns a
+/// value, build_shared() the immutable shared form the run owns.
+///
+///   auto spec = MachineSpecBuilder{}
+///                   .procs(64).procs_per_cluster(4).cache_kb(16)
+///                   .style(ClusterStyle::SharedCache)
+///                   .contention_enabled()
+///                   .build();
+class MachineSpecBuilder {
+ public:
+  MachineSpecBuilder() = default;
+  /// Start from an existing spec (e.g. paper_machine) and tweak.
+  explicit MachineSpecBuilder(MachineSpec base) : s_(base) {}
+
+  MachineSpecBuilder& procs(unsigned n) {
+    s_.num_procs = n;
+    return *this;
+  }
+  MachineSpecBuilder& procs_per_cluster(unsigned ppc) {
+    s_.procs_per_cluster = ppc;
+    return *this;
+  }
+  MachineSpecBuilder& style(ClusterStyle st) {
+    s_.cluster_style = st;
+    return *this;
+  }
+  MachineSpecBuilder& cache_bytes(std::size_t per_proc) {
+    s_.cache.per_proc_bytes = per_proc;
+    return *this;
+  }
+  MachineSpecBuilder& cache_kb(std::size_t kb) { return cache_bytes(kb * 1024); }
+  MachineSpecBuilder& line_bytes(unsigned b) {
+    s_.cache.line_bytes = b;
+    return *this;
+  }
+  MachineSpecBuilder& associativity(unsigned a) {
+    s_.cache.associativity = a;
+    return *this;
+  }
+  MachineSpecBuilder& latency(const LatencyModel& m) {
+    s_.latency = m;
+    return *this;
+  }
+  MachineSpecBuilder& hit_latency(Cycles c) {
+    s_.hit_latency = c;
+    return *this;
+  }
+  MachineSpecBuilder& model_shared_hit_costs(bool on = true) {
+    s_.model_shared_hit_costs = on;
+    return *this;
+  }
+  MachineSpecBuilder& banks_per_proc(unsigned b) {
+    s_.banks_per_proc = b;
+    return *this;
+  }
+  MachineSpecBuilder& contention(const ContentionSpec& c) {
+    s_.contention = c;
+    return *this;
+  }
+  /// Convenience: enable the contention model with its default busy times.
+  MachineSpecBuilder& contention_enabled(bool on = true) {
+    s_.contention.enabled = on;
+    return *this;
+  }
+  MachineSpecBuilder& page_bytes(unsigned b) {
+    s_.page_bytes = b;
+    return *this;
+  }
+  MachineSpecBuilder& runahead_quantum(Cycles q) {
+    s_.runahead_quantum = q;
+    return *this;
+  }
+  MachineSpecBuilder& max_cycles(std::uint64_t c) {
+    s_.max_cycles = c;
+    return *this;
+  }
+  MachineSpecBuilder& max_events(std::uint64_t e) {
+    s_.max_events = e;
+    return *this;
+  }
+  MachineSpecBuilder& audit_interval(std::uint64_t n) {
+    s_.audit_interval = n;
+    return *this;
+  }
+
+  /// Validates and returns the spec by value (throws ConfigError).
+  [[nodiscard]] MachineSpec build() const {
+    s_.validate();
+    return s_;
+  }
+  /// Returns the spec without validating. For sweep drivers that want an
+  /// invalid configuration to degrade into an ok == false row inside
+  /// run_sweep (Simulator validates again) rather than abort the sweep.
+  [[nodiscard]] MachineSpec build_unchecked() const { return s_; }
+  /// Validates and returns the immutable shared form the run owns.
+  [[nodiscard]] std::shared_ptr<const MachineSpec> build_shared() const {
+    s_.validate();
+    return std::make_shared<const MachineSpec>(s_);
+  }
+
+ private:
+  MachineSpec s_{};
 };
 
 }  // namespace csim

@@ -54,12 +54,14 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
   switch (r.kind) {
     case AccessResult::Kind::Hit:
       buckets_.cpu += hit;
-      now_ += hit;
+      buckets_.contention += r.contention;
+      now_ += hit + r.contention;
       return check_slice(resume_at);
     case AccessResult::Kind::Merge: {
       const Cycles issued = now_;
       buckets_.cpu += hit;
-      const Cycles issue_done = now_ + hit;
+      buckets_.contention += r.contention;
+      const Cycles issue_done = now_ + hit + r.contention;
       const Cycles stall = r.ready_at > issue_done ? r.ready_at - issue_done : 0;
       buckets_.merge += stall;
       now_ = issue_done + stall;
@@ -75,10 +77,13 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
     case AccessResult::Kind::NearHit: {
       // NearHit: served within the cluster (snoop / attraction memory) in
       // the shared-main-memory organization; the stall is still load time.
+      // Queueing delays (bank / directory / NIC waits) are charged to the
+      // contention bucket, separating Table 1 latency from backlog stalls.
       const Cycles issued = now_;
       buckets_.cpu += hit;
       buckets_.load += r.latency;
-      now_ += hit + r.latency;
+      buckets_.contention += r.contention;
+      now_ += hit + r.latency + r.contention;
       resume_at = now_;
       wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, now_, issued};
       if (obs_ != nullptr) {
@@ -108,6 +113,10 @@ bool Proc::do_write(Addr a, Cycles& resume_at) {
       mru_epoch_ = coh_->access_epoch();
       mru_writable_ = r.hint == MruHint::ReadWrite;
     }
+    // The store buffer hides miss latency but not the port queue: issue
+    // itself waits for the bank/bus, a processor-visible contention stall.
+    buckets_.contention += r.contention;
+    now_ += r.contention;
   }
   // Store issue occupies the cache for one access; all miss/upgrade latency
   // is hidden by the store buffer under relaxed consistency.

@@ -54,7 +54,7 @@ class Proc : public EventQueue::Resumable {
     Cycles since = 0;                        ///< local clock at suspension
   };
 
-  Proc(const MachineConfig& cfg, EventQueue& q, MemorySystem& coh,
+  Proc(const MachineSpec& cfg, EventQueue& q, MemorySystem& coh,
        ProcId id)
       : cfg_(&cfg), queue_(&q), coh_(&coh), id_(id),
         cluster_(cfg.cluster_of(id)),
@@ -79,7 +79,7 @@ class Proc : public EventQueue::Resumable {
   [[nodiscard]] unsigned nprocs() const noexcept { return cfg_->num_procs; }
   [[nodiscard]] Cycles now() const noexcept { return now_; }
   [[nodiscard]] const TimeBuckets& buckets() const noexcept { return buckets_; }
-  [[nodiscard]] const MachineConfig& config() const noexcept { return *cfg_; }
+  [[nodiscard]] const MachineSpec& config() const noexcept { return *cfg_; }
   /// Current wait state; WaitKind::None while runnable. Stable after the
   /// event queue drains, which is what deadlock diagnostics read.
   [[nodiscard]] const WaitInfo& wait() const noexcept { return wait_; }
@@ -189,7 +189,7 @@ class Proc : public EventQueue::Resumable {
     return cost;
   }
 
-  const MachineConfig* cfg_;
+  const MachineSpec* cfg_;
   EventQueue* queue_;
   MemorySystem* coh_;
   Observer* obs_ = nullptr;

@@ -76,9 +76,19 @@ MachineSnapshot capture_snapshot(const EventQueue& queue,
 
 }  // namespace
 
-Simulator::Simulator(MachineConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+Simulator::Simulator(MachineSpec cfg) {
+  cfg.validate();
+  spec_ = std::make_shared<const MachineSpec>(std::move(cfg));
+}
+
+Simulator::Simulator(std::shared_ptr<const MachineSpec> spec)
+    : spec_(std::move(spec)) {
+  if (spec_ == nullptr) throw ConfigError("Simulator: null machine spec");
+  spec_->validate();
+}
 
 SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
+  const MachineSpec& cfg_ = *spec_;  // the run-wide shared immutable spec
   const auto host_start = std::chrono::steady_clock::now();
   AddressSpace as;
   try {
@@ -99,9 +109,9 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   std::unique_ptr<MemorySystem> mem;
   if (memory_override == nullptr) {
     if (cfg_.cluster_style == ClusterStyle::SharedMemory) {
-      mem = std::make_unique<ClusteredMemorySystem>(cfg_, as);
+      mem = std::make_unique<ClusteredMemorySystem>(spec_, as);
     } else {
-      mem = std::make_unique<CoherenceController>(cfg_, as);
+      mem = std::make_unique<CoherenceController>(spec_, as);
     }
   }
   MemorySystem& coh = memory_override ? *memory_override : *mem;
@@ -212,11 +222,11 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   return res;
 }
 
-SimResult simulate(Program& prog, const MachineConfig& cfg) {
+SimResult simulate(Program& prog, const MachineSpec& cfg) {
   return Simulator(cfg).run(prog);
 }
 
-SimResult simulate(Program& prog, const MachineConfig& cfg, Observer* obs) {
+SimResult simulate(Program& prog, const MachineSpec& cfg, Observer* obs) {
   Simulator sim(cfg);
   sim.set_observer(obs);
   return sim.run(prog);

@@ -30,7 +30,7 @@ class Program {
 
   /// Allocates simulated memory (and optional explicit placement). Called
   /// once per simulation run, before any body starts.
-  virtual void setup(AddressSpace& as, const MachineConfig& cfg) = 0;
+  virtual void setup(AddressSpace& as, const MachineSpec& cfg) = 0;
 
   /// The code processor `p` executes.
   virtual SimTask body(Proc& p) = 0;
@@ -46,17 +46,23 @@ class Program {
 /// Runs programs under a machine configuration and collects results.
 class Simulator {
  public:
-  explicit Simulator(MachineConfig cfg);
+  /// Validates and wraps `cfg` in the run-wide shared immutable spec.
+  explicit Simulator(MachineSpec cfg);
+
+  /// Primary constructor: adopts an existing shared spec (e.g. from
+  /// MachineSpecBuilder::build_shared()); every component of a run — memory
+  /// system, processors, profilers — sees this one object.
+  explicit Simulator(std::shared_ptr<const MachineSpec> spec);
 
   /// Simulates `prog` to completion and returns timing + miss statistics.
   ///
   /// Failure taxonomy (src/core/error.hpp) — all carry a MachineSnapshot:
   ///  - DeadlockError: the event queue drained with processors still parked
   ///    on a barrier or lock (e.g. mismatched barriers);
-  ///  - LivelockError: a watchdog budget tripped (MachineConfig::max_cycles /
+  ///  - LivelockError: a watchdog budget tripped (MachineSpec::max_cycles /
   ///    max_events / no_progress_events);
   ///  - ProtocolError: the coherence invariant audit failed (end of run, and
-  ///    every MachineConfig::audit_interval events when set);
+  ///    every MachineSpec::audit_interval events when set);
   ///  - AppError: the program's setup() or verify() threw.
   /// Exceptions escaping processor bodies propagate unwrapped.
   ///
@@ -71,17 +77,20 @@ class Simulator {
   /// branch per site, no other cost.
   void set_observer(Observer* obs) noexcept { obs_ = obs; }
 
-  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const MachineSpec& config() const noexcept { return *spec_; }
+  [[nodiscard]] const std::shared_ptr<const MachineSpec>& spec() const noexcept {
+    return spec_;
+  }
 
  private:
-  MachineConfig cfg_;
+  std::shared_ptr<const MachineSpec> spec_;
   Observer* obs_ = nullptr;
 };
 
 /// Convenience: one-shot run.
-SimResult simulate(Program& prog, const MachineConfig& cfg);
+SimResult simulate(Program& prog, const MachineSpec& cfg);
 
 /// Convenience: one-shot observed run (obs may be null).
-SimResult simulate(Program& prog, const MachineConfig& cfg, Observer* obs);
+SimResult simulate(Program& prog, const MachineSpec& cfg, Observer* obs);
 
 }  // namespace csim

@@ -17,6 +17,10 @@ MissCounters& MissCounters::operator+=(const MissCounters& o) noexcept {
   snoop_transfers += o.snoop_transfers;
   cluster_memory_hits += o.cluster_memory_hits;
   bus_invalidations += o.bus_invalidations;
+  bank_conflicts += o.bank_conflicts;
+  bank_wait_cycles += o.bank_wait_cycles;
+  dir_wait_cycles += o.dir_wait_cycles;
+  nic_wait_cycles += o.nic_wait_cycles;
   for (unsigned i = 0; i < kNumLatencyClasses; ++i) by_class[i] += o.by_class[i];
   return *this;
 }

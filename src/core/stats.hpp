@@ -11,21 +11,27 @@
 
 namespace csim {
 
-/// The four execution-time components of the paper's stacked bars.
+/// The execution-time components of the paper's stacked bars, plus the
+/// contention-stall bucket of the opt-in queued-resource model.
 struct TimeBuckets {
   Cycles cpu = 0;    ///< busy cycles (includes 1-cycle cache hits)
   Cycles load = 0;   ///< read-miss stall cycles
   Cycles merge = 0;  ///< merge-miss stall cycles (waiting on another
                      ///< processor's in-flight fill)
   Cycles sync = 0;   ///< barrier / lock wait (incl. final-barrier wait)
+  Cycles contention = 0;  ///< queueing-delay stalls (bank / directory / NIC
+                          ///< waits; always 0 unless ContentionSpec::enabled)
 
-  [[nodiscard]] Cycles total() const noexcept { return cpu + load + merge + sync; }
+  [[nodiscard]] Cycles total() const noexcept {
+    return cpu + load + merge + sync + contention;
+  }
   bool operator==(const TimeBuckets&) const noexcept = default;
   TimeBuckets& operator+=(const TimeBuckets& o) noexcept {
     cpu += o.cpu;
     load += o.load;
     merge += o.merge;
     sync += o.sync;
+    contention += o.contention;
     return *this;
   }
 };
@@ -49,6 +55,11 @@ struct MissCounters {
   std::uint64_t snoop_transfers = 0;     ///< served cache-to-cache on the bus
   std::uint64_t cluster_memory_hits = 0; ///< served by the attraction memory
   std::uint64_t bus_invalidations = 0;   ///< peer private-cache copies killed
+  // Contention model only (ContentionSpec::enabled); otherwise all zero:
+  std::uint64_t bank_conflicts = 0;   ///< accesses that waited on a busy bank/bus
+  std::uint64_t bank_wait_cycles = 0; ///< cycles spent waiting on banks/bus
+  std::uint64_t dir_wait_cycles = 0;  ///< cycles waiting on the home directory
+  std::uint64_t nic_wait_cycles = 0;  ///< cycles waiting on network interfaces
   std::array<std::uint64_t, kNumLatencyClasses> by_class{};
 
   MissCounters& operator+=(const MissCounters& o) noexcept;
@@ -66,7 +77,7 @@ struct MissCounters {
 /// graceful degradation) has ok == false, empty statistics, and the error
 /// fields describing the SimError that killed it.
 struct SimResult {
-  MachineConfig config{};
+  MachineSpec config{};
   std::string app_name;
   ProblemScale scale = ProblemScale::Default;
   Cycles wall_time = 0;

@@ -65,7 +65,7 @@ class AddressSpace {
    public:
     /// The configuration is copied (it is small), so temporaries are safe;
     /// the AddressSpace must outlive the map.
-    HomeMap(const AddressSpace& as, const MachineConfig& cfg)
+    HomeMap(const AddressSpace& as, const MachineSpec& cfg)
         : as_(&as), cfg_(cfg), page_shift_(page_shift(cfg.page_bytes)) {
       homes_.reserve(
           static_cast<std::size_t>(as.bytes_allocated() >> page_shift_));
@@ -87,7 +87,7 @@ class AddressSpace {
       return s;
     }
     const AddressSpace* as_;
-    MachineConfig cfg_;
+    MachineSpec cfg_;
     unsigned page_shift_;
     FlatMap<ClusterId> homes_;
     ClusterId rr_next_ = 0;

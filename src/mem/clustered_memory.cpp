@@ -2,35 +2,52 @@
 
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
+#include "src/mem/contention.hpp"
 #include "src/obs/observer.hpp"
 
 namespace csim {
 
-ClusteredMemorySystem::ClusteredMemorySystem(const MachineConfig& cfg,
-                                             const AddressSpace& as)
-    : cfg_(cfg), homes_(as, cfg) {
-  caches_.reserve(cfg.num_procs);
-  const std::size_t lines_per_proc =
-      cfg.cache.infinite() ? 0 : cfg.cache.per_proc_bytes / cfg.cache.line_bytes;
-  for (ProcId p = 0; p < cfg.num_procs; ++p) {
-    caches_.push_back(std::make_unique<CacheStorage>(
-        lines_per_proc, cfg.cache.associativity, cfg.cache.line_bytes));
+ClusteredMemorySystem::ClusteredMemorySystem(
+    std::shared_ptr<const MachineSpec> spec, const AddressSpace& as)
+    : spec_(std::move(spec)), cfg_(*spec_), homes_(as, cfg_) {
+  if (cfg_.contention.enabled) {
+    contention_ = std::make_unique<ContentionModel>(cfg_);
   }
-  attraction_.resize(cfg.num_clusters());
-  mshrs_.resize(cfg.num_clusters());
-  counters_.resize(cfg.num_clusters());
+  caches_.reserve(cfg_.num_procs);
+  const std::size_t lines_per_proc =
+      cfg_.cache.infinite() ? 0
+                            : cfg_.cache.per_proc_bytes / cfg_.cache.line_bytes;
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    caches_.push_back(std::make_unique<CacheStorage>(
+        lines_per_proc, cfg_.cache.associativity, cfg_.cache.line_bytes));
+  }
+  attraction_.resize(cfg_.num_clusters());
+  mshrs_.resize(cfg_.num_clusters());
+  counters_.resize(cfg_.num_clusters());
   // Size the directory, cold-line set, attraction memories, and (infinite)
   // private caches to the application's allocated footprint so steady-state
   // operation never rehashes.
   const std::size_t lines =
-      static_cast<std::size_t>(as.bytes_allocated() / cfg.cache.line_bytes);
+      static_cast<std::size_t>(as.bytes_allocated() / cfg_.cache.line_bytes);
   dir_.reserve(lines);
   touched_lines_.reserve(lines);
   for (auto& a : attraction_) a.reserve(lines);
-  if (cfg.cache.infinite()) {
+  if (cfg_.cache.infinite()) {
     for (auto& c : caches_) c->reserve(lines);
   }
 }
+
+Cycles ClusteredMemorySystem::acquire_bus(ClusterId c, Addr line, Cycles now) {
+  if (!contention_) return 0;
+  const Cycles wait = contention_->cluster_port(c, line, now);
+  if (wait != 0) {
+    ++counters_[c].bank_conflicts;
+    counters_[c].bank_wait_cycles += wait;
+  }
+  return wait;
+}
+
+ClusteredMemorySystem::~ClusteredMemorySystem() = default;
 
 MissCounters ClusteredMemorySystem::totals() const {
   MissCounters t{};
@@ -198,10 +215,12 @@ void ClusteredMemorySystem::invalidate_other_clusters(Addr line,
 }
 
 AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
-                                                 Cycles now, bool exclusive) {
+                                                 Cycles now, bool exclusive,
+                                                 Cycles bus_wait) {
   const ClusterId c = cfg_.cluster_of(p);
   DirEntry& e = dir_.entry(line);
-  const LatencyClass lclass = classify_miss(e, c, homes_.home_of(line));
+  const ClusterId home = homes_.home_of(line);
+  const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
   MissCounters& ctr = counters_[c];
 
@@ -236,14 +255,33 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
   attraction_[c][line] =
       ClusterLine{std::uint64_t{1} << local_index(p), exclusive};
   install_private(p, line, exclusive ? LineState::Exclusive : LineState::Shared);
-  mshrs_[c].allocate(line, MshrEntry{now + lat});
-  if (exclusive && obs_ != nullptr) {
-    obs_->on_memory_stall(p, line, Observer::Stall::Store, now, now + lat,
-                          lclass);
+
+  // Queueing delays cascade in request order: bus (already paid), then the
+  // home directory controller, then — for any miss leaving the cluster — the
+  // requester's network interface. A read stalls the processor, so its waits
+  // are all visible; a write's directory/NIC waits are hidden by the store
+  // buffer but still delay the fill.
+  Cycles queue = bus_wait;
+  if (contention_) {
+    const Cycles dwait = contention_->directory(home, now + queue);
+    ctr.dir_wait_cycles += dwait;
+    queue += dwait;
+    if (lclass != LatencyClass::LocalClean) {
+      const Cycles nwait = contention_->nic(c, now + queue);
+      ctr.nic_wait_cycles += nwait;
+      queue += nwait;
+    }
   }
-  return AccessResult{exclusive ? AccessResult::Kind::WriteMiss
-                                : AccessResult::Kind::ReadMiss,
-                      lat, now + lat, lclass};
+  const Cycles fill = now + queue + lat;
+  mshrs_[c].allocate(line, MshrEntry{fill});
+  if (exclusive && obs_ != nullptr) {
+    obs_->on_memory_stall(p, line, Observer::Stall::Store, now, fill, lclass);
+  }
+  AccessResult r{exclusive ? AccessResult::Kind::WriteMiss
+                           : AccessResult::Kind::ReadMiss,
+                 lat, fill, lclass};
+  r.contention = exclusive ? bus_wait : queue;
+  return r;
 }
 
 AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
@@ -272,13 +310,18 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     return r;
   }
 
+  // Past the private cache: the access is a bus transaction.
+  const Cycles bus_wait = acquire_bus(c, line, now);
+
   if (ClusterLine* pcl = attraction_[c].find(line)) {
     // The line is in the cluster. A fill still in flight merges; otherwise
     // a peer cache (snoop) or the cluster memory supplies it.
     if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time > now) {
       ++ctr.merges;
-      return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
-                          LatencyClass::LocalClean};
+      AccessResult r{AccessResult::Kind::Merge, 0, m->fill_time,
+                     LatencyClass::LocalClean};
+      r.contention = bus_wait;
+      return r;
     }
     ClusterLine& cl = *pcl;
     Cycles lat;
@@ -299,12 +342,14 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     }
     install_private(p, line, LineState::Shared);
     attraction_[c][line].proc_copies |= std::uint64_t{1} << local_index(p);
-    return AccessResult{AccessResult::Kind::NearHit, lat, now + lat,
-                        LatencyClass::LocalClean};
+    AccessResult r{AccessResult::Kind::NearHit, lat, now + lat + bus_wait,
+                   LatencyClass::LocalClean};
+    r.contention = bus_wait;
+    return r;
   }
 
   mshrs_[c].release(line);  // stale entry for a purged line
-  return fetch_remote(p, line, now, /*exclusive=*/false);
+  return fetch_remote(p, line, now, /*exclusive=*/false, bus_wait);
 }
 
 AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
@@ -345,6 +390,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     }
     // Proc-level upgrade: kill peer copies on the bus; if other clusters
     // also hold the line, take machine-wide ownership through the directory.
+    const Cycles bus_wait = acquire_bus(c, line, now);
     ClusterLine& cl = attraction_[c][line];
     kill_local_peers(cl);
     caches_[p]->set_state(line, LineState::Exclusive);
@@ -356,7 +402,13 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       e.state = DirState::Exclusive;
       cl.cluster_exclusive = true;
       ++ctr.upgrade_misses;
-      return AccessResult{AccessResult::Kind::UpgradeMiss};
+      if (contention_) {
+        ctr.dir_wait_cycles +=
+            contention_->directory(homes_.home_of(line), now + bus_wait);
+      }
+      AccessResult r{AccessResult::Kind::UpgradeMiss};
+      r.contention = bus_wait;
+      return r;
     }
     // Ownership was already in the cluster: the write is a bus transaction
     // only ("ownership is kept within the cluster"). The private copy is now
@@ -364,8 +416,12 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     ++ctr.write_hits;
     AccessResult r{AccessResult::Kind::Hit};
     r.hint = pending ? MruHint::None : MruHint::ReadWrite;
+    r.contention = bus_wait;
     return r;
   }
+
+  // Past the private cache: the access is a bus transaction.
+  const Cycles bus_wait = acquire_bus(c, line, now);
 
   if (ClusterLine* pcl = attraction_[c].find(line)) {
     // Write-allocate from within the cluster (hidden by the store buffer).
@@ -381,14 +437,22 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       e.state = DirState::Exclusive;
       cl.cluster_exclusive = true;
       ++ctr.upgrade_misses;
-      return AccessResult{AccessResult::Kind::UpgradeMiss};
+      if (contention_) {
+        ctr.dir_wait_cycles +=
+            contention_->directory(homes_.home_of(line), now + bus_wait);
+      }
+      AccessResult r{AccessResult::Kind::UpgradeMiss};
+      r.contention = bus_wait;
+      return r;
     }
     ++ctr.write_hits;
-    return AccessResult{AccessResult::Kind::Hit};
+    AccessResult r{AccessResult::Kind::Hit};
+    r.contention = bus_wait;
+    return r;
   }
 
   mshrs_[c].release(line);
-  return fetch_remote(p, line, now, /*exclusive=*/true);
+  return fetch_remote(p, line, now, /*exclusive=*/true, bus_wait);
 }
 
 }  // namespace csim

@@ -38,9 +38,22 @@
 
 namespace csim {
 
+class ContentionModel;
+
 class ClusteredMemorySystem final : public MemorySystem {
  public:
-  ClusteredMemorySystem(const MachineConfig& cfg, const AddressSpace& as);
+  /// Primary constructor: the run's shared immutable spec (no per-class
+  /// config copy; every component of a run sees the same MachineSpec).
+  ClusteredMemorySystem(std::shared_ptr<const MachineSpec> spec,
+                        const AddressSpace& as);
+
+  /// Legacy convenience: wraps `cfg` in a fresh shared spec (still safe
+  /// against temporary config expressions).
+  ClusteredMemorySystem(const MachineSpec& cfg, const AddressSpace& as)
+      : ClusteredMemorySystem(std::make_shared<const MachineSpec>(cfg), as) {}
+
+  // Out of line: ContentionModel is only forward-declared here.
+  ~ClusteredMemorySystem() override;
 
   AccessResult read(ProcId p, Addr a, Cycles now) override;
   AccessResult write(ProcId p, Addr a, Cycles now) override;
@@ -53,6 +66,8 @@ class ClusteredMemorySystem final : public MemorySystem {
 
   /// Opts into the processor MRU fast path (docs/PERFORMANCE.md): repeat
   /// hits short-circuited by the processor bump these counters directly.
+  /// Stays enabled under the contention model: a repeat private-cache hit
+  /// never reaches the cluster bus, so short-circuiting it skips no queue.
   [[nodiscard]] MissCounters* hot_counters(ClusterId c) noexcept override {
     return &counters_[c];
   }
@@ -72,6 +87,9 @@ class ClusteredMemorySystem final : public MemorySystem {
   [[nodiscard]] Directory& mutable_directory_for_test() { return dir_; }
   [[nodiscard]] bool in_attraction(ClusterId c, Addr a) const {
     return attraction_[c].contains(a & ~Addr{cfg_.cache.line_bytes - 1});
+  }
+  [[nodiscard]] const ContentionModel* contention_model() const {
+    return contention_.get();
   }
 
  private:
@@ -104,9 +122,18 @@ class ClusteredMemorySystem final : public MemorySystem {
 
   /// Brings a line into the cluster from outside (read: SHARED, write:
   /// EXCLUSIVE); shared miss/merge/latency logic of both access kinds.
-  AccessResult fetch_remote(ProcId p, Addr line, Cycles now, bool exclusive);
+  /// `bus_wait` is the already-paid cluster-bus queueing delay.
+  AccessResult fetch_remote(ProcId p, Addr line, Cycles now, bool exclusive,
+                            Cycles bus_wait);
 
-  MachineConfig cfg_;  // copied: safe against temporary configs
+  /// Contention-model cluster-bus acquisition (0 when disabled); accounts
+  /// the wait into the cluster's counters. Only accesses that leave the
+  /// private cache reach the bus.
+  Cycles acquire_bus(ClusterId c, Addr line, Cycles now);
+
+  std::shared_ptr<const MachineSpec> spec_;  // the run's shared immutable spec
+  const MachineSpec& cfg_;                   // = *spec_
+  std::unique_ptr<ContentionModel> contention_;  // null unless enabled
   AddressSpace::HomeMap homes_;
   Directory dir_;                                     // cluster granularity
   std::vector<std::unique_ptr<CacheStorage>> caches_; // one per processor

@@ -2,32 +2,38 @@
 
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
+#include "src/mem/contention.hpp"
 #include "src/obs/observer.hpp"
 
 namespace csim {
 
-CoherenceController::CoherenceController(const MachineConfig& cfg,
+CoherenceController::CoherenceController(std::shared_ptr<const MachineSpec> spec,
                                          const AddressSpace& as)
-    : cfg_(cfg), homes_(as, cfg) {
-  const unsigned nc = cfg.num_clusters();
+    : spec_(std::move(spec)), cfg_(*spec_), homes_(as, cfg_) {
+  if (cfg_.contention.enabled) {
+    contention_ = std::make_unique<ContentionModel>(cfg_);
+  }
+  const unsigned nc = cfg_.num_clusters();
   caches_.reserve(nc);
   for (unsigned c = 0; c < nc; ++c) {
     caches_.push_back(std::make_unique<CacheStorage>(
-        cfg.cache.infinite() ? 0 : cfg.cluster_cache_lines(),
-        cfg.cache.associativity, cfg.cache.line_bytes));
+        cfg_.cache.infinite() ? 0 : cfg_.cluster_cache_lines(),
+        cfg_.cache.associativity, cfg_.cache.line_bytes));
   }
   mshrs_.resize(nc);
   counters_.resize(nc);
   // Size the directory and cold-line set to the application's allocated
   // footprint so steady-state operation never rehashes.
   const std::size_t lines =
-      static_cast<std::size_t>(as.bytes_allocated() / cfg.cache.line_bytes);
+      static_cast<std::size_t>(as.bytes_allocated() / cfg_.cache.line_bytes);
   dir_.reserve(lines);
   touched_lines_.reserve(lines);
-  if (cfg.cache.infinite()) {
+  if (cfg_.cache.infinite()) {
     for (auto& c : caches_) c->reserve(lines);
   }
 }
+
+CoherenceController::~CoherenceController() = default;
 
 MissCounters CoherenceController::totals() const {
   MissCounters t{};
@@ -125,6 +131,16 @@ LatencyClass CoherenceController::classify(ClusterId requester, Addr line,
   return classify_miss(e, requester, self.homes_.home_of(line));
 }
 
+Cycles CoherenceController::acquire_port(ClusterId c, Addr line, Cycles now) {
+  if (!contention_) return 0;
+  const Cycles wait = contention_->cluster_port(c, line, now);
+  if (wait != 0) {
+    ++counters_[c].bank_conflicts;
+    counters_[c].bank_wait_cycles += wait;
+  }
+  return wait;
+}
+
 void CoherenceController::invalidate_others(Addr line, ClusterId keep,
                                             Cycles now) {
   // find(): this path only mutates existing state — an untracked line has no
@@ -153,9 +169,11 @@ void CoherenceController::invalidate_others(Addr line, ClusterId keep,
 }
 
 AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
-                                                   Cycles now) {
+                                                   Cycles now,
+                                                   Cycles port_wait) {
   DirEntry& e = dir_.entry(line);
-  const LatencyClass lclass = classify(c, line, e);
+  const ClusterId home = homes_.home_of(line);
+  const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
 
   if (e.state == DirState::Exclusive) {
@@ -170,9 +188,27 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
   ++ctr.by_class[static_cast<unsigned>(lclass)];
   if (touched_lines_.insert(line)) ++ctr.cold_misses;
 
+  // Queueing delays cascade in request order: bank (already paid), then the
+  // home directory controller, then — for any miss leaving the cluster — the
+  // requester's network interface. A read stalls the processor, so every
+  // wait is processor-visible and delays the fill.
+  Cycles queue = port_wait;
+  if (contention_) {
+    const Cycles dwait = contention_->directory(home, now + queue);
+    ctr.dir_wait_cycles += dwait;
+    queue += dwait;
+    if (lclass != LatencyClass::LocalClean) {
+      const Cycles nwait = contention_->nic(c, now + queue);
+      ctr.nic_wait_cycles += nwait;
+      queue += nwait;
+    }
+  }
+
   install(c, line, LineState::Shared);
-  mshrs_[c].allocate(line, MshrEntry{now + lat});
-  return AccessResult{AccessResult::Kind::ReadMiss, lat, now + lat, lclass};
+  mshrs_[c].allocate(line, MshrEntry{now + queue + lat});
+  AccessResult r{AccessResult::Kind::ReadMiss, lat, now + queue + lat, lclass};
+  r.contention = queue;
+  return r;
 }
 
 AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
@@ -181,13 +217,16 @@ AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
+  const Cycles port_wait = acquire_port(c, line, now);
 
   if (auto st = caches_[c]->lookup(line)) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time > now) {
         ++ctr.merges;
-        return AccessResult{AccessResult::Kind::Merge, 0, m->fill_time,
-                            LatencyClass::LocalClean};
+        AccessResult r{AccessResult::Kind::Merge, 0, m->fill_time,
+                       LatencyClass::LocalClean};
+        r.contention = port_wait;
+        return r;
       }
       mshrs_[c].release(line);  // fill has arrived
     }
@@ -198,10 +237,11 @@ AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
     // access while the epoch holds is a plain hit: writes too, if EXCLUSIVE.
     r.hint = *st == LineState::Exclusive ? MruHint::ReadWrite
                                          : MruHint::ReadOnly;
+    r.contention = port_wait;
     return r;
   }
   mshrs_[c].release(line);  // drop any stale entry for a departed line
-  return handle_read_miss(c, line, now);
+  return handle_read_miss(c, line, now, port_wait);
 }
 
 AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
@@ -210,6 +250,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.writes;
+  const Cycles port_wait = acquire_port(c, line, now);
 
   if (auto st = caches_[c]->lookup(line)) {
     bool pending = false;
@@ -226,10 +267,12 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
       ++ctr.write_hits;
       AccessResult r{AccessResult::Kind::Hit};
       r.hint = pending ? MruHint::None : MruHint::ReadWrite;
+      r.contention = port_wait;
       return r;
     }
     // UPGRADE: write found the line SHARED. Ownership moves instantly; the
-    // latency is fully hidden by the store buffer.
+    // latency is fully hidden by the store buffer, but the home directory
+    // controller is still occupied by the ownership transfer.
     invalidate_others(line, c, now);
     DirEntry& e = dir_.entry(line);
     e.sharers = 0;
@@ -237,13 +280,20 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
     e.state = DirState::Exclusive;
     caches_[c]->set_state(line, LineState::Exclusive);
     ++ctr.upgrade_misses;
-    return AccessResult{AccessResult::Kind::UpgradeMiss};
+    if (contention_) {
+      ctr.dir_wait_cycles +=
+          contention_->directory(homes_.home_of(line), now + port_wait);
+    }
+    AccessResult r{AccessResult::Kind::UpgradeMiss};
+    r.contention = port_wait;
+    return r;
   }
   mshrs_[c].release(line);  // drop any stale entry for a departed line
 
   // WRITE miss: fetch the line EXCLUSIVE; latency hidden, fill in flight.
   DirEntry& e = dir_.entry(line);
-  const LatencyClass lclass = classify(c, line, e);
+  const ClusterId home = homes_.home_of(line);
+  const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
   invalidate_others(line, c, now);
   e.sharers = 0;
@@ -253,11 +303,28 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   ++ctr.by_class[static_cast<unsigned>(lclass)];
   if (touched_lines_.insert(line)) ++ctr.cold_misses;
   install(c, line, LineState::Exclusive);
-  mshrs_[c].allocate(line, MshrEntry{now + lat});
-  if (obs_ != nullptr) {
-    obs_->on_memory_stall(p, a, Observer::Stall::Store, now, now + lat, lclass);
+
+  // The store buffer hides directory/NIC queueing from the processor (only
+  // the bank wait is visible at issue), but the fill still arrives later.
+  Cycles hidden = 0;
+  if (contention_) {
+    const Cycles dwait = contention_->directory(home, now + port_wait);
+    ctr.dir_wait_cycles += dwait;
+    hidden += dwait;
+    if (lclass != LatencyClass::LocalClean) {
+      const Cycles nwait = contention_->nic(c, now + port_wait + hidden);
+      ctr.nic_wait_cycles += nwait;
+      hidden += nwait;
+    }
   }
-  return AccessResult{AccessResult::Kind::WriteMiss, lat, now + lat, lclass};
+  const Cycles fill = now + port_wait + hidden + lat;
+  mshrs_[c].allocate(line, MshrEntry{fill});
+  if (obs_ != nullptr) {
+    obs_->on_memory_stall(p, a, Observer::Stall::Store, now, fill, lclass);
+  }
+  AccessResult r{AccessResult::Kind::WriteMiss, lat, fill, lclass};
+  r.contention = port_wait;
+  return r;
 }
 
 }  // namespace csim

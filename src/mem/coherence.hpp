@@ -29,9 +29,22 @@
 
 namespace csim {
 
+class ContentionModel;
+
 class CoherenceController final : public MemorySystem {
  public:
-  CoherenceController(const MachineConfig& cfg, const AddressSpace& as);
+  /// Primary constructor: the run's shared immutable spec (no per-class
+  /// config copy; every component of a run sees the same MachineSpec).
+  CoherenceController(std::shared_ptr<const MachineSpec> spec,
+                      const AddressSpace& as);
+
+  /// Legacy convenience: wraps `cfg` in a fresh shared spec (still safe
+  /// against temporary config expressions).
+  CoherenceController(const MachineSpec& cfg, const AddressSpace& as)
+      : CoherenceController(std::make_shared<const MachineSpec>(cfg), as) {}
+
+  // Out of line: ContentionModel is only forward-declared here.
+  ~CoherenceController() override;
 
   /// Processor `p` reads address `a` at time `now`.
   AccessResult read(ProcId p, Addr a, Cycles now) override;
@@ -47,8 +60,10 @@ class CoherenceController final : public MemorySystem {
 
   /// Opts into the processor MRU fast path (docs/PERFORMANCE.md): repeat
   /// hits short-circuited by the processor bump these counters directly.
+  /// Disabled under the contention model — every access must pass through
+  /// its cluster's bank queue, so none may be short-circuited.
   [[nodiscard]] MissCounters* hot_counters(ClusterId c) noexcept override {
-    return &counters_[c];
+    return contention_ ? nullptr : &counters_[c];
   }
 
   /// Invariant audit (directory vs. cluster caches vs. MSHRs); throws
@@ -63,13 +78,22 @@ class CoherenceController final : public MemorySystem {
   [[nodiscard]] Directory& mutable_directory_for_test() { return dir_; }
   [[nodiscard]] const MshrTable& mshrs(ClusterId c) const { return mshrs_[c]; }
   [[nodiscard]] ClusterId home_of(Addr a) { return homes_.home_of(a); }
+  [[nodiscard]] const ContentionModel* contention_model() const {
+    return contention_.get();
+  }
 
  private:
   Addr line_of(Addr a) const noexcept { return a & ~Addr{cfg_.cache.line_bytes - 1}; }
 
   /// Classifies a miss per Table 1 and updates remote copies/directory for a
-  /// read (fetch SHARED).
-  AccessResult handle_read_miss(ClusterId c, Addr line, Cycles now);
+  /// read (fetch SHARED). `port_wait` is the already-paid bank queueing
+  /// delay folded into the result's contention total.
+  AccessResult handle_read_miss(ClusterId c, Addr line, Cycles now,
+                                Cycles port_wait);
+
+  /// Contention-model bank/bus acquisition for cluster `c` (0 when the
+  /// model is disabled); accounts the wait into the cluster's counters.
+  Cycles acquire_port(ClusterId c, Addr line, Cycles now);
 
   /// Invalidates every copy except `keep` (storage and pending fills),
   /// reporting the round to the observer at time `now`.
@@ -80,7 +104,9 @@ class CoherenceController final : public MemorySystem {
 
   LatencyClass classify(ClusterId requester, Addr line, const DirEntry& e) const;
 
-  MachineConfig cfg_;  // copied: safe against temporary configs
+  std::shared_ptr<const MachineSpec> spec_;  // the run's shared immutable spec
+  const MachineSpec& cfg_;                   // = *spec_
+  std::unique_ptr<ContentionModel> contention_;  // null unless enabled
   AddressSpace::HomeMap homes_;
   Directory dir_;
   std::vector<std::unique_ptr<CacheStorage>> caches_;

@@ -1,0 +1,24 @@
+#include "src/mem/contention.hpp"
+
+namespace csim {
+
+ContentionModel::ContentionModel(const MachineSpec& spec)
+    : banked_(spec.cluster_style == ClusterStyle::SharedCache),
+      line_bytes_(spec.cache.line_bytes),
+      bank_busy_(spec.contention.bank_busy),
+      directory_busy_(spec.contention.directory_busy),
+      nic_busy_(spec.contention.nic_busy) {
+  const unsigned nc = spec.num_clusters();
+  if (banked_) {
+    ports_.reserve(nc);
+    for (unsigned c = 0; c < nc; ++c) {
+      ports_.emplace_back(spec.cluster_banks(), bank_busy_);
+    }
+  } else {
+    bus_.resize(nc);
+  }
+  dir_.resize(nc);
+  nic_.resize(nc);
+}
+
+}  // namespace csim

@@ -1,0 +1,111 @@
+// Queued occupancy resources for the opt-in contention model
+// (ContentionSpec, DESIGN.md "Contention model").
+//
+// Every resource is a FIFO single server described by one number: the cycle
+// until which it is busy. A request arriving at `now` starts service at
+// max(now, busy_until), waits for the difference, and extends busy_until by
+// its busy (service) time. Requests are processed in the deterministic event
+// order of the single-threaded simulation, so the backlog — and therefore
+// every derived statistic — is bit-reproducible across runs.
+//
+// Three resource classes (paper architecture, Fig. 1):
+//  - ClusterPort: per-cluster shared-cache banks (address-interleaved,
+//    Table 4's m = 4n) for the shared-cache organization, or the single
+//    snoopy bus for the shared-memory organization;
+//  - per-cluster directory controller at a line's home node;
+//  - per-cluster network interface for remote hops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/machine.hpp"
+#include "src/core/types.hpp"
+
+namespace csim {
+
+/// One FIFO single-server occupancy resource.
+struct QueuedResource {
+  Cycles busy_until = 0;
+
+  /// A request arriving at `now` holds the server for `busy` cycles;
+  /// returns how long it had to wait for the server to free up.
+  Cycles acquire(Cycles now, Cycles busy) noexcept {
+    const Cycles start = busy_until > now ? busy_until : now;
+    const Cycles wait = start - now;
+    busy_until = start + busy;
+    return wait;
+  }
+};
+
+/// B address-interleaved banks, each a QueuedResource.
+class BankedResource {
+ public:
+  BankedResource(unsigned banks, Cycles busy) : banks_(banks), busy_(busy) {}
+
+  /// Routes `key` (e.g. line address / line size) to its bank.
+  Cycles acquire(std::uint64_t key, Cycles now) noexcept {
+    return banks_[key % banks_.size()].acquire(now, busy_);
+  }
+
+  [[nodiscard]] unsigned banks() const noexcept {
+    return static_cast<unsigned>(banks_.size());
+  }
+  [[nodiscard]] Cycles busy_until(unsigned bank) const noexcept {
+    return banks_[bank].busy_until;
+  }
+
+ private:
+  std::vector<QueuedResource> banks_;
+  Cycles busy_;
+};
+
+/// Per-run contention state for one memory system: cluster ports (banks or
+/// bus), directory controllers, and network interfaces. Constructed by the
+/// memory system only when the spec enables contention; every acquire
+/// returns the queueing delay the caller charges (and accounts).
+class ContentionModel {
+ public:
+  explicit ContentionModel(const MachineSpec& spec);
+
+  /// Access to cluster `c`'s shared-cache bank for `line` (shared-cache
+  /// organization) or its bus (shared-memory organization).
+  [[nodiscard]] Cycles cluster_port(ClusterId c, Addr line, Cycles now) {
+    if (banked_) {
+      return ports_[c].acquire(line / line_bytes_, now);
+    }
+    return bus_[c].acquire(now, bank_busy_);
+  }
+
+  /// The home cluster's directory controller services one miss.
+  [[nodiscard]] Cycles directory(ClusterId home, Cycles now) {
+    return dir_[home].acquire(now, directory_busy_);
+  }
+
+  /// Cluster `c`'s network interface serializes one remote hop.
+  [[nodiscard]] Cycles nic(ClusterId c, Cycles now) {
+    return nic_[c].acquire(now, nic_busy_);
+  }
+
+  // --- Introspection (tests) ---------------------------------------------
+  [[nodiscard]] bool banked() const noexcept { return banked_; }
+  [[nodiscard]] unsigned banks_per_cluster() const noexcept {
+    return banked_ ? ports_[0].banks() : 1;
+  }
+  [[nodiscard]] Cycles port_busy_until(ClusterId c, unsigned bank) const {
+    return banked_ ? ports_[c].busy_until(bank) : bus_[c].busy_until;
+  }
+
+ private:
+  bool banked_;  ///< shared-cache organization: banks; otherwise one bus
+  unsigned line_bytes_;
+  Cycles bank_busy_;
+  Cycles directory_busy_;
+  Cycles nic_busy_;
+  std::vector<BankedResource> ports_;  ///< per cluster (banked_ only)
+  std::vector<QueuedResource> bus_;    ///< per cluster (!banked_ only)
+  std::vector<QueuedResource> dir_;    ///< per cluster (home directory)
+  std::vector<QueuedResource> nic_;    ///< per cluster (network interface)
+};
+
+}  // namespace csim

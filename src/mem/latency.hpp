@@ -9,7 +9,7 @@ namespace csim {
 
 /// Miss latencies in cycles, per the paper's Table 1.
 ///
-/// Hit latency is configured separately (MachineConfig::hit_latency); the
+/// Hit latency is configured separately (MachineSpec::hit_latency); the
 /// event simulator always charges that flat hit cost, and the larger
 /// shared-cache hit times of Table 1 are applied by the Section 6 analytic
 /// estimator (analysis/shared_cache_cost).

@@ -47,6 +47,10 @@ struct AccessResult {
   Cycles ready_at = 0;  ///< absolute fill time (Merge/ReadMiss/WriteMiss)
   LatencyClass lclass = LatencyClass::LocalClean;
   MruHint hint = MruHint::None;  ///< set only by opted-in memory systems
+  /// Processor-visible queueing delay (bank / directory / NIC waits) under
+  /// the contention model; charged to TimeBuckets::contention. Always 0 when
+  /// ContentionSpec::enabled is false.
+  Cycles contention = 0;
 };
 
 class MemorySystem {
@@ -64,7 +68,7 @@ class MemorySystem {
   /// Coherence invariant audit: cross-checks directory state against cache
   /// state and throws ProtocolError (naming the line and the disagreeing
   /// states) on any violation. The Simulator runs this at the end of every
-  /// run and, when MachineConfig::audit_interval is set, every N events.
+  /// run and, when MachineSpec::audit_interval is set, every N events.
   /// Default is a no-op for memory systems with no coherence state to check
   /// (profilers, recorders). Invariants: docs/ROBUSTNESS.md.
   virtual void audit() const {}

@@ -42,6 +42,10 @@ void IntervalSampler::on_run_begin(const RunBinding& b) {
   registry_.add("cluster_memory_hits",
                 ctr(&MissCounters::cluster_memory_hits));
   registry_.add("bus_invalidations", ctr(&MissCounters::bus_invalidations));
+  registry_.add("bank_conflicts", ctr(&MissCounters::bank_conflicts));
+  registry_.add("bank_wait", ctr(&MissCounters::bank_wait_cycles));
+  registry_.add("dir_wait", ctr(&MissCounters::dir_wait_cycles));
+  registry_.add("nic_wait", ctr(&MissCounters::nic_wait_cycles));
 
   // TimeBuckets columns: machine-wide sums of the raw per-processor buckets
   // (no final-barrier adjustment — that is applied post-run by SimResult).
@@ -56,6 +60,7 @@ void IntervalSampler::on_run_begin(const RunBinding& b) {
   registry_.add("t_load", bkt(&TimeBuckets::load));
   registry_.add("t_merge", bkt(&TimeBuckets::merge));
   registry_.add("t_sync", bkt(&TimeBuckets::sync));
+  registry_.add("t_contention", bkt(&TimeBuckets::contention));
 
   // Event-queue throughput.
   if (b.events_run != nullptr) {

@@ -44,6 +44,10 @@ void hash_counters(Fnv& f, const MissCounters& c) {
   f.u64(c.snoop_transfers);
   f.u64(c.cluster_memory_hits);
   f.u64(c.bus_invalidations);
+  f.u64(c.bank_conflicts);
+  f.u64(c.bank_wait_cycles);
+  f.u64(c.dir_wait_cycles);
+  f.u64(c.nic_wait_cycles);
   for (std::uint64_t v : c.by_class) f.u64(v);
 }
 
@@ -52,6 +56,7 @@ void hash_buckets(Fnv& f, const TimeBuckets& b) {
   f.u64(b.load);
   f.u64(b.merge);
   f.u64(b.sync);
+  f.u64(b.contention);
 }
 
 const char* style_name(ClusterStyle s) {

@@ -29,7 +29,7 @@
 
 namespace csim {
 
-struct MachineConfig;
+struct MachineSpec;
 struct TimeBuckets;
 class MemorySystem;
 class Barrier;
@@ -45,7 +45,7 @@ class Observer {
   /// Read-only bindings into the running machine, valid for the duration of
   /// the run (between on_run_begin and on_run_end).
   struct RunBinding {
-    const MachineConfig* config = nullptr;
+    const MachineSpec* config = nullptr;
     const MemorySystem* mem = nullptr;
     /// Per-processor raw time buckets (no final-barrier adjustment).
     std::vector<const TimeBuckets*> proc_buckets;

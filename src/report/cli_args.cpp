@@ -1,0 +1,96 @@
+#include "src/report/cli_args.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/core/error.hpp"
+#include "src/obs/run_observer.hpp"
+
+namespace csim::cli {
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& val) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(val.c_str(), &end, 10);
+  if (end == val.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ConfigError(flag + ": not a number: '" + val + "'");
+  }
+  return n;
+}
+
+const char* ObsArgs::usage() {
+  return "  --trace-out FILE      write a Chrome trace-event timeline per row\n"
+         "                        (multi-row sweeps write FILE_ppcN variants)\n"
+         "  --metrics-interval N  sample interval metrics every N cycles\n"
+         "  --metrics-out BASE    interval metrics path base (default: metrics;\n"
+         "                        writes BASE[.ppcN].csv and .json)\n"
+         "  --manifest FILE       write a run manifest (config, git, digests)\n"
+         "  --contention          enable the queued contention model (banks,\n"
+         "                        directory occupancy, NIC serialization)\n"
+         "  --contention-busy B,D,N  bank/directory/NIC busy cycles\n"
+         "                        (implies --contention; defaults 1,4,6)\n";
+}
+
+bool ObsArgs::consume(int argc, char** argv, int& i) {
+  const std::string a = argv[i];
+  const auto next = [&]() -> std::string {
+    if (i + 1 >= argc) throw ConfigError(a + " requires a value");
+    return argv[++i];
+  };
+  if (a == "--trace-out") {
+    trace_out = next();
+  } else if (a == "--metrics-interval") {
+    metrics_interval = parse_u64(a, next());
+    if (metrics_interval == 0) {
+      throw ConfigError("--metrics-interval must be > 0");
+    }
+  } else if (a == "--metrics-out") {
+    metrics_out = next();
+  } else if (a == "--manifest") {
+    manifest_out = next();
+  } else if (a == "--contention") {
+    contention.enabled = true;
+  } else if (a == "--contention-busy") {
+    const std::string val = next();
+    std::stringstream ss(val);
+    std::string item;
+    Cycles* fields[] = {&contention.bank_busy, &contention.directory_busy,
+                        &contention.nic_busy};
+    unsigned n = 0;
+    while (std::getline(ss, item, ',')) {
+      if (n >= 3) throw ConfigError("--contention-busy: expected B,D,N");
+      *fields[n++] = parse_u64(a, item);
+    }
+    if (n != 3) throw ConfigError("--contention-busy: expected B,D,N");
+    contention.enabled = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ObserverFactory ObsArgs::observer_factory(std::size_t rows) const {
+  if (trace_out.empty() && metrics_interval == 0) return {};
+  // Copy the fields: the factory outlives the ObsArgs in some drivers, and
+  // rows run concurrently — each gets its own RunObserver.
+  const std::string trace = trace_out;
+  const Cycles interval = metrics_interval;
+  const std::string metrics = metrics_out;
+  return [trace, interval, metrics, rows](const MachineSpec& cfg, std::size_t)
+             -> std::unique_ptr<Observer> {
+    auto ro = std::make_unique<obs::RunObserver>();
+    if (!trace.empty()) {
+      ro->enable_trace(obs::row_path(trace, cfg.procs_per_cluster, rows));
+    }
+    if (interval != 0) {
+      const std::string base =
+          obs::row_path(metrics, cfg.procs_per_cluster, rows);
+      ro->enable_metrics(interval, base + ".csv", base + ".json");
+    }
+    return ro;
+  };
+}
+
+}  // namespace csim::cli

@@ -1,0 +1,46 @@
+// Shared command-line parsing for the sweep drivers (examples/csim_cli,
+// bench/perf_micro): the observability and contention-model flags are spelled
+// and validated identically everywhere, and both drivers build their per-row
+// observers through the same factory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/machine.hpp"
+#include "src/report/experiment.hpp"
+
+namespace csim::cli {
+
+/// Checked numeric parse: throws ConfigError naming `flag` on a non-numeric,
+/// trailing-garbage, or out-of-range value.
+std::uint64_t parse_u64(const std::string& flag, const std::string& val);
+
+/// The flag group shared by every sweep driver:
+///   --trace-out FILE      Chrome trace-event timeline per row
+///   --metrics-interval N  sample interval metrics every N cycles (N > 0)
+///   --metrics-out BASE    interval metrics path base (default "metrics")
+///   --manifest FILE       run manifest (config, git, digests)
+///   --contention          enable the queued contention model
+///   --contention-busy B,D,N   override bank/directory/NIC busy cycles
+struct ObsArgs {
+  std::string trace_out;
+  Cycles metrics_interval = 0;
+  std::string metrics_out = "metrics";
+  std::string manifest_out;
+  ContentionSpec contention{};  ///< .enabled set by --contention
+
+  /// The usage text block for these flags (indented two spaces per line).
+  [[nodiscard]] static const char* usage();
+
+  /// Tries to consume argv[i] as one of this group's flags, advancing `i`
+  /// past any value it takes. Returns false if the flag is not ours; throws
+  /// ConfigError on a missing or invalid value.
+  bool consume(int argc, char** argv, int& i);
+
+  /// The standard per-row observer factory for a sweep of `rows` rows
+  /// (obs::row_path naming), or null when no observability flag was given.
+  [[nodiscard]] ObserverFactory observer_factory(std::size_t rows) const;
+};
+
+}  // namespace csim::cli

@@ -14,9 +14,9 @@
 
 namespace csim {
 
-MachineConfig paper_machine(unsigned procs_per_cluster,
+MachineSpec paper_machine(unsigned procs_per_cluster,
                             std::size_t cache_bytes_per_proc) {
-  MachineConfig cfg;
+  MachineSpec cfg;
   cfg.num_procs = 64;
   cfg.procs_per_cluster = procs_per_cluster;
   cfg.cache.per_proc_bytes = cache_bytes_per_proc;
@@ -25,21 +25,24 @@ MachineConfig paper_machine(unsigned procs_per_cluster,
   return cfg;
 }
 
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineConfig>& configs) {
-  return run_configs(make_app, configs, ObserverFactory{});
+std::size_t SweepResult::failures() const noexcept {
+  std::size_t n = 0;
+  for (const SimResult& r : rows) {
+    if (!r.ok) ++n;
+  }
+  return n;
 }
 
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineConfig>& configs,
-    const ObserverFactory& make_observer) {
+SweepResult run_sweep(const SweepRequest& req) {
+  const auto& make_app = req.make_app;
+  const auto& make_observer = req.make_observer;
+  const auto& configs = req.configs;
+  if (!make_app) throw ConfigError("run_sweep: SweepRequest::make_app not set");
   // Runs one simulation per configuration. Failures become ok == false rows
   // carrying the SimError diagnostics (graceful degradation: one broken
   // configuration must not abort the whole sweep; write_failures renders
   // them). Results come back in input order.
-  const auto run_one = [&make_app, &make_observer](const MachineConfig& cfg,
+  const auto run_one = [&make_app, &make_observer](const MachineSpec& cfg,
                                                    std::size_t index)
       -> SimResult {
     std::unique_ptr<Program> app;
@@ -70,8 +73,10 @@ std::vector<SimResult> run_configs(
     }
   };
 
-  std::vector<SimResult> out(configs.size());
-  if (configs.empty()) return out;
+  SweepResult res;
+  std::vector<SimResult>& out = res.rows;
+  out.resize(configs.size());
+  if (configs.empty()) return res;
 
   // Bounded worker pool: large sweeps (org_comparison runs 9 apps x 4
   // cluster sizes x 2 organizations) previously spawned one thread per
@@ -86,7 +91,7 @@ std::vector<SimResult> run_configs(
     for (std::size_t i = 0; i < configs.size(); ++i) {
       out[i] = run_one(configs[i], i);
     }
-    return out;
+    return res;
   }
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
@@ -101,19 +106,33 @@ std::vector<SimResult> run_configs(
   for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
   worker();  // the calling thread participates
   for (auto& t : pool) t.join();
-  return out;
+  return res;
+}
+
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineSpec>& configs) {
+  return run_sweep(SweepRequest{make_app, configs}).rows;
+}
+
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineSpec>& configs,
+    const ObserverFactory& make_observer) {
+  return run_sweep(SweepRequest{make_app, configs, make_observer}).rows;
 }
 
 std::vector<SimResult> sweep_clusters(
     const std::function<std::unique_ptr<Program>()>& make_app,
     std::size_t cache_bytes_per_proc,
     const std::vector<unsigned>& cluster_sizes) {
-  std::vector<MachineConfig> configs;
-  configs.reserve(cluster_sizes.size());
+  SweepRequest req;
+  req.make_app = make_app;
+  req.configs.reserve(cluster_sizes.size());
   for (unsigned ppc : cluster_sizes) {
-    configs.push_back(paper_machine(ppc, cache_bytes_per_proc));
+    req.configs.push_back(paper_machine(ppc, cache_bytes_per_proc));
   }
-  return run_configs(make_app, configs);
+  return run_sweep(req).rows;
 }
 
 BenchOptions BenchOptions::parse_checked(int argc, char** argv) {
@@ -157,8 +176,9 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
 }
 
 void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
-  os << "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,reads,writes,"
-        "read_misses,write_misses,upgrades,merges,cold,invalidations\n";
+  os << "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,contention,"
+        "reads,writes,read_misses,write_misses,upgrades,merges,cold,"
+        "invalidations,bank_conflicts,bank_wait,dir_wait,nic_wait\n";
   for (const SimResult& r : results) {
     if (!r.ok) continue;  // failures go to write_failures
     const TimeBuckets a = r.aggregate();
@@ -166,10 +186,12 @@ void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
        << r.config.num_procs << ',' << r.config.procs_per_cluster << ','
        << r.config.cache.per_proc_bytes / 1024 << ',' << r.wall_time << ','
        << a.cpu << ',' << a.load << ',' << a.merge << ',' << a.sync << ','
-       << r.totals.reads << ',' << r.totals.writes << ','
-       << r.totals.read_misses << ',' << r.totals.write_misses << ','
+       << a.contention << ',' << r.totals.reads << ',' << r.totals.writes
+       << ',' << r.totals.read_misses << ',' << r.totals.write_misses << ','
        << r.totals.upgrade_misses << ',' << r.totals.merges << ','
-       << r.totals.cold_misses << ',' << r.totals.invalidations << '\n';
+       << r.totals.cold_misses << ',' << r.totals.invalidations << ','
+       << r.totals.bank_conflicts << ',' << r.totals.bank_wait_cycles << ','
+       << r.totals.dir_wait_cycles << ',' << r.totals.nic_wait_cycles << '\n';
   }
 }
 

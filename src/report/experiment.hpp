@@ -11,51 +11,86 @@
 #include "src/apps/app.hpp"
 #include "src/core/simulator.hpp"
 
+// CSIM_DEPRECATED: [[deprecated]] only when the build opts in
+// (-DCSIM_WARN_DEPRECATED=ON). Downstream code migrates on its own schedule;
+// CI's deprecation job (warnings-as-errors) keeps the tree itself clean.
+#if defined(CSIM_WARN_DEPRECATED)
+#define CSIM_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define CSIM_DEPRECATED(msg)
+#endif
+
 namespace csim {
 
 class Observer;
 
 /// The paper's fixed experimental frame: 64 processors, 64-byte lines,
 /// fully associative LRU cluster caches, Table 1 latencies.
-MachineConfig paper_machine(unsigned procs_per_cluster,
+MachineSpec paper_machine(unsigned procs_per_cluster,
                             std::size_t cache_bytes_per_proc);
-
-/// Runs `make_app()` fresh for every cluster size (programs are stateful) on
-/// the given per-processor cache size (0 = infinite). Returns results in
-/// cluster-size order. Runs are independent simulations and execute on a
-/// worker pool bounded at hardware_concurrency() threads (each simulation
-/// itself is single-threaded and deterministic, so results are identical to
-/// a serial sweep).
-std::vector<SimResult> sweep_clusters(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    std::size_t cache_bytes_per_proc,
-    const std::vector<unsigned>& cluster_sizes = {1, 2, 4, 8});
-
-/// Generic parallel map over machine configurations: simulates a fresh app
-/// per configuration concurrently, preserving input order.
-///
-/// Degrades gracefully: a configuration whose run throws (bad config,
-/// deadlock, livelock, protocol violation, app bug) does not abort the
-/// sweep — its slot comes back with ok == false and the SimError
-/// diagnostics in error_kind / error, while every other configuration's
-/// results are returned normally. Render failures with write_failures().
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineConfig>& configs);
 
 /// Builds one Observer per sweep row (src/obs/observer.hpp); may return null
 /// to leave that row unobserved. Called with the row's configuration and its
 /// index in the sweep. Each row gets its own instance because rows run
 /// concurrently; the runner keeps it alive for the row's whole simulation.
 using ObserverFactory = std::function<std::unique_ptr<Observer>(
-    const MachineConfig& cfg, std::size_t index)>;
+    const MachineSpec& cfg, std::size_t index)>;
 
-/// run_configs with per-row observability: `make_observer` (when non-null)
-/// attaches a fresh observer to every row's simulation. Used by the sweep
-/// drivers for --trace-out / --metrics-interval.
+/// Declarative description of one sweep: a fresh app per row (programs are
+/// stateful), the machine spec of every row, and optional per-row
+/// observability. The single entry point every driver builds — replaces the
+/// old run_configs overload set.
+struct SweepRequest {
+  std::function<std::unique_ptr<Program>()> make_app;
+  std::vector<MachineSpec> configs;
+  ObserverFactory make_observer{};  ///< optional; null = unobserved rows
+};
+
+/// Outcome of run_sweep: one SimResult per requested config, request order.
+struct SweepResult {
+  std::vector<SimResult> rows;
+
+  [[nodiscard]] std::size_t failures() const noexcept;
+  [[nodiscard]] bool all_ok() const noexcept { return failures() == 0; }
+
+  // The row collection is the payload; iterate it directly.
+  [[nodiscard]] auto begin() const noexcept { return rows.begin(); }
+  [[nodiscard]] auto end() const noexcept { return rows.end(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows.size(); }
+};
+
+/// Parallel map over the request's configurations: simulates a fresh app per
+/// configuration concurrently on a worker pool bounded at
+/// hardware_concurrency() threads, preserving input order. Each simulation
+/// is single-threaded and deterministic, so results are identical to a
+/// serial sweep.
+///
+/// Degrades gracefully: a configuration whose run throws (bad config,
+/// deadlock, livelock, protocol violation, app bug) does not abort the
+/// sweep — its slot comes back with ok == false and the SimError
+/// diagnostics in error_kind / error, while every other configuration's
+/// results are returned normally. Render failures with write_failures().
+SweepResult run_sweep(const SweepRequest& req);
+
+/// Runs `make_app()` fresh for every cluster size on the given per-processor
+/// cache size (0 = infinite) under the paper frame. Returns results in
+/// cluster-size order (a thin wrapper over run_sweep).
+std::vector<SimResult> sweep_clusters(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    std::size_t cache_bytes_per_proc,
+    const std::vector<unsigned>& cluster_sizes = {1, 2, 4, 8});
+
+/// Deprecated shim over run_sweep(); see SweepRequest.
+CSIM_DEPRECATED("build a SweepRequest and call run_sweep()")
 std::vector<SimResult> run_configs(
     const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineConfig>& configs,
+    const std::vector<MachineSpec>& configs);
+
+/// Deprecated shim over run_sweep(); see SweepRequest.
+CSIM_DEPRECATED("build a SweepRequest and call run_sweep()")
+std::vector<SimResult> run_configs(
+    const std::function<std::unique_ptr<Program>()>& make_app,
+    const std::vector<MachineSpec>& configs,
     const ObserverFactory& make_observer);
 
 /// Standard bench command line: `--paper`/`--test` switch problem sizes,

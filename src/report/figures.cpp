@@ -13,7 +13,7 @@ std::string render_figure(const std::string& title,
   os << "== " << title << " ==\n";
   os << "  (percent of the 1-processor-per-cluster execution time of the "
         "same group)\n";
-  TextTable t({"bar", "total", "cpu", "load", "merge", "sync", "", ""});
+  TextTable t({"bar", "total", "cpu", "load", "merge", "sync", "cont", "", ""});
 
   double base = 1.0;
   for (std::size_t i = 0; i < bars.size(); ++i) {
@@ -25,9 +25,11 @@ std::string render_figure(const std::string& title,
     const double load = 100.0 * static_cast<double>(b.buckets.load) / base;
     const double merge = 100.0 * static_cast<double>(b.buckets.merge) / base;
     const double sync = 100.0 * static_cast<double>(b.buckets.sync) / base;
-    const double total = cpu + load + merge + sync;
+    const double cont =
+        100.0 * static_cast<double>(b.buckets.contention) / base;
+    const double total = cpu + load + merge + sync + cont;
 
-    // 50-character bar: '#' cpu, 'o' load, '~' merge, '=' sync.
+    // 50-character bar: '#' cpu, 'o' load, '~' merge, '=' sync, '%' cont.
     std::string bar;
     auto extend = [&](double pct, char ch) {
       const auto want = static_cast<std::size_t>(pct * 0.5 + 0.5);
@@ -37,12 +39,14 @@ std::string render_figure(const std::string& title,
     extend(load, 'o');
     extend(merge, '~');
     extend(sync, '=');
+    extend(cont, '%');
 
     t.add_row({b.label, fmt(total, 1), fmt(cpu, 1), fmt(load, 1),
-               fmt(merge, 1), fmt(sync, 1), "|", bar});
+               fmt(merge, 1), fmt(sync, 1), fmt(cont, 1), "|", bar});
   }
   os << t.str();
-  os << "  legend: '#' cpu busy, 'o' load stall, '~' merge stall, '=' sync\n";
+  os << "  legend: '#' cpu busy, 'o' load stall, '~' merge stall, '=' sync, "
+        "'%' contention\n";
   return os.str();
 }
 

@@ -110,7 +110,7 @@ Trace Trace::load(const std::string& path) {
   return t;
 }
 
-ReplayResult replay_trace(const Trace& trace, const MachineConfig& cfg) {
+ReplayResult replay_trace(const Trace& trace, const MachineSpec& cfg) {
   if (cfg.num_procs != trace.num_procs()) {
     throw std::invalid_argument("replay_trace: processor count mismatch");
   }
@@ -153,7 +153,7 @@ ReplayResult replay_trace(const Trace& trace, const MachineConfig& cfg) {
   return out;
 }
 
-Trace record_trace(Program& prog, const MachineConfig& cfg) {
+Trace record_trace(Program& prog, const MachineSpec& cfg) {
   cfg.validate();
   Trace trace(cfg.num_procs, cfg.cache.line_bytes);
   // Run execution-driven with a recording decorator over the configured
@@ -161,7 +161,7 @@ Trace record_trace(Program& prog, const MachineConfig& cfg) {
   // space, so mirror Simulator::run's construction here via a profiler-style
   // override: record against a *stand-in* run.
   struct Recorder final : MemorySystem {
-    explicit Recorder(const MachineConfig& c) : cfg(&c) {}
+    explicit Recorder(const MachineSpec& c) : cfg(&c) {}
     void bind(const AddressSpace& as) {
       if (cfg->cluster_style == ClusterStyle::SharedMemory) {
         inner = std::make_unique<ClusteredMemorySystem>(*cfg, as);
@@ -181,7 +181,7 @@ Trace record_trace(Program& prog, const MachineConfig& cfg) {
       return inner->cluster_counters(c);
     }
     MissCounters totals() const override { return inner->totals(); }
-    const MachineConfig* cfg;
+    const MachineSpec* cfg;
     std::unique_ptr<MemorySystem> inner;
     Trace* out = nullptr;
   };

@@ -100,10 +100,10 @@ struct ReplayResult {
 /// Replays the trace's global interleaving against a memory system built for
 /// `cfg` (which may differ from the recording configuration in clustering
 /// and cache size, but must have the same processor count).
-ReplayResult replay_trace(const Trace& trace, const MachineConfig& cfg);
+ReplayResult replay_trace(const Trace& trace, const MachineSpec& cfg);
 
 /// Records an execution-driven run of `prog` under `cfg` into a Trace.
 class Program;
-Trace record_trace(Program& prog, const MachineConfig& cfg);
+Trace record_trace(Program& prog, const MachineSpec& cfg);
 
 }  // namespace csim

@@ -71,7 +71,7 @@ TEST(StackDistance, MissRatioMonotoneInCacheSize) {
 
 TEST(WorkingSetProfiler, NeverStallsAndCountsRefs) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(1, 0);
+  MachineSpec cfg = paper_machine(1, 0);
   auto prof = profile_working_sets(*app, cfg);
   EXPECT_GT(prof->totals().reads, 0u);
   // Reference counts match a real simulation of the same app.

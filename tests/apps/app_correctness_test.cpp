@@ -21,9 +21,9 @@
 namespace csim {
 namespace {
 
-MachineConfig mc(unsigned procs = 16, unsigned ppc = 2,
+MachineSpec mc(unsigned procs = 16, unsigned ppc = 2,
                  std::size_t cache = 0) {
-  MachineConfig c;
+  MachineSpec c;
   c.num_procs = procs;
   c.procs_per_cluster = ppc;
   c.cache.per_proc_bytes = cache;

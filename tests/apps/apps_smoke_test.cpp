@@ -8,8 +8,8 @@
 namespace csim {
 namespace {
 
-MachineConfig small_machine(unsigned ppc, std::size_t kb_per_proc) {
-  MachineConfig cfg;
+MachineSpec small_machine(unsigned ppc, std::size_t kb_per_proc) {
+  MachineSpec cfg;
   cfg.num_procs = 16;
   cfg.procs_per_cluster = ppc;
   cfg.cache.per_proc_bytes = kb_per_proc * 1024;

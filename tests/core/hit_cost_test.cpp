@@ -1,4 +1,4 @@
-// In-simulation shared-cache hit-cost modeling (MachineConfig::
+// In-simulation shared-cache hit-cost modeling (MachineSpec::
 // model_shared_hit_costs): Table 1 hit latencies and Table 4 conflicts
 // applied per access.
 #include <gtest/gtest.h>
@@ -9,8 +9,8 @@
 namespace csim {
 namespace {
 
-MachineConfig mc(unsigned ppc, bool model) {
-  MachineConfig c;
+MachineSpec mc(unsigned ppc, bool model) {
+  MachineSpec c;
   c.num_procs = 16;
   c.procs_per_cluster = ppc;
   c.cache.per_proc_bytes = 0;
@@ -19,7 +19,7 @@ MachineConfig mc(unsigned ppc, bool model) {
 }
 
 TEST(HitCostModel, SharedHitLatencyTable) {
-  MachineConfig c;
+  MachineSpec c;
   c.procs_per_cluster = 1;
   EXPECT_EQ(c.shared_cache_hit_latency(), 1u);
   c.procs_per_cluster = 2;

@@ -5,16 +5,16 @@
 namespace csim {
 namespace {
 
-MachineConfig base() {
-  MachineConfig c;
+MachineSpec base() {
+  MachineSpec c;
   c.num_procs = 64;
   c.procs_per_cluster = 4;
   c.cache.per_proc_bytes = 16 * 1024;
   return c;
 }
 
-TEST(MachineConfig, ClusterMath) {
-  const MachineConfig c = base();
+TEST(MachineSpec, ClusterMath) {
+  const MachineSpec c = base();
   EXPECT_EQ(c.num_clusters(), 16u);
   EXPECT_EQ(c.cluster_of(0), 0u);
   EXPECT_EQ(c.cluster_of(3), 0u);
@@ -24,10 +24,10 @@ TEST(MachineConfig, ClusterMath) {
   EXPECT_EQ(c.cluster_cache_lines(), 1024u);
 }
 
-TEST(MachineConfig, ValidAcceptsPaperConfigs) {
+TEST(MachineSpec, ValidAcceptsPaperConfigs) {
   for (unsigned ppc : {1u, 2u, 4u, 8u}) {
     for (std::size_t kb : {0ul, 4ul, 16ul, 32ul}) {
-      MachineConfig c = base();
+      MachineSpec c = base();
       c.procs_per_cluster = ppc;
       c.cache.per_proc_bytes = kb * 1024;
       EXPECT_NO_THROW(c.validate()) << ppc << " " << kb;
@@ -35,44 +35,44 @@ TEST(MachineConfig, ValidAcceptsPaperConfigs) {
   }
 }
 
-TEST(MachineConfig, RejectsNonDividingClusterSize) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsNonDividingClusterSize) {
+  MachineSpec c = base();
   c.procs_per_cluster = 5;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsZeroProcs) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsZeroProcs) {
+  MachineSpec c = base();
   c.num_procs = 0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsNonPowerOfTwoLine) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsNonPowerOfTwoLine) {
+  MachineSpec c = base();
   c.cache.line_bytes = 48;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsPageSmallerThanLine) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsPageSmallerThanLine) {
+  MachineSpec c = base();
   c.page_bytes = 32;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsCacheNotMultipleOfLine) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsCacheNotMultipleOfLine) {
+  MachineSpec c = base();
   c.cache.per_proc_bytes = 1000;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsBadAssociativity) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsBadAssociativity) {
+  MachineSpec c = base();
   c.cache.associativity = 7;  // 1024 lines not divisible by 7
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsZeroQuantumAndHitLatency) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsZeroQuantumAndHitLatency) {
+  MachineSpec c = base();
   c.runahead_quantum = 0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
   c = base();
@@ -80,15 +80,15 @@ TEST(MachineConfig, RejectsZeroQuantumAndHitLatency) {
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, RejectsMoreThan64Clusters) {
-  MachineConfig c = base();
+TEST(MachineSpec, RejectsMoreThan64Clusters) {
+  MachineSpec c = base();
   c.num_procs = 128;
   c.procs_per_cluster = 1;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
-TEST(MachineConfig, Label) {
-  MachineConfig c = base();
+TEST(MachineSpec, Label) {
+  MachineSpec c = base();
   EXPECT_EQ(c.label(), "64p/4ppc/16KB");
   c.cache.per_proc_bytes = 0;
   EXPECT_EQ(c.label(), "64p/4ppc/inf");

@@ -17,7 +17,7 @@ class LambdaProgram : public Program {
   LambdaProgram(std::size_t mem_bytes, Body body) : bytes_(mem_bytes), body_(std::move(body)) {}
 
   [[nodiscard]] std::string name() const override { return "lambda"; }
-  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+  void setup(AddressSpace& as, const MachineSpec& cfg) override {
     base = as.alloc(bytes_, "mem");
     bar = std::make_unique<Barrier>(cfg.num_procs);
   }
@@ -32,8 +32,8 @@ class LambdaProgram : public Program {
   Body body_;
 };
 
-MachineConfig tiny(unsigned procs, unsigned ppc) {
-  MachineConfig c;
+MachineSpec tiny(unsigned procs, unsigned ppc) {
+  MachineSpec c;
   c.num_procs = procs;
   c.procs_per_cluster = ppc;
   c.cache.per_proc_bytes = 0;
@@ -115,7 +115,7 @@ TEST(Barriers, Reusable) {
       co_await p.barrier(*g.bar);
     }
   });
-  MachineConfig cfg = tiny(4, 1);
+  MachineSpec cfg = tiny(4, 1);
   LambdaProgram* pp = &prog;
   const SimResult r = simulate(*pp, cfg);
   EXPECT_EQ(prog.bar->generations(), 10u);
@@ -177,9 +177,9 @@ TEST(Quantum, StrictAndRelaxedAgreeWithinSkew) {
       co_await p.barrier(*g.bar);
     });
   };
-  MachineConfig strict = tiny(8, 2);
+  MachineSpec strict = tiny(8, 2);
   strict.runahead_quantum = 1;
-  MachineConfig relaxed = tiny(8, 2);
+  MachineSpec relaxed = tiny(8, 2);
   relaxed.runahead_quantum = 64;
   auto p1 = make();
   auto p2 = make();

@@ -8,8 +8,8 @@
 namespace csim {
 namespace {
 
-MachineConfig mc(unsigned procs, unsigned ppc, std::size_t cache_bytes) {
-  MachineConfig c;
+MachineSpec mc(unsigned procs, unsigned ppc, std::size_t cache_bytes) {
+  MachineSpec c;
   c.num_procs = procs;
   c.procs_per_cluster = ppc;
   c.cache.per_proc_bytes = cache_bytes;

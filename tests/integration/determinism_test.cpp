@@ -27,8 +27,8 @@
 namespace csim {
 namespace {
 
-MachineConfig baseline(ClusterStyle style, unsigned ppc) {
-  MachineConfig c;
+MachineSpec baseline(ClusterStyle style, unsigned ppc) {
+  MachineSpec c;
   c.num_procs = 64;
   c.procs_per_cluster = ppc;
   c.cluster_style = style;

@@ -18,8 +18,8 @@
 namespace csim {
 namespace {
 
-MachineConfig mc(unsigned procs = 4) {
-  MachineConfig c;
+MachineSpec mc(unsigned procs = 4) {
+  MachineSpec c;
   c.num_procs = procs;
   c.procs_per_cluster = 2;
   return c;
@@ -41,7 +41,7 @@ class FaultyProgram : public Program {
 
   [[nodiscard]] std::string name() const override { return "faulty"; }
 
-  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+  void setup(AddressSpace& as, const MachineSpec& cfg) override {
     if (fault_ == Fault::ThrowInSetup) throw std::runtime_error("setup bug");
     base_ = as.alloc(4096, "mem");
     bar_ = std::make_unique<Barrier>(cfg.num_procs, "phase");
@@ -126,13 +126,13 @@ TEST(FailureInjection, SimulatorReusableAfterFailure) {
   FaultyProgram bad(FaultyProgram::Fault::ThrowMidRun);
   EXPECT_THROW(sim.run(bad), std::logic_error);
   auto good = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = mc(16);
+  MachineSpec cfg = mc(16);
   Simulator sim2(cfg);
   EXPECT_NO_THROW(sim2.run(*good));
 }
 
 TEST(FailureInjection, InvalidConfigRejectedBeforeRunning) {
-  MachineConfig bad = mc();
+  MachineSpec bad = mc();
   bad.procs_per_cluster = 3;  // does not divide 4
   EXPECT_THROW(Simulator{bad}, std::invalid_argument);
   EXPECT_THROW(Simulator{bad}, ConfigError);
@@ -142,7 +142,7 @@ TEST(FailureInjection, InvalidConfigRejectedBeforeRunning) {
 
 TEST(Watchdog, InfiniteProgramTripsMaxCyclesInsteadOfHanging) {
   FaultyProgram p(FaultyProgram::Fault::InfiniteCompute);
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   cfg.max_cycles = 50000;
   try {
     simulate(p, cfg);
@@ -158,7 +158,7 @@ TEST(Watchdog, InfiniteProgramTripsMaxCyclesInsteadOfHanging) {
 
 TEST(Watchdog, InfiniteProgramTripsMaxEvents) {
   FaultyProgram p(FaultyProgram::Fault::InfiniteCompute);
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   cfg.max_events = 10000;
   try {
     simulate(p, cfg);
@@ -171,7 +171,7 @@ TEST(Watchdog, InfiniteProgramTripsMaxEvents) {
 
 TEST(Watchdog, SameCycleSpinTripsNoProgressDetector) {
   FaultyProgram p(FaultyProgram::Fault::SameCycleSpin);
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   cfg.no_progress_events = 5000;  // default is millions; keep the test fast
   try {
     simulate(p, cfg);
@@ -183,7 +183,7 @@ TEST(Watchdog, SameCycleSpinTripsNoProgressDetector) {
 
 TEST(Watchdog, BudgetsDoNotDisturbHealthyRuns) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = mc(16);
+  MachineSpec cfg = mc(16);
   cfg.max_cycles = 100'000'000;
   cfg.max_events = 100'000'000;
   EXPECT_NO_THROW(Simulator(cfg).run(*app));
@@ -228,7 +228,7 @@ TEST(DeadlockDiagnostics, AbandonedLockNamesOwnerAndQueue) {
 /// Drives a few processors directly against a memory system, then corrupts
 /// the directory and checks audit() notices.
 TEST(CoherenceAudit, CatchesCorruptedDirectoryEntry) {
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   cfg.validate();
   AddressSpace as;
   const Addr base = as.alloc(4096, "mem");
@@ -252,7 +252,7 @@ TEST(CoherenceAudit, CatchesCorruptedDirectoryEntry) {
 }
 
 TEST(CoherenceAudit, CatchesStateMismatch) {
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   AddressSpace as;
   const Addr base = as.alloc(4096, "mem");
   CoherenceController cc(cfg, as);
@@ -265,7 +265,7 @@ TEST(CoherenceAudit, CatchesStateMismatch) {
 }
 
 TEST(CoherenceAudit, CatchesClusteredMemoryCorruption) {
-  MachineConfig cfg = mc();
+  MachineSpec cfg = mc();
   cfg.cluster_style = ClusterStyle::SharedMemory;
   AddressSpace as;
   const Addr base = as.alloc(4096, "mem");
@@ -283,7 +283,7 @@ TEST(CoherenceAudit, CatchesClusteredMemoryCorruption) {
 TEST(CoherenceAudit, PeriodicAuditPassesOnHealthyApps) {
   for (const char* style : {"shared-cache", "shared-memory"}) {
     auto app = make_app("radix", ProblemScale::Test);
-    MachineConfig cfg = mc(16);
+    MachineSpec cfg = mc(16);
     cfg.cluster_style = std::string(style) == "shared-cache"
                             ? ClusterStyle::SharedCache
                             : ClusterStyle::SharedMemory;
@@ -298,7 +298,7 @@ TEST(CoherenceAudit, PeriodicAuditPassesOnHealthyApps) {
 class ConfigSensitiveProgram : public Program {
  public:
   [[nodiscard]] std::string name() const override { return "config-sensitive"; }
-  void setup(AddressSpace& as, const MachineConfig& cfg) override {
+  void setup(AddressSpace& as, const MachineSpec& cfg) override {
     base_ = as.alloc(4096, "mem");
     if (cfg.procs_per_cluster == 2) {
       throw std::runtime_error("refuses to run at 2 procs per cluster");
@@ -314,14 +314,16 @@ class ConfigSensitiveProgram : public Program {
 };
 
 TEST(SweepDegradation, OneBrokenConfigStillReturnsTheOthers) {
-  std::vector<MachineConfig> configs;
+  std::vector<MachineSpec> configs;
   for (unsigned ppc : {1u, 2u, 4u}) {
-    MachineConfig cfg = mc(8);
+    MachineSpec cfg = mc(8);
     cfg.procs_per_cluster = ppc;
     configs.push_back(cfg);
   }
-  const auto results = run_configs(
-      [] { return std::make_unique<ConfigSensitiveProgram>(); }, configs);
+  const auto results =
+      run_sweep({[] { return std::make_unique<ConfigSensitiveProgram>(); },
+                 configs})
+          .rows;
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok);
   EXPECT_GT(results[0].wall_time, 0u);
@@ -340,11 +342,12 @@ TEST(SweepDegradation, OneBrokenConfigStillReturnsTheOthers) {
 }
 
 TEST(SweepDegradation, InvalidConfigReportedAsConfigError) {
-  MachineConfig good = mc(8);
-  MachineConfig bad = mc(8);
+  MachineSpec good = mc(8);
+  MachineSpec bad = mc(8);
   bad.procs_per_cluster = 3;  // does not divide 8
-  const auto results = run_configs(
-      [] { return make_app("fft", ProblemScale::Test); }, {good, bad});
+  const auto results = run_sweep({[] { return make_app("fft", ProblemScale::Test); },
+                                  {good, bad}})
+                           .rows;
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].ok);
   EXPECT_FALSE(results[1].ok);
@@ -354,13 +357,14 @@ TEST(SweepDegradation, InvalidConfigReportedAsConfigError) {
 TEST(SweepDegradation, DeadlockedConfigCarriesSnapshotDiagnostics) {
   // A sweep where one config's program deadlocks: the row's error text must
   // contain the snapshot (parked barrier), and healthy rows still complete.
-  std::vector<MachineConfig> configs = {mc()};
-  const auto results = run_configs(
-      [] {
-        return std::make_unique<FaultyProgram>(
-            FaultyProgram::Fault::BarrierTooFew);
-      },
-      configs);
+  std::vector<MachineSpec> configs = {mc()};
+  const auto results =
+      run_sweep({[] {
+                   return std::make_unique<FaultyProgram>(
+                       FaultyProgram::Fault::BarrierTooFew);
+                 },
+                 configs})
+          .rows;
   ASSERT_EQ(results.size(), 1u);
   EXPECT_FALSE(results[0].ok);
   EXPECT_EQ(results[0].error_kind, "deadlock");

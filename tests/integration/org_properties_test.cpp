@@ -12,8 +12,8 @@ namespace {
 
 using Param = std::tuple<std::string, ClusterStyle>;
 
-MachineConfig mc(ClusterStyle style, unsigned ppc, std::size_t cache) {
-  MachineConfig c;
+MachineSpec mc(ClusterStyle style, unsigned ppc, std::size_t cache) {
+  MachineSpec c;
   c.num_procs = 16;
   c.procs_per_cluster = ppc;
   c.cluster_style = style;

@@ -5,8 +5,8 @@
 namespace csim {
 namespace {
 
-MachineConfig cfg16(unsigned ppc = 4) {
-  MachineConfig c;
+MachineSpec cfg16(unsigned ppc = 4) {
+  MachineSpec c;
   c.num_procs = 16;
   c.procs_per_cluster = ppc;
   return c;
@@ -42,7 +42,7 @@ TEST(AddressSpace, RegionsAreRecorded) {
 TEST(AddressSpace, FirstTouchAssignsRoundRobin) {
   AddressSpace as;
   const Addr a = as.alloc(1 << 20, "big");
-  const MachineConfig cfg = cfg16();  // 4 clusters
+  const MachineSpec cfg = cfg16();  // 4 clusters
   AddressSpace::HomeMap homes(as, cfg);
   // Pages touched in order must cycle 0,1,2,3,0,...
   for (unsigned i = 0; i < 8; ++i) {
@@ -54,7 +54,7 @@ TEST(AddressSpace, FirstTouchAssignsRoundRobin) {
 TEST(AddressSpace, HomeIsStableAfterFirstTouch) {
   AddressSpace as;
   const Addr a = as.alloc(1 << 16);
-  const MachineConfig cfg = cfg16();
+  const MachineSpec cfg = cfg16();
   AddressSpace::HomeMap homes(as, cfg);
   const ClusterId h = homes.home_of(a + 12345);
   for (int i = 0; i < 5; ++i) {
@@ -66,7 +66,7 @@ TEST(AddressSpace, ExplicitPlacementOverridesFirstTouch) {
   AddressSpace as;
   const Addr a = as.alloc(1 << 16, "placed");
   as.place(a, 8192, /*proc=*/7);  // proc 7 -> cluster 1 with ppc=4
-  const MachineConfig cfg = cfg16();
+  const MachineSpec cfg = cfg16();
   AddressSpace::HomeMap homes(as, cfg);
   EXPECT_EQ(homes.home_of(a), 1u);
   EXPECT_EQ(homes.home_of(a + 4096), 1u);

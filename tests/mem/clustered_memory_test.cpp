@@ -31,7 +31,7 @@ class ClusteredMemoryFixture : public ::testing::Test {
     mem_ = std::make_unique<ClusteredMemorySystem>(cfg_, as_);
   }
 
-  MachineConfig cfg_;
+  MachineSpec cfg_;
   AddressSpace as_;
   Addr base_ = 0;
   std::unique_ptr<ClusteredMemorySystem> mem_;
@@ -170,7 +170,7 @@ class SharedMemoryApps : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SharedMemoryApps, RunsAndVerifies) {
   auto app = make_app(GetParam(), ProblemScale::Test);
-  MachineConfig cfg;
+  MachineSpec cfg;
   cfg.num_procs = 16;
   cfg.procs_per_cluster = 4;
   cfg.cluster_style = ClusterStyle::SharedMemory;
@@ -183,11 +183,11 @@ TEST_P(SharedMemoryApps, RunsAndVerifies) {
 TEST_P(SharedMemoryApps, SameReferenceStreamAsSharedCache) {
   auto a = make_app(GetParam(), ProblemScale::Test);
   auto b = make_app(GetParam(), ProblemScale::Test);
-  MachineConfig sc;
+  MachineSpec sc;
   sc.num_procs = 16;
   sc.procs_per_cluster = 4;
   sc.cache.per_proc_bytes = 8 * 1024;
-  MachineConfig sm = sc;
+  MachineSpec sm = sc;
   sm.cluster_style = ClusterStyle::SharedMemory;
   const SimResult rc = simulate(*a, sc);
   const SimResult rm = simulate(*b, sm);

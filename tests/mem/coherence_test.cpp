@@ -27,7 +27,7 @@ class CoherenceFixture : public ::testing::Test {
     coh_ = std::make_unique<CoherenceController>(cfg_, as_);
   }
 
-  MachineConfig cfg_;
+  MachineSpec cfg_;
   AddressSpace as_;
   Addr base_ = 0;
   std::unique_ptr<CoherenceController> coh_;

@@ -1,0 +1,107 @@
+// Unit tests for the queued-occupancy contention primitives: FIFO wait math,
+// bank interleaving, and the per-cluster resource layout of ContentionModel.
+#include <gtest/gtest.h>
+
+#include "src/core/machine.hpp"
+#include "src/mem/contention.hpp"
+
+namespace csim {
+namespace {
+
+TEST(QueuedResource, IdleServerChargesNoWait) {
+  QueuedResource r;
+  EXPECT_EQ(r.acquire(10, 4), 0u);
+  EXPECT_EQ(r.busy_until, 14u);
+}
+
+TEST(QueuedResource, BacklogAccumulatesInFifoOrder) {
+  QueuedResource r;
+  EXPECT_EQ(r.acquire(0, 4), 0u);   // serves 0..4
+  EXPECT_EQ(r.acquire(1, 4), 3u);   // arrives at 1, serves 4..8
+  EXPECT_EQ(r.acquire(2, 4), 6u);   // arrives at 2, serves 8..12
+  EXPECT_EQ(r.busy_until, 12u);
+  // After the backlog drains the server is idle again.
+  EXPECT_EQ(r.acquire(20, 4), 0u);
+  EXPECT_EQ(r.busy_until, 24u);
+}
+
+TEST(QueuedResource, ZeroBusyNeverBlocks) {
+  QueuedResource r;
+  EXPECT_EQ(r.acquire(5, 0), 0u);
+  EXPECT_EQ(r.acquire(5, 0), 0u);
+  EXPECT_EQ(r.busy_until, 5u);
+}
+
+TEST(BankedResource, RoutesByKeyModuloBanks) {
+  BankedResource b(4, 2);
+  EXPECT_EQ(b.acquire(0, 0), 0u);   // bank 0 busy 0..2
+  EXPECT_EQ(b.acquire(4, 0), 2u);   // 4 % 4 == 0: same bank, queued
+  EXPECT_EQ(b.acquire(1, 0), 0u);   // bank 1: independent, free
+  EXPECT_EQ(b.busy_until(0), 4u);
+  EXPECT_EQ(b.busy_until(1), 2u);
+  EXPECT_EQ(b.busy_until(2), 0u);
+  EXPECT_EQ(b.banks(), 4u);
+}
+
+MachineSpec spec(ClusterStyle style, unsigned procs, unsigned ppc) {
+  return MachineSpecBuilder{}
+      .procs(procs)
+      .procs_per_cluster(ppc)
+      .style(style)
+      .cache_kb(16)
+      .contention_enabled()
+      .build();
+}
+
+TEST(ContentionModel, SharedCacheInterleavesTable4Banks) {
+  const MachineSpec cfg = spec(ClusterStyle::SharedCache, 8, 4);
+  ContentionModel m(cfg);
+  EXPECT_TRUE(m.banked());
+  EXPECT_EQ(m.banks_per_cluster(), cfg.cluster_banks());  // m = 4n = 16
+  const Addr lb = cfg.cache.line_bytes;
+  EXPECT_EQ(m.cluster_port(0, 0, 0), 0u);
+  // Line 16 maps back to bank 0 (16 % 16): queued behind the first access.
+  EXPECT_EQ(m.cluster_port(0, 16 * lb, 0), cfg.contention.bank_busy);
+  // Adjacent line: different bank, no wait.
+  EXPECT_EQ(m.cluster_port(0, 1 * lb, 0), 0u);
+  // Other cluster's banks are independent.
+  EXPECT_EQ(m.cluster_port(1, 0, 0), 0u);
+}
+
+TEST(ContentionModel, SharedMemorySerializesOnePerClusterBus) {
+  const MachineSpec cfg = spec(ClusterStyle::SharedMemory, 8, 4);
+  ContentionModel m(cfg);
+  EXPECT_FALSE(m.banked());
+  EXPECT_EQ(m.banks_per_cluster(), 1u);
+  // Different lines still collide: there is only the bus.
+  EXPECT_EQ(m.cluster_port(0, 0, 0), 0u);
+  EXPECT_EQ(m.cluster_port(0, 4096, 0), cfg.contention.bank_busy);
+  EXPECT_EQ(m.cluster_port(1, 0, 0), 0u);
+}
+
+TEST(ContentionModel, DirectoryAndNicAreIndependentResources) {
+  const MachineSpec cfg = spec(ClusterStyle::SharedCache, 8, 4);
+  ContentionModel m(cfg);
+  EXPECT_EQ(m.directory(0, 0), 0u);
+  EXPECT_EQ(m.directory(0, 0), cfg.contention.directory_busy);
+  EXPECT_EQ(m.directory(1, 0), 0u);  // other home: free
+  // A busy directory does not block the NIC (separate occupancy).
+  EXPECT_EQ(m.nic(0, 0), 0u);
+  EXPECT_EQ(m.nic(0, 0), cfg.contention.nic_busy);
+}
+
+TEST(ContentionSpec, BuilderAndDefaults) {
+  const MachineSpec off = MachineSpecBuilder{}.procs(4).build();
+  EXPECT_FALSE(off.contention.enabled);
+  const MachineSpec on = MachineSpecBuilder{}
+                             .procs(4)
+                             .contention(ContentionSpec{true, 2, 5, 7})
+                             .build();
+  EXPECT_TRUE(on.contention.enabled);
+  EXPECT_EQ(on.contention.bank_busy, 2u);
+  EXPECT_EQ(on.contention.directory_busy, 5u);
+  EXPECT_EQ(on.contention.nic_busy, 7u);
+}
+
+}  // namespace
+}  // namespace csim

@@ -29,7 +29,7 @@ struct TracedRun {
 /// Runs fft at test scale with a tracer attached and parses the JSON.
 TracedRun traced_fft(unsigned ppc, ClusterStyle style) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(ppc, 16 * 1024);
+  MachineSpec cfg = paper_machine(ppc, 16 * 1024);
   cfg.cluster_style = style;
   obs::TimelineTracer tracer;
   TracedRun out;
@@ -113,7 +113,7 @@ TEST(TimelineTracer, TracedRunStatisticsMatchUntraced) {
   // wall time and counters (the observer reads, never steers).
   auto app1 = make_app("fft", ProblemScale::Test);
   auto app2 = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(8, 16 * 1024);
+  MachineSpec cfg = paper_machine(8, 16 * 1024);
   obs::TimelineTracer tracer;
   const SimResult traced = simulate(*app1, cfg, &tracer);
   const SimResult plain = simulate(*app2, cfg);

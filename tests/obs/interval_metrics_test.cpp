@@ -26,7 +26,7 @@ struct SampledRun {
 SampledRun sampled_fft(Cycles interval, unsigned ppc, ClusterStyle style) {
   SampledRun out(interval);
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(ppc, 16 * 1024);
+  MachineSpec cfg = paper_machine(ppc, 16 * 1024);
   cfg.cluster_style = style;
   out.result = simulate(*app, cfg, &out.sampler);
   return out;
@@ -158,7 +158,7 @@ TEST(IntervalSampler, ExtraCountersRideAlong) {
   std::uint64_t external = 0;
   s.add_counter("external", [&external]() { return external; });
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(8, 16 * 1024);
+  MachineSpec cfg = paper_machine(8, 16 * 1024);
   Simulator sim(cfg);
   sim.set_observer(&s);
   external = 5;  // registered before the run; sampled like any counter

@@ -19,7 +19,7 @@ namespace {
 
 SimResult run_fft(unsigned ppc, ClusterStyle style) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(ppc, 16 * 1024);
+  MachineSpec cfg = paper_machine(ppc, 16 * 1024);
   cfg.cluster_style = style;
   return simulate(*app, cfg);
 }

@@ -1,0 +1,117 @@
+// The shared driver flag group (src/report/cli_args.hpp) must parse the same
+// way from every tool: checked numbers, identical spellings, clear errors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/error.hpp"
+#include "src/report/cli_args.hpp"
+
+namespace csim {
+namespace {
+
+using cli::ObsArgs;
+using cli::parse_u64;
+
+/// Runs `args` through ObsArgs::consume the way the drivers do.
+ObsArgs parse_all(std::vector<const char*> args) {
+  args.insert(args.begin(), "tool");
+  ObsArgs o;
+  const int argc = static_cast<int>(args.size());
+  char** argv = const_cast<char**>(args.data());
+  for (int i = 1; i < argc; ++i) {
+    EXPECT_TRUE(o.consume(argc, argv, i)) << "unconsumed flag: " << argv[i];
+  }
+  return o;
+}
+
+TEST(ParseU64, AcceptsPlainNumbers) {
+  EXPECT_EQ(parse_u64("--n", "0"), 0u);
+  EXPECT_EQ(parse_u64("--n", "123456789"), 123456789u);
+}
+
+TEST(ParseU64, RejectsGarbageNamingTheFlag) {
+  EXPECT_THROW((void)parse_u64("--metrics-interval", "abc"), ConfigError);
+  EXPECT_THROW((void)parse_u64("--metrics-interval", "12x"), ConfigError);
+  EXPECT_THROW((void)parse_u64("--metrics-interval", ""), ConfigError);
+  try {
+    (void)parse_u64("--metrics-interval", "abc");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--metrics-interval"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsArgs, ConsumesTheSharedFlagGroup) {
+  const ObsArgs o = parse_all({"--trace-out", "t.json", "--metrics-interval",
+                               "500", "--metrics-out", "m", "--manifest",
+                               "run.json"});
+  EXPECT_EQ(o.trace_out, "t.json");
+  EXPECT_EQ(o.metrics_interval, 500u);
+  EXPECT_EQ(o.metrics_out, "m");
+  EXPECT_EQ(o.manifest_out, "run.json");
+  EXPECT_FALSE(o.contention.enabled);
+}
+
+TEST(ObsArgs, LeavesForeignFlagsAlone) {
+  ObsArgs o;
+  const char* argv[] = {"tool", "--procs", "64"};
+  int i = 1;
+  EXPECT_FALSE(o.consume(3, const_cast<char**>(argv), i));
+  EXPECT_EQ(i, 1);
+}
+
+TEST(ObsArgs, ContentionFlagEnablesDefaults) {
+  const ObsArgs o = parse_all({"--contention"});
+  EXPECT_TRUE(o.contention.enabled);
+  const ContentionSpec d{};
+  EXPECT_EQ(o.contention.bank_busy, d.bank_busy);
+  EXPECT_EQ(o.contention.directory_busy, d.directory_busy);
+  EXPECT_EQ(o.contention.nic_busy, d.nic_busy);
+}
+
+TEST(ObsArgs, ContentionBusyTripleImpliesEnabled) {
+  const ObsArgs o = parse_all({"--contention-busy", "2,5,9"});
+  EXPECT_TRUE(o.contention.enabled);
+  EXPECT_EQ(o.contention.bank_busy, 2u);
+  EXPECT_EQ(o.contention.directory_busy, 5u);
+  EXPECT_EQ(o.contention.nic_busy, 9u);
+}
+
+TEST(ObsArgs, RejectsMalformedValues) {
+  ObsArgs o;
+  {
+    const char* argv[] = {"tool", "--metrics-interval", "0"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+  {
+    const char* argv[] = {"tool", "--contention-busy", "2,5"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+  {
+    const char* argv[] = {"tool", "--trace-out"};  // missing value
+    int i = 1;
+    EXPECT_THROW((void)o.consume(2, const_cast<char**>(argv), i), ConfigError);
+  }
+}
+
+TEST(ObsArgs, ObserverFactoryOnlyWhenObservabilityRequested) {
+  EXPECT_FALSE(static_cast<bool>(ObsArgs{}.observer_factory(3)));
+  ObsArgs traced;
+  traced.trace_out = "t.json";
+  EXPECT_TRUE(static_cast<bool>(traced.observer_factory(3)));
+}
+
+TEST(ObsArgs, UsageDocumentsEveryFlag) {
+  const std::string u = ObsArgs::usage();
+  for (const char* flag : {"--trace-out", "--metrics-interval", "--metrics-out",
+                           "--manifest", "--contention", "--contention-busy"}) {
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace csim

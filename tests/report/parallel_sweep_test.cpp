@@ -22,33 +22,54 @@ TEST(ParallelSweep, MatchesSerialRuns) {
   }
 }
 
-TEST(ParallelSweep, RunConfigsPreservesOrder) {
-  std::vector<MachineConfig> configs;
+TEST(ParallelSweep, RunSweepPreservesOrder) {
+  SweepRequest req;
+  req.make_app = [] { return make_app("fft", ProblemScale::Test); };
   for (unsigned ppc : {8u, 1u, 4u, 2u}) {  // deliberately shuffled
-    configs.push_back(paper_machine(ppc, 0));
+    req.configs.push_back(paper_machine(ppc, 0));
   }
-  const auto results = run_configs(
-      [] { return make_app("fft", ProblemScale::Test); }, configs);
-  ASSERT_EQ(results.size(), 4u);
-  EXPECT_EQ(results[0].config.procs_per_cluster, 8u);
-  EXPECT_EQ(results[1].config.procs_per_cluster, 1u);
-  EXPECT_EQ(results[2].config.procs_per_cluster, 4u);
-  EXPECT_EQ(results[3].config.procs_per_cluster, 2u);
+  const SweepResult res = run_sweep(req);
+  ASSERT_EQ(res.size(), 4u);
+  EXPECT_TRUE(res.all_ok());
+  EXPECT_EQ(res.rows[0].config.procs_per_cluster, 8u);
+  EXPECT_EQ(res.rows[1].config.procs_per_cluster, 1u);
+  EXPECT_EQ(res.rows[2].config.procs_per_cluster, 4u);
+  EXPECT_EQ(res.rows[3].config.procs_per_cluster, 2u);
 }
 
 TEST(ParallelSweep, CapturesFactoryFailuresInsteadOfThrowing) {
   // Graceful degradation: a throwing factory yields an ok == false row with
   // the diagnostics attached, not a sweep-wide exception.
-  std::vector<MachineConfig> configs = {paper_machine(1, 0)};
+  SweepRequest req;
+  req.make_app = []() -> std::unique_ptr<Program> {
+    throw std::runtime_error("factory failure");
+  };
+  req.configs = {paper_machine(1, 0)};
+  const SweepResult res = run_sweep(req);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_FALSE(res.all_ok());
+  ASSERT_EQ(res.failures(), 1u);
+  EXPECT_FALSE(res.rows[0].ok);
+  EXPECT_EQ(res.rows[0].error_kind, "exception");
+  EXPECT_NE(res.rows[0].error.find("factory failure"), std::string::npos);
+}
+
+TEST(ParallelSweep, DeprecatedRunConfigsShimStillWorks) {
+  // The pre-SweepRequest overloads survive as thin shims; they must keep
+  // returning the same rows in the same order.
+#if defined(CSIM_WARN_DEPRECATED)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
   const auto results = run_configs(
-      []() -> std::unique_ptr<Program> {
-        throw std::runtime_error("factory failure");
-      },
-      configs);
-  ASSERT_EQ(results.size(), 1u);
-  EXPECT_FALSE(results[0].ok);
-  EXPECT_EQ(results[0].error_kind, "exception");
-  EXPECT_NE(results[0].error.find("factory failure"), std::string::npos);
+      [] { return make_app("fft", ProblemScale::Test); },
+      {paper_machine(2, 0), paper_machine(1, 0)});
+#if defined(CSIM_WARN_DEPRECATED)
+#pragma GCC diagnostic pop
+#endif
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config.procs_per_cluster, 2u);
+  EXPECT_EQ(results[1].config.procs_per_cluster, 1u);
 }
 
 }  // namespace

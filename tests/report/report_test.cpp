@@ -71,7 +71,7 @@ TEST(Figures, GroupsRenormalize) {
 }
 
 TEST(Experiment, PaperMachineDefaults) {
-  const MachineConfig cfg = paper_machine(4, 16 * 1024);
+  const MachineSpec cfg = paper_machine(4, 16 * 1024);
   EXPECT_EQ(cfg.num_procs, 64u);
   EXPECT_EQ(cfg.procs_per_cluster, 4u);
   EXPECT_EQ(cfg.cache.line_bytes, 64u);

@@ -146,7 +146,7 @@ TEST(Trace, LoadRejectsRecordProcBeyondHeader) {
 
 TEST(Trace, RecordCapturesEveryReference) {
   auto app = make_app("radix", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(1, 0);
+  MachineSpec cfg = paper_machine(1, 0);
   cfg.num_procs = 16;
   const Trace t = record_trace(*app, cfg);
 
@@ -157,7 +157,7 @@ TEST(Trace, RecordCapturesEveryReference) {
 
 TEST(Trace, ReplayMatchesExecutionDrivenMissesOnSameConfig) {
   auto app = make_app("fft", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(2, 8 * 1024);
+  MachineSpec cfg = paper_machine(2, 8 * 1024);
   cfg.num_procs = 16;
   const Trace t = record_trace(*app, cfg);
   const ReplayResult rr = replay_trace(t, cfg);
@@ -175,11 +175,11 @@ TEST(Trace, ReplayMatchesExecutionDrivenMissesOnSameConfig) {
 
 TEST(Trace, ReplayAcrossClusterSizes) {
   auto app = make_app("ocean", ProblemScale::Test);
-  MachineConfig cfg = paper_machine(1, 0);
+  MachineSpec cfg = paper_machine(1, 0);
   cfg.num_procs = 16;
   const Trace t = record_trace(*app, cfg);
 
-  MachineConfig clustered = cfg;
+  MachineSpec clustered = cfg;
   clustered.procs_per_cluster = 4;
   const ReplayResult r1 = replay_trace(t, cfg);
   const ReplayResult r4 = replay_trace(t, clustered);
@@ -189,7 +189,7 @@ TEST(Trace, ReplayAcrossClusterSizes) {
 
 TEST(Trace, ReplayRejectsProcCountMismatch) {
   Trace t(16, 64);
-  MachineConfig cfg = paper_machine(1, 0);  // 64 procs
+  MachineSpec cfg = paper_machine(1, 0);  // 64 procs
   EXPECT_THROW(replay_trace(t, cfg), std::invalid_argument);
 }
 
