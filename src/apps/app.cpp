@@ -41,26 +41,22 @@ std::vector<std::string> app_names() {
   return out;
 }
 
-SimTask stream_read(Proc& p, Addr base, std::size_t bytes,
-                    Cycles compute_per_line) {
+Proc::RunAwaiter stream_read(Proc& p, Addr base, std::size_t bytes,
+                             Cycles compute_per_line) {
   const unsigned line = p.config().cache.line_bytes;
   const Addr first = base & ~Addr{line - 1};
   const Addr last = (base + bytes + line - 1) & ~Addr{line - 1};
-  for (Addr a = first; a < last; a += line) {
-    co_await p.read(a);
-    if (compute_per_line) co_await p.compute(compute_per_line);
-  }
+  return p.run(first, line, static_cast<std::uint32_t>((last - first) / line),
+               /*is_write=*/false, compute_per_line);
 }
 
-SimTask stream_write(Proc& p, Addr base, std::size_t bytes,
-                     Cycles compute_per_line) {
+Proc::RunAwaiter stream_write(Proc& p, Addr base, std::size_t bytes,
+                              Cycles compute_per_line) {
   const unsigned line = p.config().cache.line_bytes;
   const Addr first = base & ~Addr{line - 1};
   const Addr last = (base + bytes + line - 1) & ~Addr{line - 1};
-  for (Addr a = first; a < last; a += line) {
-    co_await p.write(a);
-    if (compute_per_line) co_await p.compute(compute_per_line);
-  }
+  return p.run(first, line, static_cast<std::uint32_t>((last - first) / line),
+               /*is_write=*/true, compute_per_line);
 }
 
 }  // namespace csim

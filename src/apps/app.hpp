@@ -59,12 +59,13 @@ std::vector<std::string> app_names();
 
 /// Reads every cache line of [base, base+bytes) once, with `compute_per_line`
 /// busy cycles interleaved. Models streaming over a data block at line
-/// granularity.
-SimTask stream_read(Proc& p, Addr base, std::size_t bytes,
-                    Cycles compute_per_line = 0);
+/// granularity. Issued as a single run (Proc::run): one awaitable for the
+/// whole stream instead of one coroutine suspension point per line.
+Proc::RunAwaiter stream_read(Proc& p, Addr base, std::size_t bytes,
+                             Cycles compute_per_line = 0);
 
 /// Writes every cache line of [base, base+bytes) once.
-SimTask stream_write(Proc& p, Addr base, std::size_t bytes,
-                     Cycles compute_per_line = 0);
+Proc::RunAwaiter stream_write(Proc& p, Addr base, std::size_t bytes,
+                              Cycles compute_per_line = 0);
 
 }  // namespace csim

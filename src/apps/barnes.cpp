@@ -1,5 +1,6 @@
 #include "src/apps/barnes.hpp"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -113,13 +114,20 @@ SimTask BarnesApp::com_phase(Proc& p) {
   for (std::size_t i = mine.begin; i < mine.end; ++i) {
     const auto& n = nodes[i];
     if (!n.leaf()) {
+      // One run per internal node: child reads, the combine compute, and the
+      // node write all retire behind a single awaitable.
+      std::array<Proc::RunOp, 10> ops;
+      unsigned cnt = 0;
       for (int o = 0; o < 8; ++o) {
         const int c = tree_.child(n, o);
-        if (c >= 0) co_await p.read(nodes[c].addr);
+        if (c >= 0) ops[cnt++] = Proc::RunOp::read(nodes[c].addr);
       }
-      co_await p.compute(8);
+      ops[cnt++] = Proc::RunOp::compute(8);
+      ops[cnt++] = Proc::RunOp::write(n.addr);
+      co_await p.run(ops.data(), cnt, 1);
+    } else {
+      co_await p.write(n.addr);
     }
-    co_await p.write(n.addr);
   }
   co_await p.barrier(*bar_);
 }
@@ -187,15 +195,23 @@ SimTask BarnesApp::force_phase(Proc& p, const BlockRange& mine) {
       const double d2 = d.norm2() + eps2;
       const double s = 2.0 * n.half;
       if (n.leaf() || s * s < cfg_.theta * cfg_.theta * d2) {
-        co_await p.compute(cfg_.interact_cycles);
+        // The interaction compute and the leaf's body reads retire as one
+        // run (chunked only if a leaf exceeds the op-list capacity).
+        std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+        unsigned cnt = 0;
+        ops[cnt++] = Proc::RunOp::compute(cfg_.interact_cycles);
         if (n.leaf()) {
           for (int t = 0; t < n.num_points; ++t) {
             const int j = tree_.point_order()[n.first_point + t];
-            if (static_cast<std::size_t>(j) != i) {
-              co_await p.read(body_addr(j));
+            if (static_cast<std::size_t>(j) == i) continue;
+            if (cnt == Proc::kMaxRunOps) {
+              co_await p.run(ops.data(), cnt, 1);
+              cnt = 0;
             }
+            ops[cnt++] = Proc::RunOp::read(body_addr(j));
           }
         }
+        co_await p.run(ops.data(), cnt, 1);
       } else {
         for (int o = 0; o < 8; ++o) {
           const int c = tree_.child(n, o);
@@ -214,9 +230,10 @@ SimTask BarnesApp::update_phase(Proc& p, const BlockRange& mine) {
     const std::size_t i = static_cast<std::size_t>(tree_.point_order()[k]);
     vel_[i] += acc_[i] * cfg_.dt;
     pos_[i] += vel_[i] * cfg_.dt;
-    co_await p.read(body_addr(i));
-    co_await p.compute(6);
-    co_await p.write(body_addr(i));
+    const std::array<Proc::RunOp, 3> ops{Proc::RunOp::read(body_addr(i)),
+                                         Proc::RunOp::compute(6),
+                                         Proc::RunOp::write(body_addr(i))};
+    co_await p.run(ops.data(), 3, 1);
   }
   co_await p.barrier(*bar_);
 }

@@ -1,5 +1,6 @@
 #include "src/apps/fmm.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -129,12 +130,25 @@ SimTask FmmApp::p2m_phase(Proc& p) {
   const BlockRange mine = block_partition(leaf.cells, nprocs_, p.id());
   for (std::size_t c = mine.begin; c < mine.end; ++c) {
     double m = 0;
+    // One run per leaf: all the cell's body reads plus the multipole write
+    // (chunked only past the op-list capacity).
+    std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+    unsigned cnt = 0;
     for (int b : cell_bodies_[c]) {
       m += body_mass_[b];
-      co_await p.read(body_addr(b));
+      if (cnt == Proc::kMaxRunOps) {
+        co_await p.run(ops.data(), cnt, 1);
+        cnt = 0;
+      }
+      ops[cnt++] = Proc::RunOp::read(body_addr(b));
     }
     leaf.m[c] = m;
-    co_await p.write(leaf.maddr(c));
+    if (cnt == Proc::kMaxRunOps) {
+      co_await p.run(ops.data(), cnt, 1);
+      cnt = 0;
+    }
+    ops[cnt++] = Proc::RunOp::write(leaf.maddr(c));
+    co_await p.run(ops.data(), cnt, 1);
   }
   co_await p.barrier(*bar_);
 }
@@ -149,19 +163,22 @@ SimTask FmmApp::m2m_phase(Proc& p) {
       const unsigned cy = static_cast<unsigned>((c / g.dim) % g.dim);
       const unsigned cz = static_cast<unsigned>(c % g.dim);
       double m = 0;
+      std::array<Proc::RunOp, 10> ops;
+      unsigned cnt = 0;
       for (int dx = 0; dx < 2; ++dx) {
         for (int dy = 0; dy < 2; ++dy) {
           for (int dz = 0; dz < 2; ++dz) {
             const std::size_t cc =
                 ch.index(2 * cx + dx, 2 * cy + dy, 2 * cz + dz);
             m += ch.m[cc];
-            co_await p.read(ch.maddr(cc));
+            ops[cnt++] = Proc::RunOp::read(ch.maddr(cc));
           }
         }
       }
       g.m[c] = m;
-      co_await p.compute(8);
-      co_await p.write(g.maddr(c));
+      ops[cnt++] = Proc::RunOp::compute(8);
+      ops[cnt++] = Proc::RunOp::write(g.maddr(c));
+      co_await p.run(ops.data(), cnt, 1);
     }
     co_await p.barrier(*bar_);
   }
@@ -173,14 +190,25 @@ SimTask FmmApp::m2l_phase(Proc& p) {
     const BlockRange mine = block_partition(g.cells, nprocs_, p.id());
     for (std::size_t c = mine.begin; c < mine.end; ++c) {
       double acc = 0;
+      std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+      unsigned cnt = 0;
       for (std::size_t s : interaction_list(lev, c)) {
         acc += g.m[s];
-        co_await p.read(g.maddr(s));
-        co_await p.compute(cfg_.m2l_cycles);
+        if (cnt + 2 > Proc::kMaxRunOps) {
+          co_await p.run(ops.data(), cnt, 1);
+          cnt = 0;
+        }
+        ops[cnt++] = Proc::RunOp::read(g.maddr(s));
+        ops[cnt++] = Proc::RunOp::compute(cfg_.m2l_cycles);
       }
       g.l[c] += acc;
-      co_await p.read(g.laddr(c));
-      co_await p.write(g.laddr(c));
+      if (cnt + 2 > Proc::kMaxRunOps) {
+        co_await p.run(ops.data(), cnt, 1);
+        cnt = 0;
+      }
+      ops[cnt++] = Proc::RunOp::read(g.laddr(c));
+      ops[cnt++] = Proc::RunOp::write(g.laddr(c));
+      co_await p.run(ops.data(), cnt, 1);
     }
     co_await p.barrier(*bar_);
   }
@@ -197,9 +225,10 @@ SimTask FmmApp::l2l_phase(Proc& p) {
       const unsigned kz = static_cast<unsigned>(cc % ch.dim);
       const std::size_t parent = g.index(kx / 2, ky / 2, kz / 2);
       ch.l[cc] += g.l[parent];
-      co_await p.read(g.laddr(parent));
-      co_await p.read(ch.laddr(cc));
-      co_await p.write(ch.laddr(cc));
+      const std::array<Proc::RunOp, 3> ops{Proc::RunOp::read(g.laddr(parent)),
+                                           Proc::RunOp::read(ch.laddr(cc)),
+                                           Proc::RunOp::write(ch.laddr(cc))};
+      co_await p.run(ops.data(), 3, 1);
     }
     co_await p.barrier(*bar_);
   }
@@ -211,12 +240,22 @@ SimTask FmmApp::near_phase(Proc& p) {
   const unsigned dim = leaf.dim;
   for (std::size_t c = mine.begin; c < mine.end; ++c) {
     if (cell_bodies_[c].empty()) continue;
-    // L2P: bodies inherit the leaf's local expansion.
-    co_await p.read(leaf.laddr(c));
-    for (int b : cell_bodies_[c]) {
-      far_mass_[b] = leaf.l[c];
-      co_await p.read(body_addr(b));
-      co_await p.write(body_addr(b));
+    // L2P: bodies inherit the leaf's local expansion — the leaf read and the
+    // per-body read/write pairs retire as one chunked run.
+    {
+      std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+      unsigned cnt = 0;
+      ops[cnt++] = Proc::RunOp::read(leaf.laddr(c));
+      for (int b : cell_bodies_[c]) {
+        far_mass_[b] = leaf.l[c];
+        if (cnt + 2 > Proc::kMaxRunOps) {
+          co_await p.run(ops.data(), cnt, 1);
+          cnt = 0;
+        }
+        ops[cnt++] = Proc::RunOp::read(body_addr(b));
+        ops[cnt++] = Proc::RunOp::write(body_addr(b));
+      }
+      co_await p.run(ops.data(), cnt, 1);
     }
     // P2P: read neighbour cells' bodies (near-field direct interactions).
     const unsigned cx = static_cast<unsigned>(c / (std::size_t{dim} * dim));
@@ -235,11 +274,22 @@ SimTask FmmApp::near_phase(Proc& p) {
           const std::size_t nc = leaf.index(static_cast<unsigned>(nx),
                                             static_cast<unsigned>(ny),
                                             static_cast<unsigned>(nz));
+          std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+          unsigned cnt = 0;
           for (int b : cell_bodies_[nc]) {
-            co_await p.read(body_addr(b));
+            if (cnt == Proc::kMaxRunOps) {
+              co_await p.run(ops.data(), cnt, 1);
+              cnt = 0;
+            }
+            ops[cnt++] = Proc::RunOp::read(body_addr(b));
           }
-          co_await p.compute(
+          if (cnt == Proc::kMaxRunOps) {
+            co_await p.run(ops.data(), cnt, 1);
+            cnt = 0;
+          }
+          ops[cnt++] = Proc::RunOp::compute(
               static_cast<Cycles>(cell_bodies_[nc].size() + 1));
+          co_await p.run(ops.data(), cnt, 1);
         }
       }
     }

@@ -72,17 +72,20 @@ void LuApp::setup(AddressSpace& as, const MachineSpec& mc) {
   bar_ = std::make_unique<Barrier>(mc.num_procs);
 }
 
-SimTask LuApp::rw_block_lines(Proc& p, unsigned bi, unsigned bj,
-                              Cycles compute_per_line) {
+Proc::RunAwaiter LuApp::rw_block_lines(Proc& p, unsigned bi, unsigned bj,
+                                       Cycles compute_per_line) {
   const unsigned line = p.config().cache.line_bytes;
   const std::size_t bytes =
       std::size_t{cfg_.block} * cfg_.block * sizeof(double);
   const Addr base = block_addr(bi, bj);
-  for (Addr a = base; a < base + bytes; a += line) {
-    co_await p.read(a);
-    if (compute_per_line) co_await p.compute(compute_per_line);
-    co_await p.write(a);
+  const auto count = static_cast<std::uint32_t>((bytes + line - 1) / line);
+  using Op = Proc::RunOp;
+  if (compute_per_line != 0) {
+    return p.run({Op::read(base, line), Op::compute(compute_per_line),
+                  Op::write(base, line)},
+                 count);
   }
+  return p.run({Op::read(base, line), Op::write(base, line)}, count);
 }
 
 SimTask LuApp::factor_diag(Proc& p, unsigned k) {

@@ -56,9 +56,10 @@ class LuApp final : public Program {
   SimTask col_solve(Proc& p, unsigned i, unsigned k);
   SimTask trailing_update(Proc& p, unsigned i, unsigned j, unsigned k);
 
-  /// Touch every line of a block for read/write with interleaved compute.
-  SimTask rw_block_lines(Proc& p, unsigned bi, unsigned bj,
-                         Cycles compute_per_line);
+  /// Touch every line of a block for read/write with interleaved compute,
+  /// issued as one run (a single awaitable for the whole block).
+  Proc::RunAwaiter rw_block_lines(Proc& p, unsigned bi, unsigned bj,
+                                  Cycles compute_per_line);
 
   LuConfig cfg_;
   unsigned nb_ = 0;  ///< blocks per dimension

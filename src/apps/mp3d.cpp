@@ -1,5 +1,6 @@
 #include "src/apps/mp3d.hpp"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -108,16 +109,20 @@ SimTask Mp3dApp::body(Proc& p) {
       ++total_moves_;
 
       // References: read+write my particle record, read+write the shared
-      // space cell, read+write the reservoir partner's record.
-      co_await p.read(particle_addr(i));
-      co_await p.compute(cfg_.move_cycles);
-      co_await p.read(cell_addr(c));
-      co_await p.write(cell_addr(c));
+      // space cell, read+write the reservoir partner's record — one run
+      // per move.
+      std::array<Proc::RunOp, 7> ops;
+      unsigned cnt = 0;
+      ops[cnt++] = Proc::RunOp::read(particle_addr(i));
+      ops[cnt++] = Proc::RunOp::compute(cfg_.move_cycles);
+      ops[cnt++] = Proc::RunOp::read(cell_addr(c));
+      ops[cnt++] = Proc::RunOp::write(cell_addr(c));
       if (other != static_cast<std::uint32_t>(i) && other < parts_.size()) {
-        co_await p.read(particle_addr(other));
-        co_await p.write(particle_addr(other));
+        ops[cnt++] = Proc::RunOp::read(particle_addr(other));
+        ops[cnt++] = Proc::RunOp::write(particle_addr(other));
       }
-      co_await p.write(particle_addr(i));
+      ops[cnt++] = Proc::RunOp::write(particle_addr(i));
+      co_await p.run(ops.data(), cnt, 1);
     }
     co_await p.barrier(*bar_);
   }

@@ -1,5 +1,6 @@
 #include "src/apps/ocean.hpp"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -157,12 +158,19 @@ SimTask OceanApp::relax(Proc& p, unsigned lev, Field& u, const Field& f,
         const double nu = 0.25 * (nb - at(f, L, gr, gc));
         at(u, L, gr, gc) = nu;
         if (res_acc) *res_acc += std::abs(nu - old);
-        co_await p.read(addr(u, L, gr - 1, gc));
-        co_await p.read(addr(u, L, gr + 1, gc));
-        co_await p.read(addr(u, L, gr, gc - 1));
-        co_await p.read(addr(u, L, gr, gc + 1));
-        co_await p.read(addr(f, L, gr, gc));
-        co_await p.write(addr(u, L, gr, gc));
+        // The 5-point stencil touches neighbouring tiles at the edges, so
+        // addresses are not strided; a per-point run still retires all six
+        // references behind one awaitable. (Named array rather than a braced
+        // list: gcc cannot spill an initializer_list's backing array into the
+        // coroutine frame.)
+        using Op = Proc::RunOp;
+        const std::array<Op, 6> ops{Op::read(addr(u, L, gr - 1, gc)),
+                                    Op::read(addr(u, L, gr + 1, gc)),
+                                    Op::read(addr(u, L, gr, gc - 1)),
+                                    Op::read(addr(u, L, gr, gc + 1)),
+                                    Op::read(addr(f, L, gr, gc)),
+                                    Op::write(addr(u, L, gr, gc))};
+        co_await p.run(ops.data(), 6, 1);
       }
       if (pts) co_await p.compute(cfg_.point_cycles * pts);
     }
@@ -188,6 +196,11 @@ SimTask OceanApp::restrict_residual(Proc& p, unsigned lev) {
     for (std::size_t cj = c0; cj < c1; ++cj) {
       ++pts;
       double acc = 0;
+      // The whole coarse point — 16 fine-grid reads plus the two coarse
+      // writes — retires as one run; the op list is assembled in the same
+      // order the scalar loop issued the references.
+      std::array<Proc::RunOp, 18> ops;
+      unsigned n = 0;
       for (int di = 0; di < 2; ++di) {
         for (int dj = 0; dj < 2; ++dj) {
           const std::size_t fi = 2 * ci - 1 + di;
@@ -199,16 +212,17 @@ SimTask OceanApp::restrict_residual(Proc& p, unsigned lev) {
                at(uf, Lf, fi, fj + 1)) *
                   -1.0;  // A = -Laplacian with our relax convention
           acc += res;
-          co_await p.read(addr(ff, Lf, fi, fj));
-          co_await p.read(addr(uf, Lf, fi, fj));
-          co_await p.read(addr(uf, Lf, fi - 1, fj));
-          co_await p.read(addr(uf, Lf, fi + 1, fj));
+          ops[n++] = Proc::RunOp::read(addr(ff, Lf, fi, fj));
+          ops[n++] = Proc::RunOp::read(addr(uf, Lf, fi, fj));
+          ops[n++] = Proc::RunOp::read(addr(uf, Lf, fi - 1, fj));
+          ops[n++] = Proc::RunOp::read(addr(uf, Lf, fi + 1, fj));
         }
       }
       at(f_[lev + 1], Lc, ci, cj) = acc;  // scaled full-weighting (injection)
       at(u_[lev + 1], Lc, ci, cj) = 0;
-      co_await p.write(addr(f_[lev + 1], Lc, ci, cj));
-      co_await p.write(addr(u_[lev + 1], Lc, ci, cj));
+      ops[n++] = Proc::RunOp::write(addr(f_[lev + 1], Lc, ci, cj));
+      ops[n++] = Proc::RunOp::write(addr(u_[lev + 1], Lc, ci, cj));
+      co_await p.run(ops.data(), n, 1);
     }
     if (pts) co_await p.compute(cfg_.point_cycles * pts * 2);
   }
@@ -232,16 +246,19 @@ SimTask OceanApp::prolong_correction(Proc& p, unsigned lev) {
       // The restriction summed 4 fine residuals (carrying the (2h)^2 / h^2
       // scaling), so the coarse correction transfers at full weight.
       const double e = at(u_[lev + 1], Lc, ci, cj);
-      co_await p.read(addr(u_[lev + 1], Lc, ci, cj));
+      std::array<Proc::RunOp, 9> ops;
+      unsigned n = 0;
+      ops[n++] = Proc::RunOp::read(addr(u_[lev + 1], Lc, ci, cj));
       for (int di = 0; di < 2; ++di) {
         for (int dj = 0; dj < 2; ++dj) {
           const std::size_t fi = 2 * ci - 1 + di;
           const std::size_t fj = 2 * cj - 1 + dj;
           at(u_[lev], Lf, fi, fj) += e;
-          co_await p.read(addr(u_[lev], Lf, fi, fj));
-          co_await p.write(addr(u_[lev], Lf, fi, fj));
+          ops[n++] = Proc::RunOp::read(addr(u_[lev], Lf, fi, fj));
+          ops[n++] = Proc::RunOp::write(addr(u_[lev], Lf, fi, fj));
         }
       }
+      co_await p.run(ops.data(), n, 1);
     }
     if (pts) co_await p.compute(cfg_.point_cycles * pts);
   }
@@ -272,16 +289,21 @@ SimTask OceanApp::aux_update(Proc& p, unsigned k) {
   const Level& L = levels_[0];
   const Tile t = my_tile(0, p.id());
   Field& a = aux_[k];
+  const auto cols = static_cast<std::uint32_t>(t.col_end - t.col_begin);
   for (std::size_t gr = t.row_begin; gr < t.row_end; ++gr) {
-    unsigned pts = 0;
+    // Entirely inside my tile, so both fields walk the row contiguously:
+    // host math first, then one three-stream run for the whole row.
     for (std::size_t gc = t.col_begin; gc < t.col_end; ++gc) {
-      ++pts;
       at(a, L, gr, gc) += 0.1 * at(u_[0], L, gr, gc);
-      co_await p.read(addr(u_[0], L, gr, gc));
-      co_await p.read(addr(a, L, gr, gc));
-      co_await p.write(addr(a, L, gr, gc));
     }
-    if (pts) co_await p.compute(cfg_.point_cycles * pts);
+    if (cols == 0) continue;
+    using Op = Proc::RunOp;
+    const std::array<Op, 3> ops{
+        Op::read(addr(u_[0], L, gr, t.col_begin), sizeof(double)),
+        Op::read(addr(a, L, gr, t.col_begin), sizeof(double)),
+        Op::write(addr(a, L, gr, t.col_begin), sizeof(double))};
+    co_await p.run(ops.data(), 3, cols);
+    co_await p.compute(cfg_.point_cycles * cols);
   }
 }
 

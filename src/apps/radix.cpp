@@ -1,6 +1,7 @@
 #include "src/apps/radix.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 
@@ -89,9 +90,12 @@ SimTask RadixApp::body(Proc& p) {
     for (std::size_t i = mine.begin; i < mine.end; ++i) {
       const unsigned d = (skeys[i] >> shift) & (R - 1);
       ++myhist[d];
-      co_await p.read(key_addr(src, i));
-      co_await p.compute(4);
-      co_await p.write(hist_addr(p.id(), d));
+      // The histogram slot is key-dependent, so each key is its own run —
+      // still one awaitable per key instead of three.
+      using Op = Proc::RunOp;
+      const std::array<Op, 3> ops{Op::read(key_addr(src, i)), Op::compute(4),
+                                  Op::write(hist_addr(p.id(), d))};
+      co_await p.run(ops.data(), 3, 1);
     }
     co_await p.barrier(*bar_);
 
@@ -144,9 +148,10 @@ SimTask RadixApp::body(Proc& p) {
       const unsigned d = (skeys[i] >> shift) & (R - 1);
       const std::uint32_t pos = offset[d]++;
       dkeys[pos] = skeys[i];
-      co_await p.read(key_addr(src, i));
-      co_await p.compute(6);
-      co_await p.write(key_addr(dst, pos));
+      using Op = Proc::RunOp;
+      const std::array<Op, 3> ops{Op::read(key_addr(src, i)), Op::compute(6),
+                                  Op::write(key_addr(dst, pos))};
+      co_await p.run(ops.data(), 3, 1);
     }
     co_await p.barrier(*bar_);
     if (p.id() == 0) final_buf_ = dst;

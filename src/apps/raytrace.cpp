@@ -1,6 +1,7 @@
 #include "src/apps/raytrace.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -155,16 +156,29 @@ SimTask RaytraceApp::trace_ray(Proc& p, Vec3 org, Vec3 dir, unsigned bounce,
 
   while (true) {
     const std::size_t vi = voxel_index(v[0], v[1], v[2]);
-    co_await p.read(voxel_addr(vi));
-    co_await p.compute(12);  // DDA step arithmetic
+    {
+      // Voxel fetch + DDA arithmetic + the voxel's sphere intersection tests
+      // retire as one run (chunked only past the op-list capacity).
+      std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+      unsigned cnt = 0;
+      ops[cnt++] = Proc::RunOp::read(voxel_addr(vi));
+      ops[cnt++] = Proc::RunOp::compute(12);  // DDA step arithmetic
+      for (int si : voxels_[vi]) {
+        if (cnt + 2 > Proc::kMaxRunOps) {
+          co_await p.run(ops.data(), cnt, 1);
+          cnt = 0;
+        }
+        ops[cnt++] = Proc::RunOp::read(sphere_addr(static_cast<std::size_t>(si)));
+        ops[cnt++] = Proc::RunOp::compute(cfg_.isect_cycles);
+      }
+      co_await p.run(ops.data(), cnt, 1);
+    }
     const double t_exit = std::min({tmax[0], tmax[1], tmax[2]});
 
     double best_t = 1e30;
     int best = -1;
     for (int si : voxels_[vi]) {
       const Sphere& sp = spheres_[static_cast<std::size_t>(si)];
-      co_await p.read(sphere_addr(static_cast<std::size_t>(si)));
-      co_await p.compute(cfg_.isect_cycles);
       const Vec3 oc = org - sp.c;
       const double b = dot(oc, dir);
       const double cq = oc.norm2() - sp.r * sp.r;
@@ -218,8 +232,9 @@ SimTask RaytraceApp::body(Proc& p) {
           double shade = 0.0;
           co_await trace_ray(p, eye, normalize(px - eye), 0, 1.0, &shade);
           image_[y * cfg_.image + x] = static_cast<float>(shade);
-          co_await p.compute(4);
-          co_await p.write(pixel_addr(x, y));
+          const std::array<Proc::RunOp, 2> ops{
+              Proc::RunOp::compute(4), Proc::RunOp::write(pixel_addr(x, y))};
+          co_await p.run(ops.data(), 2, 1);
         }
       }
     }

@@ -1,6 +1,7 @@
 #include "src/apps/volrend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -151,8 +152,9 @@ SimTask VolrendApp::cast_ray(Proc& p, unsigned px, unsigned py, double shear) {
     std::size_t ni = 0;
     for (;;) {
       const OctNode& n = oct_[ni];
-      co_await p.read(node_addr(ni));
-      co_await p.compute(2);
+      const std::array<Proc::RunOp, 2> ops{Proc::RunOp::read(node_addr(ni)),
+                                           Proc::RunOp::compute(2)};
+      co_await p.run(ops.data(), 2, 1);
       if (n.size == 1) break;
       const unsigned h = n.size / 2;
       const int o = (bx >= n.bx + h ? 1 : 0) | (by >= n.by + h ? 2 : 0) |
@@ -164,27 +166,42 @@ SimTask VolrendApp::cast_ray(Proc& p, unsigned px, unsigned py, double shear) {
       ++skipped_blocks_;
       continue;  // empty-space skip: no voxel references at all
     }
-    // Sample the voxels of this block along z.
-    for (unsigned z = bz * B; z < (bz + 1) * B; ++z) {
-      const unsigned vy = vy_at(z);
-      const double d = density(vx, vy, z);
+    // Sample the voxels of this block along z. Host math first — the
+    // accumulation decides where the ray terminates — then the sample
+    // references retire in chunked runs over the same z range.
+    const unsigned z0 = bz * B;
+    const unsigned z1 = (bz + 1) * B;
+    unsigned zstop = z1;
+    for (unsigned z = z0; z < z1; ++z) {
+      const double d = density(vx, vy_at(z), z);
       ++samples_;
-      co_await p.read(voxel_addr(vx, vy, z));
-      co_await p.compute(cfg_.sample_cycles);
       if (d < cfg_.density_cut) continue;
       const double a = std::min(1.0, (d - cfg_.density_cut) * 4.0) * 0.5;
       color += (1.0 - alpha) * a * d;
       alpha += (1.0 - alpha) * a;
       if (alpha >= cfg_.term_opacity) {
         ++early_terms_;
+        zstop = z + 1;
         break;
       }
     }
+    std::array<Proc::RunOp, Proc::kMaxRunOps> ops;
+    unsigned cnt = 0;
+    for (unsigned z = z0; z < zstop; ++z) {
+      if (cnt + 2 > Proc::kMaxRunOps) {
+        co_await p.run(ops.data(), cnt, 1);
+        cnt = 0;
+      }
+      ops[cnt++] = Proc::RunOp::read(voxel_addr(vx, vy_at(z), z));
+      ops[cnt++] = Proc::RunOp::compute(cfg_.sample_cycles);
+    }
+    if (cnt != 0) co_await p.run(ops.data(), cnt, 1);
   }
   image_[static_cast<std::size_t>(py) * cfg_.image + px] =
       static_cast<float>(color);
-  co_await p.compute(4);
-  co_await p.write(pixel_addr(px, py));
+  const std::array<Proc::RunOp, 2> ops{Proc::RunOp::compute(4),
+                                       Proc::RunOp::write(pixel_addr(px, py))};
+  co_await p.run(ops.data(), 2, 1);
 }
 
 SimTask VolrendApp::body(Proc& p) {

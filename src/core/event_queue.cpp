@@ -9,9 +9,44 @@
 
 namespace csim {
 
+// 4-ary sift operations: half the depth of a binary heap, and the four
+// children of node i sit in adjacent slots 4i+1..4i+4 (one or two cache
+// lines), so the extra per-level comparisons are cheap.
+
 void EventQueue::push(Event ev) {
+  std::size_t i = heap_.size();
   heap_.push_back(ev);
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!later(heap_[parent], ev)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+EventQueue::Event EventQueue::pop_min() {
+  const Event top = heap_.front();
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t k = first + 1; k < end; ++k) {
+        if (later(heap_[best], heap_[k])) best = k;
+      }
+      if (!later(last, heap_[best])) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 void EventQueue::schedule(Cycles t, Callback fn) {
@@ -44,11 +79,7 @@ void EventQueue::schedule_resume(Cycles t, Resumable* r,
   push(ev);
 }
 
-void EventQueue::run_one() {
-  if (heap_.empty()) throw std::logic_error("EventQueue::run_one on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const Event ev = heap_.back();
-  heap_.pop_back();
+void EventQueue::dispatch(const Event& ev) {
   const bool advanced = ev.t > now_;
   now_ = ev.t;
   ++events_run_;
@@ -65,6 +96,34 @@ void EventQueue::run_one() {
     fn();
   }
   if (obs_ != nullptr) obs_->on_event_dispatched(now_, events_run_);
+}
+
+void EventQueue::run_one() {
+  if (ready_pos_ == ready_.size()) {
+    if (heap_.empty()) {
+      throw std::logic_error("EventQueue::run_one on empty queue");
+    }
+    // Refill: drain the whole same-cycle burst in (time, seq) order. Events
+    // scheduled at this cycle during the burst have larger sequence numbers
+    // than everything buffered, so deferring them to the next refill keeps
+    // the global dispatch order identical to popping one by one. A
+    // single-event burst — the common case once processors spread out —
+    // skips the buffer entirely.
+    const Event first = pop_min();
+    if (heap_.empty() || heap_.front().t != first.t) {
+      dispatch(first);
+      return;
+    }
+    ready_.clear();
+    ready_pos_ = 0;
+    ready_.push_back(first);
+    const Cycles t0 = first.t;
+    do {
+      ready_.push_back(pop_min());
+    } while (!heap_.empty() && heap_.front().t == t0);
+  }
+  const Event ev = ready_[ready_pos_++];
+  dispatch(ev);
 }
 
 std::optional<std::string> EventQueue::budget_violation() const {
@@ -87,12 +146,13 @@ std::optional<std::string> EventQueue::budget_violation() const {
 }
 
 Cycles EventQueue::run_to_completion() {
-  while (!heap_.empty()) {
+  while (!empty()) {
     run_one();
-    if (auto v = budget_violation()) {
+    if (over_budget()) [[unlikely]] {
+      auto v = budget_violation();
       MachineSnapshot snap;
       snap.cycle = now_;
-      snap.event_queue_depth = heap_.size();
+      snap.event_queue_depth = size();
       snap.events_processed = events_run_;
       throw LivelockError(*std::move(v), std::move(snap));
     }

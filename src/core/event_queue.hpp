@@ -14,7 +14,8 @@ namespace csim {
 
 class Observer;
 
-/// A min-heap of (time, sequence) ordered events.
+/// A 4-ary min-heap of (time, sequence) ordered events with a same-cycle
+/// dispatch buffer.
 ///
 /// Ties in time are broken by insertion order, which makes simulations fully
 /// deterministic for a given workload and configuration.
@@ -24,6 +25,12 @@ class Observer;
 /// trivially copyable record with no heap allocation. Generic callbacks
 /// (simulation launch, tests, tooling) go through a std::function escape
 /// hatch whose storage is recycled in a slot table.
+///
+/// Dispatch drains every event due at the current cycle from the heap into a
+/// flat buffer in (time, seq) order, then serves them sequentially; events
+/// scheduled *at* the current cycle during the burst carry larger sequence
+/// numbers, land in the heap, and are picked up by the next refill — the
+/// global (time, seq) dispatch order is identical to popping one by one.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -58,12 +65,18 @@ class EventQueue {
   void schedule_resume(Cycles t, Resumable* r, std::coroutine_handle<> h);
 
   /// True when no events remain.
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return heap_.empty() && ready_pos_ == ready_.size();
+  }
 
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return heap_.size() + (ready_.size() - ready_pos_);
+  }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] Cycles next_time() const { return heap_.front().t; }
+  [[nodiscard]] Cycles next_time() const {
+    return ready_pos_ != ready_.size() ? ready_[ready_pos_].t : heap_.front().t;
+  }
 
   /// Current simulated time (time of the last event popped).
   [[nodiscard]] Cycles now() const noexcept { return now_; }
@@ -77,11 +90,22 @@ class EventQueue {
   Cycles run_to_completion();
 
   /// Arms the watchdog. The budget is checked by run_to_completion() after
-  /// every event; external drivers (Simulator::run) poll budget_violation().
+  /// every event; external drivers (Simulator::run) poll over_budget().
   void set_budget(const Budget& b) noexcept { budget_ = b; }
 
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t events_run() const noexcept { return events_run_; }
+
+  /// Inline fast path of the watchdog: true when any armed budget is
+  /// violated. Checked after every event, so it must not allocate; the
+  /// message lives in budget_violation().
+  [[nodiscard]] bool over_budget() const noexcept {
+    return (budget_.max_cycles != 0 && now_ > budget_.max_cycles) ||
+           (budget_.max_events != 0 && events_run_ > budget_.max_events) ||
+           (budget_.no_progress_events != 0 &&
+            events_run_ - events_at_last_advance_ >=
+                budget_.no_progress_events);
+  }
 
   /// Description of the violated budget, or nullopt while within budget.
   [[nodiscard]] std::optional<std::string> budget_violation() const;
@@ -113,15 +137,19 @@ class EventQueue {
       std::uint32_t slot;
     };
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  /// True when `a` dispatches after `b`.
+  static bool later(const Event& a, const Event& b) noexcept {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  }
 
   void push(Event ev);
+  /// Removes and returns the heap minimum. Precondition: !heap_.empty().
+  Event pop_min();
+  void dispatch(const Event& ev);
 
-  std::vector<Event> heap_;            // std::push_heap/pop_heap min-heap
+  std::vector<Event> heap_;            // 4-ary min-heap, later() order
+  std::vector<Event> ready_;           // events due at the current cycle
+  std::size_t ready_pos_ = 0;          // next undispatched index in ready_
   std::vector<Callback> slots_;        // generic callback storage
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;

@@ -1,8 +1,10 @@
 #include "src/core/processor.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/core/sync.hpp"
+#include "src/mem/cache.hpp"
 #include "src/obs/observer.hpp"
 
 namespace csim {
@@ -13,6 +15,17 @@ void Proc::schedule_resume(Cycles t, std::coroutine_handle<> h) {
 
 void Proc::resume_event(Cycles t, std::coroutine_handle<> h) {
   begin_slice(t);
+  if (run_.active) {
+    // Re-enter the suspended run without resuming the coroutine; only a
+    // completed run hands control back to the application code.
+    Cycles resume_at = 0;
+    if (!run_step(resume_at)) {
+      schedule_resume(resume_at, h);
+      if (obs_ != nullptr) obs_->on_slice(id_, t, now_);
+      return;
+    }
+    run_.active = false;
+  }
   h.resume();
   note_if_finished();
   if (obs_ != nullptr) obs_->on_slice(id_, t, now_);
@@ -34,21 +47,25 @@ void Proc::note_if_finished() noexcept {
 
 bool Proc::do_read(Addr a, Cycles& resume_at) {
   const Addr line = a & line_mask_;
-  if (line == mru_line_ && coh_->access_epoch() == mru_epoch_) {
-    // Repeat hit to the hinted line with no intervening access anywhere:
-    // bypass the memory system, mirroring its hit-path counter updates.
-    ++hot_->reads;
-    ++hot_->read_hits;
-    const Cycles hit = access_cost();
-    buckets_.cpu += hit;
-    now_ += hit;
-    return check_slice(resume_at);
+  if (gen_ != nullptr) {
+    const FilterEntry& e = filter_[filter_slot(line)];
+    if (e.line == line && e.gen == *gen_) {
+      // Repeat hit to a hinted line, cluster generation unchanged: bypass
+      // the memory system, mirroring its hit-path counter updates and (for
+      // bounded LRU caches) its most-recently-used promotion.
+      ++hot_->reads;
+      ++hot_->read_hits;
+      if (touch_cache_ != nullptr) touch_cache_->touch(line);
+      const Cycles hit = access_cost();
+      buckets_.cpu += hit;
+      now_ += hit;
+      return check_slice(resume_at);
+    }
   }
   const AccessResult r = coh_->read(id_, a, now_);
-  if (r.hint != MruHint::None && hot_ != nullptr) {
-    mru_line_ = line;
-    mru_epoch_ = coh_->access_epoch();
-    mru_writable_ = r.hint == MruHint::ReadWrite;
+  if (r.hint != MruHint::None && gen_ != nullptr) {
+    filter_[filter_slot(line)] =
+        FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
   }
   const Cycles hit = access_cost();
   switch (r.kind) {
@@ -100,18 +117,23 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
 
 bool Proc::do_write(Addr a, Cycles& resume_at) {
   const Addr line = a & line_mask_;
-  if (line == mru_line_ && mru_writable_ &&
-      coh_->access_epoch() == mru_epoch_) {
-    // Repeat store to our own EXCLUSIVE line, nothing intervening: bypass
-    // the memory system, mirroring its write-hit counter updates.
+  const FilterEntry* fe = nullptr;
+  if (gen_ != nullptr) {
+    const FilterEntry& e = filter_[filter_slot(line)];
+    if (e.line == line && e.writable && e.gen == *gen_) fe = &e;
+  }
+  if (fe != nullptr) {
+    // Repeat store to our own EXCLUSIVE line, cluster generation unchanged:
+    // bypass the memory system, mirroring its write-hit counter updates and
+    // (for bounded LRU caches) its most-recently-used promotion.
     ++hot_->writes;
     ++hot_->write_hits;
+    if (touch_cache_ != nullptr) touch_cache_->touch(line);
   } else {
     const AccessResult r = coh_->write(id_, a, now_);
-    if (r.hint != MruHint::None && hot_ != nullptr) {
-      mru_line_ = line;
-      mru_epoch_ = coh_->access_epoch();
-      mru_writable_ = r.hint == MruHint::ReadWrite;
+    if (r.hint != MruHint::None && gen_ != nullptr) {
+      filter_[filter_slot(line)] =
+          FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
     }
     // The store buffer hides miss latency but not the port queue: issue
     // itself waits for the bank/bus, a processor-visible contention stall.
@@ -130,6 +152,65 @@ bool Proc::do_compute(Cycles n, Cycles& resume_at) {
   buckets_.cpu += n;
   now_ += n;
   return check_slice(resume_at);
+}
+
+bool Proc::run_step(Cycles& resume_at) {
+  RunState& r = run_;
+  while (r.idx < r.count) {
+    while (r.pc < r.num_ops) {
+      const RunOp& op = r.ops[r.pc];
+      ++r.pc;
+      bool ok;
+      switch (op.kind) {
+        case RunOp::Kind::Read:
+          ok = do_read(op.base + Addr{r.idx} * op.stride, resume_at);
+          break;
+        case RunOp::Kind::Write:
+          ok = do_write(op.base + Addr{r.idx} * op.stride, resume_at);
+          break;
+        default:
+          ok = do_compute(op.base, resume_at);
+          break;
+      }
+      if (!ok) return false;
+    }
+    r.pc = 0;
+    ++r.idx;
+  }
+  return true;
+}
+
+Proc::RunAwaiter Proc::run(const RunOp* ops, unsigned num_ops,
+                           std::uint32_t count) {
+  if (num_ops > kMaxRunOps) {
+    throw std::invalid_argument("Proc::run: more than kMaxRunOps ops");
+  }
+  RunState& r = run_;
+  r.num_ops = num_ops;
+  std::copy(ops, ops + num_ops, r.ops.begin());
+  r.pc = 0;
+  r.idx = 0;
+  r.count = count;
+  r.active = true;
+  RunAwaiter aw{this};
+  aw.ready = run_step(aw.resume_at);
+  if (aw.ready) r.active = false;
+  return aw;
+}
+
+Proc::RunAwaiter Proc::run(std::initializer_list<RunOp> ops,
+                           std::uint32_t count) {
+  return run(ops.begin(), static_cast<unsigned>(ops.size()), count);
+}
+
+Proc::RunAwaiter Proc::run(Addr base, Addr stride, std::uint32_t count,
+                           bool is_write, Cycles compute_per_ref) {
+  const RunOp access =
+      is_write ? RunOp::write(base, stride) : RunOp::read(base, stride);
+  if (compute_per_ref != 0) {
+    return run({access, RunOp::compute(compute_per_ref)}, count);
+  }
+  return run({access}, count);
 }
 
 bool Proc::BarrierAwaiter::await_ready() const {

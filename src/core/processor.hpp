@@ -19,6 +19,7 @@
 // merge bucket; barrier/lock waits charge the sync bucket.
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 
@@ -61,6 +62,11 @@ class Proc : public EventQueue::Resumable {
         line_mask_(~Addr{cfg.cache.line_bytes - 1}),
         hot_(coh.hot_counters(cfg.cluster_of(id))),
         rng_state_(0x9e3779b9u ^ (id * 2654435761u)) {
+    if (hot_ != nullptr) {
+      gen_ = coh.generation_addr(cluster_);
+      touch_cache_ = coh.touch_cache(id_);
+    }
+    while ((Addr{1} << line_shift_) < cfg.cache.line_bytes) ++line_shift_;
     if (cfg.model_shared_hit_costs && cfg.procs_per_cluster > 1) {
       const unsigned n = cfg.procs_per_cluster;
       const double m = static_cast<double>(cfg.banks_per_proc) * n;
@@ -112,6 +118,61 @@ class Proc : public EventQueue::Resumable {
     aw.ready = do_compute(n, aw.resume_at);
     return aw;
   }
+
+  // --- Run-length access streams (docs/PERFORMANCE.md) --------------------
+
+  /// One step of a run element: a strided read/write stream or a fixed
+  /// per-element compute burst.
+  struct RunOp {
+    enum class Kind : std::uint8_t { Read, Write, Compute };
+    Addr base = 0;    ///< Compute: busy cycles per element
+    Addr stride = 0;  ///< element i accesses base + i*stride (Compute: unused)
+    Kind kind = Kind::Read;
+    static constexpr RunOp read(Addr base, Addr stride = 0) noexcept {
+      return {base, stride, Kind::Read};
+    }
+    static constexpr RunOp write(Addr base, Addr stride = 0) noexcept {
+      return {base, stride, Kind::Write};
+    }
+    static constexpr RunOp compute(Cycles cycles) noexcept {
+      return {cycles, 0, Kind::Compute};
+    }
+  };
+
+  /// Awaitable for a whole run; see Proc::run.
+  struct RunAwaiter {
+    Proc* p;
+    Cycles resume_at = 0;
+    bool ready = true;
+    bool await_ready() const noexcept { return ready; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      p->schedule_resume(resume_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Issues a run: `count` elements, each executing `ops` in order (reads and
+  /// writes at base + i*stride, computes of a fixed per-element cost).
+  /// Awaiting the result retires the whole run exactly as the equivalent
+  /// per-reference co_await loop would — same references, same order, same
+  /// cycle accounting, same event schedule — but in a tight retirement loop
+  /// that re-enters the scheduler only at a miss, merge, or quantum expiry
+  /// instead of crossing a coroutine frame per reference. The awaitable must
+  /// be co_awaited immediately: a Proc has one live run at a time.
+  RunAwaiter run(std::initializer_list<RunOp> ops, std::uint32_t count);
+
+  /// Capacity of a run's per-element op list (sized for the widest workload
+  /// stencil — Ocean's restriction); longer lists must be chunked by the app.
+  static constexpr unsigned kMaxRunOps = 20;
+
+  /// As above, for op lists assembled at runtime (e.g. a stencil built in a
+  /// loop). `num_ops` must be ≤ kMaxRunOps.
+  RunAwaiter run(const RunOp* ops, unsigned num_ops, std::uint32_t count);
+
+  /// Single-stream convenience: `count` strided references, each optionally
+  /// followed by `compute_per_ref` busy cycles.
+  RunAwaiter run(Addr base, Addr stride, std::uint32_t count, bool is_write,
+                 Cycles compute_per_ref = 0);
 
   struct BarrierAwaiter {
     Proc* p;
@@ -167,6 +228,19 @@ class Proc : public EventQueue::Resumable {
   bool do_read(Addr a, Cycles& resume_at);
   bool do_write(Addr a, Cycles& resume_at);
   bool do_compute(Cycles n, Cycles& resume_at);
+
+  /// In-flight run (one per processor).
+  struct RunState {
+    std::array<RunOp, kMaxRunOps> ops{};
+    unsigned num_ops = 0;
+    unsigned pc = 0;        ///< next op of the current element
+    std::uint32_t idx = 0;  ///< current element
+    std::uint32_t count = 0;
+    bool active = false;  ///< suspended mid-run; resume_event re-enters it
+  };
+  /// Retires run ops until the run completes (true) or an op yields to the
+  /// event queue (false, resume_at set) — stall, merge, or quantum expiry.
+  bool run_step(Cycles& resume_at);
   /// True if the slice budget is exhausted; sets resume_at for suspension.
   bool check_slice(Cycles& resume_at) noexcept {
     if (now_ >= slice_end_) {
@@ -201,17 +275,33 @@ class Proc : public EventQueue::Resumable {
   WaitInfo wait_{};
   TimeBuckets buckets_{};
 
-  // MRU line filter (docs/PERFORMANCE.md): the last line this processor hit,
-  // valid only while the memory system's access epoch is unchanged — i.e.
-  // nothing anywhere in the machine has touched the memory system since.
-  // Repeat hits then bypass the virtual access call and its hash lookups
-  // entirely, charging access_cost() and bumping reads/hits via hot_ so the
-  // counters stay bit-identical to the slow path. hot_ == nullptr (profilers,
-  // trace recorders) disables the filter.
+  // Generation-tagged hit filter (docs/PERFORMANCE.md): a small direct-mapped
+  // table of lines this processor recently hit, each entry valid while its
+  // cluster's generation counter (MemorySystem::generation_addr) is
+  // unchanged. The memory system bumps the counter only on events that could
+  // invalidate a hint in *this* cluster, so — unlike a global epoch — entries
+  // survive across event-queue slices while other clusters run. Repeat hits
+  // bypass the virtual access call and its protocol branches, charging
+  // access_cost() and bumping reads/hits via hot_; with bounded LRU caches
+  // they also touch the line (touch_cache_) so eviction order — and with it
+  // every digest — stays bit-identical to the slow path. Disabled
+  // (gen_ == nullptr) when the memory system must observe every access.
+  static constexpr std::size_t kFilterSlots = 8;  // covers Ocean's 6 streams
+  struct FilterEntry {
+    Addr line = ~Addr{0};  // never line-aligned: matches no real line
+    std::uint64_t gen = 0;
+    bool writable = false;
+  };
+  [[nodiscard]] std::size_t filter_slot(Addr line) const noexcept {
+    return (line >> line_shift_) & (kFilterSlots - 1);
+  }
   MissCounters* hot_ = nullptr;
-  Addr mru_line_ = ~Addr{0};  // never line-aligned: matches no real line
-  std::uint64_t mru_epoch_ = 0;
-  bool mru_writable_ = false;
+  const std::uint64_t* gen_ = nullptr;  // null disables the filter
+  CacheStorage* touch_cache_ = nullptr;  // LRU to touch per filtered hit
+  std::array<FilterEntry, kFilterSlots> filter_{};
+  unsigned line_shift_ = 0;
+
+  RunState run_{};
 
   std::uint64_t rng_state_ = 0;
   std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32

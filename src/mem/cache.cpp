@@ -22,7 +22,9 @@ CacheStorage::CacheStorage(std::size_t capacity_lines, unsigned associativity,
     sets_.resize(num_sets_);
   }
   // A bounded cache can never hold more than capacity_ lines: size the line
-  // table once so steady-state operation never rehashes.
+  // table once so steady-state operation never rehashes. (Extra headroom to
+  // make tombstone-reclaim rehashes rarer was tried and measured slower —
+  // the larger table costs more in probe locality than the rehashes do.)
   if (capacity_ != 0) map_.reserve(capacity_);
 }
 
@@ -43,6 +45,16 @@ void CacheStorage::touch(Addr line) {
   if (e == nullptr) return;
   auto& lru = sets_[set_index(line)];
   lru.splice(lru.begin(), lru, e->it);
+}
+
+std::optional<LineState> CacheStorage::access(Addr line) {
+  MapEntry* e = map_.find(line);
+  if (e == nullptr) return std::nullopt;
+  if (capacity_ != 0) {
+    auto& lru = sets_[set_index(line)];
+    lru.splice(lru.begin(), lru, e->it);
+  }
+  return e->state;
 }
 
 std::optional<Evicted> CacheStorage::insert(Addr line, LineState st) {

@@ -46,6 +46,11 @@ class CacheStorage {
   /// Marks `line` most-recently-used. No-op if absent.
   void touch(Addr line);
 
+  /// Combined lookup + touch in a single table probe: returns the state of
+  /// `line` if present, marking it most-recently-used. Equivalent to
+  /// lookup(line) followed by touch(line) — the hit fast path.
+  [[nodiscard]] std::optional<LineState> access(Addr line);
+
   /// Inserts `line` (must not be present), possibly evicting the LRU line of
   /// the relevant set. Returns the victim, if any.
   std::optional<Evicted> insert(Addr line, LineState st);

@@ -24,6 +24,7 @@ ClusteredMemorySystem::ClusteredMemorySystem(
   attraction_.resize(cfg_.num_clusters());
   mshrs_.resize(cfg_.num_clusters());
   counters_.resize(cfg_.num_clusters());
+  gen_.resize(cfg_.num_clusters(), 0);
   // Size the directory, cold-line set, attraction memories, and (infinite)
   // private caches to the application's allocated footprint so steady-state
   // operation never rehashes.
@@ -166,6 +167,7 @@ void ClusteredMemorySystem::install_private(ProcId p, Addr line,
   auto victim = caches_[p]->insert(line, st);
   if (victim) {
     const ClusterId c = cfg_.cluster_of(p);
+    ++gen_[c];  // kill hook: any hint for the victim line is dead
     ++counters_[c].evictions;
     // The victim falls back to the (infinite) attraction memory: the line
     // stays in the cluster, so no directory replacement hint is sent.
@@ -178,6 +180,7 @@ void ClusteredMemorySystem::install_private(ProcId p, Addr line,
 void ClusteredMemorySystem::purge_cluster(ClusterId c, Addr line) {
   ClusterLine* cl = attraction_[c].find(line);
   if (cl == nullptr) return;
+  ++gen_[c];  // kill hook: copies in this cluster are going away
   std::uint64_t copies = cl->proc_copies;
   const ProcId base = c * cfg_.procs_per_cluster;
   while (copies) {
@@ -219,6 +222,9 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
                                                  Cycles bus_wait) {
   const ClusterId c = cfg_.cluster_of(p);
   DirEntry& e = dir_.entry(line);
+  // A directory-tracked line is cached somewhere, so an earlier miss already
+  // fetched it: only directory-absent lines pay the touched-set probe.
+  const bool maybe_cold = e.state == DirState::NotCached;
   const ClusterId home = homes_.home_of(line);
   const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
@@ -235,6 +241,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
       // Remote owner cluster keeps a SHARED copy; demote its caches too.
       const ClusterId o = e.owner();
       if (ClusterLine* ocl = attraction_[o].find(line)) {
+        ++gen_[o];  // kill hook: owner cluster's copies demoted to SHARED
         ocl->cluster_exclusive = false;
         std::uint64_t copies = ocl->proc_copies;
         const ProcId base = o * cfg_.procs_per_cluster;
@@ -250,7 +257,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
     ++ctr.read_misses;
   }
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line)) ++ctr.cold_misses;
+  if (maybe_cold && touched_lines_.insert(line)) ++ctr.cold_misses;
 
   attraction_[c][line] =
       ClusterLine{std::uint64_t{1} << local_index(p), exclusive};
@@ -285,13 +292,19 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
 }
 
 AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
-  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
 
-  if (auto st = caches_[p]->lookup(line)) {
+  // Fast path: with no fill in flight in the cluster there is nothing to
+  // merge on and no stale MSHR entry to drop, so a private-cache hit needs
+  // one fused lookup+touch probe instead of three.
+  const bool no_fills = mshrs_[c].empty();
+  std::optional<LineState> st;
+  if (no_fills) {
+    st = caches_[p]->access(line);
+  } else if ((st = caches_[p]->lookup(line))) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time > now) {
         ++ctr.merges;
@@ -301,10 +314,12 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
       mshrs_[c].release(line);
     }
     caches_[p]->touch(line);
+  }
+  if (st) {
     ++ctr.read_hits;
     AccessResult r{AccessResult::Kind::Hit};
     // No pending fill remains (a live one returned Merge above), so a repeat
-    // access while the epoch holds is a plain hit: writes too, if EXCLUSIVE.
+    // access while the hint holds is a plain hit: writes too, if EXCLUSIVE.
     r.hint = *st == LineState::Exclusive ? MruHint::ReadWrite
                                          : MruHint::ReadOnly;
     return r;
@@ -316,7 +331,8 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
   if (ClusterLine* pcl = attraction_[c].find(line)) {
     // The line is in the cluster. A fill still in flight merges; otherwise
     // a peer cache (snoop) or the cluster memory supplies it.
-    if (MshrEntry* m = mshrs_[c].find(line); m && m->fill_time > now) {
+    if (MshrEntry* m = no_fills ? nullptr : mshrs_[c].find(line);
+        m && m->fill_time > now) {
       ++ctr.merges;
       AccessResult r{AccessResult::Kind::Merge, 0, m->fill_time,
                      LatencyClass::LocalClean};
@@ -328,6 +344,7 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     if (cl.proc_copies) {
       lat = cfg_.latency.snoop_transfer;
       ++ctr.snoop_transfers;
+      ++gen_[c];  // kill hook: peer copies demoted to SHARED
       // Cache-to-cache transfer demotes any proc-exclusive peer copy.
       std::uint64_t copies = cl.proc_copies;
       const ProcId base = c * cfg_.procs_per_cluster;
@@ -348,12 +365,11 @@ AccessResult ClusteredMemorySystem::read(ProcId p, Addr a, Cycles now) {
     return r;
   }
 
-  mshrs_[c].release(line);  // stale entry for a purged line
+  if (!no_fills) mshrs_[c].release(line);  // stale entry for a purged line
   return fetch_remote(p, line, now, /*exclusive=*/false, bus_wait);
 }
 
 AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
-  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
@@ -362,6 +378,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
   auto kill_local_peers = [&](ClusterLine& cl) {
     std::uint64_t others =
         cl.proc_copies & ~(std::uint64_t{1} << local_index(p));
+    if (others != 0) ++gen_[c];  // kill hook: peer copies erased off the bus
     const ProcId base = c * cfg_.procs_per_cluster;
     while (others) {
       const unsigned li = static_cast<unsigned>(__builtin_ctzll(others));
@@ -372,8 +389,14 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     cl.proc_copies = std::uint64_t{1} << local_index(p);
   };
 
-  if (auto st = caches_[p]->lookup(line)) {
-    bool pending = false;
+  // Same fused-probe fast path as read(): no in-flight fill means no pending
+  // merge and no stale entry, so one probe replaces three.
+  const bool no_fills = mshrs_[c].empty();
+  std::optional<LineState> st;
+  bool pending = false;
+  if (no_fills) {
+    st = caches_[p]->access(line);
+  } else if ((st = caches_[p]->lookup(line))) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time <= now) {
         mshrs_[c].release(line);
@@ -382,6 +405,8 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       }
     }
     caches_[p]->touch(line);
+  }
+  if (st) {
     if (*st == LineState::Exclusive) {
       ++ctr.write_hits;
       AccessResult r{AccessResult::Kind::Hit};
@@ -451,7 +476,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
     return r;
   }
 
-  mshrs_[c].release(line);
+  if (!no_fills) mshrs_[c].release(line);
   return fetch_remote(p, line, now, /*exclusive=*/true, bus_wait);
 }
 

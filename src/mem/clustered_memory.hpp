@@ -72,6 +72,25 @@ class ClusteredMemorySystem final : public MemorySystem {
     return &counters_[c];
   }
 
+  /// Per-cluster hit-filter generation (docs/PERFORMANCE.md): bumped whenever
+  /// any private cache in the cluster loses or downgrades a line — bus
+  /// invalidations, cluster purges, snoop demotions, remote-owner demotions,
+  /// private-cache evictions. A hint can only go stale through one of those
+  /// events (a cluster fill for a hinted line would require the line to have
+  /// left its private cache first), so no per-access bump is needed; LRU
+  /// exactness is the processor's job via touch_cache().
+  [[nodiscard]] const std::uint64_t* generation_addr(
+      ClusterId c) const noexcept override {
+    return &gen_[c];
+  }
+
+  /// Bounded private caches are LRU: the processor must touch the line on
+  /// every filtered hit to keep eviction order bit-identical to the slow
+  /// path. Infinite caches keep no replacement order — no touch needed.
+  [[nodiscard]] CacheStorage* touch_cache(ProcId p) noexcept override {
+    return cfg_.cache.infinite() ? nullptr : caches_[p].get();
+  }
+
   /// Invariant audit (directory vs. attraction memories vs. private caches
   /// vs. MSHRs); throws ProtocolError on the first violation. See
   /// docs/ROBUSTNESS.md.
@@ -140,6 +159,7 @@ class ClusteredMemorySystem final : public MemorySystem {
   std::vector<Attraction> attraction_;                // one per cluster
   std::vector<MshrTable> mshrs_;                      // one per cluster
   std::vector<MissCounters> counters_;
+  std::vector<std::uint64_t> gen_;  // per-cluster hit-filter generations
   FlatSet touched_lines_;
 };
 

@@ -22,6 +22,7 @@ CoherenceController::CoherenceController(std::shared_ptr<const MachineSpec> spec
   }
   mshrs_.resize(nc);
   counters_.resize(nc);
+  gen_.resize(nc, 0);
   // Size the directory and cold-line set to the application's allocated
   // footprint so steady-state operation never rehashes.
   const std::size_t lines =
@@ -115,6 +116,7 @@ void CoherenceController::audit() const {
 void CoherenceController::install(ClusterId c, Addr line, LineState st) {
   auto victim = caches_[c]->insert(line, st);
   if (victim) {
+    ++gen_[c];  // replacement: any hint for the victim line is dead
     ++counters_[c].evictions;
     dir_.replacement_hint(victim->line, c);
     // A pending fill whose line was replaced before use is simply dropped;
@@ -155,6 +157,7 @@ void CoherenceController::invalidate_others(Addr line, ClusterId keep,
   while (rest) {
     const ClusterId x = static_cast<ClusterId>(__builtin_ctzll(rest));
     rest &= rest - 1;
+    ++gen_[x];  // kill hook: cluster x's copy is going away
     if (caches_[x]->erase(line)) {
       ++counters_[x].invalidations;
       ++killed;
@@ -172,12 +175,19 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
                                                    Cycles now,
                                                    Cycles port_wait) {
   DirEntry& e = dir_.entry(line);
+  // A line the directory tracks is cached somewhere, so some earlier miss
+  // already fetched it: only directory-absent lines can still be cold, and
+  // only they pay the touched-set probe.
+  const bool maybe_cold = e.state == DirState::NotCached;
   const ClusterId home = homes_.home_of(line);
   const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
 
   if (e.state == DirState::Exclusive) {
     // Downgrade the owner's copy: it keeps a SHARED copy, data goes home.
+    // Kill hook: the owner's writable hint for this line must die with the
+    // downgrade.
+    ++gen_[e.owner()];
     caches_[e.owner()]->set_state(line, LineState::Shared);
   }
   e.add(c);
@@ -186,7 +196,7 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
   MissCounters& ctr = counters_[c];
   ++ctr.read_misses;
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line)) ++ctr.cold_misses;
+  if (maybe_cold && touched_lines_.insert(line)) ++ctr.cold_misses;
 
   // Queueing delays cascade in request order: bank (already paid), then the
   // home directory controller, then — for any miss leaving the cluster — the
@@ -212,14 +222,19 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
 }
 
 AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
-  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.reads;
   const Cycles port_wait = acquire_port(c, line, now);
 
-  if (auto st = caches_[c]->lookup(line)) {
+  // Fast path: with no fill in flight anywhere in the cluster there is
+  // nothing to merge on and no stale MSHR entry to drop, so a hit needs one
+  // fused lookup+touch probe instead of three.
+  std::optional<LineState> st;
+  if (mshrs_[c].empty()) {
+    st = caches_[c]->access(line);
+  } else if ((st = caches_[c]->lookup(line))) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time > now) {
         ++ctr.merges;
@@ -231,29 +246,36 @@ AccessResult CoherenceController::read(ProcId p, Addr a, Cycles now) {
       mshrs_[c].release(line);  // fill has arrived
     }
     caches_[c]->touch(line);
+  } else {
+    mshrs_[c].release(line);  // drop any stale entry for a departed line
+  }
+  if (st) {
     ++ctr.read_hits;
     AccessResult r{AccessResult::Kind::Hit};
     // No pending fill remains (a live one returned Merge above), so a repeat
-    // access while the epoch holds is a plain hit: writes too, if EXCLUSIVE.
+    // access while the hint holds is a plain hit: writes too, if EXCLUSIVE.
     r.hint = *st == LineState::Exclusive ? MruHint::ReadWrite
                                          : MruHint::ReadOnly;
     r.contention = port_wait;
     return r;
   }
-  mshrs_[c].release(line);  // drop any stale entry for a departed line
   return handle_read_miss(c, line, now, port_wait);
 }
 
 AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
-  ++epoch_;
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];
   ++ctr.writes;
   const Cycles port_wait = acquire_port(c, line, now);
 
-  if (auto st = caches_[c]->lookup(line)) {
-    bool pending = false;
+  // Same fused-probe fast path as read(): no in-flight fill means no pending
+  // merge and no stale entry, so one probe replaces three.
+  std::optional<LineState> st;
+  bool pending = false;
+  if (mshrs_[c].empty()) {
+    st = caches_[c]->access(line);
+  } else if ((st = caches_[c]->lookup(line))) {
     if (MshrEntry* m = mshrs_[c].find(line)) {
       if (m->fill_time <= now) {
         mshrs_[c].release(line);
@@ -262,6 +284,10 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
       }
     }
     caches_[c]->touch(line);
+  } else {
+    mshrs_[c].release(line);  // drop any stale entry for a departed line
+  }
+  if (st) {
     if (*st == LineState::Exclusive) {
       // Store buffered; a store to our own in-flight exclusive fill merges.
       ++ctr.write_hits;
@@ -288,10 +314,10 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
     r.contention = port_wait;
     return r;
   }
-  mshrs_[c].release(line);  // drop any stale entry for a departed line
 
   // WRITE miss: fetch the line EXCLUSIVE; latency hidden, fill in flight.
   DirEntry& e = dir_.entry(line);
+  const bool maybe_cold = e.state == DirState::NotCached;  // see handle_read_miss
   const ClusterId home = homes_.home_of(line);
   const LatencyClass lclass = classify_miss(e, c, home);
   const Cycles lat = cfg_.latency.of(lclass);
@@ -301,7 +327,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   e.state = DirState::Exclusive;
   ++ctr.write_misses;
   ++ctr.by_class[static_cast<unsigned>(lclass)];
-  if (touched_lines_.insert(line)) ++ctr.cold_misses;
+  if (maybe_cold && touched_lines_.insert(line)) ++ctr.cold_misses;
   install(c, line, LineState::Exclusive);
 
   // The store buffer hides directory/NIC queueing from the processor (only

@@ -58,12 +58,31 @@ class CoherenceController final : public MemorySystem {
   }
   [[nodiscard]] MissCounters totals() const override;
 
-  /// Opts into the processor MRU fast path (docs/PERFORMANCE.md): repeat
-  /// hits short-circuited by the processor bump these counters directly.
-  /// Disabled under the contention model — every access must pass through
-  /// its cluster's bank queue, so none may be short-circuited.
+  /// Opts into the processor hit-filter fast path (docs/PERFORMANCE.md):
+  /// repeat hits short-circuited by the processor bump these counters
+  /// directly. Disabled under the contention model — every access must pass
+  /// through its cluster's bank queue, so none may be short-circuited.
   [[nodiscard]] MissCounters* hot_counters(ClusterId c) noexcept override {
     return contention_ ? nullptr : &counters_[c];
+  }
+
+  /// Per-cluster hit-filter generation (docs/PERFORMANCE.md): bumped by
+  /// invalidations, evictions, and owner downgrades hitting the cluster's
+  /// cache. A hint can only go stale through one of those events — a fill
+  /// for a hinted line would require the line to have left the cache first —
+  /// so no per-access bump is needed; LRU exactness is the processor's job
+  /// via touch_cache().
+  [[nodiscard]] const std::uint64_t* generation_addr(
+      ClusterId c) const noexcept override {
+    return &gen_[c];
+  }
+
+  /// Bounded cluster caches are LRU: the processor must touch the line on
+  /// every filtered hit to keep eviction order bit-identical to the slow
+  /// path. Infinite caches keep no replacement order — no touch needed.
+  [[nodiscard]] CacheStorage* touch_cache(ProcId p) noexcept override {
+    return cfg_.cache.infinite() ? nullptr
+                                 : caches_[cfg_.cluster_of(p)].get();
   }
 
   /// Invariant audit (directory vs. cluster caches vs. MSHRs); throws
@@ -112,6 +131,7 @@ class CoherenceController final : public MemorySystem {
   std::vector<std::unique_ptr<CacheStorage>> caches_;
   std::vector<MshrTable> mshrs_;
   std::vector<MissCounters> counters_;
+  std::vector<std::uint64_t> gen_;  // per-cluster hit-filter generations
   FlatSet touched_lines_;  // cold-miss tracking
 };
 

@@ -17,13 +17,16 @@
 
 namespace csim {
 
+class CacheStorage;
 class Observer;
 
-/// Repeat-access eligibility of a Hit, used by the processor's MRU line
-/// filter (docs/PERFORMANCE.md). The memory system promises that, as long as
-/// it has processed no further access (access_epoch() unchanged), another
-/// access to the same line by the same processor would be a plain Hit with
-/// exactly the same counter updates — so the processor may short-circuit it.
+/// Repeat-access eligibility of a Hit, used by the processor's
+/// generation-tagged hit filter (docs/PERFORMANCE.md). The memory system
+/// promises that, as long as the hinted cluster's generation counter is
+/// unchanged, another access to the same line by the same processor would be
+/// a plain Hit with exactly the same counter updates — so the processor may
+/// short-circuit it, provided it also performs the LRU touch the slow path
+/// would have (touch_cache()).
 enum class MruHint : std::uint8_t {
   None,       ///< not eligible (miss, merge, pending fill, …)
   ReadOnly,   ///< repeat reads are plain hits (line SHARED)
@@ -73,14 +76,32 @@ class MemorySystem {
   /// (profilers, recorders). Invariants: docs/ROBUSTNESS.md.
   virtual void audit() const {}
 
-  // --- Processor MRU fast-path support (docs/PERFORMANCE.md) ---------------
+  // --- Processor hit-filter fast-path support (docs/PERFORMANCE.md) --------
 
-  /// Monotone counter bumped by every read()/write() a participating memory
-  /// system processes. A processor's cached MruHint is valid only while this
-  /// value is unchanged since the access that produced it: any intervening
-  /// access anywhere in the machine may have invalidated, evicted, downgraded
-  /// or reordered (LRU) the hinted line, so the hint is dropped.
-  [[nodiscard]] std::uint64_t access_epoch() const noexcept { return epoch_; }
+  /// Address of cluster `c`'s hit-filter generation counter, stable for this
+  /// memory system's lifetime, or nullptr (the default) when the filter must
+  /// stay disabled for that cluster. A participating memory system bumps the
+  /// counter on every event that could invalidate a processor's cached hint
+  /// for a line of that cluster — invalidations, evictions/replacements,
+  /// downgrades — and, when the contention model is on with bounded caches
+  /// (where a slow-path hit also occupies the bank/bus port), every slow-path
+  /// access the cluster itself performs. Unrelated clusters' accesses leave
+  /// it alone, so hints survive across event-queue slices in interleaved
+  /// runs.
+  [[nodiscard]] virtual const std::uint64_t* generation_addr(
+      ClusterId) const noexcept {
+    return nullptr;
+  }
+
+  /// Cache the processor must LRU-touch on each filtered hit for `p`'s
+  /// accesses, or nullptr (the default) when no touch is needed. Bounded LRU
+  /// caches need the touch — a skipped one would be observable in eviction
+  /// order — so without it the memory system must instead kill hints on every
+  /// slow-path access of the cluster (see generation_addr). Infinite caches
+  /// have no replacement order to maintain and return nullptr.
+  [[nodiscard]] virtual CacheStorage* touch_cache(ProcId) noexcept {
+    return nullptr;
+  }
 
   /// Counters the processor fast path bumps directly for short-circuited
   /// hits. nullptr (the default) disables the fast path entirely — memory
@@ -95,7 +116,6 @@ class MemorySystem {
   void set_observer(Observer* obs) noexcept { obs_ = obs; }
 
  protected:
-  std::uint64_t epoch_ = 0;  ///< see access_epoch()
   Observer* obs_ = nullptr;  ///< invalidation / store-stall hook sink
 };
 

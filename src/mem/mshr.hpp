@@ -48,6 +48,9 @@ class MshrTable {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  /// True when no fill is in flight — the hot-path guard that lets accesses
+  /// skip the per-line find()/release() probes entirely.
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
 
   /// All in-flight entries (auditing / diagnostics).
   [[nodiscard]] const FlatMap<MshrEntry>& entries() const noexcept {

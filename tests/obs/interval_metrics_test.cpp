@@ -86,6 +86,46 @@ TEST(IntervalSampler, DeltasSumExactlyToFinalMissCounters) {
   }
 }
 
+TEST(IntervalSampler, DeltasSumExactlyWhenHitFilterServesHits) {
+  // Regression: the processor's generation-tagged hit filter bumps the
+  // cluster's counters directly instead of calling into the memory system.
+  // Those fast-path increments happen between sampler ticks, and must land
+  // in the interval deltas exactly like memory-system hits — otherwise the
+  // column sums drift from the final counters. lu at ppc 8 with caches that
+  // hold the whole matrix re-touches each block line-by-line, so the filter
+  // serves a large share of the hits here.
+  for (const ClusterStyle style :
+       {ClusterStyle::SharedCache, ClusterStyle::SharedMemory}) {
+    obs::IntervalSampler sampler(500);
+    auto app = make_app("lu", ProblemScale::Test);
+    MachineSpec cfg = paper_machine(8, 256 * 1024);
+    cfg.cluster_style = style;
+    const SimResult result = simulate(*app, cfg, &sampler);
+    ASSERT_TRUE(result.ok);
+    ASSERT_GT(sampler.rows().size(), 1u);
+
+    const MissCounters& t = result.totals;
+    // The workload must actually exercise the hit path for this to regress
+    // (lu's re-touches land mostly on the write side: each block line is
+    // read once, then rewritten under the just-established hint).
+    ASSERT_GT(t.read_hits + t.write_hits, (t.reads + t.writes) / 3)
+        << "expected a hit-heavy run";
+    const std::pair<const char*, std::uint64_t> expected[] = {
+        {"reads", t.reads},
+        {"writes", t.writes},
+        {"read_hits", t.read_hits},
+        {"write_hits", t.write_hits},
+        {"read_misses", t.read_misses},
+        {"write_misses", t.write_misses},
+    };
+    for (const auto& [name, want] : expected) {
+      const std::size_t col = column_index(sampler, name);
+      EXPECT_EQ(column_sum(sampler, col), want) << "column " << name;
+      EXPECT_EQ(sampler.final_totals()[col], want) << "final " << name;
+    }
+  }
+}
+
 TEST(IntervalSampler, BucketDeltasSumToRawProcessorBuckets) {
   const SampledRun run = sampled_fft(1000, 4, ClusterStyle::SharedCache);
   ASSERT_TRUE(run.result.ok);
