@@ -6,13 +6,14 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/apps/app.hpp"
+#include "src/core/atomic_file.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/figures.hpp"
 #include "src/report/table.hpp"
@@ -35,8 +36,7 @@ struct PerfRecord {
 inline void write_perf_json(const std::string& path,
                             const std::string& description,
                             const std::vector<PerfRecord>& rows) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  std::ostringstream out;
   out << "{\n";
   out << "  \"benchmark\": \"" << description << "\",\n";
   out << "  \"metric\": \"sim_refs_per_sec\",\n";
@@ -54,6 +54,7 @@ inline void write_perf_json(const std::string& path,
     out << buf;
   }
   out << "  ]\n}\n";
+  atomic_write_file(path, out.str());
 }
 
 inline std::vector<unsigned> cluster_sizes() { return {1, 2, 4, 8}; }

@@ -210,17 +210,33 @@ int json_main(const std::string& path, unsigned repeat) {
   return 0;
 }
 
-/// --trace-out / --metrics-interval mode: one observed end-to-end run
-/// (shared-cache, ppc 8) emitting the requested artifacts.
+/// --trace-out / --metrics-interval / crash-safety-flag mode: one observed
+/// end-to-end run (shared-cache, ppc 8) through run_sweep, so the journal,
+/// deadline, retry, and fault-plan flags behave exactly as in csim_cli.
 int observed_main(const cli::ObsArgs& args) {
-  obs::RunObserver ro;
-  if (!args.trace_out.empty()) ro.enable_trace(args.trace_out);
-  if (args.metrics_interval != 0) {
-    ro.enable_metrics(args.metrics_interval, args.metrics_out + ".csv",
-                      args.metrics_out + ".json");
-  }
-  const std::uint64_t refs =
-      end_to_end_once(ClusterStyle::SharedCache, 8, args.contention, &ro);
+  SweepRequest req;
+  req.make_app = [] { return make_app("fft", ProblemScale::Test); };
+  req.configs.push_back(MachineSpecBuilder{}
+                            .procs(64)
+                            .procs_per_cluster(8)
+                            .style(ClusterStyle::SharedCache)
+                            .cache_kb(16)
+                            .contention(args.contention)
+                            .build());
+  req.make_observer = args.observer_factory(req.configs.size());
+  args.apply(req);
+  const bool policy_active = !req.policy.journal_dir.empty() ||
+                             req.policy.faults != nullptr ||
+                             req.policy.row_deadline_seconds > 0 ||
+                             req.policy.max_retries > 0;
+
+  const SweepResult sweep = run_sweep(req);
+  const std::size_t failures = write_failures(std::cerr, sweep.rows);
+  if (policy_active) write_outcomes(std::cerr, sweep);
+  if (failures != 0 || sweep.rows.empty()) return 1;
+
+  const SimResult& r = sweep.rows.front();
+  const std::uint64_t refs = r.totals.reads + r.totals.writes;
   std::printf("observed end_to_end/shared_cache/ppc8%s: %llu refs\n",
               args.contention.enabled ? "/contention" : "",
               static_cast<unsigned long long>(refs));
@@ -273,8 +289,12 @@ int main(int argc, char** argv) {
     }
   }
   if (json_mode) return csim::json_main(json_path, repeat);
+  const bool policy_flags = !obs_args.policy.journal_dir.empty() ||
+                            obs_args.fault_plan != nullptr ||
+                            obs_args.policy.row_deadline_seconds > 0 ||
+                            obs_args.policy.max_retries > 0;
   if (obs_args.trace_out.empty() && obs_args.metrics_interval == 0 &&
-      !obs_args.contention.enabled) {
+      !obs_args.contention.enabled && !policy_flags) {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

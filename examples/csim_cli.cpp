@@ -157,18 +157,33 @@ int main(int argc, char** argv) {
     // Observability (src/obs): one RunObserver per sweep row, each writing
     // its artifacts (trace JSON / metrics CSV+JSON) when its row completes.
     req.make_observer = obs_args.observer_factory(req.configs.size());
+    // Crash-safety policy (journal / resume / deadline / retries / faults).
+    obs_args.apply(req);
+    const bool policy_active = !req.policy.journal_dir.empty() ||
+                               req.policy.faults != nullptr ||
+                               req.policy.row_deadline_seconds > 0 ||
+                               req.policy.max_retries > 0;
 
     // run_sweep degrades gracefully: a failing configuration becomes an
     // ok == false row (rendered below) instead of aborting the sweep.
-    std::vector<SimResult> results = run_sweep(req).rows;
+    const SweepResult sweep = run_sweep(req);
     if (!obs_args.manifest_out.empty()) {
       // Manifests include failed rows (error kind instead of statistics).
-      obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli", results);
+      // With a crash-safety policy engaged, the /2 schema adds per-row
+      // outcomes; otherwise the /1 document is byte-identical to before.
+      if (policy_active) {
+        obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli", sweep);
+      } else {
+        obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli",
+                                     sweep.rows);
+      }
       std::printf("wrote manifest %s (sweep digest %s)\n",
                   obs_args.manifest_out.c_str(),
-                  obs::digest_hex(obs::sweep_digest(results)).c_str());
+                  obs::digest_hex(obs::sweep_digest(sweep.rows)).c_str());
     }
-    const std::size_t failures = write_failures(std::cerr, results);
+    const std::size_t failures = write_failures(std::cerr, sweep.rows);
+    if (policy_active) write_outcomes(std::cerr, sweep);
+    std::vector<SimResult> results = sweep.rows;
     std::erase_if(results, [](const SimResult& r) { return !r.ok; });
     if (results.empty()) return 1;
     if (!gnuplot_base.empty()) {
@@ -177,7 +192,11 @@ int main(int argc, char** argv) {
                   gnuplot_base.c_str());
     }
     if (csv) {
-      write_csv(std::cout, results);
+      if (policy_active) {
+        write_csv(std::cout, sweep);  // adds status,attempts columns
+      } else {
+        write_csv(std::cout, results);
+      }
     } else {
       std::cout << render_figure(
           app + " (" + std::string(to_string(scale)) + ", " +

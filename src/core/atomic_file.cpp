@@ -1,0 +1,65 @@
+#include "src/core/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define CSIM_HAVE_FSYNC 1
+#endif
+
+namespace csim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + ": " + path);
+}
+
+/// Temp names must be unique per in-flight write: sweep workers append
+/// journal records concurrently, and two rows with identical configurations
+/// target the same record path.
+std::string temp_name(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = temp_name(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("cannot open temp file", tmp);
+  const bool wrote =
+      contents.empty() ||
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  bool synced = wrote && std::fflush(f) == 0;
+#if defined(CSIM_HAVE_FSYNC)
+  // Durability, not just atomicity: the rename must not be reordered before
+  // the data blocks reach the disk, or a crash could expose a complete-
+  // looking but empty record.
+  synced = synced && ::fsync(::fileno(f)) == 0;
+#endif
+  if (std::fclose(f) != 0) synced = false;
+  if (!synced) {
+    std::remove(tmp.c_str());
+    fail("write failed", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename failed", path);
+  }
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill) {
+  std::ostringstream os;
+  fill(os);
+  if (!os) fail("serialization failed", path);
+  atomic_write_file(path, os.str());
+}
+
+}  // namespace csim

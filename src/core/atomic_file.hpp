@@ -1,0 +1,26 @@
+// Atomic artifact writes: every file the simulator emits (CSV, JSON
+// metrics, traces, manifests, journal records) goes through one helper so a
+// killed process can never leave a torn half-written artifact at the final
+// path. The contents are staged in a uniquely named temp file in the target
+// directory, flushed and fsync'ed, then renamed over the destination —
+// readers observe either the old file or the complete new one, never a mix.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace csim {
+
+/// Writes `contents` to `path` atomically (temp + fsync + rename). Throws
+/// std::runtime_error naming the path on any I/O failure; the temp file is
+/// removed on failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Callback form: `fill(os)` produces the contents (serialized in memory,
+/// then handed to the string overload).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill);
+
+}  // namespace csim

@@ -14,6 +14,38 @@ std::string MachineSnapshot::format() const {
   return s;
 }
 
+SimErrorKind sim_error_kind_from_string(std::string_view name) {
+  for (SimErrorKind k :
+       {SimErrorKind::Config, SimErrorKind::Deadlock, SimErrorKind::Livelock,
+        SimErrorKind::Protocol, SimErrorKind::App, SimErrorKind::Timeout,
+        SimErrorKind::Transient}) {
+    if (name == to_string(k)) return k;
+  }
+  throw std::invalid_argument("unknown SimError kind: '" + std::string(name) +
+                              "'");
+}
+
+void throw_sim_error(SimErrorKind kind, std::string summary,
+                     MachineSnapshot snap) {
+  switch (kind) {
+    case SimErrorKind::Config:
+      throw ConfigError(std::move(summary), std::move(snap));
+    case SimErrorKind::Deadlock:
+      throw DeadlockError(std::move(summary), std::move(snap));
+    case SimErrorKind::Livelock:
+      throw LivelockError(std::move(summary), std::move(snap));
+    case SimErrorKind::Protocol:
+      throw ProtocolError(std::move(summary), std::move(snap));
+    case SimErrorKind::App:
+      throw AppError(std::move(summary), std::move(snap));
+    case SimErrorKind::Timeout:
+      throw TimeoutError(std::move(summary), std::move(snap));
+    case SimErrorKind::Transient:
+      throw TransientError(std::move(summary), std::move(snap));
+  }
+  throw std::logic_error("throw_sim_error: bad kind");
+}
+
 namespace detail {
 
 std::string render_error(SimErrorKind kind, const std::string& summary,

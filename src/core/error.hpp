@@ -15,8 +15,12 @@
 //   ProtocolError  a coherence invariant audit failed (directory and cache
 //                  state disagree) — see MemorySystem::audit()
 //   AppError       the application's setup() or verify() threw
+//   TimeoutError   the run exceeded its host wall-clock deadline
+//                  (MachineSpec::max_host_seconds / run_sweep row deadlines)
+//   TransientError an environment-dependent failure worth retrying (I/O,
+//                  injected faults) — never a determinism bug
 //
-// All five implement the SimError interface, so sweep drivers can
+// All of these implement the SimError interface, so sweep drivers can
 // `catch (const SimError&)` and record kind + snapshot uniformly while each
 // class remains catchable as the std exception its domain suggests.
 #pragma once
@@ -31,7 +35,15 @@
 
 namespace csim {
 
-enum class SimErrorKind : std::uint8_t { Config, Deadlock, Livelock, Protocol, App };
+enum class SimErrorKind : std::uint8_t {
+  Config,
+  Deadlock,
+  Livelock,
+  Protocol,
+  App,
+  Timeout,
+  Transient,
+};
 
 [[nodiscard]] constexpr std::string_view to_string(SimErrorKind k) noexcept {
   switch (k) {
@@ -40,8 +52,22 @@ enum class SimErrorKind : std::uint8_t { Config, Deadlock, Livelock, Protocol, A
     case SimErrorKind::Livelock: return "livelock";
     case SimErrorKind::Protocol: return "protocol";
     case SimErrorKind::App: return "app";
+    case SimErrorKind::Timeout: return "timeout";
+    case SimErrorKind::Transient: return "transient";
   }
   return "?";
+}
+
+/// Parses a kind name ("config", "timeout", ...); throws
+/// std::invalid_argument on anything else. Used by the fault-plan parser.
+[[nodiscard]] SimErrorKind sim_error_kind_from_string(std::string_view name);
+
+/// True for failures that depend on the host environment rather than the
+/// simulated machine: re-running the row may legitimately succeed. The
+/// deterministic kinds (deadlock, livelock, protocol, app, config) would
+/// fail identically on every retry, so sweep retry policies skip them.
+[[nodiscard]] constexpr bool is_retryable(SimErrorKind k) noexcept {
+  return k == SimErrorKind::Timeout || k == SimErrorKind::Transient;
 }
 
 /// Machine state attached to a structured error: what every processor was
@@ -118,5 +144,13 @@ using DeadlockError = BasicSimError<SimErrorKind::Deadlock, std::runtime_error>;
 using LivelockError = BasicSimError<SimErrorKind::Livelock, std::runtime_error>;
 using ProtocolError = BasicSimError<SimErrorKind::Protocol, std::runtime_error>;
 using AppError = BasicSimError<SimErrorKind::App, std::runtime_error>;
+using TimeoutError = BasicSimError<SimErrorKind::Timeout, std::runtime_error>;
+using TransientError =
+    BasicSimError<SimErrorKind::Transient, std::runtime_error>;
+
+/// Throws the concrete error type for `kind` (fault injection and other
+/// code that picks the taxonomy slot at runtime).
+[[noreturn]] void throw_sim_error(SimErrorKind kind, std::string summary,
+                                  MachineSnapshot snap = {});
 
 }  // namespace csim

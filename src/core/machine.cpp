@@ -36,6 +36,9 @@ void MachineSpec::validate() const {
   if (num_clusters() > 64) {
     throw ConfigError("at most 64 clusters (directory bit vector)");
   }
+  if (max_host_seconds < 0) {
+    throw ConfigError("max_host_seconds must be >= 0 (0 = unlimited)");
+  }
   if (contention.enabled) {
     if (banks_per_proc == 0) {
       throw ConfigError("contention model needs banks_per_proc >= 1");

@@ -104,6 +104,12 @@ struct MachineSpec {
   /// Run the coherence invariant audit (MemorySystem::audit) every N events
   /// during the simulation. 0 = audit at end of run only (always done).
   std::uint64_t audit_interval = 0;
+  /// Watchdog: abort with TimeoutError once the run has consumed this much
+  /// host (real) wall-clock time, in seconds. 0 = unlimited. Unlike the
+  /// cycle/event budgets this depends on the host machine, so it never
+  /// changes simulation results — only whether a run is allowed to finish.
+  /// run_sweep uses it to enforce per-row deadlines (SweepPolicy).
+  double max_host_seconds = 0;
 
   [[nodiscard]] unsigned num_clusters() const noexcept {
     return num_procs / procs_per_cluster;
@@ -227,6 +233,10 @@ class MachineSpecBuilder {
   }
   MachineSpecBuilder& audit_interval(std::uint64_t n) {
     s_.audit_interval = n;
+    return *this;
+  }
+  MachineSpecBuilder& max_host_seconds(double s) {
+    s_.max_host_seconds = s;
     return *this;
   }
 

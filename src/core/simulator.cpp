@@ -149,11 +149,32 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   // record their own completion when their root coroutine finishes.
   const std::uint64_t audit_every = cfg_.audit_interval;
   std::uint64_t until_audit = audit_every;
+  // Host-deadline watchdog: poll the real clock only every few thousand
+  // events (a steady_clock read per event would dominate short events). The
+  // deadline can never alter simulation results — it only bounds how long
+  // the host lets the run take (per-row deadlines in run_sweep).
+  constexpr std::uint64_t kDeadlineCheckEvents = 4096;
+  const bool deadline_armed = cfg_.max_host_seconds > 0;
+  std::uint64_t until_deadline_check = kDeadlineCheckEvents;
   while (!queue.empty()) {
     queue.run_one();
     if (queue.over_budget()) [[unlikely]] {
       auto v = queue.budget_violation();
       throw LivelockError(*std::move(v), capture_snapshot(queue, procs));
+    }
+    if (deadline_armed && --until_deadline_check == 0) [[unlikely]] {
+      until_deadline_check = kDeadlineCheckEvents;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_start)
+              .count();
+      if (elapsed > cfg_.max_host_seconds) {
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "host deadline of %.3f s exceeded (ran %.3f s)",
+                      cfg_.max_host_seconds, elapsed);
+        throw TimeoutError(msg, capture_snapshot(queue, procs));
+      }
     }
     // Countdown instead of `events_run % audit_every`: one decrement per
     // event rather than a 64-bit divide. run_one() dispatches exactly one

@@ -1,9 +1,9 @@
 #include "src/obs/chrome_trace.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
+#include "src/core/atomic_file.hpp"
 #include "src/core/machine.hpp"
 #include "src/mem/latency.hpp"
 
@@ -197,12 +197,7 @@ void TimelineTracer::write_json(std::ostream& os) const {
 }
 
 void TimelineTracer::write_json_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("TimelineTracer: cannot write " + path);
-  write_json(os);
-  if (!os.flush()) {
-    throw std::runtime_error("TimelineTracer: write failed: " + path);
-  }
+  atomic_write_file(path, [this](std::ostream& os) { write_json(os); });
 }
 
 }  // namespace csim::obs

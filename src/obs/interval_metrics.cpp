@@ -1,9 +1,9 @@
 #include "src/obs/interval_metrics.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
+#include "src/core/atomic_file.hpp"
 #include "src/core/stats.hpp"
 #include "src/mem/memory_system.hpp"
 
@@ -147,21 +147,11 @@ void IntervalSampler::write_json(std::ostream& os) const {
 }
 
 void IntervalSampler::write_csv_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("IntervalSampler: cannot write " + path);
-  write_csv(os);
-  if (!os.flush()) {
-    throw std::runtime_error("IntervalSampler: write failed: " + path);
-  }
+  atomic_write_file(path, [this](std::ostream& os) { write_csv(os); });
 }
 
 void IntervalSampler::write_json_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("IntervalSampler: cannot write " + path);
-  write_json(os);
-  if (!os.flush()) {
-    throw std::runtime_error("IntervalSampler: write failed: " + path);
-  }
+  atomic_write_file(path, [this](std::ostream& os) { write_json(os); });
 }
 
 }  // namespace csim::obs

@@ -1,11 +1,12 @@
 #include "src/obs/manifest.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
+#include "src/core/atomic_file.hpp"
 #include "src/obs/build_info.hpp"
+#include "src/report/experiment.hpp"
 
 namespace csim::obs {
 
@@ -23,7 +24,7 @@ struct Fnv {
   void u64(std::uint64_t v) noexcept {
     for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
   }
-  void str(const std::string& s) noexcept {
+  void str(std::string_view s) noexcept {
     u64(s.size());
     for (char c : s) byte(static_cast<std::uint8_t>(c));
   }
@@ -89,6 +90,41 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  Fnv f;
+  for (char c : bytes) f.byte(static_cast<std::uint8_t>(c));
+  return f.h;
+}
+
+std::uint64_t config_digest(const MachineSpec& cfg, std::string_view app,
+                            ProblemScale scale) {
+  Fnv f;
+  f.str(app);
+  f.byte(static_cast<std::uint8_t>(scale));
+  f.u64(cfg.num_procs);
+  f.u64(cfg.procs_per_cluster);
+  f.byte(static_cast<std::uint8_t>(cfg.cluster_style));
+  f.u64(cfg.cache.per_proc_bytes);
+  f.u64(cfg.cache.line_bytes);
+  f.u64(cfg.cache.associativity);
+  f.u64(cfg.latency.local_clean);
+  f.u64(cfg.latency.local_dirty_remote);
+  f.u64(cfg.latency.remote_clean);
+  f.u64(cfg.latency.remote_dirty_third);
+  f.u64(cfg.latency.snoop_transfer);
+  f.u64(cfg.latency.cluster_memory);
+  f.u64(cfg.hit_latency);
+  f.byte(cfg.model_shared_hit_costs ? 1 : 0);
+  f.u64(cfg.banks_per_proc);
+  f.byte(cfg.contention.enabled ? 1 : 0);
+  f.u64(cfg.contention.bank_busy);
+  f.u64(cfg.contention.directory_busy);
+  f.u64(cfg.contention.nic_busy);
+  f.u64(cfg.page_bytes);
+  f.u64(cfg.runahead_quantum);
+  return f.h;
+}
 
 std::uint64_t result_digest(const SimResult& r) {
   Fnv f;
@@ -174,12 +210,71 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
 
 void write_run_manifest_file(const std::string& path, const std::string& tool,
                              const std::vector<SimResult>& rows) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_run_manifest: cannot write " + path);
-  write_run_manifest(os, tool, rows, std::time(nullptr));
-  if (!os.flush()) {
-    throw std::runtime_error("write_run_manifest: write failed: " + path);
+  atomic_write_file(path, [&](std::ostream& os) {
+    write_run_manifest(os, tool, rows, std::time(nullptr));
+  });
+}
+
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const SweepResult& sweep, std::time_t generated_unix) {
+  const std::vector<SimResult>& rows = sweep.rows;
+  os << "{\n";
+  os << "  \"schema\": \"csim.run_manifest/2\",\n";
+  os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  os << "  \"git\": \"" << json_escape(std::string(git_describe()))
+     << "\",\n";
+  os << "  \"generated_unix\": " << static_cast<long long>(generated_unix)
+     << ",\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimResult& r = rows[i];
+    os << "    {\"app\": \"" << json_escape(r.app_name) << "\", \"scale\": \""
+       << to_string(r.scale) << "\", \"ok\": " << (r.ok ? "true" : "false")
+       << ",\n     \"config\": {\"label\": \"" << json_escape(r.config.label())
+       << "\", \"procs\": " << r.config.num_procs
+       << ", \"ppc\": " << r.config.procs_per_cluster << ", \"style\": \""
+       << style_name(r.config.cluster_style)
+       << "\", \"cache_bytes\": " << r.config.cache.per_proc_bytes
+       << ", \"line_bytes\": " << r.config.cache.line_bytes
+       << ", \"assoc\": " << r.config.cache.associativity
+       << ", \"quantum\": " << r.config.runahead_quantum << "},\n";
+    if (r.ok) {
+      os << "     \"wall_time\": " << r.wall_time
+         << ", \"events\": " << r.events;
+    } else {
+      os << "     \"error_kind\": \"" << json_escape(r.error_kind) << "\"";
+    }
+    char host[32];
+    std::snprintf(host, sizeof host, "%.6f", r.host_seconds);
+    os << ", \"host_seconds\": " << host << ",\n";
+    if (i < sweep.outcomes.size()) {
+      const RowOutcome& o = sweep.outcomes[i];
+      os << "     \"outcome\": {\"status\": \"" << to_string(o.status)
+         << "\", \"attempts\": " << o.attempts << ", \"from_journal\": "
+         << (o.from_journal ? "true" : "false") << ", \"config_digest\": \""
+         << digest_hex(o.config_digest) << "\"},\n";
+    }
+    os << "     \"digest\": \"" << digest_hex(result_digest(r)) << "\"}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
   }
+  os << "  ],\n";
+  if (!sweep.journal_warnings.empty()) {
+    os << "  \"journal_warnings\": [\n";
+    for (std::size_t i = 0; i < sweep.journal_warnings.size(); ++i) {
+      os << "    \"" << json_escape(sweep.journal_warnings[i]) << "\""
+         << (i + 1 < sweep.journal_warnings.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n";
+  }
+  os << "  \"sweep_digest\": \"" << digest_hex(sweep_digest(rows)) << "\"\n";
+  os << "}\n";
+}
+
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const SweepResult& sweep) {
+  atomic_write_file(path, [&](std::ostream& os) {
+    write_run_manifest(os, tool, sweep, std::time(nullptr));
+  });
 }
 
 }  // namespace csim::obs

@@ -13,15 +13,35 @@
 #include <ctime>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/stats.hpp"
 
+namespace csim {
+struct SweepResult;
+}
+
 namespace csim::obs {
+
+/// FNV-1a 64-bit digest of an arbitrary byte string (the hash every digest
+/// below is built from; exported for the journal's record framing).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
 
 /// FNV-1a 64-bit digest of a simulation result's deterministic fields.
 /// Failed runs (ok == false) hash their error kind instead of statistics.
 [[nodiscard]] std::uint64_t result_digest(const SimResult& r);
+
+/// FNV-1a 64-bit digest of a sweep row's *identity*: the application name,
+/// problem scale, and every simulation-affecting MachineSpec field
+/// (topology, cache geometry, latency model, contention model, quantum...).
+/// Operational knobs that cannot change results — watchdog budgets, audit
+/// cadence, host deadlines — are excluded, so a row journaled under one
+/// deadline/retry policy is still a cache hit under another. Keys the
+/// crash-safe sweep journal (src/report/journal.hpp).
+[[nodiscard]] std::uint64_t config_digest(const MachineSpec& cfg,
+                                          std::string_view app,
+                                          ProblemScale scale);
 
 /// Digest of a whole sweep: FNV-1a over the row digests, in order.
 [[nodiscard]] std::uint64_t sweep_digest(const std::vector<SimResult>& rows);
@@ -39,5 +59,17 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
 /// Convenience: writes to `path`, stamped with the current time.
 void write_run_manifest_file(const std::string& path, const std::string& tool,
                              const std::vector<SimResult>& rows);
+
+/// Writes the "csim.run_manifest/2" JSON document for a SweepResult: the /1
+/// rows augmented with a per-row "outcome" object (status, attempts, journal
+/// provenance, config digest) and the sweep's journal warnings. The /1
+/// writer above is unchanged, byte for byte, for existing consumers.
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const SweepResult& sweep, std::time_t generated_unix);
+
+/// Convenience: writes the /2 document to `path`, stamped with the current
+/// time, atomically (temp + rename).
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const SweepResult& sweep);
 
 }  // namespace csim::obs

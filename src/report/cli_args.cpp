@@ -20,6 +20,16 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& val) {
   return n;
 }
 
+double parse_f64(const std::string& flag, const std::string& val) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (end == val.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ConfigError(flag + ": not a number: '" + val + "'");
+  }
+  return v;
+}
+
 const char* ObsArgs::usage() {
   return "  --trace-out FILE      write a Chrome trace-event timeline per row\n"
          "                        (multi-row sweeps write FILE_ppcN variants)\n"
@@ -30,7 +40,17 @@ const char* ObsArgs::usage() {
          "  --contention          enable the queued contention model (banks,\n"
          "                        directory occupancy, NIC serialization)\n"
          "  --contention-busy B,D,N  bank/directory/NIC busy cycles\n"
-         "                        (implies --contention; defaults 1,4,6)\n";
+         "                        (implies --contention; defaults 1,4,6)\n"
+         "  --journal-dir DIR     journal completed rows to DIR (crash-safe\n"
+         "                        sweeps; one digest-keyed record per row)\n"
+         "  --resume              with --journal-dir: verify and reuse\n"
+         "                        journaled rows instead of re-simulating\n"
+         "  --row-deadline S      per-row host wall-clock budget in seconds\n"
+         "                        (rows over budget fail as 'timeout')\n"
+         "  --retries N           retry rows failing with a retryable error\n"
+         "                        (timeout, transient) up to N extra times\n"
+         "  --fault-plan FILE     inject deterministic row faults from FILE\n"
+         "                        (testing; see src/report/fault_injection.hpp)\n";
 }
 
 bool ObsArgs::consume(int argc, char** argv, int& i) {
@@ -65,10 +85,35 @@ bool ObsArgs::consume(int argc, char** argv, int& i) {
     }
     if (n != 3) throw ConfigError("--contention-busy: expected B,D,N");
     contention.enabled = true;
+  } else if (a == "--journal-dir") {
+    policy.journal_dir = next();
+    if (policy.journal_dir.empty()) {
+      throw ConfigError("--journal-dir requires a non-empty directory");
+    }
+  } else if (a == "--resume") {
+    policy.resume = true;
+  } else if (a == "--row-deadline") {
+    policy.row_deadline_seconds = parse_f64(a, next());
+    if (policy.row_deadline_seconds <= 0) {
+      throw ConfigError("--row-deadline must be > 0");
+    }
+  } else if (a == "--retries") {
+    policy.max_retries = static_cast<unsigned>(parse_u64(a, next()));
+  } else if (a == "--fault-plan") {
+    fault_plan = std::make_shared<const FaultPlan>(
+        FaultPlan::parse_file(next()));
   } else {
     return false;
   }
   return true;
+}
+
+void ObsArgs::apply(SweepRequest& req) const {
+  if (policy.resume && policy.journal_dir.empty()) {
+    throw ConfigError("--resume requires --journal-dir");
+  }
+  req.policy = policy;
+  req.policy.faults = fault_plan ? fault_plan.get() : nullptr;
 }
 
 ObserverFactory ObsArgs::observer_factory(std::size_t rows) const {

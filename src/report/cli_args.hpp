@@ -5,16 +5,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/core/machine.hpp"
 #include "src/report/experiment.hpp"
+#include "src/report/fault_injection.hpp"
 
 namespace csim::cli {
 
 /// Checked numeric parse: throws ConfigError naming `flag` on a non-numeric,
 /// trailing-garbage, or out-of-range value.
 std::uint64_t parse_u64(const std::string& flag, const std::string& val);
+
+/// Checked floating-point parse (same contract as parse_u64).
+double parse_f64(const std::string& flag, const std::string& val);
 
 /// The flag group shared by every sweep driver:
 ///   --trace-out FILE      Chrome trace-event timeline per row
@@ -23,12 +28,20 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& val);
 ///   --manifest FILE       run manifest (config, git, digests)
 ///   --contention          enable the queued contention model
 ///   --contention-busy B,D,N   override bank/directory/NIC busy cycles
+///   --journal-dir DIR     write-ahead result journal (crash-safe sweeps)
+///   --resume              skip rows already completed in the journal
+///   --row-deadline S      per-row host wall-clock budget, seconds
+///   --retries N           retry retryable row failures up to N times
+///   --fault-plan FILE     deterministic fault injection plan (testing)
 struct ObsArgs {
   std::string trace_out;
   Cycles metrics_interval = 0;
   std::string metrics_out = "metrics";
   std::string manifest_out;
   ContentionSpec contention{};  ///< .enabled set by --contention
+  SweepPolicy policy{};         ///< journal / deadline / retry knobs
+  /// Owns the parsed --fault-plan; policy.faults points at it (apply()).
+  std::shared_ptr<const FaultPlan> fault_plan;
 
   /// The usage text block for these flags (indented two spaces per line).
   [[nodiscard]] static const char* usage();
@@ -37,6 +50,11 @@ struct ObsArgs {
   /// past any value it takes. Returns false if the flag is not ours; throws
   /// ConfigError on a missing or invalid value.
   bool consume(int argc, char** argv, int& i);
+
+  /// Installs the crash-safety policy on a sweep request (validating flag
+  /// combinations: --resume requires --journal-dir). The ObsArgs must
+  /// outlive the sweep — it owns the fault plan the policy points into.
+  void apply(SweepRequest& req) const;
 
   /// The standard per-row observer factory for a sweep of `rows` rows
   /// (obs::row_path naming), or null when no observability flag was given.

@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
 
 #include "src/core/error.hpp"
+#include "src/obs/manifest.hpp"
 #include "src/obs/observer.hpp"
+#include "src/report/fault_injection.hpp"
+#include "src/report/journal.hpp"
 
 namespace csim {
 
@@ -33,50 +42,252 @@ std::size_t SweepResult::failures() const noexcept {
   return n;
 }
 
+std::string_view to_string(RowOutcome::Status s) noexcept {
+  switch (s) {
+    case RowOutcome::Status::Ok: return "ok";
+    case RowOutcome::Status::Failed: return "failed";
+    case RowOutcome::Status::TimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
 SweepResult run_sweep(const SweepRequest& req) {
   const auto& make_app = req.make_app;
   const auto& make_observer = req.make_observer;
   const auto& configs = req.configs;
+  const SweepPolicy& pol = req.policy;
   if (!make_app) throw ConfigError("run_sweep: SweepRequest::make_app not set");
-  // Runs one simulation per configuration. Failures become ok == false rows
-  // carrying the SimError diagnostics (graceful degradation: one broken
-  // configuration must not abort the whole sweep; write_failures renders
-  // them). Results come back in input order.
-  const auto run_one = [&make_app, &make_observer](const MachineSpec& cfg,
-                                                   std::size_t index)
-      -> SimResult {
-    std::unique_ptr<Program> app;
-    try {
-      app = make_app();
-      std::unique_ptr<Observer> obs;
-      if (make_observer) obs = make_observer(cfg, index);
-      return simulate(*app, cfg, obs.get());
-    } catch (const std::exception& e) {
-      SimResult r;
-      r.config = cfg;
-      if (app) {
-        r.app_name = app->name();
-        r.scale = app->scale();
-      }
-      r.ok = false;
-      const auto* se = dynamic_cast<const SimError*>(&e);
-      r.error_kind = se ? std::string(to_string(se->kind())) : "exception";
-      r.error = e.what();
-      return r;
-    } catch (...) {
-      SimResult r;
-      r.config = cfg;
-      r.ok = false;
-      r.error_kind = "exception";
-      r.error = "unknown exception";
-      return r;
-    }
-  };
 
   SweepResult res;
-  std::vector<SimResult>& out = res.rows;
-  out.resize(configs.size());
+  res.rows.resize(configs.size());
+  res.outcomes.resize(configs.size());
   if (configs.empty()) return res;
+
+  // The journal, the fault plan, and synthesized timeout rows all need the
+  // app's identity (name + scale) before any row runs, so probe the factory
+  // once. A throwing factory falls back to the pre-policy behaviour — every
+  // row fails individually with the factory's diagnostic, nothing crashes.
+  // With the default policy the probe is skipped entirely (zero overhead).
+  const bool policy_active = !pol.journal_dir.empty() ||
+                             pol.faults != nullptr ||
+                             pol.row_deadline_seconds > 0;
+  std::string app_name;
+  ProblemScale app_scale = ProblemScale::Default;
+  bool have_identity = false;
+  if (policy_active) {
+    try {
+      const std::unique_ptr<Program> probe = make_app();
+      app_name = probe->name();
+      app_scale = probe->scale();
+      have_identity = true;
+    } catch (...) {
+      res.journal_warnings.push_back(
+          "sweep: app factory threw during the identity probe; journaling "
+          "and fault injection are disabled for this sweep");
+    }
+  }
+  std::vector<std::uint64_t> digests(configs.size(), 0);
+  if (have_identity) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      digests[i] = obs::config_digest(configs[i], app_name, app_scale);
+    }
+  }
+
+  // Resume: satisfy rows from the journal before anything simulates. A
+  // record only counts if its stored result digest matches the digest
+  // recomputed from the reconstituted row — a corrupt or stale record can
+  // cost a re-simulation, never a wrong answer.
+  std::vector<char> done(configs.size(), 0);
+  if (have_identity && pol.resume && !pol.journal_dir.empty()) {
+    JournalLoad load = load_journal(pol.journal_dir);
+    for (std::string& w : load.warnings) {
+      res.journal_warnings.push_back(std::move(w));
+    }
+    std::unordered_map<std::uint64_t, const JournalRecord*> by_digest;
+    for (const JournalRecord& rec : load.records) {
+      by_digest.emplace(rec.config_digest, &rec);
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto it = by_digest.find(digests[i]);
+      if (it == by_digest.end()) continue;
+      const JournalRecord& rec = *it->second;
+      if (rec.app_name != app_name || rec.scale != app_scale) {
+        res.journal_warnings.push_back(
+            "journal: record " + obs::digest_hex(digests[i]) +
+            " names a different app/scale; re-simulating");
+        continue;
+      }
+      SimResult r = journal_record_to_result(rec, configs[i]);
+      if (obs::result_digest(r) != rec.result_digest) {
+        res.journal_warnings.push_back(
+            "journal: record " + obs::digest_hex(digests[i]) +
+            " fails result-digest verification; re-simulating");
+        continue;
+      }
+      res.rows[i] = std::move(r);
+      res.outcomes[i] = RowOutcome{RowOutcome::Status::Ok, rec.attempts,
+                                   /*from_journal=*/true, digests[i]};
+      done[i] = 1;
+    }
+  }
+
+  std::mutex warn_mutex;
+  const auto warn = [&](std::string w) {
+    const std::lock_guard<std::mutex> lock(warn_mutex);
+    res.journal_warnings.push_back(std::move(w));
+  };
+
+  // Runs one row: attempt loop with deadline budgeting, bounded retry for
+  // retryable SimError kinds, fault injection, and the write-ahead journal
+  // append. Failures become ok == false rows carrying the SimError
+  // diagnostics (graceful degradation: one broken configuration must not
+  // abort the whole sweep; write_failures renders them).
+  const auto run_one = [&](std::size_t index) {
+    const MachineSpec& cfg = configs[index];
+    const std::uint64_t digest = digests[index];
+    RowOutcome& oc = res.outcomes[index];
+    oc.config_digest = digest;
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed_seconds = [&start] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+    SimResult r;
+    std::optional<FaultSpec> fault;
+    const unsigned max_attempts = 1 + pol.max_retries;
+    unsigned attempt = 0;
+    while (true) {
+      ++attempt;
+      fault = (pol.faults != nullptr && have_identity)
+                  ? pol.faults->lookup(digest, attempt)
+                  : std::nullopt;
+      if (fault && fault->action == FaultSpec::Action::Stall &&
+          fault->stall_seconds > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault->stall_seconds));
+      }
+      MachineSpec row_cfg = cfg;
+      if (pol.row_deadline_seconds > 0) {
+        const double remaining = pol.row_deadline_seconds - elapsed_seconds();
+        if (remaining <= 0) {
+          // The row's budget is gone (earlier attempts or a stall consumed
+          // it): synthesize the timeout row without starting a simulation.
+          r = SimResult{};
+          r.config = cfg;
+          r.app_name = app_name;
+          r.scale = app_scale;
+          r.ok = false;
+          r.error_kind = std::string(to_string(SimErrorKind::Timeout));
+          char msg[96];
+          std::snprintf(msg, sizeof msg,
+                        "row deadline of %.3f s exhausted before attempt %u",
+                        pol.row_deadline_seconds, attempt);
+          r.error = msg;
+          r.host_seconds = elapsed_seconds();
+          break;
+        }
+        // The in-run watchdog enforces what is left of the row's budget
+        // (tightening, never loosening, any deadline the spec already had).
+        row_cfg.max_host_seconds = cfg.max_host_seconds > 0
+                                       ? std::min(cfg.max_host_seconds,
+                                                  remaining)
+                                       : remaining;
+      }
+      std::unique_ptr<Program> app;
+      try {
+        if (fault && fault->action == FaultSpec::Action::Throw) {
+          char msg[96];
+          std::snprintf(msg, sizeof msg,
+                        "fault injection: forced %.24s failure (attempt %u)",
+                        std::string(to_string(fault->error)).c_str(), attempt);
+          throw_sim_error(fault->error, msg);
+        }
+        app = make_app();
+        std::unique_ptr<Observer> obs;
+        if (make_observer) obs = make_observer(row_cfg, index);
+        r = simulate(*app, row_cfg, obs.get());
+        r.config = cfg;  // report the requested spec, not the deadline copy
+        break;
+      } catch (const std::exception& e) {
+        r = SimResult{};
+        r.config = cfg;
+        if (app) {
+          r.app_name = app->name();
+          r.scale = app->scale();
+        } else if (have_identity) {
+          r.app_name = app_name;
+          r.scale = app_scale;
+        }
+        r.ok = false;
+        const auto* se = dynamic_cast<const SimError*>(&e);
+        r.error_kind = se ? std::string(to_string(se->kind())) : "exception";
+        r.error = e.what();
+        r.host_seconds = elapsed_seconds();
+        if (se != nullptr && is_retryable(se->kind()) &&
+            attempt < max_attempts) {
+          if (pol.backoff_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::uint64_t>(pol.backoff_ms)
+                << (attempt - 1)));
+          }
+          continue;
+        }
+        break;
+      } catch (...) {
+        r = SimResult{};
+        r.config = cfg;
+        r.ok = false;
+        r.error_kind = "exception";
+        r.error = "unknown exception";
+        break;
+      }
+    }
+    oc.attempts = attempt;
+    oc.from_journal = false;
+    oc.status = r.ok ? RowOutcome::Status::Ok
+                : r.error_kind == to_string(SimErrorKind::Timeout)
+                    ? RowOutcome::Status::TimedOut
+                    : RowOutcome::Status::Failed;
+
+    // Write-ahead append: the row is durable before the sweep moves on. A
+    // torn-write fault persists a prefix of the real record bytes at the
+    // final path — exactly the damage a kill mid-append could leave if the
+    // writes were not atomic (the loader must shrug it off).
+    if (r.ok && have_identity && !pol.journal_dir.empty()) {
+      try {
+        const JournalRecord rec = journal_record_from_result(r, attempt);
+        if (fault && fault->action == FaultSpec::Action::TornWrite) {
+          const std::string bytes = encode_journal_record(rec);
+          const auto keep = static_cast<std::size_t>(
+              static_cast<double>(bytes.size()) * fault->keep_fraction);
+          std::filesystem::create_directories(pol.journal_dir);
+          const std::string path =
+              (std::filesystem::path(pol.journal_dir) /
+               (obs::digest_hex(digest) + ".csj"))
+                  .string();
+          std::ofstream os(path, std::ios::binary | std::ios::trunc);
+          os.write(bytes.data(), static_cast<std::streamsize>(keep));
+          warn("fault injection: torn journal write for config " +
+               obs::digest_hex(digest) + " (kept " + std::to_string(keep) +
+               " of " + std::to_string(bytes.size()) + " bytes)");
+        } else {
+          append_journal_record(pol.journal_dir, rec);
+        }
+      } catch (const std::exception& e) {
+        warn("journal: append failed for config " + obs::digest_hex(digest) +
+             ": " + e.what());
+      }
+    }
+    res.rows[index] = std::move(r);
+  };
+
+  std::vector<std::size_t> pending;
+  pending.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+  if (pending.empty()) return res;
 
   // Bounded worker pool: large sweeps (org_comparison runs 9 apps x 4
   // cluster sizes x 2 organizations) previously spawned one thread per
@@ -86,19 +297,17 @@ SweepResult run_sweep(const SweepRequest& req) {
   // capacity from the short ones queued behind it.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(hw, configs.size()));
+      static_cast<unsigned>(std::min<std::size_t>(hw, pending.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      out[i] = run_one(configs[i], i);
-    }
+    for (std::size_t i : pending) run_one(i);
     return res;
   }
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
-      out[i] = run_one(configs[i], i);
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) return;
+      run_one(pending[k]);
     }
   };
   std::vector<std::thread> pool;
@@ -175,24 +384,72 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   }
 }
 
+namespace {
+
+constexpr const char* kCsvColumns =
+    "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,contention,"
+    "reads,writes,read_misses,write_misses,upgrades,merges,cold,"
+    "invalidations,bank_conflicts,bank_wait,dir_wait,nic_wait";
+
+/// The shared row body of both write_csv overloads (no trailing newline).
+void write_csv_row(std::ostream& os, const SimResult& r) {
+  const TimeBuckets a = r.aggregate();
+  os << r.app_name << ',' << to_string(r.scale) << ','
+     << r.config.num_procs << ',' << r.config.procs_per_cluster << ','
+     << r.config.cache.per_proc_bytes / 1024 << ',' << r.wall_time << ','
+     << a.cpu << ',' << a.load << ',' << a.merge << ',' << a.sync << ','
+     << a.contention << ',' << r.totals.reads << ',' << r.totals.writes
+     << ',' << r.totals.read_misses << ',' << r.totals.write_misses << ','
+     << r.totals.upgrade_misses << ',' << r.totals.merges << ','
+     << r.totals.cold_misses << ',' << r.totals.invalidations << ','
+     << r.totals.bank_conflicts << ',' << r.totals.bank_wait_cycles << ','
+     << r.totals.dir_wait_cycles << ',' << r.totals.nic_wait_cycles;
+}
+
+}  // namespace
+
 void write_csv(std::ostream& os, const std::vector<SimResult>& results) {
-  os << "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,contention,"
-        "reads,writes,read_misses,write_misses,upgrades,merges,cold,"
-        "invalidations,bank_conflicts,bank_wait,dir_wait,nic_wait\n";
+  os << kCsvColumns << '\n';
   for (const SimResult& r : results) {
     if (!r.ok) continue;  // failures go to write_failures
-    const TimeBuckets a = r.aggregate();
-    os << r.app_name << ',' << to_string(r.scale) << ','
-       << r.config.num_procs << ',' << r.config.procs_per_cluster << ','
-       << r.config.cache.per_proc_bytes / 1024 << ',' << r.wall_time << ','
-       << a.cpu << ',' << a.load << ',' << a.merge << ',' << a.sync << ','
-       << a.contention << ',' << r.totals.reads << ',' << r.totals.writes
-       << ',' << r.totals.read_misses << ',' << r.totals.write_misses << ','
-       << r.totals.upgrade_misses << ',' << r.totals.merges << ','
-       << r.totals.cold_misses << ',' << r.totals.invalidations << ','
-       << r.totals.bank_conflicts << ',' << r.totals.bank_wait_cycles << ','
-       << r.totals.dir_wait_cycles << ',' << r.totals.nic_wait_cycles << '\n';
+    write_csv_row(os, r);
+    os << '\n';
   }
+}
+
+void write_csv(std::ostream& os, const SweepResult& sweep) {
+  os << kCsvColumns << ",status,attempts\n";
+  for (std::size_t i = 0; i < sweep.rows.size(); ++i) {
+    const SimResult& r = sweep.rows[i];
+    if (!r.ok) continue;  // failures go to write_failures
+    write_csv_row(os, r);
+    // from_journal is deliberately not a column: a resumed sweep's CSV must
+    // be byte-identical to an uninterrupted run's.
+    const RowOutcome* o =
+        i < sweep.outcomes.size() ? &sweep.outcomes[i] : nullptr;
+    os << ',' << (o ? to_string(o->status) : "ok") << ','
+       << (o ? o->attempts : 1u) << '\n';
+  }
+}
+
+std::size_t write_outcomes(std::ostream& os, const SweepResult& sweep) {
+  std::size_t not_ok = 0;
+  os << "=== sweep outcomes ===\n";
+  for (std::size_t i = 0; i < sweep.rows.size(); ++i) {
+    const SimResult& r = sweep.rows[i];
+    const RowOutcome o =
+        i < sweep.outcomes.size() ? sweep.outcomes[i] : RowOutcome{};
+    if (o.status != RowOutcome::Status::Ok) ++not_ok;
+    os << obs::digest_hex(o.config_digest) << ' '
+       << (r.app_name.empty() ? std::string("?") : r.app_name) << " ["
+       << r.config.label() << "] " << to_string(o.status)
+       << " attempts=" << o.attempts << (o.from_journal ? " (journal)" : "")
+       << '\n';
+  }
+  for (const std::string& w : sweep.journal_warnings) {
+    os << "warning: " << w << '\n';
+  }
+  return not_ok;
 }
 
 std::size_t write_failures(std::ostream& os,

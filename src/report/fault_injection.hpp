@@ -1,0 +1,87 @@
+// Deterministic fault injection for sweep rows (docs/ROBUSTNESS.md §6).
+//
+// A FaultPlan maps config digests (src/obs/manifest.hpp) — or the wildcard
+// `*` — to faults that run_sweep applies to the matching rows: throw a given
+// SimError before the row simulates, stall the row past its deadline, or
+// tear the journal write after the row completes (a crash emulated at the
+// exact point a real kill would corrupt the record). Probabilistic faults
+// draw from a seeded counter-based generator keyed by (seed, digest,
+// attempt), so a plan replays identically across runs, worker counts, and
+// schedules — faults are addressed by row identity, never by timing.
+//
+// Text format accepted by --fault-plan (one directive per line, `#` starts
+// a comment):
+//
+//   seed <N>                                   # optional, default 0
+//   <digest-hex|*> throw <kind> [attempts] [probability]
+//   <digest-hex|*> stall <seconds>
+//   <digest-hex|*> torn-write [keep-fraction]
+//
+// `kind` is a SimErrorKind name (timeout, transient, deadlock, ...);
+// `attempts` bounds the fault to the first N attempts of the row (0 = every
+// attempt), which is how a retry eventually succeeds in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/error.hpp"
+
+namespace csim {
+
+/// One injected fault.
+struct FaultSpec {
+  enum class Action : std::uint8_t {
+    Throw,      ///< throw `error` instead of simulating the row
+    Stall,      ///< burn `stall_seconds` of host time before simulating
+    TornWrite,  ///< row succeeds, but its journal record is written torn
+  };
+  Action action = Action::Throw;
+  SimErrorKind error = SimErrorKind::Transient;  ///< Throw only
+  /// Fault only the first N attempts of the row; 0 = every attempt.
+  unsigned fail_attempts = 0;
+  double stall_seconds = 0;    ///< Stall only
+  double keep_fraction = 0.5;  ///< TornWrite only: prefix of the record kept
+  double probability = 1.0;    ///< chance the fault fires for an attempt
+};
+
+/// Deterministic, digest-addressed fault plan for run_sweep.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Registers a fault for the row with this config digest.
+  void add(std::uint64_t config_digest, const FaultSpec& spec);
+  /// Registers a fault for every row (digest-specific faults win).
+  void add_wildcard(const FaultSpec& spec);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return by_digest_.empty() && wildcard_.empty();
+  }
+
+  /// The fault to apply to this row attempt (1-based), if any. Applies the
+  /// fail_attempts bound and the seeded probability coin; deterministic in
+  /// (seed, digest, attempt).
+  [[nodiscard]] std::optional<FaultSpec> lookup(std::uint64_t config_digest,
+                                                unsigned attempt) const;
+
+  /// Parses the text format above. Throws ConfigError on malformed input;
+  /// `origin` names the source in diagnostics.
+  static FaultPlan parse(std::string_view text, const std::string& origin);
+  /// Parses `path`. Throws ConfigError if unreadable or malformed.
+  static FaultPlan parse_file(const std::string& path);
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::map<std::uint64_t, std::vector<FaultSpec>> by_digest_;
+  std::vector<FaultSpec> wildcard_;
+};
+
+}  // namespace csim

@@ -1,16 +1,18 @@
 #include "src/report/gnuplot.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "src/core/atomic_file.hpp"
 
 namespace csim {
 
 void write_gnuplot_figure(const std::string& basename,
                           const std::string& title,
                           const std::vector<FigureBar>& bars) {
-  std::ofstream dat(basename + ".dat");
-  if (!dat) throw std::runtime_error("cannot write " + basename + ".dat");
+  std::ostringstream dat;
   dat << "# label cpu load merge sync\n";
   double base = 1.0;
   for (std::size_t i = 0; i < bars.size(); ++i) {
@@ -23,10 +25,9 @@ void write_gnuplot_figure(const std::string& basename,
         << 100.0 * b.buckets.merge / base << ' '
         << 100.0 * b.buckets.sync / base << '\n';
   }
-  dat.close();
+  atomic_write_file(basename + ".dat", dat.str());
 
-  std::ofstream gp(basename + ".gp");
-  if (!gp) throw std::runtime_error("cannot write " + basename + ".gp");
+  std::ostringstream gp;
   gp << "set terminal pngcairo size 900,520\n"
      << "set output '" << basename << ".png'\n"
      << "set title '" << title << "'\n"
@@ -42,6 +43,7 @@ void write_gnuplot_figure(const std::string& basename,
      << "     '' using 3 title 'load', \\\n"
      << "     '' using 4 title 'merge', \\\n"
      << "     '' using 5 title 'sync'\n";
+  atomic_write_file(basename + ".gp", gp.str());
 }
 
 }  // namespace csim

@@ -1,0 +1,83 @@
+// Crash-safe sweep journal: a write-ahead store of completed sweep rows,
+// keyed by config digest (src/obs/manifest.hpp), that lets a killed sweep
+// resume without re-simulating finished work (docs/ROBUSTNESS.md §6).
+//
+// Layout: one record file per row, `<journal_dir>/<16-hex-digest>.csj`,
+// written atomically (temp + fsync + rename), so a crash mid-append leaves
+// either the previous record or none — never a half-written file at the
+// final name. Each record is self-delimiting:
+//
+//   magic "CSJL" (4) | version u8 | payload_len u64 LE | payload_fnv u64 LE
+//   | payload bytes
+//
+// The loader treats every *.csj file as a (possibly concatenated) record
+// sequence and survives anything a crash or fault injector can produce:
+// truncated frames, checksum mismatches, garbage magic, duplicate digests.
+// Bad records are skipped with a warning and the sweep simply re-simulates
+// those rows — the journal is a cache, never a source of wrong answers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+/// One journaled row: the deterministic payload of an ok SimResult plus the
+/// identity digests that key and verify it and the attempt count that
+/// produced it (replayed into the resumed sweep's CSV for bit-exactness).
+struct JournalRecord {
+  std::uint64_t config_digest = 0;  ///< obs::config_digest(cfg, app, scale)
+  std::uint64_t result_digest = 0;  ///< obs::result_digest of the stored row
+  std::string app_name;
+  ProblemScale scale = ProblemScale::Default;
+  Cycles wall_time = 0;
+  std::uint64_t events = 0;
+  double host_seconds = 0;
+  std::uint32_t attempts = 1;
+  MissCounters totals{};
+  std::vector<TimeBuckets> per_proc;
+  std::vector<MissCounters> per_cluster;
+};
+
+/// Outcome of decoding a journal: the surviving records (first valid record
+/// wins per config digest) and one warning per skipped/rejected record.
+struct JournalLoad {
+  std::vector<JournalRecord> records;
+  std::vector<std::string> warnings;
+};
+
+/// Serializes `rec` into its on-disk frame (header + checksummed payload).
+/// Exposed so the fault injector can emulate torn writes by persisting a
+/// prefix of the real bytes.
+[[nodiscard]] std::string encode_journal_record(const JournalRecord& rec);
+
+/// Decodes a byte buffer holding zero or more concatenated record frames.
+/// `origin` names the source (file path) in warnings. Never throws on bad
+/// data — corruption becomes warnings, not errors.
+[[nodiscard]] JournalLoad decode_journal_records(std::string_view bytes,
+                                                 const std::string& origin);
+
+/// Atomically writes `rec` to `<dir>/<digest_hex>.csj`, creating `dir` if
+/// needed. Throws std::runtime_error on I/O failure.
+void append_journal_record(const std::string& dir, const JournalRecord& rec);
+
+/// Loads every `*.csj` record under `dir` (duplicates deduplicated across
+/// files, first valid wins). A missing directory is an empty journal, not an
+/// error — resuming into a fresh directory must work.
+[[nodiscard]] JournalLoad load_journal(const std::string& dir);
+
+/// Builds the journal record for a completed row. Precondition: r.ok.
+[[nodiscard]] JournalRecord journal_record_from_result(const SimResult& r,
+                                                       std::uint32_t attempts);
+
+/// Reconstitutes the SimResult for `cfg` from a journal record. The machine
+/// spec comes from the live request (the journal stores only its digest);
+/// callers verify identity by recomputing the result digest afterwards.
+[[nodiscard]] SimResult journal_record_to_result(const JournalRecord& rec,
+                                                 const MachineSpec& cfg);
+
+}  // namespace csim

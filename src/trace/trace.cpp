@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "src/core/atomic_file.hpp"
 #include "src/core/simulator.hpp"
 #include "src/mem/address_space.hpp"
 #include "src/mem/clustered_memory.hpp"
@@ -35,20 +36,19 @@ std::uint64_t get_u64(std::istream& is) {
 }  // namespace
 
 void Trace::save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("Trace::save: cannot open " + path);
-  os.write(kMagic, 4);
-  os.put(static_cast<char>(kVersion));
-  os.put(static_cast<char>(num_procs_));
-  os.put(static_cast<char>(line_bytes_ & 0xff));
-  os.put(static_cast<char>((line_bytes_ >> 8) & 0xff));
-  put_u64(os, records_.size());
-  for (const TraceRecord& r : records_) {
-    os.put(static_cast<char>(r.proc));
-    os.put(static_cast<char>(r.kind == AccessKind::Write ? 1 : 0));
-    put_u64(os, r.addr);
-  }
-  if (!os) throw std::runtime_error("Trace::save: write failed");
+  atomic_write_file(path, [this](std::ostream& os) {
+    os.write(kMagic, 4);
+    os.put(static_cast<char>(kVersion));
+    os.put(static_cast<char>(num_procs_));
+    os.put(static_cast<char>(line_bytes_ & 0xff));
+    os.put(static_cast<char>((line_bytes_ >> 8) & 0xff));
+    put_u64(os, records_.size());
+    for (const TraceRecord& r : records_) {
+      os.put(static_cast<char>(r.proc));
+      os.put(static_cast<char>(r.kind == AccessKind::Write ? 1 : 0));
+      put_u64(os, r.addr);
+    }
+  });
 }
 
 Trace Trace::load(const std::string& path) {

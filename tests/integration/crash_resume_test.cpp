@@ -1,0 +1,187 @@
+// The crash-safety acceptance invariant, end to end: a sweep interrupted
+// after journaling some rows (one of them torn mid-write) resumes to a CSV
+// and sweep digest byte-identical to an uninterrupted run's.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/report/experiment.hpp"
+#include "src/report/fault_injection.hpp"
+
+namespace csim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    dir_ = (fs::temp_directory_path() /
+            ("csim_crash_resume_" + tag + "_" +
+             std::to_string(static_cast<unsigned long>(::getpid()))))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+  [[nodiscard]] const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+std::vector<MachineSpec> sweep_configs() {
+  std::vector<MachineSpec> configs;
+  for (unsigned ppc : {1u, 2u, 4u}) {
+    MachineSpec cfg;
+    cfg.num_procs = 8;
+    cfg.procs_per_cluster = ppc;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+std::string csv_of(const SweepResult& sweep) {
+  std::ostringstream os;
+  write_csv(os, sweep);
+  return os.str();
+}
+
+TEST(CrashResume, InterruptedSweepResumesBitExact) {
+  const TempDir tmp("bitexact");
+  const std::vector<MachineSpec> configs = sweep_configs();
+  auto sims = std::make_shared<std::atomic<int>>(0);
+  const auto factory = [sims]() -> std::unique_ptr<Program> {
+    ++*sims;
+    return make_app("fft", ProblemScale::Test);
+  };
+
+  // Reference: the uninterrupted run, no policy at all.
+  SweepRequest plain;
+  plain.make_app = factory;
+  plain.configs = configs;
+  const SweepResult reference = run_sweep(plain);
+  ASSERT_TRUE(reference.all_ok());
+  const std::string reference_csv = csv_of(reference);
+  const std::uint64_t reference_digest = obs::sweep_digest(reference.rows);
+  const int plain_sims = sims->load();
+  EXPECT_EQ(plain_sims, 3);  // no probe without a policy
+
+  // "Crashed" run: row 1's journal record is torn mid-write (the damage a
+  // kill would leave without atomic appends) and row 2 dies outright, so
+  // only row 0's record survives intact.
+  FaultPlan plan;
+  FaultSpec torn;
+  torn.action = FaultSpec::Action::TornWrite;
+  torn.keep_fraction = 0.4;
+  plan.add(obs::config_digest(configs[1], "fft", ProblemScale::Test), torn);
+  FaultSpec dead;
+  dead.action = FaultSpec::Action::Throw;
+  dead.error = SimErrorKind::App;  // non-retryable: the row just fails
+  plan.add(obs::config_digest(configs[2], "fft", ProblemScale::Test), dead);
+
+  SweepRequest crashed;
+  crashed.make_app = factory;
+  crashed.configs = configs;
+  crashed.policy.journal_dir = tmp.path();
+  crashed.policy.faults = &plan;
+  const SweepResult partial = run_sweep(crashed);
+  EXPECT_TRUE(partial.rows[0].ok);
+  EXPECT_TRUE(partial.rows[1].ok);  // the row succeeded; its *record* is torn
+  EXPECT_FALSE(partial.rows[2].ok);
+  ASSERT_EQ(partial.journal_warnings.size(), 1u);
+  EXPECT_NE(partial.journal_warnings[0].find("torn journal write"),
+            std::string::npos);
+
+  // Resume: row 0 loads from the journal; the torn record and the dead row
+  // re-simulate. Exactly 2 simulations + 1 identity probe.
+  const int before_resume = sims->load();
+  SweepRequest resumed;
+  resumed.make_app = factory;
+  resumed.configs = configs;
+  resumed.policy.journal_dir = tmp.path();
+  resumed.policy.resume = true;
+  const SweepResult final_run = run_sweep(resumed);
+  ASSERT_TRUE(final_run.all_ok());
+  EXPECT_EQ(sims->load(), before_resume + 3);
+
+  ASSERT_EQ(final_run.outcomes.size(), 3u);
+  EXPECT_TRUE(final_run.outcomes[0].from_journal);
+  EXPECT_FALSE(final_run.outcomes[1].from_journal);
+  EXPECT_FALSE(final_run.outcomes[2].from_journal);
+  // The torn record was diagnosed, not trusted.
+  ASSERT_FALSE(final_run.journal_warnings.empty());
+  EXPECT_NE(final_run.journal_warnings[0].find("truncated"),
+            std::string::npos);
+
+  // The acceptance invariant: merged CSV and sweep digest are byte-exact
+  // against the uninterrupted run.
+  EXPECT_EQ(csv_of(final_run), reference_csv);
+  EXPECT_EQ(obs::sweep_digest(final_run.rows), reference_digest);
+}
+
+TEST(CrashResume, SecondResumeSimulatesNothing) {
+  const TempDir tmp("idempotent");
+  const std::vector<MachineSpec> configs = sweep_configs();
+  auto sims = std::make_shared<std::atomic<int>>(0);
+  const auto factory = [sims]() -> std::unique_ptr<Program> {
+    ++*sims;
+    return make_app("fft", ProblemScale::Test);
+  };
+
+  SweepRequest req;
+  req.make_app = factory;
+  req.configs = configs;
+  req.policy.journal_dir = tmp.path();
+  req.policy.resume = true;
+  const SweepResult first = run_sweep(req);
+  ASSERT_TRUE(first.all_ok());
+  const std::string first_csv = csv_of(first);
+  const int after_first = sims->load();
+
+  const SweepResult second = run_sweep(req);
+  ASSERT_TRUE(second.all_ok());
+  // Only the identity probe ran the factory again.
+  EXPECT_EQ(sims->load(), after_first + 1);
+  for (const RowOutcome& oc : second.outcomes) {
+    EXPECT_TRUE(oc.from_journal);
+  }
+  EXPECT_EQ(csv_of(second), first_csv);
+}
+
+TEST(CrashResume, StaleJournalForOtherAppIsIgnored) {
+  const TempDir tmp("staleapp");
+  const std::vector<MachineSpec> configs = sweep_configs();
+
+  // Journal a barnes sweep into the directory, then resume an fft sweep
+  // from it: the digests differ (app is hashed into the key), so nothing
+  // matches and every fft row simulates fresh.
+  SweepRequest other;
+  other.make_app = [] { return make_app("barnes", ProblemScale::Test); };
+  other.configs = {configs[0]};
+  other.policy.journal_dir = tmp.path();
+  ASSERT_TRUE(run_sweep(other).all_ok());
+
+  SweepRequest req;
+  req.make_app = [] { return make_app("fft", ProblemScale::Test); };
+  req.configs = configs;
+  req.policy.journal_dir = tmp.path();
+  req.policy.resume = true;
+  const SweepResult sweep = run_sweep(req);
+  ASSERT_TRUE(sweep.all_ok());
+  for (const RowOutcome& oc : sweep.outcomes) {
+    EXPECT_FALSE(oc.from_journal);
+  }
+}
+
+}  // namespace
+}  // namespace csim

@@ -36,6 +36,9 @@ class FaultyProgram : public Program {
     EmptyBody,
     InfiniteCompute,
     SameCycleSpin,
+    GiantRunStream,
+    InfiniteRunStream,
+    StreamWithSpinners,
   };
   explicit FaultyProgram(Fault f) : fault_(f) {}
 
@@ -71,6 +74,27 @@ class FaultyProgram : public Program {
           co_await p.acquire(lock_);
           p.release(lock_);
         }
+      case Fault::GiantRunStream:
+        // One run whose retirement spans far more than any cycle budget:
+        // the watchdog must fire while the stream is still in flight, not
+        // just between coroutine resumes.
+        co_await p.run(base_, 0, 1'000'000'000, false, 10);
+        break;
+      case Fault::InfiniteRunStream:
+        for (;;) co_await p.run(base_, 0, 1'000'000, false, 10);
+      case Fault::StreamWithSpinners:
+        // Proc 0 has a giant run in flight (its next resume is cycles away)
+        // while the others ping-pong a lock at a fixed cycle, so simulated
+        // time never reaches the stream's resume point.
+        if (p.id() == 0) {
+          co_await p.run(base_, 0, 1'000'000'000, false, 10);
+        } else {
+          for (;;) {
+            co_await p.acquire(lock_);
+            p.release(lock_);
+          }
+        }
+        break;
       default:
         co_await p.compute(1);
     }
@@ -181,11 +205,67 @@ TEST(Watchdog, SameCycleSpinTripsNoProgressDetector) {
   }
 }
 
+TEST(Watchdog, HostDeadlineTripsTimeoutError) {
+  FaultyProgram p(FaultyProgram::Fault::InfiniteCompute);
+  MachineSpec cfg = mc();
+  cfg.max_host_seconds = 0.05;
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::Timeout);
+    EXPECT_TRUE(is_retryable(e.kind()));
+    EXPECT_NE(std::string(e.what()).find("host deadline"), std::string::npos);
+    EXPECT_EQ(e.snapshot().procs.size(), 4u);
+  }
+}
+
+// --- Watchdogs vs run streams (PR 5's batched references) -------------------
+//
+// A run stream retires thousands of references per scheduler entry, so every
+// detector must fire while a stream is in flight — a watchdog that only
+// looked between coroutine resumes would sail past its budget.
+
+TEST(Watchdog, MaxCyclesFiresMidRunStream) {
+  FaultyProgram p(FaultyProgram::Fault::GiantRunStream);
+  MachineSpec cfg = mc();
+  cfg.max_cycles = 50000;
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_cycles"), std::string::npos);
+    // Tripped promptly: the stream had ~10^10 cycles left to run.
+    EXPECT_GE(e.snapshot().cycle, 50000u);
+    EXPECT_LT(e.snapshot().cycle, 1'000'000u);
+  }
+}
+
+TEST(Watchdog, HostDeadlineFiresMidRunStream) {
+  FaultyProgram p(FaultyProgram::Fault::InfiniteRunStream);
+  MachineSpec cfg = mc();
+  cfg.max_host_seconds = 0.05;
+  EXPECT_THROW(simulate(p, cfg), TimeoutError);
+}
+
+TEST(Watchdog, NoProgressFiresWithStreamInFlight) {
+  FaultyProgram p(FaultyProgram::Fault::StreamWithSpinners);
+  MachineSpec cfg = mc();
+  cfg.no_progress_events = 5000;
+  try {
+    simulate(p, cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_NE(std::string(e.what()).find("no progress"), std::string::npos);
+  }
+}
+
 TEST(Watchdog, BudgetsDoNotDisturbHealthyRuns) {
   auto app = make_app("fft", ProblemScale::Test);
   MachineSpec cfg = mc(16);
   cfg.max_cycles = 100'000'000;
   cfg.max_events = 100'000'000;
+  cfg.max_host_seconds = 300;
   EXPECT_NO_THROW(Simulator(cfg).run(*app));
 }
 

@@ -120,7 +120,8 @@ TEST(RunManifest, FailedRowCarriesErrorKindInsteadOfStats) {
 
 TEST(RunManifest, WriteFileRejectsBadPath) {
   EXPECT_THROW(
-      obs::write_run_manifest_file("/nonexistent/dir/m.json", "t", {}),
+      obs::write_run_manifest_file("/nonexistent/dir/m.json", "t",
+                                   std::vector<SimResult>{}),
       std::runtime_error);
 }
 

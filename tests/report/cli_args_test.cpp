@@ -2,6 +2,10 @@
 // way from every tool: checked numbers, identical spellings, clear errors.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "src/core/error.hpp"
@@ -11,6 +15,7 @@ namespace csim {
 namespace {
 
 using cli::ObsArgs;
+using cli::parse_f64;
 using cli::parse_u64;
 
 /// Runs `args` through ObsArgs::consume the way the drivers do.
@@ -41,6 +46,14 @@ TEST(ParseU64, RejectsGarbageNamingTheFlag) {
     EXPECT_NE(std::string(e.what()).find("--metrics-interval"),
               std::string::npos);
   }
+}
+
+TEST(ParseF64, AcceptsFloatsRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(parse_f64("--row-deadline", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("--row-deadline", "10"), 10.0);
+  EXPECT_THROW((void)parse_f64("--row-deadline", "abc"), ConfigError);
+  EXPECT_THROW((void)parse_f64("--row-deadline", "1.5x"), ConfigError);
+  EXPECT_THROW((void)parse_f64("--row-deadline", ""), ConfigError);
 }
 
 TEST(ObsArgs, ConsumesTheSharedFlagGroup) {
@@ -98,6 +111,79 @@ TEST(ObsArgs, RejectsMalformedValues) {
   }
 }
 
+TEST(ObsArgs, ConsumesTheCrashSafetyFlags) {
+  const ObsArgs o = parse_all({"--journal-dir", "j", "--resume",
+                               "--row-deadline", "2.5", "--retries", "3"});
+  EXPECT_EQ(o.policy.journal_dir, "j");
+  EXPECT_TRUE(o.policy.resume);
+  EXPECT_DOUBLE_EQ(o.policy.row_deadline_seconds, 2.5);
+  EXPECT_EQ(o.policy.max_retries, 3u);
+  EXPECT_EQ(o.fault_plan, nullptr);
+}
+
+TEST(ObsArgs, RowDeadlineMustBePositive) {
+  for (const char* bad : {"0", "-1"}) {
+    ObsArgs o;
+    const char* argv[] = {"tool", "--row-deadline", bad};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError)
+        << bad;
+  }
+}
+
+TEST(ObsArgs, JournalDirMustBeNonEmpty) {
+  ObsArgs o;
+  const char* argv[] = {"tool", "--journal-dir", ""};
+  int i = 1;
+  EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+}
+
+TEST(ObsArgs, FaultPlanFlagParsesTheFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("csim_cli_args_plan_" +
+        std::to_string(static_cast<unsigned long>(::getpid())) + ".txt"))
+          .string();
+  {
+    std::ofstream os(path);
+    os << "seed 7\n* throw transient 1\n";
+  }
+  const ObsArgs o = parse_all({"--fault-plan", path.c_str()});
+  std::filesystem::remove(path);
+  ASSERT_NE(o.fault_plan, nullptr);
+  EXPECT_EQ(o.fault_plan->seed(), 7u);
+  EXPECT_TRUE(o.fault_plan->lookup(1, 1).has_value());
+}
+
+TEST(ObsArgs, FaultPlanFlagRejectsMissingFile) {
+  ObsArgs o;
+  const char* argv[] = {"tool", "--fault-plan", "/nonexistent/plan.txt"};
+  int i = 1;
+  EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+}
+
+TEST(ObsArgs, ApplyInstallsThePolicyOnTheRequest) {
+  ObsArgs o = parse_all({"--journal-dir", "j", "--retries", "2"});
+  SweepRequest req;
+  o.apply(req);
+  EXPECT_EQ(req.policy.journal_dir, "j");
+  EXPECT_EQ(req.policy.max_retries, 2u);
+  EXPECT_EQ(req.policy.faults, nullptr);
+
+  FaultSpec f;
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add_wildcard(f);
+  o.fault_plan = plan;
+  o.apply(req);
+  EXPECT_EQ(req.policy.faults, plan.get());
+}
+
+TEST(ObsArgs, ApplyRejectsResumeWithoutJournalDir) {
+  const ObsArgs o = parse_all({"--resume"});
+  SweepRequest req;
+  EXPECT_THROW(o.apply(req), ConfigError);
+}
+
 TEST(ObsArgs, ObserverFactoryOnlyWhenObservabilityRequested) {
   EXPECT_FALSE(static_cast<bool>(ObsArgs{}.observer_factory(3)));
   ObsArgs traced;
@@ -107,8 +193,10 @@ TEST(ObsArgs, ObserverFactoryOnlyWhenObservabilityRequested) {
 
 TEST(ObsArgs, UsageDocumentsEveryFlag) {
   const std::string u = ObsArgs::usage();
-  for (const char* flag : {"--trace-out", "--metrics-interval", "--metrics-out",
-                           "--manifest", "--contention", "--contention-busy"}) {
+  for (const char* flag :
+       {"--trace-out", "--metrics-interval", "--metrics-out", "--manifest",
+        "--contention", "--contention-busy", "--journal-dir", "--resume",
+        "--row-deadline", "--retries", "--fault-plan"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }
