@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <string_view>
 
 #include "bench/bench_util.hpp"
@@ -137,10 +138,46 @@ BENCHMARK(BM_EndToEndSim)
 /// throughput). Besides the four fft baseline rows, two `/contention` rows
 /// track the queued contention model's overhead, and per-organization radix
 /// and barnes rows cover a scatter-heavy and a pointer-chasing workload.
+/// The `_paper` rows run fmm and ocean at the paper's Table 2 problem sizes
+/// in full detail, each paired with a `/sampled` row that replays the same
+/// run from a warm-state checkpoint with one detailed tail interval — the
+/// tracked speedup of interval sampling (docs/PERFORMANCE.md).
 int json_main(const std::string& path, unsigned repeat) {
   using clock = std::chrono::steady_clock;
   constexpr double min_seconds = 1.0;
   std::vector<bench::PerfRecord> rows;
+  // Warm-up once (page cache, allocator, checkpoint writes), then `repeat`
+  // timed passes of >= min_seconds each; record the median pass.
+  auto measure = [&](const char* name, auto&& once) {
+    once();
+    std::vector<bench::PerfRecord> passes;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+      std::uint64_t refs = 0;
+      const auto start = clock::now();
+      double elapsed = 0;
+      do {
+        refs += once();
+        elapsed = std::chrono::duration<double>(clock::now() - start).count();
+      } while (elapsed < min_seconds);
+      bench::PerfRecord r;
+      r.name = name;
+      r.simulated_refs = refs;
+      r.wall_seconds = elapsed;
+      r.sim_refs_per_sec = static_cast<double>(refs) / elapsed;
+      passes.push_back(std::move(r));
+    }
+    std::nth_element(passes.begin(), passes.begin() + passes.size() / 2,
+                     passes.end(),
+                     [](const bench::PerfRecord& a, const bench::PerfRecord& b) {
+                       return a.sim_refs_per_sec < b.sim_refs_per_sec;
+                     });
+    bench::PerfRecord median = passes[passes.size() / 2];
+    std::printf("%-46s %12.0f sim refs/s  (median of %u; %llu refs in %.2fs)\n",
+                median.name.c_str(), median.sim_refs_per_sec, repeat,
+                static_cast<unsigned long long>(median.simulated_refs),
+                median.wall_seconds);
+    rows.push_back(std::move(median));
+  };
   struct EndToEnd {
     ClusterStyle style;
     unsigned ppc;
@@ -173,39 +210,71 @@ int json_main(const std::string& path, unsigned repeat) {
   for (const EndToEnd& c : configs) {
     ContentionSpec spec;
     spec.enabled = c.contention;
-    // Warm-up pass (page cache, allocator).
-    end_to_end_once(c.style, c.ppc, spec, nullptr, c.app);
-    std::vector<bench::PerfRecord> passes;
-    for (unsigned rep = 0; rep < repeat; ++rep) {
-      std::uint64_t refs = 0;
-      const auto start = clock::now();
-      double elapsed = 0;
-      do {
-        refs += end_to_end_once(c.style, c.ppc, spec, nullptr, c.app);
-        elapsed = std::chrono::duration<double>(clock::now() - start).count();
-      } while (elapsed < min_seconds);
-      bench::PerfRecord r;
-      r.name = c.name;
-      r.simulated_refs = refs;
-      r.wall_seconds = elapsed;
-      r.sim_refs_per_sec = static_cast<double>(refs) / elapsed;
-      passes.push_back(std::move(r));
-    }
-    std::nth_element(passes.begin(), passes.begin() + passes.size() / 2,
-                     passes.end(),
-                     [](const bench::PerfRecord& a, const bench::PerfRecord& b) {
-                       return a.sim_refs_per_sec < b.sim_refs_per_sec;
-                     });
-    bench::PerfRecord median = passes[passes.size() / 2];
-    std::printf("%-46s %12.0f sim refs/s  (median of %u; %llu refs in %.2fs)\n",
-                median.name.c_str(), median.sim_refs_per_sec, repeat,
-                static_cast<unsigned long long>(median.simulated_refs),
-                median.wall_seconds);
-    rows.push_back(std::move(median));
+    measure(c.name, [&] {
+      return end_to_end_once(c.style, c.ppc, spec, nullptr, c.app);
+    });
   }
+
+  // Paper-scale pairs: full detail vs checkpointed interval sampling on the
+  // same configuration. The sampled row warms to all-but-1/64 of the run,
+  // simulates one 16K-reference detailed tail, and uses a 256K-cycle warming
+  // quantum; its warm-up pass writes the warm-state checkpoint, so every
+  // timed pass fast-forwards from it — the steady-state workflow of a
+  // checkpointed parameter sweep. fmm and ocean are the pinned apps because
+  // their miss-rate taxonomy stays within tolerance at this configuration
+  // (mp3d's write-sharing ping-pong does not survive coarse warming;
+  // docs/PERFORMANCE.md "Sampling accuracy").
+  struct SampledPair {
+    ClusterStyle style;
+    const char* app;
+    const char* name;
+    const char* sampled_name;
+  };
+  const SampledPair paper_configs[] = {
+      {ClusterStyle::SharedCache, "fmm",
+       "end_to_end/shared_cache/ppc8/fmm_paper",
+       "end_to_end/shared_cache/ppc8/fmm_paper/sampled"},
+      {ClusterStyle::SharedMemory, "fmm",
+       "end_to_end/shared_memory/ppc8/fmm_paper",
+       "end_to_end/shared_memory/ppc8/fmm_paper/sampled"},
+      {ClusterStyle::SharedCache, "ocean",
+       "end_to_end/shared_cache/ppc8/ocean_paper",
+       "end_to_end/shared_cache/ppc8/ocean_paper/sampled"},
+  };
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path ckpt_dir = fs::temp_directory_path() / "csim_perf_ckpt";
+  fs::remove_all(ckpt_dir, ec);  // never fast-forward from a stale build
+  fs::create_directories(ckpt_dir, ec);
+  for (const SampledPair& c : paper_configs) {
+    const MachineSpec full = MachineSpecBuilder{}
+                                 .procs(64)
+                                 .procs_per_cluster(8)
+                                 .style(c.style)
+                                 .cache_kb(16)
+                                 .build();
+    std::uint64_t total = 0;
+    measure(c.name, [&] {
+      auto app = make_app(c.app, ProblemScale::Paper);
+      const SimResult r = simulate(*app, full);
+      total = r.totals.reads + r.totals.writes;
+      return total;
+    });
+    const MachineSpec sampled = MachineSpecBuilder{full}
+                                    .sample(total - total / 128, 16384, 0)
+                                    .warm_quantum(Cycles{1} << 18)
+                                    .checkpoint_dir(ckpt_dir.string())
+                                    .build();
+    measure(c.sampled_name, [&] {
+      auto app = make_app(c.app, ProblemScale::Paper);
+      const SimResult r = simulate(*app, sampled);
+      return r.totals.reads + r.totals.writes;
+    });
+  }
+  fs::remove_all(ckpt_dir, ec);
   bench::write_perf_json(
-      path, "end-to-end simulation throughput (test scale, 64 procs, "
-            "16 KB caches)", rows);
+      path, "end-to-end simulation throughput (64 procs, 16 KB caches; "
+            "test scale, plus paper-scale full/sampled pairs)", rows);
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -187,6 +187,17 @@ class FlatSet {
   /// Returns true if `k` was newly inserted.
   bool insert(Addr k) { return m_.try_emplace(k).second; }
 
+  /// All members, in unspecified order (warm-state capture; caller sorts).
+  [[nodiscard]] std::vector<Addr> to_vector() const {
+    std::vector<Addr> out;
+    out.reserve(m_.size());
+    for (const auto& [k, v] : m_) {
+      (void)v;
+      out.push_back(k);
+    }
+    return out;
+  }
+
  private:
   struct Unit {};
   FlatMap<Unit> m_;

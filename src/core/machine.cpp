@@ -39,6 +39,42 @@ void MachineSpec::validate() const {
   if (max_host_seconds < 0) {
     throw ConfigError("max_host_seconds must be >= 0 (0 = unlimited)");
   }
+  if (sampling.enabled) {
+    if (sampling.warm_quantum == 0) {
+      throw ConfigError("sampling.warm_quantum must be >= 1");
+    }
+    if (sampling.detail_refs == 0 && !sampling.detail_at.empty() &&
+        sampling.detail_at.size() > 1) {
+      throw ConfigError(
+          "sampling.detail_refs == 0 (detailed to end) allows at most one "
+          "detail_at point");
+    }
+    if (sampling.period_refs != 0 &&
+        sampling.period_refs < sampling.detail_refs) {
+      throw ConfigError(
+          "sampling.period_refs must be >= detail_refs (intervals overlap)");
+    }
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const std::uint64_t at : sampling.detail_at) {
+      if (at < sampling.warmup_refs) {
+        throw ConfigError(
+            "sampling.detail_at points must be >= warmup_refs");
+      }
+      if (!first && at < prev + sampling.detail_refs) {
+        throw ConfigError(
+            "sampling.detail_at points must be increasing with gaps >= "
+            "detail_refs");
+      }
+      prev = at;
+      first = false;
+    }
+    if (!sampling.checkpoint_dir.empty() && sampling.warmup_refs == 0) {
+      throw ConfigError(
+          "sampling.checkpoint_dir needs warmup_refs > 0 (the checkpoint is "
+          "the warmup-boundary state)");
+    }
+  }
   if (contention.enabled) {
     if (banks_per_proc == 0) {
       throw ConfigError("contention model needs banks_per_proc >= 1");

@@ -46,6 +46,90 @@ void Proc::note_if_finished() noexcept {
 }
 
 bool Proc::do_read(Addr a, Cycles& resume_at) {
+  if (sampling_ != nullptr) return sampled_read(a, resume_at);
+  return detail_read(a, resume_at);
+}
+
+bool Proc::do_write(Addr a, Cycles& resume_at) {
+  if (sampling_ != nullptr) return sampled_write(a, resume_at);
+  return detail_write(a, resume_at);
+}
+
+bool Proc::sampled_read(Addr a, Cycles& resume_at) {
+  if (sampling_->detail()) {
+    const bool ok = detail_read(a, resume_at);
+    sampling_->on_ref(now_);
+    return ok;
+  }
+  return warm_read(a, resume_at);
+}
+
+bool Proc::sampled_write(Addr a, Cycles& resume_at) {
+  if (sampling_->detail()) {
+    const bool ok = detail_write(a, resume_at);
+    sampling_->on_ref(now_);
+    return ok;
+  }
+  return warm_write(a, resume_at);
+}
+
+bool Proc::warm_read(Addr a, Cycles& resume_at) {
+  if (!sampling_->fast_forward()) {
+    const Addr line = a & line_mask_;
+    bool filtered = false;
+    if (gen_ != nullptr) {
+      const FilterEntry& e = warm_filter_[warm_slot(line)];
+      if (e.line == line && e.gen == *gen_) {
+        ++hot_->reads;
+        ++hot_->read_hits;
+        if (touch_cache_ != nullptr) touch_cache_->touch(line);
+        filtered = true;
+      }
+    }
+    if (!filtered) {
+      const AccessResult r = coh_->read(id_, a, now_);
+      if (r.hint != MruHint::None && gen_ != nullptr) {
+        warm_filter_[warm_slot(line)] =
+            FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+      }
+    }
+  }
+  const Cycles hit = cfg_->hit_latency;
+  buckets_.cpu += hit;
+  now_ += hit;
+  sampling_->on_ref(now_);
+  return check_slice(resume_at);
+}
+
+bool Proc::warm_write(Addr a, Cycles& resume_at) {
+  if (!sampling_->fast_forward()) {
+    const Addr line = a & line_mask_;
+    bool filtered = false;
+    if (gen_ != nullptr) {
+      const FilterEntry& e = warm_filter_[warm_slot(line)];
+      if (e.line == line && e.writable && e.gen == *gen_) {
+        ++hot_->writes;
+        ++hot_->write_hits;
+        if (touch_cache_ != nullptr) touch_cache_->touch(line);
+        filtered = true;
+      }
+    }
+    if (!filtered) {
+      const AccessResult r = coh_->write(id_, a, now_);
+      if (r.hint != MruHint::None && gen_ != nullptr) {
+        warm_filter_[warm_slot(line)] =
+            FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+      }
+    }
+  }
+  const Cycles hit = cfg_->hit_latency;
+  buckets_.cpu += hit;
+  now_ += hit;
+  sampling_->on_ref(now_);
+  return check_slice(resume_at);
+}
+
+bool Proc::detail_read(Addr a, Cycles& resume_at) {
   const Addr line = a & line_mask_;
   if (gen_ != nullptr) {
     const FilterEntry& e = filter_[filter_slot(line)];
@@ -115,7 +199,7 @@ bool Proc::do_read(Addr a, Cycles& resume_at) {
   }
 }
 
-bool Proc::do_write(Addr a, Cycles& resume_at) {
+bool Proc::detail_write(Addr a, Cycles& resume_at) {
   const Addr line = a & line_mask_;
   const FilterEntry* fe = nullptr;
   if (gen_ != nullptr) {
@@ -155,6 +239,7 @@ bool Proc::do_compute(Cycles n, Cycles& resume_at) {
 }
 
 bool Proc::run_step(Cycles& resume_at) {
+  if (sampling_ != nullptr) return run_step_sampled(resume_at);
   RunState& r = run_;
   while (r.idx < r.count) {
     while (r.pc < r.num_ops) {
@@ -178,6 +263,150 @@ bool Proc::run_step(Cycles& resume_at) {
     ++r.idx;
   }
   return true;
+}
+
+bool Proc::run_step_sampled(Cycles& resume_at) {
+  RunState& r = run_;
+  while (r.idx < r.count) {
+    // Batched fast path: in a non-detail regime, whole groups of run
+    // iterations retire per memory probe, whatever the op mix. Requires the
+    // hit filter (gen_) to mirror the repeat-hit counter updates in bulk —
+    // except in FastForward, which makes no memory calls at all. Per-ref
+    // and batched warming retire identical timing (flat costs; the
+    // iteration that crosses a slice, regime, or poll point always runs
+    // per reference), so mixing them across runs stays exact.
+    if (r.pc == 0 && !sampling_->detail() &&
+        (sampling_->fast_forward() || gen_ != nullptr)) {
+      bool progressed = false;
+      if (!warm_run_batch(resume_at, progressed)) return false;
+      if (progressed) continue;
+    }
+    while (r.pc < r.num_ops) {
+      const RunOp& op = r.ops[r.pc];
+      ++r.pc;
+      bool ok;
+      switch (op.kind) {
+        case RunOp::Kind::Read:
+          ok = do_read(op.base + Addr{r.idx} * op.stride, resume_at);
+          break;
+        case RunOp::Kind::Write:
+          ok = do_write(op.base + Addr{r.idx} * op.stride, resume_at);
+          break;
+        default:
+          ok = do_compute(op.base, resume_at);
+          break;
+      }
+      if (!ok) return false;
+    }
+    r.pc = 0;
+    ++r.idx;
+  }
+  return true;
+}
+
+bool Proc::warm_run_batch(Cycles& resume_at, bool& progressed) {
+  RunState& r = run_;
+  const Cycles hit = cfg_->hit_latency;
+  // Flat cost and memory-reference count of one whole iteration.
+  Cycles per_iter = 0;
+  std::uint64_t mem_per_iter = 0;
+  for (unsigned j = 0; j < r.num_ops; ++j) {
+    if (r.ops[j].kind == RunOp::Kind::Compute) {
+      per_iter += r.ops[j].base;
+    } else {
+      per_iter += hit;
+      ++mem_per_iter;
+    }
+  }
+  if (per_iter == 0) {  // zero-cost iterations: nothing to amortize
+    progressed = false;
+    return true;
+  }
+  // Cap 1: remaining iterations of the run.
+  std::uint64_t k = r.count - r.idx;
+  // Cap 2: whole iterations left in the slice (now_ < slice_end_ here; the
+  // crossing iteration runs per reference, preserving the exact yield
+  // cycle of unbatched warming).
+  const std::uint64_t in_slice = (slice_end_ - now_) / per_iter;
+  if (in_slice < k) k = in_slice;
+  // Cap 3: never cross a regime boundary or a watchdog poll point (the
+  // crossing iteration runs per reference, so boundaries land mid-iteration
+  // on exactly the right reference).
+  if (mem_per_iter != 0) {
+    const std::uint64_t in_regime = sampling_->max_batch() / mem_per_iter;
+    if (in_regime < k) k = in_regime;
+  }
+  if (k == 0) {
+    progressed = false;
+    return true;
+  }
+
+  if (!sampling_->fast_forward()) {
+    // Memory state (FastForward makes no accesses): walk the group in
+    // line-sized chunks — within a chunk every memory op stays on one cache
+    // line, so a single real access (or warm-filter probe) covers it and
+    // the rest are exactly the repeat hits the filter would short-circuit,
+    // bumped in bulk. Chunking inside one call, instead of capping the
+    // batch at a line crossing, amortizes the batch setup over strided
+    // streams whose chunks are a single iteration (LU's block sweeps).
+    // (Filter collisions between ops are harmless: the filter is a
+    // digest-neutral fast path, so extra real accesses to a warm line
+    // count identically.)
+    std::uint64_t remaining = k;
+    while (remaining != 0) {
+      std::uint64_t chunk = remaining;
+      for (unsigned j = 0; j < r.num_ops && chunk > 1; ++j) {
+        const RunOp& op = r.ops[j];
+        if (op.kind == RunOp::Kind::Compute || op.stride == 0) continue;
+        const Addr addr = op.base + Addr{r.idx} * op.stride;
+        const Addr next_line = (addr | ~line_mask_) + 1;
+        const std::uint64_t in_line =
+            (next_line - addr + op.stride - 1) / op.stride;
+        if (in_line < chunk) chunk = in_line;
+      }
+      for (unsigned j = 0; j < r.num_ops; ++j) {
+        const RunOp& op = r.ops[j];
+        if (op.kind == RunOp::Kind::Compute) continue;
+        const bool is_read = op.kind == RunOp::Kind::Read;
+        const Addr addr = op.base + Addr{r.idx} * op.stride;
+        const Addr line = addr & line_mask_;
+        const FilterEntry& e = warm_filter_[warm_slot(line)];
+        std::uint64_t repeats = chunk;
+        if (!(e.line == line && (is_read || e.writable) && e.gen == *gen_)) {
+          const AccessResult ar = is_read ? coh_->read(id_, addr, now_)
+                                          : coh_->write(id_, addr, now_);
+          if (ar.hint != MruHint::None) {
+            warm_filter_[warm_slot(line)] =
+                FilterEntry{line, *gen_, ar.hint == MruHint::ReadWrite};
+          }
+          repeats = chunk - 1;
+        }
+        if (repeats != 0) {
+          if (is_read) {
+            hot_->reads += repeats;
+            hot_->read_hits += repeats;
+          } else {
+            hot_->writes += repeats;
+            hot_->write_hits += repeats;
+          }
+          if (touch_cache_ != nullptr) touch_cache_->touch(line);
+        }
+      }
+      // Advance the local clock per chunk so real accesses carry the same
+      // timestamps a line-capped batch sequence would have issued.
+      buckets_.cpu += chunk * per_iter;
+      now_ += chunk * per_iter;
+      r.idx += static_cast<std::uint32_t>(chunk);
+      remaining -= chunk;
+    }
+  } else {
+    buckets_.cpu += k * per_iter;
+    now_ += k * per_iter;
+    r.idx += static_cast<std::uint32_t>(k);
+  }
+  if (mem_per_iter != 0) sampling_->on_refs(k * mem_per_iter, now_);
+  progressed = true;
+  return check_slice(resume_at);
 }
 
 Proc::RunAwaiter Proc::run(const RunOp* ops, unsigned num_ops,

@@ -22,9 +22,11 @@
 #include <array>
 #include <coroutine>
 #include <cstdint>
+#include <vector>
 
 #include "src/core/machine.hpp"
 #include "src/core/event_queue.hpp"
+#include "src/core/sampling.hpp"
 #include "src/core/sim_task.hpp"
 #include "src/core/stats.hpp"
 #include "src/core/types.hpp"
@@ -198,8 +200,20 @@ class Proc : public EventQueue::Resumable {
   /// Resets the local clock at the start of an event-queue slice.
   void begin_slice(Cycles t) noexcept {
     now_ = t;
-    slice_end_ = t + cfg_->runahead_quantum;
+    slice_end_ = t + (sampling_ == nullptr ? cfg_->runahead_quantum
+                                           : sampling_->quantum());
     wait_ = WaitInfo{};  // resumed: whatever we waited for is over
+  }
+
+  /// Attaches the interval-sampling controller (src/core/sampling.hpp). Null
+  /// (the default) keeps every access on the unsampled hot path — a single
+  /// branch per operation. Sampled runs also get the enlarged warming-only
+  /// hit table; unsampled runs never pay for its memory.
+  void set_sampling(SamplingController* s) {
+    sampling_ = s;
+    if (s != nullptr && gen_ != nullptr && warm_filter_.empty()) {
+      warm_filter_.assign(kWarmFilterSlots, FilterEntry{});
+    }
   }
 
   /// Schedules `h` to resume at absolute time `t` (with a fresh slice).
@@ -229,6 +243,25 @@ class Proc : public EventQueue::Resumable {
   bool do_write(Addr a, Cycles& resume_at);
   bool do_compute(Cycles n, Cycles& resume_at);
 
+  /// The unsampled access paths (today's full-detail semantics), also used
+  /// verbatim inside a sampled run's detailed intervals.
+  bool detail_read(Addr a, Cycles& resume_at);
+  bool detail_write(Addr a, Cycles& resume_at);
+
+  /// Sampled-run dispatch: detail path + reference accounting, or the
+  /// functional-warming / fast-forward path.
+  bool sampled_read(Addr a, Cycles& resume_at);
+  bool sampled_write(Addr a, Cycles& resume_at);
+
+  /// Functional warming: memory state (and counters) updated through the
+  /// usual protocol, but every reference retires at a flat hit_latency —
+  /// never stalls, never rolls the shared-hit-cost rng. In FastForward the
+  /// memory call is skipped entirely; the timing is identical by
+  /// construction (warming timing never depends on memory state), which is
+  /// what makes checkpoint restore exact.
+  bool warm_read(Addr a, Cycles& resume_at);
+  bool warm_write(Addr a, Cycles& resume_at);
+
   /// In-flight run (one per processor).
   struct RunState {
     std::array<RunOp, kMaxRunOps> ops{};
@@ -241,6 +274,18 @@ class Proc : public EventQueue::Resumable {
   /// Retires run ops until the run completes (true) or an op yields to the
   /// event queue (false, resume_at set) — stall, merge, or quantum expiry.
   bool run_step(Cycles& resume_at);
+  /// run_step for sampled runs: in a non-detail regime, whole groups of run
+  /// iterations retire per memory probe (warm_run_batch).
+  bool run_step_sampled(Cycles& resume_at);
+  /// One warming/fast-forward batch of the active run: retires `k` whole
+  /// iterations at the flat warming cost, with at most one real memory
+  /// access per memory op (the rest are exactly the repeat hits the filter
+  /// would short-circuit, bumped in bulk). Sets `progressed` false (and
+  /// consumes nothing) when not even one whole iteration fits before the
+  /// next slice / regime / poll point — the caller then retires that
+  /// iteration per reference, so yield points and regime transitions land
+  /// on exactly the same cycle as unbatched warming.
+  bool warm_run_batch(Cycles& resume_at, bool& progressed);
   /// True if the slice budget is exhausted; sets resume_at for suspension.
   bool check_slice(Cycles& resume_at) noexcept {
     if (now_ >= slice_end_) {
@@ -299,9 +344,23 @@ class Proc : public EventQueue::Resumable {
   const std::uint64_t* gen_ = nullptr;  // null disables the filter
   CacheStorage* touch_cache_ = nullptr;  // LRU to touch per filtered hit
   std::array<FilterEntry, kFilterSlots> filter_{};
+  // Functional warming consults an enlarged table instead: warming retires
+  // the whole reference stream, so repeat-pass hits dominate and 8 slots
+  // thrash (measured ~31% of warming references fell through to full
+  // protocol calls). Same entry shape and generation-validity rule, so the
+  // digest-neutrality argument is size-independent; kept separate from
+  // filter_ so the detailed path's footprint and speed are untouched.
+  // Allocated only when sampling is attached (set_sampling).
+  static constexpr std::size_t kWarmFilterSlots = 8192;
+  [[nodiscard]] std::size_t warm_slot(Addr line) const noexcept {
+    return (line >> line_shift_) & (kWarmFilterSlots - 1);
+  }
+  std::vector<FilterEntry> warm_filter_;
   unsigned line_shift_ = 0;
 
   RunState run_{};
+
+  SamplingController* sampling_ = nullptr;  // null: unsampled hot path
 
   std::uint64_t rng_state_ = 0;
   std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32

@@ -91,6 +91,17 @@ struct SimResult {
   std::string error_kind;  ///< to_string(SimErrorKind), or "exception"
   std::string error;       ///< full what(), including the machine snapshot
 
+  // --- Interval sampling (SamplingSpec; all defaults when sampling is off) --
+  /// True when the run used interval sampling: miss counters are exact, but
+  /// wall_time / per_proc buckets are extrapolated from the detailed
+  /// intervals.
+  bool sampled = false;
+  /// References measured in detailed intervals (<= totals.reads + writes).
+  std::uint64_t detailed_refs = 0;
+  /// detailed_refs / total retired references; 0 when the run ended before
+  /// any detailed interval (buckets are then raw warming time, unscaled).
+  double coverage = 0;
+
   /// Sum of per-processor buckets. With final-barrier accounting,
   /// aggregate().total() == num_procs * wall_time.
   [[nodiscard]] TimeBuckets aggregate() const;

@@ -43,6 +43,22 @@ std::optional<ProcId> AddressSpace::placement_of_page(
   return std::nullopt;
 }
 
+std::vector<std::pair<Addr, std::uint32_t>> AddressSpace::HomeMap::snapshot()
+    const {
+  std::vector<std::pair<Addr, std::uint32_t>> out;
+  out.reserve(homes_.size());
+  for (const auto& [page, home] : homes_) out.emplace_back(page, home);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AddressSpace::HomeMap::restore(
+    const std::vector<std::pair<Addr, std::uint32_t>>& homes,
+    ClusterId rr_next) {
+  for (const auto& [page, home] : homes) homes_[page] = home;
+  rr_next_ = rr_next;
+}
+
 ClusterId AddressSpace::HomeMap::home_of(Addr a) {
   const Addr page = (a >> page_shift_) << page_shift_;
   auto [slot, fresh] = homes_.try_emplace(page);

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/flat_map.hpp"
@@ -79,6 +81,15 @@ class AddressSpace {
     [[nodiscard]] std::size_t pages_touched() const noexcept {
       return homes_.size();
     }
+
+    // --- Warm-state checkpointing (src/mem/warm_state.hpp) -----------------
+
+    /// All (page base -> home) assignments, sorted by page address.
+    [[nodiscard]] std::vector<std::pair<Addr, std::uint32_t>> snapshot() const;
+    [[nodiscard]] ClusterId rr_next() const noexcept { return rr_next_; }
+    /// Reinstalls a snapshot into a fresh map (nothing touched yet).
+    void restore(const std::vector<std::pair<Addr, std::uint32_t>>& homes,
+                 ClusterId rr_next);
 
    private:
     static unsigned page_shift(unsigned page_bytes) noexcept {

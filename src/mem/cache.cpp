@@ -1,5 +1,6 @@
 #include "src/mem/cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace csim {
@@ -106,6 +107,22 @@ std::vector<Addr> CacheStorage::resident_lines() const {
   for (const auto& [line, e] : map_) {
     (void)e;
     out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<std::pair<Addr, LineState>> CacheStorage::dump_lru_order() const {
+  std::vector<std::pair<Addr, LineState>> out;
+  out.reserve(map_.size());
+  if (capacity_ == 0) {
+    for (const auto& [line, e] : map_) out.emplace_back(line, e.state);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (const LruList& lru : sets_) {
+    for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+      out.emplace_back(it->line, it->state);
+    }
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/flat_map.hpp"
@@ -68,6 +69,13 @@ class CacheStorage {
 
   /// All resident lines (testing / diagnostics). Order unspecified.
   [[nodiscard]] std::vector<Addr> resident_lines() const;
+
+  /// All resident lines with state, in a byte-deterministic order suitable
+  /// for warm-state checkpointing: set order, LRU to MRU within each set, so
+  /// insert()-ing in dumped order into an empty cache of the same geometry
+  /// rebuilds the exact replacement order. Infinite caches (no replacement
+  /// order) dump sorted by line address.
+  [[nodiscard]] std::vector<std::pair<Addr, LineState>> dump_lru_order() const;
 
  private:
   struct Node {

@@ -1,8 +1,11 @@
 #include "src/mem/clustered_memory.hpp"
 
+#include <algorithm>
+
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
 #include "src/mem/contention.hpp"
+#include "src/mem/warm_state.hpp"
 #include "src/obs/observer.hpp"
 
 namespace csim {
@@ -39,7 +42,7 @@ ClusteredMemorySystem::ClusteredMemorySystem(
 }
 
 Cycles ClusteredMemorySystem::acquire_bus(ClusterId c, Addr line, Cycles now) {
-  if (!contention_) return 0;
+  if (functional_ || !contention_) return 0;
   const Cycles wait = contention_->cluster_port(c, line, now);
   if (wait != 0) {
     ++counters_[c].bank_conflicts;
@@ -162,6 +165,99 @@ void ClusteredMemorySystem::audit() const {
   }
 }
 
+void ClusteredMemorySystem::set_functional(bool on) {
+  functional_ = on;
+  // Either direction: pending fills are timing-only state, and the regime
+  // boundary must look the same whether warmed in-process or restored from a
+  // checkpoint (which stores no MSHRs) — so drop them.
+  for (auto& m : mshrs_) m.clear();
+}
+
+bool ClusteredMemorySystem::capture_warm_state(WarmState& out) const {
+  out.cluster_style = static_cast<std::uint8_t>(ClusterStyle::SharedMemory);
+  out.num_procs = cfg_.num_procs;
+  out.procs_per_cluster = cfg_.procs_per_cluster;
+  out.counters = counters_;
+  out.touched_lines = touched_lines_.to_vector();
+  std::sort(out.touched_lines.begin(), out.touched_lines.end());
+  out.home_rr_next = homes_.rr_next();
+  out.homes = homes_.snapshot();
+  out.directory.clear();
+  out.directory.reserve(dir_.tracked_lines());
+  for (const auto& [line, e] : dir_.entries()) {
+    // Fully invalidated entries are behaviorally identical to absent ones.
+    if (e.state == DirState::NotCached && e.sharers == 0) continue;
+    out.directory.push_back(
+        WarmDirLine{line, static_cast<std::uint8_t>(e.state), e.sharers});
+  }
+  std::sort(out.directory.begin(), out.directory.end(),
+            [](const WarmDirLine& a, const WarmDirLine& b) {
+              return a.line < b.line;
+            });
+  out.caches.clear();
+  out.caches.reserve(caches_.size());
+  for (const auto& c : caches_) {
+    std::vector<WarmCacheLine> lines;
+    const auto dumped = c->dump_lru_order();
+    lines.reserve(dumped.size());
+    for (const auto& [line, st] : dumped) {
+      lines.push_back(WarmCacheLine{line, static_cast<std::uint8_t>(st)});
+    }
+    out.caches.push_back(std::move(lines));
+  }
+  out.attraction.clear();
+  out.attraction.reserve(attraction_.size());
+  for (const Attraction& a : attraction_) {
+    std::vector<WarmAttractionLine> lines;
+    lines.reserve(a.size());
+    for (const auto& [line, cl] : a) {
+      lines.push_back(WarmAttractionLine{
+          line, cl.proc_copies,
+          static_cast<std::uint8_t>(cl.cluster_exclusive ? 1 : 0)});
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const WarmAttractionLine& x, const WarmAttractionLine& y) {
+                return x.line < y.line;
+              });
+    out.attraction.push_back(std::move(lines));
+  }
+  return true;
+}
+
+bool ClusteredMemorySystem::restore_warm_state(const WarmState& ws) {
+  const unsigned nc = cfg_.num_clusters();
+  if (ws.cluster_style !=
+          static_cast<std::uint8_t>(ClusterStyle::SharedMemory) ||
+      ws.num_procs != cfg_.num_procs ||
+      ws.procs_per_cluster != cfg_.procs_per_cluster ||
+      ws.counters.size() != nc || ws.caches.size() != cfg_.num_procs ||
+      ws.attraction.size() != nc) {
+    return false;
+  }
+  counters_ = ws.counters;
+  for (Addr line : ws.touched_lines) touched_lines_.insert(line);
+  homes_.restore(ws.homes, static_cast<ClusterId>(ws.home_rr_next));
+  for (const WarmDirLine& d : ws.directory) {
+    DirEntry& e = dir_.entry(d.line);
+    e.state = static_cast<DirState>(d.state);
+    e.sharers = d.sharers;
+  }
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    for (const WarmCacheLine& l : ws.caches[p]) {
+      if (caches_[p]->insert(l.line, static_cast<LineState>(l.state))) {
+        return false;  // eviction while refilling: geometry mismatch
+      }
+    }
+  }
+  for (unsigned c = 0; c < nc; ++c) {
+    for (const WarmAttractionLine& l : ws.attraction[c]) {
+      attraction_[c][l.line] =
+          ClusterLine{l.proc_copies, l.cluster_exclusive != 0};
+    }
+  }
+  return true;
+}
+
 void ClusteredMemorySystem::install_private(ProcId p, Addr line,
                                             LineState st) {
   auto victim = caches_[p]->insert(line, st);
@@ -269,7 +365,7 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
   // are all visible; a write's directory/NIC waits are hidden by the store
   // buffer but still delay the fill.
   Cycles queue = bus_wait;
-  if (contention_) {
+  if (contention_ && !functional_) {
     const Cycles dwait = contention_->directory(home, now + queue);
     ctr.dir_wait_cycles += dwait;
     queue += dwait;
@@ -280,7 +376,9 @@ AccessResult ClusteredMemorySystem::fetch_remote(ProcId p, Addr line,
     }
   }
   const Cycles fill = now + queue + lat;
-  mshrs_[c].allocate(line, MshrEntry{fill});
+  // Functional warming charges no stall and tracks no fill: fills complete
+  // instantly, so no reader can merge and no MSHR entry is needed.
+  if (!functional_) mshrs_[c].allocate(line, MshrEntry{fill});
   if (exclusive && obs_ != nullptr) {
     obs_->on_memory_stall(p, line, Observer::Stall::Store, now, fill, lclass);
   }
@@ -427,7 +525,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       e.state = DirState::Exclusive;
       cl.cluster_exclusive = true;
       ++ctr.upgrade_misses;
-      if (contention_) {
+      if (contention_ && !functional_) {
         ctr.dir_wait_cycles +=
             contention_->directory(homes_.home_of(line), now + bus_wait);
       }
@@ -462,7 +560,7 @@ AccessResult ClusteredMemorySystem::write(ProcId p, Addr a, Cycles now) {
       e.state = DirState::Exclusive;
       cl.cluster_exclusive = true;
       ++ctr.upgrade_misses;
-      if (contention_) {
+      if (contention_ && !functional_) {
         ctr.dir_wait_cycles +=
             contention_->directory(homes_.home_of(line), now + bus_wait);
       }

@@ -96,6 +96,11 @@ class ClusteredMemorySystem final : public MemorySystem {
   /// docs/ROBUSTNESS.md.
   void audit() const override;
 
+  // --- Interval sampling (src/core/sampling.hpp) -------------------------
+  void set_functional(bool on) override;
+  bool capture_warm_state(WarmState& out) const override;
+  bool restore_warm_state(const WarmState& ws) override;
+
   // --- Introspection for tests -------------------------------------------
   [[nodiscard]] const CacheStorage& private_cache(ProcId p) const {
     return *caches_[p];
@@ -152,6 +157,7 @@ class ClusteredMemorySystem final : public MemorySystem {
 
   std::shared_ptr<const MachineSpec> spec_;  // the run's shared immutable spec
   const MachineSpec& cfg_;                   // = *spec_
+  bool functional_ = false;  // warming regime: timing-only work skipped
   std::unique_ptr<ContentionModel> contention_;  // null unless enabled
   AddressSpace::HomeMap homes_;
   Directory dir_;                                     // cluster granularity

@@ -1,8 +1,11 @@
 #include "src/mem/coherence.hpp"
 
+#include <algorithm>
+
 #include "src/core/error.hpp"
 #include "src/mem/audit_util.hpp"
 #include "src/mem/contention.hpp"
+#include "src/mem/warm_state.hpp"
 #include "src/obs/observer.hpp"
 
 namespace csim {
@@ -113,6 +116,78 @@ void CoherenceController::audit() const {
   }
 }
 
+void CoherenceController::set_functional(bool on) {
+  functional_ = on;
+  // Either direction: pending fills are timing-only state, and the regime
+  // boundary must look the same whether warmed in-process or restored from a
+  // checkpoint (which stores no MSHRs) — so drop them.
+  for (auto& m : mshrs_) m.clear();
+}
+
+bool CoherenceController::capture_warm_state(WarmState& out) const {
+  out.cluster_style = static_cast<std::uint8_t>(ClusterStyle::SharedCache);
+  out.num_procs = cfg_.num_procs;
+  out.procs_per_cluster = cfg_.procs_per_cluster;
+  out.counters = counters_;
+  out.touched_lines = touched_lines_.to_vector();
+  std::sort(out.touched_lines.begin(), out.touched_lines.end());
+  out.home_rr_next = homes_.rr_next();
+  out.homes = homes_.snapshot();
+  out.directory.clear();
+  out.directory.reserve(dir_.tracked_lines());
+  for (const auto& [line, e] : dir_.entries()) {
+    // Fully invalidated entries are behaviorally identical to absent ones.
+    if (e.state == DirState::NotCached && e.sharers == 0) continue;
+    out.directory.push_back(
+        WarmDirLine{line, static_cast<std::uint8_t>(e.state), e.sharers});
+  }
+  std::sort(out.directory.begin(), out.directory.end(),
+            [](const WarmDirLine& a, const WarmDirLine& b) {
+              return a.line < b.line;
+            });
+  out.caches.clear();
+  out.caches.reserve(caches_.size());
+  for (const auto& c : caches_) {
+    std::vector<WarmCacheLine> lines;
+    const auto dumped = c->dump_lru_order();
+    lines.reserve(dumped.size());
+    for (const auto& [line, st] : dumped) {
+      lines.push_back(WarmCacheLine{line, static_cast<std::uint8_t>(st)});
+    }
+    out.caches.push_back(std::move(lines));
+  }
+  out.attraction.clear();
+  return true;
+}
+
+bool CoherenceController::restore_warm_state(const WarmState& ws) {
+  const unsigned nc = cfg_.num_clusters();
+  if (ws.cluster_style !=
+          static_cast<std::uint8_t>(ClusterStyle::SharedCache) ||
+      ws.num_procs != cfg_.num_procs ||
+      ws.procs_per_cluster != cfg_.procs_per_cluster ||
+      ws.counters.size() != nc || ws.caches.size() != nc ||
+      !ws.attraction.empty()) {
+    return false;
+  }
+  counters_ = ws.counters;
+  for (Addr line : ws.touched_lines) touched_lines_.insert(line);
+  homes_.restore(ws.homes, static_cast<ClusterId>(ws.home_rr_next));
+  for (const WarmDirLine& d : ws.directory) {
+    DirEntry& e = dir_.entry(d.line);
+    e.state = static_cast<DirState>(d.state);
+    e.sharers = d.sharers;
+  }
+  for (unsigned c = 0; c < nc; ++c) {
+    for (const WarmCacheLine& l : ws.caches[c]) {
+      if (caches_[c]->insert(l.line, static_cast<LineState>(l.state))) {
+        return false;  // eviction while refilling: geometry mismatch
+      }
+    }
+  }
+  return true;
+}
+
 void CoherenceController::install(ClusterId c, Addr line, LineState st) {
   auto victim = caches_[c]->insert(line, st);
   if (victim) {
@@ -134,7 +209,7 @@ LatencyClass CoherenceController::classify(ClusterId requester, Addr line,
 }
 
 Cycles CoherenceController::acquire_port(ClusterId c, Addr line, Cycles now) {
-  if (!contention_) return 0;
+  if (functional_ || !contention_) return 0;
   const Cycles wait = contention_->cluster_port(c, line, now);
   if (wait != 0) {
     ++counters_[c].bank_conflicts;
@@ -203,7 +278,7 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
   // requester's network interface. A read stalls the processor, so every
   // wait is processor-visible and delays the fill.
   Cycles queue = port_wait;
-  if (contention_) {
+  if (contention_ && !functional_) {
     const Cycles dwait = contention_->directory(home, now + queue);
     ctr.dir_wait_cycles += dwait;
     queue += dwait;
@@ -215,7 +290,9 @@ AccessResult CoherenceController::handle_read_miss(ClusterId c, Addr line,
   }
 
   install(c, line, LineState::Shared);
-  mshrs_[c].allocate(line, MshrEntry{now + queue + lat});
+  // Functional warming charges no stall and tracks no fill: fills complete
+  // instantly, so no reader can merge and no MSHR entry is needed.
+  if (!functional_) mshrs_[c].allocate(line, MshrEntry{now + queue + lat});
   AccessResult r{AccessResult::Kind::ReadMiss, lat, now + queue + lat, lclass};
   r.contention = queue;
   return r;
@@ -306,7 +383,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
     e.state = DirState::Exclusive;
     caches_[c]->set_state(line, LineState::Exclusive);
     ++ctr.upgrade_misses;
-    if (contention_) {
+    if (contention_ && !functional_) {
       ctr.dir_wait_cycles +=
           contention_->directory(homes_.home_of(line), now + port_wait);
     }
@@ -333,7 +410,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
   // The store buffer hides directory/NIC queueing from the processor (only
   // the bank wait is visible at issue), but the fill still arrives later.
   Cycles hidden = 0;
-  if (contention_) {
+  if (contention_ && !functional_) {
     const Cycles dwait = contention_->directory(home, now + port_wait);
     ctr.dir_wait_cycles += dwait;
     hidden += dwait;
@@ -344,7 +421,7 @@ AccessResult CoherenceController::write(ProcId p, Addr a, Cycles now) {
     }
   }
   const Cycles fill = now + port_wait + hidden + lat;
-  mshrs_[c].allocate(line, MshrEntry{fill});
+  if (!functional_) mshrs_[c].allocate(line, MshrEntry{fill});
   if (obs_ != nullptr) {
     obs_->on_memory_stall(p, a, Observer::Stall::Store, now, fill, lclass);
   }

@@ -89,6 +89,11 @@ class CoherenceController final : public MemorySystem {
   /// ProtocolError on the first violation. See docs/ROBUSTNESS.md.
   void audit() const override;
 
+  // --- Interval sampling (src/core/sampling.hpp) -------------------------
+  void set_functional(bool on) override;
+  bool capture_warm_state(WarmState& out) const override;
+  bool restore_warm_state(const WarmState& ws) override;
+
   // --- Introspection for tests -------------------------------------------
   [[nodiscard]] const CacheStorage& cache(ClusterId c) const { return *caches_[c]; }
   [[nodiscard]] const Directory& directory() const { return dir_; }
@@ -125,6 +130,7 @@ class CoherenceController final : public MemorySystem {
 
   std::shared_ptr<const MachineSpec> spec_;  // the run's shared immutable spec
   const MachineSpec& cfg_;                   // = *spec_
+  bool functional_ = false;  // warming regime: timing-only work skipped
   std::unique_ptr<ContentionModel> contention_;  // null unless enabled
   AddressSpace::HomeMap homes_;
   Directory dir_;

@@ -19,6 +19,7 @@ namespace csim {
 
 class CacheStorage;
 class Observer;
+struct WarmState;
 
 /// Repeat-access eligibility of a Hit, used by the processor's
 /// generation-tagged hit filter (docs/PERFORMANCE.md). The memory system
@@ -109,6 +110,34 @@ class MemorySystem {
   /// recorders) simply don't override this.
   [[nodiscard]] virtual MissCounters* hot_counters(ClusterId) noexcept {
     return nullptr;
+  }
+
+  // --- Interval sampling support (SamplingSpec; src/core/sampling.hpp) -----
+
+  /// Functional-warming mode: accesses still update caches, directory /
+  /// snoop state, and miss counters, but skip everything that only affects
+  /// timing — MSHR allocation (fills complete instantly) and the queued
+  /// contention model. Toggling the mode (either direction) drops all MSHR
+  /// entries, so the state at a regime boundary is canonical: identical
+  /// whether it was warmed in-process or restored from a checkpoint (which
+  /// never stores MSHRs). Default is a no-op for timing-free systems.
+  virtual void set_functional(bool on) { (void)on; }
+
+  /// Serializes the warm state (caches, directory, attraction memory, home
+  /// map, touched-line set, counters) into `out` for checkpointing, in a
+  /// byte-deterministic order. Returns false (the default) for memory
+  /// systems that don't support warm-state checkpoints.
+  virtual bool capture_warm_state(WarmState& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Installs a captured warm state. The memory system must be freshly
+  /// constructed (nothing accessed yet). Returns false when unsupported or
+  /// when `ws` does not fit this organization / geometry.
+  virtual bool restore_warm_state(const WarmState& ws) {
+    (void)ws;
+    return false;
   }
 
   /// Attaches an observability sink (src/obs/observer.hpp). Null (the

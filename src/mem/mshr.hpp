@@ -47,6 +47,10 @@ class MshrTable {
     return out;
   }
 
+  /// Drops every in-flight entry (functional-mode toggle: the warm-state
+  /// boundary holds no live fills, so pending entries are dead bookkeeping).
+  void clear() { map_.clear(); }
+
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   /// True when no fill is in flight — the hot-path guard that lets accesses
   /// skip the per-line find()/release() probes entirely.

@@ -1,0 +1,455 @@
+#include "src/mem/warm_state.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_map>
+
+#include "src/core/atomic_file.hpp"
+
+namespace csim {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'C', 'K'};
+constexpr std::uint8_t kVersion = 1;
+// magic(4) + version(1) + payload_len(8) + payload_fnv(8)
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8 + 8;
+// Warm state scales with cache capacity + directory size; a multi-GB length
+// is a corrupt field, not a real checkpoint.
+constexpr std::uint64_t kMaxPayloadBytes = 1u << 30;
+
+// Same FNV-1a as obs::fnv1a; duplicated locally so src/mem does not grow a
+// dependency on the obs layer.
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_counters(std::string& out, const MissCounters& c) {
+  put_u64(out, c.reads);
+  put_u64(out, c.writes);
+  put_u64(out, c.read_hits);
+  put_u64(out, c.write_hits);
+  put_u64(out, c.read_misses);
+  put_u64(out, c.write_misses);
+  put_u64(out, c.upgrade_misses);
+  put_u64(out, c.merges);
+  put_u64(out, c.cold_misses);
+  put_u64(out, c.invalidations);
+  put_u64(out, c.evictions);
+  put_u64(out, c.snoop_transfers);
+  put_u64(out, c.cluster_memory_hits);
+  put_u64(out, c.bus_invalidations);
+  put_u64(out, c.bank_conflicts);
+  put_u64(out, c.bank_wait_cycles);
+  put_u64(out, c.dir_wait_cycles);
+  put_u64(out, c.nic_wait_cycles);
+  for (std::uint64_t v : c.by_class) put_u64(out, v);
+}
+
+/// Bounds-checked little-endian reader (the journal.cpp pattern).
+struct Reader {
+  std::string_view buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > buf.size()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(buf[pos++]);
+  }
+  std::uint64_t u64() {
+    if (pos + 8 > buf.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::string str(std::uint64_t n) {
+    if (n > buf.size() - pos) {
+      ok = false;
+      return {};
+    }
+    std::string s(buf.substr(pos, n));
+    pos += n;
+    return s;
+  }
+  MissCounters counters() {
+    MissCounters c;
+    c.reads = u64();
+    c.writes = u64();
+    c.read_hits = u64();
+    c.write_hits = u64();
+    c.read_misses = u64();
+    c.write_misses = u64();
+    c.upgrade_misses = u64();
+    c.merges = u64();
+    c.cold_misses = u64();
+    c.invalidations = u64();
+    c.evictions = u64();
+    c.snoop_transfers = u64();
+    c.cluster_memory_hits = u64();
+    c.bus_invalidations = u64();
+    c.bank_conflicts = u64();
+    c.bank_wait_cycles = u64();
+    c.dir_wait_cycles = u64();
+    c.nic_wait_cycles = u64();
+    for (std::uint64_t& v : c.by_class) v = u64();
+    return c;
+  }
+  /// Guard for a count of `per_entry`-byte records against remaining bytes.
+  bool fits(std::uint64_t n, std::size_t per_entry) {
+    const std::size_t remaining = buf.size() - std::min(pos, buf.size());
+    if (per_entry != 0 && n > remaining / per_entry) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+};
+
+std::string encode_payload(const WarmState& ws) {
+  std::string p;
+  p.reserve(512 + ws.directory.size() * 17 + ws.touched_lines.size() * 8);
+  put_u64(p, ws.warm_digest);
+  put_u64(p, ws.app_name.size());
+  p.append(ws.app_name);
+  put_u8(p, ws.scale);
+  put_u64(p, ws.num_procs);
+  put_u64(p, ws.procs_per_cluster);
+  put_u8(p, ws.cluster_style);
+  put_u64(p, ws.warmup_refs);
+  put_u64(p, ws.proc_now.size());
+  for (std::uint64_t v : ws.proc_now) put_u64(p, v);
+  put_u64(p, ws.counters.size());
+  for (const MissCounters& c : ws.counters) put_counters(p, c);
+  put_u64(p, ws.touched_lines.size());
+  for (Addr a : ws.touched_lines) put_u64(p, a);
+  put_u64(p, ws.home_rr_next);
+  put_u64(p, ws.homes.size());
+  for (const auto& [page, home] : ws.homes) {
+    put_u64(p, page);
+    put_u64(p, home);
+  }
+  put_u64(p, ws.directory.size());
+  for (const WarmDirLine& d : ws.directory) {
+    put_u64(p, d.line);
+    put_u8(p, d.state);
+    put_u64(p, d.sharers);
+  }
+  put_u64(p, ws.caches.size());
+  for (const auto& cache : ws.caches) {
+    put_u64(p, cache.size());
+    for (const WarmCacheLine& l : cache) {
+      put_u64(p, l.line);
+      put_u8(p, l.state);
+    }
+  }
+  put_u64(p, ws.attraction.size());
+  for (const auto& cluster : ws.attraction) {
+    put_u64(p, cluster.size());
+    for (const WarmAttractionLine& l : cluster) {
+      put_u64(p, l.line);
+      put_u64(p, l.proc_copies);
+      put_u8(p, l.cluster_exclusive);
+    }
+  }
+  return p;
+}
+
+bool decode_payload(std::string_view payload, WarmState& ws,
+                    std::string& why) {
+  Reader r{payload};
+  ws.warm_digest = r.u64();
+  ws.app_name = r.str(r.u64());
+  ws.scale = r.u8();
+  ws.num_procs = static_cast<std::uint32_t>(r.u64());
+  ws.procs_per_cluster = static_cast<std::uint32_t>(r.u64());
+  ws.cluster_style = r.u8();
+  ws.warmup_refs = r.u64();
+  const std::uint64_t nproc = r.u64();
+  if (!r.fits(nproc, 8)) {
+    why = "proc_now count exceeds payload";
+    return false;
+  }
+  ws.proc_now.reserve(nproc);
+  for (std::uint64_t i = 0; i < nproc && r.ok; ++i) {
+    ws.proc_now.push_back(r.u64());
+  }
+  const std::uint64_t nclust = r.u64();
+  if (!r.fits(nclust, 176)) {
+    why = "counter count exceeds payload";
+    return false;
+  }
+  ws.counters.reserve(nclust);
+  for (std::uint64_t i = 0; i < nclust && r.ok; ++i) {
+    ws.counters.push_back(r.counters());
+  }
+  const std::uint64_t ntouched = r.u64();
+  if (!r.fits(ntouched, 8)) {
+    why = "touched-line count exceeds payload";
+    return false;
+  }
+  ws.touched_lines.reserve(ntouched);
+  for (std::uint64_t i = 0; i < ntouched && r.ok; ++i) {
+    ws.touched_lines.push_back(r.u64());
+  }
+  ws.home_rr_next = r.u64();
+  const std::uint64_t nhomes = r.u64();
+  if (!r.fits(nhomes, 16)) {
+    why = "home-map count exceeds payload";
+    return false;
+  }
+  ws.homes.reserve(nhomes);
+  for (std::uint64_t i = 0; i < nhomes && r.ok; ++i) {
+    const Addr page = r.u64();
+    ws.homes.emplace_back(page, static_cast<std::uint32_t>(r.u64()));
+  }
+  const std::uint64_t ndir = r.u64();
+  if (!r.fits(ndir, 17)) {
+    why = "directory count exceeds payload";
+    return false;
+  }
+  ws.directory.reserve(ndir);
+  for (std::uint64_t i = 0; i < ndir && r.ok; ++i) {
+    WarmDirLine d;
+    d.line = r.u64();
+    d.state = r.u8();
+    d.sharers = r.u64();
+    ws.directory.push_back(d);
+  }
+  const std::uint64_t ncaches = r.u64();
+  if (!r.fits(ncaches, 8)) {
+    why = "cache count exceeds payload";
+    return false;
+  }
+  ws.caches.reserve(ncaches);
+  for (std::uint64_t i = 0; i < ncaches && r.ok; ++i) {
+    const std::uint64_t nlines = r.u64();
+    if (!r.fits(nlines, 9)) {
+      why = "cache-line count exceeds payload";
+      return false;
+    }
+    std::vector<WarmCacheLine> cache;
+    cache.reserve(nlines);
+    for (std::uint64_t j = 0; j < nlines && r.ok; ++j) {
+      WarmCacheLine l;
+      l.line = r.u64();
+      l.state = r.u8();
+      cache.push_back(l);
+    }
+    ws.caches.push_back(std::move(cache));
+  }
+  const std::uint64_t nattr = r.u64();
+  if (!r.fits(nattr, 8)) {
+    why = "attraction count exceeds payload";
+    return false;
+  }
+  ws.attraction.reserve(nattr);
+  for (std::uint64_t i = 0; i < nattr && r.ok; ++i) {
+    const std::uint64_t nlines = r.u64();
+    if (!r.fits(nlines, 17)) {
+      why = "attraction-line count exceeds payload";
+      return false;
+    }
+    std::vector<WarmAttractionLine> cluster;
+    cluster.reserve(nlines);
+    for (std::uint64_t j = 0; j < nlines && r.ok; ++j) {
+      WarmAttractionLine l;
+      l.line = r.u64();
+      l.proc_copies = r.u64();
+      l.cluster_exclusive = r.u8();
+      cluster.push_back(l);
+    }
+    ws.attraction.push_back(std::move(cluster));
+  }
+  if (!r.ok) {
+    why = "payload truncated mid-field";
+    return false;
+  }
+  if (r.pos != payload.size()) {
+    why = "trailing bytes after payload";
+    return false;
+  }
+  return true;
+}
+
+std::string digest_hex16(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+// In-process cache of decoded checkpoints, keyed by path and validated
+// against the file's size + mtime on every hit. Sweeps resume many rows
+// from the same checkpoint; re-reading and re-decoding the file per row
+// costs more than the whole fast-forward replay for small apps. External
+// modification (a new save, a corrupted file) changes the stat signature
+// and falls through to the real loader. Bounded: sweeps touch a handful of
+// warm digests at a time.
+struct WarmCacheSlot {
+  std::uintmax_t size = 0;
+  std::filesystem::file_time_type mtime;
+  std::shared_ptr<const WarmState> state;
+};
+std::mutex g_warm_cache_mu;                              // NOLINT
+std::unordered_map<std::string, WarmCacheSlot> g_warm_cache;  // NOLINT
+constexpr std::size_t kWarmCacheSlots = 8;
+
+void warm_cache_put(const std::string& path, const WarmState& ws) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return;
+  const std::lock_guard<std::mutex> lock(g_warm_cache_mu);
+  if (g_warm_cache.size() >= kWarmCacheSlots &&
+      g_warm_cache.find(path) == g_warm_cache.end()) {
+    g_warm_cache.clear();  // coarse but rare: sweeps reuse few digests
+  }
+  g_warm_cache[path] =
+      WarmCacheSlot{size, mtime, std::make_shared<const WarmState>(ws)};
+}
+
+std::shared_ptr<const WarmState> warm_cache_get(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return nullptr;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return nullptr;
+  const std::lock_guard<std::mutex> lock(g_warm_cache_mu);
+  const auto it = g_warm_cache.find(path);
+  if (it == g_warm_cache.end() || it->second.size != size ||
+      it->second.mtime != mtime) {
+    return nullptr;
+  }
+  return it->second.state;
+}
+
+}  // namespace
+
+std::string encode_warm_state(const WarmState& ws) {
+  const std::string payload = encode_payload(ws);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kMagic, 4);
+  put_u8(out, kVersion);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+WarmLoad decode_warm_state(std::string_view bytes,
+                           const std::string& origin) {
+  WarmLoad out;
+  const auto warn = [&](const std::string& what) {
+    out.warnings.push_back("warm-state: " + origin + ": " + what);
+  };
+  if (bytes.size() < kFrameHeaderBytes) {
+    warn("truncated frame header (checkpoint ignored)");
+    return out;
+  }
+  if (bytes.compare(0, 4, kMagic, 4) != 0) {
+    warn("bad magic (checkpoint ignored)");
+    return out;
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(bytes[4]);
+  Reader hdr{bytes.substr(5, 16)};
+  const std::uint64_t payload_len = hdr.u64();
+  const std::uint64_t payload_fnv = hdr.u64();
+  if (version != kVersion) {
+    warn("unsupported version " + std::to_string(version) +
+         " (checkpoint ignored)");
+    return out;
+  }
+  if (payload_len > kMaxPayloadBytes ||
+      payload_len != bytes.size() - kFrameHeaderBytes) {
+    warn("truncated record: declares " + std::to_string(payload_len) +
+         " payload bytes, " +
+         std::to_string(bytes.size() - kFrameHeaderBytes) +
+         " available (checkpoint ignored)");
+    return out;
+  }
+  const std::string_view payload = bytes.substr(kFrameHeaderBytes);
+  if (fnv1a(payload) != payload_fnv) {
+    warn("checksum mismatch (checkpoint ignored)");
+    return out;
+  }
+  WarmState ws;
+  std::string why;
+  if (!decode_payload(payload, ws, why)) {
+    warn(why + " (checkpoint ignored)");
+    return out;
+  }
+  out.state = std::move(ws);
+  return out;
+}
+
+std::string warm_state_path(const std::string& dir, std::uint64_t digest) {
+  return (std::filesystem::path(dir) / (digest_hex16(digest) + ".csc"))
+      .string();
+}
+
+void save_warm_state(const std::string& dir, const WarmState& ws) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("warm-state: cannot create " + dir + ": " +
+                             ec.message());
+  }
+  const std::string path = warm_state_path(dir, ws.warm_digest);
+  atomic_write_file(path, encode_warm_state(ws));
+  warm_cache_put(path, ws);
+}
+
+WarmLoad load_warm_state(const std::string& dir, std::uint64_t digest) {
+  WarmLoad out;
+  const std::string path = warm_state_path(dir, digest);
+  if (const std::shared_ptr<const WarmState> hit = warm_cache_get(path)) {
+    out.state = *hit;
+    return out;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;  // no checkpoint yet: not an error
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  out = decode_warm_state(bytes, path);
+  if (out.state && out.state->warm_digest != digest) {
+    out.warnings.push_back("warm-state: " + path +
+                           ": digest mismatch (checkpoint ignored)");
+    out.state.reset();
+  }
+  if (out.state) warm_cache_put(path, *out.state);
+  return out;
+}
+
+}  // namespace csim

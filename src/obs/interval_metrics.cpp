@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/core/atomic_file.hpp"
+#include "src/core/sampling.hpp"
 #include "src/core/stats.hpp"
 #include "src/mem/memory_system.hpp"
 
@@ -65,6 +66,15 @@ void IntervalSampler::on_run_begin(const RunBinding& b) {
   // Event-queue throughput.
   if (b.events_run != nullptr) {
     registry_.add("events", [n = b.events_run]() { return *n; });
+  }
+
+  // Interval-sampled runs: cumulative retired / detailed reference counts,
+  // so the warming <-> detail regime schedule is visible per interval.
+  if (b.sampling != nullptr) {
+    registry_.add("sampled_refs", [s = b.sampling]() { return s->refs(); });
+    registry_.add("detailed_refs", [s = b.sampling]() {
+      return s->detailed_refs_so_far();
+    });
   }
 
   // User-registered extras ride along.

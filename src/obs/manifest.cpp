@@ -123,6 +123,42 @@ std::uint64_t config_digest(const MachineSpec& cfg, std::string_view app,
   f.u64(cfg.contention.nic_busy);
   f.u64(cfg.page_bytes);
   f.u64(cfg.runahead_quantum);
+  // Appended only when sampling is on: every digest of an unsampled
+  // configuration hashes the exact byte stream it always has (the golden
+  // digest suite pins this), and journal entries from older builds stay
+  // valid cache hits.
+  if (cfg.sampling.enabled) {
+    f.byte(1);
+    f.u64(cfg.sampling.warmup_refs);
+    f.u64(cfg.sampling.detail_refs);
+    f.u64(cfg.sampling.period_refs);
+    f.u64(cfg.sampling.detail_at.size());
+    for (std::uint64_t at : cfg.sampling.detail_at) f.u64(at);
+    f.u64(cfg.sampling.warm_quantum);
+  }
+  return f.h;
+}
+
+std::uint64_t warm_config_digest(const MachineSpec& cfg, std::string_view app,
+                                 ProblemScale scale) {
+  Fnv f;
+  f.str(app);
+  f.byte(static_cast<std::uint8_t>(scale));
+  f.u64(cfg.num_procs);
+  f.u64(cfg.procs_per_cluster);
+  f.byte(static_cast<std::uint8_t>(cfg.cluster_style));
+  f.u64(cfg.cache.per_proc_bytes);
+  f.u64(cfg.cache.line_bytes);
+  f.u64(cfg.cache.associativity);
+  f.u64(cfg.page_bytes);
+  f.u64(cfg.hit_latency);
+  f.byte(cfg.model_shared_hit_costs ? 1 : 0);
+  f.u64(cfg.banks_per_proc);
+  f.u64(cfg.sampling.warm_quantum);
+  // The effective warmup boundary: explicit detail_at points override the
+  // periodic schedule, so the first of them is where warming ends.
+  f.u64(cfg.sampling.detail_at.empty() ? cfg.sampling.warmup_refs
+                                       : cfg.sampling.detail_at[0]);
   return f.h;
 }
 
@@ -151,6 +187,12 @@ std::uint64_t result_digest(const SimResult& r) {
   for (const TimeBuckets& b : r.per_proc) hash_buckets(f, b);
   f.u64(r.per_cluster.size());
   for (const MissCounters& c : r.per_cluster) hash_counters(f, c);
+  // Appended only for sampled rows: unsampled results hash the exact byte
+  // stream they always have (golden digests unchanged).
+  if (r.sampled) {
+    f.byte(1);
+    f.u64(r.detailed_refs);
+  }
   return f.h;
 }
 
@@ -172,7 +214,7 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
                         const std::vector<SimResult>& rows,
                         std::time_t generated_unix) {
   os << "{\n";
-  os << "  \"schema\": \"csim.run_manifest/1\",\n";
+  os << "  \"schema\": \"csim.run_manifest/3\",\n";
   os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
   os << "  \"git\": \"" << json_escape(std::string(git_describe()))
      << "\",\n";
@@ -194,6 +236,12 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
     if (r.ok) {
       os << "     \"wall_time\": " << r.wall_time
          << ", \"events\": " << r.events;
+      if (r.sampled) {
+        char cov[32];
+        std::snprintf(cov, sizeof cov, "%.6f", r.coverage);
+        os << ", \"sampled\": true, \"coverage\": " << cov
+           << ", \"detailed_refs\": " << r.detailed_refs;
+      }
     } else {
       os << "     \"error_kind\": \"" << json_escape(r.error_kind) << "\"";
     }
@@ -219,7 +267,7 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
                         const SweepResult& sweep, std::time_t generated_unix) {
   const std::vector<SimResult>& rows = sweep.rows;
   os << "{\n";
-  os << "  \"schema\": \"csim.run_manifest/2\",\n";
+  os << "  \"schema\": \"csim.run_manifest/4\",\n";
   os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
   os << "  \"git\": \"" << json_escape(std::string(git_describe()))
      << "\",\n";
@@ -241,6 +289,12 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
     if (r.ok) {
       os << "     \"wall_time\": " << r.wall_time
          << ", \"events\": " << r.events;
+      if (r.sampled) {
+        char cov[32];
+        std::snprintf(cov, sizeof cov, "%.6f", r.coverage);
+        os << ", \"sampled\": true, \"coverage\": " << cov
+           << ", \"detailed_refs\": " << r.detailed_refs;
+      }
     } else {
       os << "     \"error_kind\": \"" << json_escape(r.error_kind) << "\"";
     }

@@ -43,6 +43,18 @@ namespace csim::obs {
                                           std::string_view app,
                                           ProblemScale scale);
 
+/// FNV-1a 64-bit digest of a sampled row's *warmup identity*: the
+/// application, scale, and every knob that determines the memory state and
+/// processor clocks at the warmup boundary (topology, cache geometry, page
+/// size, hit latency, warm quantum, and the boundary reference count). Knobs
+/// that only matter inside detailed intervals — the latency model, the
+/// contention model, the detailed runahead quantum, interval placement past
+/// the first boundary — are excluded, so one warm-state checkpoint
+/// (src/mem/warm_state.hpp) serves every row of a latency/contention sweep.
+[[nodiscard]] std::uint64_t warm_config_digest(const MachineSpec& cfg,
+                                               std::string_view app,
+                                               ProblemScale scale);
+
 /// Digest of a whole sweep: FNV-1a over the row digests, in order.
 [[nodiscard]] std::uint64_t sweep_digest(const std::vector<SimResult>& rows);
 

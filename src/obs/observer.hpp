@@ -34,6 +34,7 @@ struct TimeBuckets;
 class MemorySystem;
 class Barrier;
 class Lock;
+class SamplingController;
 
 class Observer {
  public:
@@ -51,6 +52,8 @@ class Observer {
     std::vector<const TimeBuckets*> proc_buckets;
     /// Cumulative events dispatched, from the event queue.
     const std::uint64_t* events_run = nullptr;
+    /// The run's sampling controller; null on unsampled runs.
+    const SamplingController* sampling = nullptr;
   };
 
   virtual ~Observer() = default;

@@ -50,7 +50,17 @@ const char* ObsArgs::usage() {
          "  --retries N           retry rows failing with a retryable error\n"
          "                        (timeout, transient) up to N extra times\n"
          "  --fault-plan FILE     inject deterministic row faults from FILE\n"
-         "                        (testing; see src/report/fault_injection.hpp)\n";
+         "                        (testing; see src/report/fault_injection.hpp)\n"
+         "  --sample W,D,P        interval sampling: functionally warm W refs,\n"
+         "                        then measure D refs every P refs (P 0 = one\n"
+         "                        interval; miss counters stay exact)\n"
+         "  --ckpt-dir DIR        reuse warm-state checkpoints in DIR across\n"
+         "                        rows/runs sharing a warm digest (requires\n"
+         "                        --sample)\n"
+         "  --warm-quantum N      runahead quantum during functional warming\n"
+         "                        (default 4096; larger is faster but\n"
+         "                        coarsens warm state, and re-keys\n"
+         "                        checkpoints; requires --sample)\n";
 }
 
 bool ObsArgs::consume(int argc, char** argv, int& i) {
@@ -102,6 +112,30 @@ bool ObsArgs::consume(int argc, char** argv, int& i) {
   } else if (a == "--fault-plan") {
     fault_plan = std::make_shared<const FaultPlan>(
         FaultPlan::parse_file(next()));
+  } else if (a == "--sample") {
+    const std::string val = next();
+    std::stringstream ss(val);
+    std::string item;
+    std::uint64_t* fields[] = {&sampling.warmup_refs, &sampling.detail_refs,
+                               &sampling.period_refs};
+    unsigned n = 0;
+    while (std::getline(ss, item, ',')) {
+      if (n >= 3) throw ConfigError("--sample: expected WARMUP,DETAIL,PERIOD");
+      *fields[n++] = parse_u64(a, item);
+    }
+    if (n != 3) throw ConfigError("--sample: expected WARMUP,DETAIL,PERIOD");
+    sampling.enabled = true;
+  } else if (a == "--ckpt-dir") {
+    policy.checkpoint_dir = next();
+    if (policy.checkpoint_dir.empty()) {
+      throw ConfigError("--ckpt-dir requires a non-empty directory");
+    }
+  } else if (a == "--warm-quantum") {
+    sampling.warm_quantum = parse_u64(a, next());
+    if (sampling.warm_quantum == 0) {
+      throw ConfigError("--warm-quantum must be > 0");
+    }
+    warm_quantum_set = true;
   } else {
     return false;
   }
@@ -112,8 +146,17 @@ void ObsArgs::apply(SweepRequest& req) const {
   if (policy.resume && policy.journal_dir.empty()) {
     throw ConfigError("--resume requires --journal-dir");
   }
+  if (!policy.checkpoint_dir.empty() && !sampling.enabled) {
+    throw ConfigError("--ckpt-dir requires --sample");
+  }
+  if (warm_quantum_set && !sampling.enabled) {
+    throw ConfigError("--warm-quantum requires --sample");
+  }
   req.policy = policy;
   req.policy.faults = fault_plan ? fault_plan.get() : nullptr;
+  if (sampling.enabled) {
+    for (MachineSpec& cfg : req.configs) cfg.sampling = sampling;
+  }
 }
 
 ObserverFactory ObsArgs::observer_factory(std::size_t rows) const {

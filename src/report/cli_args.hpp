@@ -33,12 +33,18 @@ double parse_f64(const std::string& flag, const std::string& val);
 ///   --row-deadline S      per-row host wall-clock budget, seconds
 ///   --retries N           retry retryable row failures up to N times
 ///   --fault-plan FILE     deterministic fault injection plan (testing)
+///   --sample W,D,P        interval sampling: warm W refs, then measure D
+///                         refs every P refs (P 0 = one interval)
+///   --ckpt-dir DIR        warm-state checkpoints (requires --sample)
+///   --warm-quantum N      warming runahead quantum (requires --sample)
 struct ObsArgs {
   std::string trace_out;
   Cycles metrics_interval = 0;
   std::string metrics_out = "metrics";
   std::string manifest_out;
   ContentionSpec contention{};  ///< .enabled set by --contention
+  SamplingSpec sampling{};      ///< .enabled set by --sample
+  bool warm_quantum_set = false;  ///< --warm-quantum given (needs --sample)
   SweepPolicy policy{};         ///< journal / deadline / retry knobs
   /// Owns the parsed --fault-plan; policy.faults points at it (apply()).
   std::shared_ptr<const FaultPlan> fault_plan;

@@ -14,6 +14,7 @@
 #include <ostream>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/core/error.hpp"
 #include "src/obs/manifest.hpp"
@@ -68,9 +69,17 @@ SweepResult run_sweep(const SweepRequest& req) {
   // once. A throwing factory falls back to the pre-policy behaviour — every
   // row fails individually with the factory's diagnostic, nothing crashes.
   // With the default policy the probe is skipped entirely (zero overhead).
+  // Checkpoint grouping needs the identity too (warm_config_digest hashes
+  // the app name and scale), whether the directory comes from the policy or
+  // from the row specs themselves.
+  const bool rows_checkpoint = std::any_of(
+      configs.begin(), configs.end(), [](const MachineSpec& c) {
+        return c.sampling.enabled && !c.sampling.checkpoint_dir.empty();
+      });
   const bool policy_active = !pol.journal_dir.empty() ||
                              pol.faults != nullptr ||
-                             pol.row_deadline_seconds > 0;
+                             pol.row_deadline_seconds > 0 ||
+                             !pol.checkpoint_dir.empty() || rows_checkpoint;
   std::string app_name;
   ProblemScale app_scale = ProblemScale::Default;
   bool have_identity = false;
@@ -168,6 +177,9 @@ SweepResult run_sweep(const SweepRequest& req) {
             std::chrono::duration<double>(fault->stall_seconds));
       }
       MachineSpec row_cfg = cfg;
+      if (row_cfg.sampling.enabled && row_cfg.sampling.checkpoint_dir.empty()) {
+        row_cfg.sampling.checkpoint_dir = pol.checkpoint_dir;
+      }
       if (pol.row_deadline_seconds > 0) {
         const double remaining = pol.row_deadline_seconds - elapsed_seconds();
         if (remaining <= 0) {
@@ -289,6 +301,34 @@ SweepResult run_sweep(const SweepRequest& req) {
   }
   if (pending.empty()) return res;
 
+  // Warm-state checkpoint grouping: rows sharing a warm_config_digest share
+  // one warmup. The first row of each digest group (the leader) runs in the
+  // first wave, warming in-process and writing the checkpoint; the remaining
+  // rows run in the second wave and fast-forward from it. Without
+  // checkpointing every row is a wave-1 "leader" and the schedule is exactly
+  // the old single-wave sweep.
+  std::vector<std::size_t> wave1;
+  std::vector<std::size_t> wave2;
+  wave1.reserve(pending.size());
+  if (have_identity) {
+    std::unordered_set<std::uint64_t> group_leaders;
+    for (std::size_t i : pending) {
+      const MachineSpec& cfg = configs[i];
+      const bool ckpt = cfg.sampling.enabled &&
+                        (!cfg.sampling.checkpoint_dir.empty() ||
+                         !pol.checkpoint_dir.empty());
+      if (!ckpt) {
+        wave1.push_back(i);
+        continue;
+      }
+      const std::uint64_t wd =
+          obs::warm_config_digest(cfg, app_name, app_scale);
+      (group_leaders.insert(wd).second ? wave1 : wave2).push_back(i);
+    }
+  } else {
+    wave1 = pending;
+  }
+
   // Bounded worker pool: large sweeps (org_comparison runs 9 apps x 4
   // cluster sizes x 2 organizations) previously spawned one thread per
   // configuration. Workers claim the next unstarted configuration from a
@@ -296,25 +336,30 @@ SweepResult run_sweep(const SweepRequest& req) {
   // single-threaded and deterministic) run at once and a long run steals no
   // capacity from the short ones queued behind it.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(hw, pending.size()));
-  if (workers <= 1) {
-    for (std::size_t i : pending) run_one(i);
-    return res;
-  }
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= pending.size()) return;
-      run_one(pending[k]);
+  const auto run_wave = [&](const std::vector<std::size_t>& wave) {
+    if (wave.empty()) return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(hw, wave.size()));
+    if (workers <= 1) {
+      for (std::size_t i : wave) run_one(i);
+      return;
     }
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      while (true) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= wave.size()) return;
+        run_one(wave[k]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+    worker();  // the calling thread participates
+    for (auto& t : pool) t.join();
   };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();  // the calling thread participates
-  for (auto& t : pool) t.join();
+  run_wave(wave1);
+  run_wave(wave2);
   return res;
 }
 
@@ -389,7 +434,16 @@ namespace {
 constexpr const char* kCsvColumns =
     "app,scale,procs,ppc,cache_kb,wall,cpu,load,merge,sync,contention,"
     "reads,writes,read_misses,write_misses,upgrades,merges,cold,"
-    "invalidations,bank_conflicts,bank_wait,dir_wait,nic_wait";
+    "invalidations,bank_conflicts,bank_wait,dir_wait,nic_wait,"
+    "sampled,coverage,wall_seconds,sim_refs_per_sec";
+
+/// Simulated references per host second (reads + writes over wall seconds);
+/// 0 when no host time was recorded (e.g. synthetic test rows).
+double refs_per_sec(const SimResult& r) {
+  if (r.host_seconds <= 0) return 0;
+  return static_cast<double>(r.totals.reads + r.totals.writes) /
+         r.host_seconds;
+}
 
 /// The shared row body of both write_csv overloads (no trailing newline).
 void write_csv_row(std::ostream& os, const SimResult& r) {
@@ -404,6 +458,13 @@ void write_csv_row(std::ostream& os, const SimResult& r) {
      << r.totals.cold_misses << ',' << r.totals.invalidations << ','
      << r.totals.bank_conflicts << ',' << r.totals.bank_wait_cycles << ','
      << r.totals.dir_wait_cycles << ',' << r.totals.nic_wait_cycles;
+  // Sampling provenance + per-row throughput. host_seconds round-trips
+  // through the journal bit-exactly (bit_cast), so a resumed sweep's CSV
+  // stays byte-identical to an uninterrupted run's.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ",%d,%.6f,%.6f,%.1f", r.sampled ? 1 : 0,
+                r.coverage, r.host_seconds, refs_per_sec(r));
+  os << buf;
 }
 
 }  // namespace
@@ -443,8 +504,16 @@ std::size_t write_outcomes(std::ostream& os, const SweepResult& sweep) {
     os << obs::digest_hex(o.config_digest) << ' '
        << (r.app_name.empty() ? std::string("?") : r.app_name) << " ["
        << r.config.label() << "] " << to_string(o.status)
-       << " attempts=" << o.attempts << (o.from_journal ? " (journal)" : "")
-       << '\n';
+       << " attempts=" << o.attempts << (o.from_journal ? " (journal)" : "");
+    char buf[80];
+    std::snprintf(buf, sizeof buf, " wall=%.3fs refs/s=%.0f", r.host_seconds,
+                  refs_per_sec(r));
+    os << buf;
+    if (r.sampled) {
+      std::snprintf(buf, sizeof buf, " sampled coverage=%.3f", r.coverage);
+      os << buf;
+    }
+    os << '\n';
   }
   for (const std::string& w : sweep.journal_warnings) {
     os << "warning: " << w << '\n';

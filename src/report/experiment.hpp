@@ -65,6 +65,13 @@ struct SweepPolicy {
   /// Deterministic fault injection (tests and the --fault-plan flag); the
   /// plan must outlive the sweep. Null = no faults.
   const FaultPlan* faults = nullptr;
+  /// Warm-state checkpoint directory for interval-sampled rows
+  /// (src/mem/warm_state.hpp). When set, every sampled row whose spec has no
+  /// checkpoint_dir of its own gets this one, and the sweep schedules rows in
+  /// two waves grouped by warm_config_digest: the first row of each group
+  /// warms in-process and writes the checkpoint, the rest fast-forward from
+  /// it. Empty = no checkpointing (rows still sample if their specs say so).
+  std::string checkpoint_dir;
 };
 
 /// Declarative description of one sweep: a fresh app per row (programs are

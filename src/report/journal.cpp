@@ -16,7 +16,10 @@ namespace csim {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'S', 'J', 'L'};
-constexpr std::uint8_t kVersion = 1;
+// Version 2 appends the interval-sampling provenance fields (sampled,
+// coverage, detailed_refs). Version-1 files decode with those fields zero.
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kMinVersion = 1;
 // magic(4) + version(1) + payload_len(8) + payload_fnv(8)
 constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8 + 8;
 // A record payload can't meaningfully exceed this (4096 procs of buckets is
@@ -151,12 +154,16 @@ std::string encode_payload(const JournalRecord& rec) {
   for (const TimeBuckets& b : rec.per_proc) put_buckets(p, b);
   put_u64(p, rec.per_cluster.size());
   for (const MissCounters& c : rec.per_cluster) put_counters(p, c);
+  // Version 2: interval-sampling provenance.
+  put_u8(p, rec.sampled ? 1 : 0);
+  put_u64(p, std::bit_cast<std::uint64_t>(rec.coverage));
+  put_u64(p, rec.detailed_refs);
   return p;
 }
 
 /// Decodes one payload; returns false (with `why`) on structural damage.
-bool decode_payload(std::string_view payload, JournalRecord& rec,
-                    std::string& why) {
+bool decode_payload(std::string_view payload, std::uint8_t version,
+                    JournalRecord& rec, std::string& why) {
   Reader r{payload};
   rec.config_digest = r.u64();
   rec.result_digest = r.u64();
@@ -187,6 +194,11 @@ bool decode_payload(std::string_view payload, JournalRecord& rec,
   rec.per_cluster.reserve(nclust);
   for (std::uint64_t i = 0; i < nclust && r.ok; ++i) {
     rec.per_cluster.push_back(r.counters());
+  }
+  if (version >= 2) {
+    rec.sampled = r.u8() != 0;
+    rec.coverage = std::bit_cast<double>(r.u64());
+    rec.detailed_refs = r.u64();
   }
   if (!r.ok) {
     why = "payload truncated mid-field";
@@ -239,7 +251,7 @@ JournalLoad decode_journal_records(std::string_view bytes,
     Reader hdr{bytes.substr(pos + 5, 16)};
     const std::uint64_t payload_len = hdr.u64();
     const std::uint64_t payload_fnv = hdr.u64();
-    if (version != kVersion) {
+    if (version < kMinVersion || version > kVersion) {
       warn("unsupported version " + std::to_string(version) +
            " (rest of file skipped)");
       return out;
@@ -261,7 +273,7 @@ JournalLoad decode_journal_records(std::string_view bytes,
     }
     JournalRecord rec;
     std::string why;
-    if (!decode_payload(payload, rec, why)) {
+    if (!decode_payload(payload, version, rec, why)) {
       warn(why + " (record skipped)");
       continue;
     }
@@ -345,6 +357,9 @@ JournalRecord journal_record_from_result(const SimResult& r,
   rec.events = r.events;
   rec.host_seconds = r.host_seconds;
   rec.attempts = attempts;
+  rec.sampled = r.sampled;
+  rec.coverage = r.coverage;
+  rec.detailed_refs = r.detailed_refs;
   rec.totals = r.totals;
   rec.per_proc = r.per_proc;
   rec.per_cluster = r.per_cluster;
@@ -360,6 +375,9 @@ SimResult journal_record_to_result(const JournalRecord& rec,
   r.wall_time = rec.wall_time;
   r.events = rec.events;
   r.host_seconds = rec.host_seconds;
+  r.sampled = rec.sampled;
+  r.coverage = rec.coverage;
+  r.detailed_refs = rec.detailed_refs;
   r.per_proc = rec.per_proc;
   r.per_cluster = rec.per_cluster;
   r.totals = rec.totals;

@@ -38,6 +38,12 @@ struct JournalRecord {
   std::uint64_t events = 0;
   double host_seconds = 0;
   std::uint32_t attempts = 1;
+  /// Interval-sampling provenance (version 2): whether the row's timing was
+  /// extrapolated, from what fraction of references, over how many detailed
+  /// references. All zero for unsampled rows.
+  bool sampled = false;
+  double coverage = 0;
+  std::uint64_t detailed_refs = 0;
   MissCounters totals{};
   std::vector<TimeBuckets> per_proc;
   std::vector<MissCounters> per_cluster;

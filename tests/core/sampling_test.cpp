@@ -1,0 +1,334 @@
+// Interval-sampled simulation (src/core/sampling.hpp): spec validation, the
+// exactness guarantees (reference counts and cold misses are identical to
+// full simulation by construction), the accuracy envelope of the
+// extrapolated statistics across all nine applications and both cluster
+// organizations, scheduling via explicit detail_at points, and the host
+// watchdogs firing inside the functional-warming retirement loop.
+//
+// Tolerances are pinned from a measured sweep at this exact configuration
+// (16 procs, ppc 4, 4 KB caches, Test scale, sample(4096, 4096, 16384),
+// coverage ~0.25). Test-scale runs are far below the sampling design point
+// (the issue targets 4-8x Default scale), so the envelope is generous where
+// small denominators make relative error noisy; the exact-equality checks
+// are the real regression tripwire.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/core/error.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/simulator.hpp"
+#include "src/obs/manifest.hpp"
+
+namespace csim {
+namespace {
+
+MachineSpec base_spec(ClusterStyle style) {
+  return MachineSpecBuilder{}
+      .procs(16)
+      .procs_per_cluster(4)
+      .style(style)
+      .cache_kb(4)
+      .build();
+}
+
+SimResult run(const std::string& app, const MachineSpec& cfg) {
+  const std::unique_ptr<Program> prog = make_app(app, ProblemScale::Test);
+  return simulate(*prog, cfg);
+}
+
+/// |a - b| / max(b, 1): relative error with a unit floor so zero-valued
+/// baselines compare by absolute difference.
+double rel(double a, double b) {
+  return std::fabs(a - b) / std::max(b, 1.0);
+}
+
+TEST(SamplingSpec, ValidationRejectsInconsistentSchedules) {
+  const auto with = [](const SamplingSpec& s) {
+    MachineSpecBuilder b;
+    b.procs(16).procs_per_cluster(4).sampling(s);
+    return b.build();
+  };
+  SamplingSpec s;
+  s.enabled = true;
+
+  SamplingSpec quantum = s;
+  quantum.warm_quantum = 0;
+  EXPECT_THROW(with(quantum), ConfigError);
+
+  SamplingSpec overlap = s;
+  overlap.detail_refs = 1000;
+  overlap.period_refs = 500;  // intervals would overlap
+  EXPECT_THROW(with(overlap), ConfigError);
+
+  SamplingSpec to_end = s;
+  to_end.detail_refs = 0;  // "detailed to end" admits one start point only
+  to_end.detail_at = {100, 200};
+  EXPECT_THROW(with(to_end), ConfigError);
+
+  SamplingSpec early = s;
+  early.warmup_refs = 1000;
+  early.detail_at = {500};  // before the warmup boundary
+  EXPECT_THROW(with(early), ConfigError);
+
+  SamplingSpec cramped = s;
+  cramped.detail_refs = 1000;
+  cramped.detail_at = {2000, 2500};  // gap smaller than an interval
+  EXPECT_THROW(with(cramped), ConfigError);
+
+  SamplingSpec cold_ckpt = s;
+  cold_ckpt.checkpoint_dir = "/tmp/nowhere";  // nothing to checkpoint
+  EXPECT_THROW(with(cold_ckpt), ConfigError);
+
+  // The canonical periodic schedule passes.
+  SamplingSpec good = s;
+  good.warmup_refs = 4096;
+  good.detail_refs = 4096;
+  good.period_refs = 16384;
+  EXPECT_NO_THROW(with(good));
+}
+
+TEST(Sampling, OffByDefaultAndResultFlagsFollowTheSpec) {
+  const MachineSpec plain = base_spec(ClusterStyle::SharedCache);
+  EXPECT_FALSE(plain.sampling.enabled);
+  const SimResult full = run("fft", plain);
+  EXPECT_FALSE(full.sampled);
+  EXPECT_EQ(full.detailed_refs, 0u);
+  EXPECT_EQ(full.coverage, 0.0);
+
+  const MachineSpec cfg = MachineSpecBuilder{base_spec(ClusterStyle::SharedCache)}
+                              .sample(4096, 4096, 16384)
+                              .build();
+  const SimResult sampled = run("fft", cfg);
+  EXPECT_TRUE(sampled.sampled);
+  EXPECT_GT(sampled.detailed_refs, 0u);
+  EXPECT_GT(sampled.coverage, 0.0);
+  EXPECT_LE(sampled.coverage, 1.0);
+}
+
+TEST(Sampling, ReferenceCountsAndColdMissesAreExact) {
+  for (const ClusterStyle style :
+       {ClusterStyle::SharedCache, ClusterStyle::SharedMemory}) {
+    const MachineSpec plain = base_spec(style);
+    const MachineSpec cfg =
+        MachineSpecBuilder{plain}.sample(4096, 4096, 16384).build();
+    const SimResult full = run("fft", plain);
+    const SimResult sampled = run("fft", cfg);
+    ASSERT_TRUE(full.ok);
+    ASSERT_TRUE(sampled.ok);
+    // fft's miss behaviour is timing-independent at this configuration, so
+    // the whole taxonomy lands exactly (measured, both organizations).
+    EXPECT_EQ(sampled.totals.reads, full.totals.reads);
+    EXPECT_EQ(sampled.totals.writes, full.totals.writes);
+    EXPECT_EQ(sampled.totals.cold_misses, full.totals.cold_misses);
+    EXPECT_EQ(sampled.totals.read_misses, full.totals.read_misses);
+    EXPECT_EQ(sampled.totals.write_misses, full.totals.write_misses);
+    EXPECT_EQ(sampled.totals.upgrade_misses, full.totals.upgrade_misses);
+  }
+}
+
+TEST(Sampling, AccuracyEnvelopeAllAppsBothOrganizations) {
+  for (const std::string& app : app_names()) {
+    for (const ClusterStyle style :
+         {ClusterStyle::SharedCache, ClusterStyle::SharedMemory}) {
+      SCOPED_TRACE(app + (style == ClusterStyle::SharedCache ? "/sc" : "/sm"));
+      const MachineSpec plain = base_spec(style);
+      const MachineSpec cfg =
+          MachineSpecBuilder{plain}.sample(4096, 4096, 16384).build();
+      const SimResult full = run(app, plain);
+      const SimResult sampled = run(app, cfg);
+      ASSERT_TRUE(full.ok);
+      ASSERT_TRUE(sampled.ok);
+      ASSERT_TRUE(sampled.sampled);
+
+      // Near-exact by construction: warming retires the same reference
+      // stream against the same cache state. The only slack is apps that
+      // poll shared flags (mp3d), whose spin counts depend on interleaving
+      // -- measured at most one reference of drift.
+      EXPECT_LE(std::llabs(static_cast<long long>(sampled.totals.reads) -
+                           static_cast<long long>(full.totals.reads)),
+                4);
+      EXPECT_LE(std::llabs(static_cast<long long>(sampled.totals.writes) -
+                           static_cast<long long>(full.totals.writes)),
+                4);
+      EXPECT_EQ(sampled.totals.cold_misses, full.totals.cold_misses);
+
+      // Miss taxonomy: warming has no outstanding fills, so it can never
+      // merge or split requests the detailed run would, which perturbs the
+      // miss mix slightly. Measured worst cases at this configuration:
+      // read_misses 9.6% (ocean), combined misses 6.7% -- except radix,
+      // whose permutation phase is merge-heavy at Test scale (48%).
+      const auto combined = [](const MissCounters& c) {
+        return static_cast<double>(c.read_misses + c.write_misses +
+                                   c.upgrade_misses);
+      };
+      EXPECT_LE(rel(static_cast<double>(sampled.totals.read_misses),
+                    static_cast<double>(full.totals.read_misses)),
+                0.20);
+      EXPECT_LE(rel(combined(sampled.totals), combined(full.totals)),
+                app == "radix" ? 0.55 : 0.15);
+
+      // Extrapolated time: cpu cycles scale almost linearly with references
+      // (measured worst 19%); wall time absorbs all the load-imbalance and
+      // synchronization noise an interval sample cannot see (worst 49%).
+      EXPECT_LE(rel(static_cast<double>(sampled.aggregate().cpu),
+                    static_cast<double>(full.aggregate().cpu)),
+                0.30);
+      EXPECT_LE(rel(static_cast<double>(sampled.wall_time),
+                    static_cast<double>(full.wall_time)),
+                0.65);
+
+      // Final-barrier accounting survives extrapolation: the sync padding
+      // keeps every processor's bucket total equal to the wall time.
+      EXPECT_EQ(sampled.aggregate().total(),
+                static_cast<std::uint64_t>(sampled.config.num_procs) *
+                    sampled.wall_time);
+    }
+  }
+}
+
+TEST(Sampling, PaperRowAccuracyEnvelope) {
+  // The accuracy half of the perf-baseline speedup claim (bench/perf_micro
+  // --json, the `_paper/sampled` rows): paper problem sizes, 64 procs,
+  // ppc 8, 16 KB caches, warmup to all-but-1/64 of the run, one
+  // 16K-reference detailed tail, 256K-cycle warming quantum. Every run here
+  // is deterministic, so the bounds are measured values plus headroom, not
+  // statistical tolerances. mp3d is excluded by design: its write-sharing
+  // ping-pong collapses under coarse warming (write-miss error ~1.0 at this
+  // quantum), which is why it is not a perf row.
+  struct Row {
+    const char* app;
+    ClusterStyle style;
+  };
+  constexpr Row rows[] = {
+      {"fmm", ClusterStyle::SharedCache},
+      {"fmm", ClusterStyle::SharedMemory},
+      {"ocean", ClusterStyle::SharedCache},
+  };
+  for (const Row& row : rows) {
+    SCOPED_TRACE(std::string(row.app) +
+                 (row.style == ClusterStyle::SharedCache ? "/sc" : "/sm"));
+    const MachineSpec plain = MachineSpecBuilder{}
+                                  .procs(64)
+                                  .procs_per_cluster(8)
+                                  .style(row.style)
+                                  .cache_kb(16)
+                                  .build();
+    const std::unique_ptr<Program> full_prog =
+        make_app(row.app, ProblemScale::Paper);
+    const SimResult full = simulate(*full_prog, plain);
+    ASSERT_TRUE(full.ok);
+    const std::uint64_t total = full.totals.reads + full.totals.writes;
+
+    const MachineSpec cfg = MachineSpecBuilder{plain}
+                                .sample(total - total / 128, 16384, 0)
+                                .warm_quantum(Cycles{1} << 18)
+                                .build();
+    const std::unique_ptr<Program> prog =
+        make_app(row.app, ProblemScale::Paper);
+    const SimResult sampled = simulate(*prog, cfg);
+    ASSERT_TRUE(sampled.ok);
+    ASSERT_TRUE(sampled.sampled);
+    EXPECT_LT(sampled.coverage, 0.02);
+
+    // Reference counts are exact up to extrapolation rounding (measured
+    // rel error < 1e-4) and cold misses exactly equal: warming touches the
+    // same lines the detailed run would.
+    EXPECT_LE(
+        rel(static_cast<double>(sampled.totals.reads + sampled.totals.writes),
+            static_cast<double>(total)),
+        1e-3);
+    EXPECT_EQ(sampled.totals.cold_misses, full.totals.cold_misses);
+
+    // Miss taxonomy at this configuration, measured worst cases: read
+    // misses 13.6% (fmm/sm), combined misses 10.0%.
+    const auto combined = [](const MissCounters& c) {
+      return static_cast<double>(c.read_misses + c.write_misses +
+                                 c.upgrade_misses);
+    };
+    EXPECT_LE(rel(static_cast<double>(sampled.totals.read_misses),
+                  static_cast<double>(full.totals.read_misses)),
+              0.20);
+    EXPECT_LE(rel(combined(sampled.totals), combined(full.totals)), 0.15);
+  }
+}
+
+TEST(Sampling, DetailAtPointsMatchTheEquivalentPeriodicSchedule) {
+  // detail_at = {N} with detail_refs == 0 is "warm to N, then detailed to
+  // the end" -- exactly what warmup_refs = N with no period expresses. The
+  // two spellings must land the same simulation bit for bit.
+  const MachineSpec base = base_spec(ClusterStyle::SharedCache);
+  const MachineSpec periodic = MachineSpecBuilder{base}.sample(1024, 0).build();
+  SamplingSpec at;
+  at.enabled = true;
+  at.detail_at = {1024};
+  const MachineSpec pointed = MachineSpecBuilder{base}.sampling(at).build();
+  const SimResult a = run("fft", periodic);
+  const SimResult b = run("fft", pointed);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(obs::result_digest(a), obs::result_digest(b));
+  EXPECT_EQ(a.wall_time, b.wall_time);
+  EXPECT_EQ(a.detailed_refs, b.detailed_refs);
+}
+
+TEST(Sampling, RunEndingInsideWarmupReportsZeroCoverage) {
+  // Warmup longer than the whole program: no detailed interval ever opens.
+  // The run still completes with exact counters, flags itself sampled, and
+  // keeps the raw (unscaled) warming buckets.
+  const MachineSpec cfg =
+      MachineSpecBuilder{base_spec(ClusterStyle::SharedCache)}
+          .sample(std::uint64_t{1} << 40, 4096, 0)
+          .build();
+  const SimResult r = run("fft", cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.sampled);
+  EXPECT_EQ(r.detailed_refs, 0u);
+  EXPECT_EQ(r.coverage, 0.0);
+  EXPECT_GT(r.totals.reads, 0u);
+}
+
+TEST(Sampling, StalledWarmupTripsTheHostDeadline) {
+  // A wedged or interminable warmup must fail fast: the deadline is polled
+  // inside the warming retirement loop, not only in the event queue drive
+  // loop (which warming never enters).
+  const MachineSpec cfg =
+      MachineSpecBuilder{base_spec(ClusterStyle::SharedCache)}
+          .sample(std::uint64_t{1} << 40, 0)
+          .max_host_seconds(1e-9)
+          .build();
+  try {
+    run("fft", cfg);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("during functional warming"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Sampling, StalledWarmupTripsTheCycleBudget) {
+  // Warming still pumps the event queue (quantum slices), so the generic
+  // cycle watchdog covers it too: a warmup that never reaches its boundary
+  // cannot spin forever.
+  const MachineSpec cfg =
+      MachineSpecBuilder{base_spec(ClusterStyle::SharedCache)}
+          .sample(std::uint64_t{1} << 40, 0)
+          .max_cycles(64)
+          .build();
+  try {
+    run("fft", cfg);
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_cycles"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace csim

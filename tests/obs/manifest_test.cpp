@@ -88,7 +88,7 @@ TEST(RunManifest, ManifestJsonIsByteStableAndParses) {
   EXPECT_EQ(s1, s2) << "manifest must be byte-stable modulo host time";
 
   const testjson::Value doc = testjson::parse(os1.str());
-  EXPECT_EQ(doc.at("schema").str, "csim.run_manifest/1");
+  EXPECT_EQ(doc.at("schema").str, "csim.run_manifest/3");
   EXPECT_EQ(doc.at("tool").str, "test_tool");
   EXPECT_EQ(doc.at("git").str, std::string(obs::git_describe()));
   EXPECT_EQ(doc.at("generated_unix").number, 1700000000.0);

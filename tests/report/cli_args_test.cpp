@@ -162,6 +162,41 @@ TEST(ObsArgs, FaultPlanFlagRejectsMissingFile) {
   EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
 }
 
+TEST(ObsArgs, ConsumesTheSamplingFlags) {
+  const ObsArgs o = parse_all({"--sample", "4096,4096,16384", "--ckpt-dir",
+                               "ckpts", "--warm-quantum", "262144"});
+  EXPECT_TRUE(o.sampling.enabled);
+  EXPECT_EQ(o.sampling.warmup_refs, 4096u);
+  EXPECT_EQ(o.sampling.detail_refs, 4096u);
+  EXPECT_EQ(o.sampling.period_refs, 16384u);
+  EXPECT_EQ(o.sampling.warm_quantum, 262144u);
+  EXPECT_EQ(o.policy.checkpoint_dir, "ckpts");
+}
+
+TEST(ObsArgs, SamplingFlagsValidateTheirCombinations) {
+  // --ckpt-dir and --warm-quantum both modify sampled runs only, so alone
+  // they would be silently dead flags; apply() rejects the combination.
+  for (const std::vector<const char*>& args :
+       {std::vector<const char*>{"--ckpt-dir", "ckpts"},
+        std::vector<const char*>{"--warm-quantum", "65536"}}) {
+    const ObsArgs o = parse_all(args);
+    SweepRequest req;
+    EXPECT_THROW(o.apply(req), ConfigError) << args[0];
+  }
+  {
+    ObsArgs o;
+    const char* argv[] = {"tool", "--sample", "4096,4096"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+  {
+    ObsArgs o;
+    const char* argv[] = {"tool", "--warm-quantum", "0"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+}
+
 TEST(ObsArgs, ApplyInstallsThePolicyOnTheRequest) {
   ObsArgs o = parse_all({"--journal-dir", "j", "--retries", "2"});
   SweepRequest req;
@@ -196,7 +231,8 @@ TEST(ObsArgs, UsageDocumentsEveryFlag) {
   for (const char* flag :
        {"--trace-out", "--metrics-interval", "--metrics-out", "--manifest",
         "--contention", "--contention-busy", "--journal-dir", "--resume",
-        "--row-deadline", "--retries", "--fault-plan"}) {
+        "--row-deadline", "--retries", "--fault-plan", "--sample",
+        "--ckpt-dir", "--warm-quantum"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }
