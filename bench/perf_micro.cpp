@@ -357,6 +357,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (obs_args.shard_set) {
+    // The observed run is one fixed row — there is nothing to partition.
+    std::fprintf(stderr, "--shard is not supported by perf_micro\n");
+    return 2;
+  }
   if (json_mode) return csim::json_main(json_path, repeat);
   const bool policy_flags = !obs_args.policy.journal_dir.empty() ||
                             obs_args.fault_plan != nullptr ||

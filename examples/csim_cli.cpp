@@ -12,14 +12,18 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "src/analysis/contention_check.hpp"
 #include "src/apps/app.hpp"
+#include "src/core/atomic_file.hpp"
 #include "src/core/error.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/report/cli_args.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/figures.hpp"
 #include "src/report/gnuplot.hpp"
+#include "src/report/service.hpp"
 
 namespace {
 
@@ -154,11 +158,26 @@ int main(int argc, char** argv) {
                                 // abort the sweep before it starts.
                                 .build_unchecked());
     }
+    // Crash-safety policy (journal / resume / deadline / retries / faults).
+    // Applied before shard selection: --sample rewrites the row specs, and
+    // the shard partition must key on the digests run_sweep will journal.
+    obs_args.apply(req);
+    // Shard selection (--shard k/N): keep only the rows whose config digest
+    // maps to this shard; every host given the same sweep agrees on the
+    // split without coordination (docs/SERVICE.md).
+    serve::ShardSelection sel;
+    if (obs_args.shard_set) {
+      const std::unique_ptr<Program> probe = make_app(app, scale);
+      sel = serve::select_shard(req.configs, probe->name(), probe->scale(),
+                                obs_args.shard);
+      std::vector<MachineSpec> kept;
+      kept.reserve(sel.indices.size());
+      for (std::size_t i : sel.indices) kept.push_back(req.configs[i]);
+      req.configs = std::move(kept);
+    }
     // Observability (src/obs): one RunObserver per sweep row, each writing
     // its artifacts (trace JSON / metrics CSV+JSON) when its row completes.
     req.make_observer = obs_args.observer_factory(req.configs.size());
-    // Crash-safety policy (journal / resume / deadline / retries / faults).
-    obs_args.apply(req);
     const bool policy_active = !req.policy.journal_dir.empty() ||
                                req.policy.faults != nullptr ||
                                req.policy.row_deadline_seconds > 0 ||
@@ -169,9 +188,20 @@ int main(int argc, char** argv) {
     const SweepResult sweep = run_sweep(req);
     if (!obs_args.manifest_out.empty()) {
       // Manifests include failed rows (error kind instead of statistics).
-      // With a crash-safety policy engaged, the /2 schema adds per-row
-      // outcomes; otherwise the /1 document is byte-identical to before.
-      if (policy_active) {
+      // A sharded run writes the /5 schema (shard spec + cache hits); with
+      // a crash-safety policy engaged, the /4 schema adds per-row
+      // outcomes; otherwise the /3 document is byte-identical to before.
+      if (obs_args.shard_set) {
+        obs::SweepProvenance prov;
+        prov.shard_index = obs_args.shard.index;
+        prov.shard_count = obs_args.shard.count;
+        prov.rows_total = sel.rows_total;
+        for (const RowOutcome& o : sweep.outcomes) {
+          if (o.from_journal) ++prov.cache_hits;
+        }
+        obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli", sweep,
+                                     prov);
+      } else if (policy_active) {
         obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli", sweep);
       } else {
         obs::write_run_manifest_file(obs_args.manifest_out, "csim_cli",
@@ -183,9 +213,40 @@ int main(int argc, char** argv) {
     }
     const std::size_t failures = write_failures(std::cerr, sweep.rows);
     if (policy_active) write_outcomes(std::cerr, sweep);
+    if (!obs_args.shard_out.empty()) {
+      // Shard-merge artifacts: BASE.csv holds this shard's rows in the plain
+      // row schema (failures skipped, like write_csv everywhere), BASE.json
+      // maps them back to their global sweep indices so csim_merge can
+      // reassemble the unsharded CSV bit-exactly.
+      const std::string csv_path = obs_args.shard_out + ".csv";
+      atomic_write_file(csv_path, [&](std::ostream& os) {
+        write_csv(os, sweep.rows);
+      });
+      serve::ShardManifest m;
+      m.shard = obs_args.shard;
+      m.rows_total = sel.rows_total;
+      m.csv_path = std::filesystem::path(csv_path).filename().string();
+      long csv_line = 0;
+      for (std::size_t j = 0; j < sweep.rows.size(); ++j) {
+        serve::ShardRowRef ref;
+        ref.index = sel.indices[j];
+        ref.digest = sel.digests[j];
+        ref.csv_line = sweep.rows[j].ok ? csv_line++ : -1;
+        m.rows.push_back(ref);
+      }
+      atomic_write_file(obs_args.shard_out + ".json",
+                        serve::write_shard_manifest(m));
+      std::printf("wrote shard %s artifacts %s.csv and %s.json\n",
+                  obs_args.shard.label().c_str(), obs_args.shard_out.c_str(),
+                  obs_args.shard_out.c_str());
+    }
     std::vector<SimResult> results = sweep.rows;
     std::erase_if(results, [](const SimResult& r) { return !r.ok; });
-    if (results.empty()) return 1;
+    if (results.empty()) {
+      // An empty shard of a sharded sweep is a success (its artifacts above
+      // are required for the merge); an all-failed sweep is not.
+      return obs_args.shard_set && sweep.rows.empty() ? 0 : 1;
+    }
     if (!gnuplot_base.empty()) {
       write_gnuplot_figure(gnuplot_base, app, bars_from_sweep(results));
       std::printf("wrote %s.dat and %s.gp\n", gnuplot_base.c_str(),

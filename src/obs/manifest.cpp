@@ -263,16 +263,29 @@ void write_run_manifest_file(const std::string& path, const std::string& tool,
   });
 }
 
-void write_run_manifest(std::ostream& os, const std::string& tool,
-                        const SweepResult& sweep, std::time_t generated_unix) {
+namespace {
+
+/// Shared body of the /4 (prov == null) and /5 (prov given) sweep
+/// manifests; the /4 byte stream is pinned by manifest_test.
+void write_sweep_manifest(std::ostream& os, const std::string& tool,
+                          const SweepResult& sweep,
+                          std::time_t generated_unix,
+                          const SweepProvenance* prov) {
   const std::vector<SimResult>& rows = sweep.rows;
   os << "{\n";
-  os << "  \"schema\": \"csim.run_manifest/4\",\n";
+  os << "  \"schema\": \"csim.run_manifest/" << (prov != nullptr ? 5 : 4)
+     << "\",\n";
   os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
   os << "  \"git\": \"" << json_escape(std::string(git_describe()))
      << "\",\n";
   os << "  \"generated_unix\": " << static_cast<long long>(generated_unix)
      << ",\n";
+  if (prov != nullptr) {
+    os << "  \"shard\": {\"index\": " << prov->shard_index
+       << ", \"count\": " << prov->shard_count
+       << ", \"rows_total\": " << prov->rows_total << "},\n";
+    os << "  \"cache_hits\": " << prov->cache_hits << ",\n";
+  }
   os << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SimResult& r = rows[i];
@@ -324,10 +337,32 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
   os << "}\n";
 }
 
+}  // namespace
+
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const SweepResult& sweep,
+                        std::time_t generated_unix) {
+  write_sweep_manifest(os, tool, sweep, generated_unix, nullptr);
+}
+
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const SweepResult& sweep, std::time_t generated_unix,
+                        const SweepProvenance& prov) {
+  write_sweep_manifest(os, tool, sweep, generated_unix, &prov);
+}
+
 void write_run_manifest_file(const std::string& path, const std::string& tool,
                              const SweepResult& sweep) {
   atomic_write_file(path, [&](std::ostream& os) {
     write_run_manifest(os, tool, sweep, std::time(nullptr));
+  });
+}
+
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const SweepResult& sweep,
+                             const SweepProvenance& prov) {
+  atomic_write_file(path, [&](std::ostream& os) {
+    write_run_manifest(os, tool, sweep, std::time(nullptr), prov);
   });
 }
 

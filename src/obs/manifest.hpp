@@ -61,7 +61,7 @@ namespace csim::obs {
 /// 16-hex-digit lowercase rendering of a digest.
 [[nodiscard]] std::string digest_hex(std::uint64_t d);
 
-/// Writes the "csim.run_manifest/1" JSON document for a sweep.
+/// Writes the "csim.run_manifest/3" JSON document for a sweep.
 /// `tool` names the producing driver (e.g. "csim_cli"); `generated_unix`
 /// stamps the manifest (pass a fixed value in tests for byte-stable output).
 void write_run_manifest(std::ostream& os, const std::string& tool,
@@ -72,16 +72,39 @@ void write_run_manifest(std::ostream& os, const std::string& tool,
 void write_run_manifest_file(const std::string& path, const std::string& tool,
                              const std::vector<SimResult>& rows);
 
-/// Writes the "csim.run_manifest/2" JSON document for a SweepResult: the /1
+/// Writes the "csim.run_manifest/4" JSON document for a SweepResult: the /3
 /// rows augmented with a per-row "outcome" object (status, attempts, journal
-/// provenance, config digest) and the sweep's journal warnings. The /1
+/// provenance, config digest) and the sweep's journal warnings. The /3
 /// writer above is unchanged, byte for byte, for existing consumers.
 void write_run_manifest(std::ostream& os, const std::string& tool,
                         const SweepResult& sweep, std::time_t generated_unix);
 
-/// Convenience: writes the /2 document to `path`, stamped with the current
+/// Convenience: writes the /4 document to `path`, stamped with the current
 /// time, atomically (temp + rename).
 void write_run_manifest_file(const std::string& path, const std::string& tool,
                              const SweepResult& sweep);
+
+/// Provenance of a sharded and/or cache-served sweep (csim_cli --shard,
+/// csim_serve): which slice of the full sweep this artifact covers and how
+/// much of it was satisfied without simulating.
+struct SweepProvenance {
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;    ///< 1 = unsharded
+  std::size_t rows_total = 0;  ///< full sweep rows before shard selection
+  std::size_t cache_hits = 0;  ///< rows served from the cache / journal
+};
+
+/// Writes the "csim.run_manifest/5" document: the /4 document plus a top-
+/// level "shard" object and "cache_hits" count. The /4 writer keeps its
+/// exact bytes for consumers that never shard.
+void write_run_manifest(std::ostream& os, const std::string& tool,
+                        const SweepResult& sweep, std::time_t generated_unix,
+                        const SweepProvenance& prov);
+
+/// Convenience: writes the /5 document to `path`, stamped with the current
+/// time, atomically (temp + rename).
+void write_run_manifest_file(const std::string& path, const std::string& tool,
+                             const SweepResult& sweep,
+                             const SweepProvenance& prov);
 
 }  // namespace csim::obs

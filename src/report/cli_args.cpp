@@ -60,7 +60,12 @@ const char* ObsArgs::usage() {
          "  --warm-quantum N      runahead quantum during functional warming\n"
          "                        (default 4096; larger is faster but\n"
          "                        coarsens warm state, and re-keys\n"
-         "                        checkpoints; requires --sample)\n";
+         "                        checkpoints; requires --sample)\n"
+         "  --shard k/N           run only the rows whose config digest maps\n"
+         "                        to shard k of N (multi-host splits; merge\n"
+         "                        the artifacts with csim_merge)\n"
+         "  --shard-out BASE      write BASE.csv and BASE.json shard-merge\n"
+         "                        artifacts (requires --shard)\n";
 }
 
 bool ObsArgs::consume(int argc, char** argv, int& i) {
@@ -136,6 +141,14 @@ bool ObsArgs::consume(int argc, char** argv, int& i) {
       throw ConfigError("--warm-quantum must be > 0");
     }
     warm_quantum_set = true;
+  } else if (a == "--shard") {
+    shard = serve::parse_shard(next());
+    shard_set = true;
+  } else if (a == "--shard-out") {
+    shard_out = next();
+    if (shard_out.empty()) {
+      throw ConfigError("--shard-out requires a non-empty path base");
+    }
   } else {
     return false;
   }
@@ -145,6 +158,9 @@ bool ObsArgs::consume(int argc, char** argv, int& i) {
 void ObsArgs::apply(SweepRequest& req) const {
   if (policy.resume && policy.journal_dir.empty()) {
     throw ConfigError("--resume requires --journal-dir");
+  }
+  if (!shard_out.empty() && !shard_set) {
+    throw ConfigError("--shard-out requires --shard");
   }
   if (!policy.checkpoint_dir.empty() && !sampling.enabled) {
     throw ConfigError("--ckpt-dir requires --sample");

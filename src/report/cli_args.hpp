@@ -11,6 +11,7 @@
 #include "src/core/machine.hpp"
 #include "src/report/experiment.hpp"
 #include "src/report/fault_injection.hpp"
+#include "src/report/service.hpp"
 
 namespace csim::cli {
 
@@ -37,6 +38,8 @@ double parse_f64(const std::string& flag, const std::string& val);
 ///                         refs every P refs (P 0 = one interval)
 ///   --ckpt-dir DIR        warm-state checkpoints (requires --sample)
 ///   --warm-quantum N      warming runahead quantum (requires --sample)
+///   --shard k/N           run only shard k of an N-way digest partition
+///   --shard-out BASE      write BASE.csv/BASE.json merge artifacts
 struct ObsArgs {
   std::string trace_out;
   Cycles metrics_interval = 0;
@@ -48,6 +51,14 @@ struct ObsArgs {
   SweepPolicy policy{};         ///< journal / deadline / retry knobs
   /// Owns the parsed --fault-plan; policy.faults points at it (apply()).
   std::shared_ptr<const FaultPlan> fault_plan;
+  /// --shard k/N: run only the rows whose config digest maps to shard k of
+  /// N (docs/SERVICE.md). shard_set distinguishes an explicit --shard 0/1
+  /// (a trivial but valid single-shard spec) from no flag at all.
+  serve::ShardSpec shard{};
+  bool shard_set = false;
+  /// --shard-out BASE: write BASE.csv + BASE.json shard artifacts for
+  /// tools/csim_merge (requires --shard).
+  std::string shard_out;
 
   /// The usage text block for these flags (indented two spaces per line).
   [[nodiscard]] static const char* usage();

@@ -327,6 +327,14 @@ JournalLoad load_journal(const std::string& dir) {
     }
     std::string bytes((std::istreambuf_iterator<char>(is)),
                       std::istreambuf_iterator<char>());
+    if (bytes.empty()) {
+      // A crash between creating the file and its first write leaves a
+      // zero-length record: same treatment as a truncated frame — warn and
+      // re-simulate, never error the whole resume.
+      out.warnings.push_back("journal: " + path +
+                             ": empty record file (record skipped)");
+      continue;
+    }
     JournalLoad one = decode_journal_records(bytes, path);
     for (std::string& w : one.warnings) out.warnings.push_back(std::move(w));
     for (JournalRecord& rec : one.records) {

@@ -1,0 +1,727 @@
+#include "src/report/service.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/apps/app.hpp"
+#include "src/core/atomic_file.hpp"
+#include "src/core/error.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/report/json.hpp"
+
+namespace csim::serve {
+
+namespace {
+
+/// Strict unsigned parse for shard specs ("03" is fine, "3x" is not).
+unsigned long parse_unsigned(const std::string& what, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    throw ConfigError(what + ": not a number: '" + s + "'");
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sharding
+
+std::string ShardSpec::label() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+ShardSpec parse_shard(const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    throw ConfigError("--shard: expected k/N, got '" + spec + "'");
+  }
+  ShardSpec s;
+  const unsigned long k = parse_unsigned("--shard", spec.substr(0, slash));
+  const unsigned long n = parse_unsigned("--shard", spec.substr(slash + 1));
+  if (n == 0 || n > 4096) {
+    throw ConfigError("--shard: count out of range (1..4096): '" + spec +
+                      "'");
+  }
+  if (k >= n) {
+    throw ConfigError("--shard: index must satisfy 0 <= k < N: '" + spec +
+                      "'");
+  }
+  s.index = static_cast<unsigned>(k);
+  s.count = static_cast<unsigned>(n);
+  return s;
+}
+
+unsigned shard_of(std::uint64_t config_digest, unsigned count) noexcept {
+  if (count <= 1) return 0;
+  // FNV-1a output is well mixed, so a plain modulus spreads uniformly.
+  return static_cast<unsigned>(config_digest % count);
+}
+
+ShardSelection select_shard(const std::vector<MachineSpec>& configs,
+                            std::string_view app, ProblemScale scale,
+                            const ShardSpec& shard) {
+  ShardSelection sel;
+  sel.rows_total = configs.size();
+  sel.indices.reserve(configs.size());
+  sel.digests.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::uint64_t d = obs::config_digest(configs[i], app, scale);
+    if (shard_of(d, shard.count) != shard.index) continue;
+    sel.indices.push_back(i);
+    sel.digests.push_back(d);
+  }
+  return sel;
+}
+
+// ------------------------------------------------- shard merge artifacts
+
+std::string write_shard_manifest(const ShardManifest& m) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"csim.shard/1\",\n";
+  os << "  \"shard\": {\"index\": " << m.shard.index
+     << ", \"count\": " << m.shard.count << "},\n";
+  os << "  \"rows_total\": " << m.rows_total << ",\n";
+  os << "  \"csv\": " << json::quoted(m.csv_path) << ",\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < m.rows.size(); ++i) {
+    const ShardRowRef& r = m.rows[i];
+    os << "    {\"index\": " << r.index << ", \"digest\": \""
+       << obs::digest_hex(r.digest) << "\", \"csv_line\": " << r.csv_line
+       << "}" << (i + 1 < m.rows.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Field accessors over a parsed shard manifest; every failure names the
+/// originating file and field.
+[[noreturn]] void manifest_fail(const std::string& origin,
+                                const std::string& what) {
+  throw ConfigError("shard manifest " + origin + ": " + what);
+}
+
+double require_number(const json::Value& v, const std::string& key,
+                      const std::string& origin) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr || !f->is_number()) {
+    manifest_fail(origin, "missing or non-numeric field '" + key + "'");
+  }
+  const double d = f->as_number();
+  if (d != std::floor(d)) {
+    manifest_fail(origin, "field '" + key + "' is not an integer");
+  }
+  return d;
+}
+
+std::uint64_t parse_digest_hex(const std::string& hex,
+                               const std::string& origin) {
+  if (hex.size() != 16 ||
+      hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    manifest_fail(origin, "bad digest '" + hex + "'");
+  }
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+ShardManifest parse_shard_manifest(std::string_view text,
+                                   const std::string& origin) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const ConfigError& e) {
+    manifest_fail(origin, e.what());
+  }
+  if (!doc.is_object()) manifest_fail(origin, "document is not an object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "csim.shard/1") {
+    manifest_fail(origin, "schema is not csim.shard/1");
+  }
+  ShardManifest m;
+  const json::Value* shard = doc.find("shard");
+  if (shard == nullptr || !shard->is_object()) {
+    manifest_fail(origin, "missing 'shard' object");
+  }
+  const double idx = require_number(*shard, "index", origin);
+  const double cnt = require_number(*shard, "count", origin);
+  if (cnt < 1 || cnt > 4096 || idx < 0 || idx >= cnt) {
+    manifest_fail(origin, "shard index/count out of range");
+  }
+  m.shard.index = static_cast<unsigned>(idx);
+  m.shard.count = static_cast<unsigned>(cnt);
+  const double total = require_number(doc, "rows_total", origin);
+  if (total < 0) manifest_fail(origin, "rows_total is negative");
+  m.rows_total = static_cast<std::size_t>(total);
+  const json::Value* csv = doc.find("csv");
+  if (csv == nullptr || !csv->is_string() || csv->as_string().empty()) {
+    manifest_fail(origin, "missing 'csv' path");
+  }
+  m.csv_path = csv->as_string();
+  const json::Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    manifest_fail(origin, "missing 'rows' array");
+  }
+  for (const json::Value& rv : rows->as_array()) {
+    if (!rv.is_object()) manifest_fail(origin, "row entry is not an object");
+    ShardRowRef ref;
+    const double index = require_number(rv, "index", origin);
+    if (index < 0) manifest_fail(origin, "row index is negative");
+    ref.index = static_cast<std::size_t>(index);
+    const json::Value* dig = rv.find("digest");
+    if (dig == nullptr || !dig->is_string()) {
+      manifest_fail(origin, "row missing 'digest'");
+    }
+    ref.digest = parse_digest_hex(dig->as_string(), origin);
+    const double line = require_number(rv, "csv_line", origin);
+    if (line < -1) manifest_fail(origin, "row csv_line below -1");
+    ref.csv_line = static_cast<long>(line);
+    m.rows.push_back(ref);
+  }
+  return m;
+}
+
+namespace {
+
+/// Lines of a CSV blob, without their newlines; a trailing newline does not
+/// produce a final empty line.
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string merge_shard_csvs(const std::vector<ShardManifest>& shards,
+                             const std::vector<std::string>& csv_contents) {
+  if (shards.empty()) throw ConfigError("merge: no shard manifests given");
+  if (csv_contents.size() != shards.size()) {
+    throw ConfigError("merge: shard/CSV count mismatch");
+  }
+  const unsigned count = shards[0].shard.count;
+  const std::size_t rows_total = shards[0].rows_total;
+  if (shards.size() != count) {
+    throw ConfigError("merge: have " + std::to_string(shards.size()) +
+                      " shards but the spec says " + std::to_string(count));
+  }
+  std::vector<char> shard_seen(count, 0);
+  std::vector<std::vector<std::string_view>> lines(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardManifest& m = shards[s];
+    if (m.shard.count != count) {
+      throw ConfigError("merge: shard " + m.shard.label() +
+                        " disagrees on the shard count");
+    }
+    if (m.rows_total != rows_total) {
+      throw ConfigError("merge: shard " + m.shard.label() +
+                        " disagrees on the full sweep's row count");
+    }
+    if (shard_seen[m.shard.index] != 0) {
+      throw ConfigError("merge: shard " + m.shard.label() + " given twice");
+    }
+    shard_seen[m.shard.index] = 1;
+    lines[s] = split_lines(csv_contents[s]);
+    if (lines[s].empty()) {
+      throw ConfigError("merge: shard " + m.shard.label() +
+                        " CSV has no header line");
+    }
+    if (lines[s][0] != lines[0][0]) {
+      throw ConfigError("merge: shard " + m.shard.label() +
+                        " CSV header differs from shard " +
+                        shards[0].shard.label() + "'s (schema drift)");
+    }
+  }
+
+  std::unordered_map<std::uint64_t, unsigned> digest_owner;
+  std::vector<const std::string_view*> out_rows(rows_total, nullptr);
+  std::vector<char> covered(rows_total, 0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardManifest& m = shards[s];
+    const std::size_t data_lines = lines[s].size() - 1;
+    std::vector<char> used(data_lines, 0);
+    for (const ShardRowRef& ref : m.rows) {
+      if (shard_of(ref.digest, count) != m.shard.index) {
+        throw ConfigError("merge: digest " + obs::digest_hex(ref.digest) +
+                          " does not belong to shard " + m.shard.label());
+      }
+      if (!digest_owner.emplace(ref.digest, m.shard.index).second) {
+        throw ConfigError("merge: digest " + obs::digest_hex(ref.digest) +
+                          " appears in more than one shard");
+      }
+      if (ref.index >= rows_total) {
+        throw ConfigError("merge: row index " + std::to_string(ref.index) +
+                          " exceeds rows_total");
+      }
+      if (covered[ref.index] != 0) {
+        throw ConfigError("merge: row index " + std::to_string(ref.index) +
+                          " claimed by two shards");
+      }
+      covered[ref.index] = 1;
+      if (ref.csv_line < 0) continue;  // failed row: not in any CSV
+      const auto line = static_cast<std::size_t>(ref.csv_line);
+      if (line >= data_lines) {
+        throw ConfigError("merge: shard " + m.shard.label() +
+                          " references CSV line " + std::to_string(line) +
+                          " beyond its " + std::to_string(data_lines) +
+                          " data lines");
+      }
+      if (used[line] != 0) {
+        throw ConfigError("merge: shard " + m.shard.label() + " CSV line " +
+                          std::to_string(line) + " referenced twice");
+      }
+      used[line] = 1;
+      out_rows[ref.index] = &lines[s][1 + line];
+    }
+    for (std::size_t l = 0; l < data_lines; ++l) {
+      if (used[l] == 0) {
+        throw ConfigError("merge: shard " + m.shard.label() + " CSV line " +
+                          std::to_string(l) +
+                          " is not referenced by its manifest");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rows_total; ++i) {
+    if (covered[i] == 0) {
+      throw ConfigError("merge: row index " + std::to_string(i) +
+                        " is missing from every shard");
+    }
+  }
+
+  std::string out;
+  out.reserve(csv_contents[0].size() * shards.size());
+  out.append(lines[0][0]);
+  out.push_back('\n');
+  for (std::size_t i = 0; i < rows_total; ++i) {
+    if (out_rows[i] == nullptr) continue;  // failed row, skipped like write_csv
+    out.append(*out_rows[i]);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- result cache
+
+ResultCache::ResultCache(std::string journal_dir)
+    : dir_(std::move(journal_dir)) {}
+
+std::optional<ResultCache::Hit> ResultCache::lookup(
+    std::uint64_t digest, const MachineSpec& cfg, std::string_view app,
+    ProblemScale scale, std::vector<std::string>* warnings) {
+  const auto warn = [&](const std::string& w) {
+    if (warnings != nullptr) warnings->push_back(w);
+  };
+  const auto hit_from = [&](const JournalRecord& rec,
+                            Tier tier) -> std::optional<Hit> {
+    if (rec.app_name != app || rec.scale != scale) {
+      warn("cache: record " + obs::digest_hex(digest) +
+           " names a different app/scale; re-simulating");
+      return std::nullopt;
+    }
+    SimResult r = journal_record_to_result(rec, cfg);
+    if (obs::result_digest(r) != rec.result_digest) {
+      warn("cache: record " + obs::digest_hex(digest) +
+           " fails result-digest verification; re-simulating");
+      return std::nullopt;
+    }
+    return Hit{std::move(r), rec.attempts, tier};
+  };
+
+  const auto mem = memory_.find(digest);
+  if (mem != memory_.end()) return hit_from(mem->second, Tier::Memory);
+  if (dir_.empty()) return std::nullopt;
+
+  // The journal names record files by digest, so the disk tier is one file
+  // probe — no directory scan however large the cache grows.
+  const std::string path =
+      (std::filesystem::path(dir_) / (obs::digest_hex(digest) + ".csj"))
+          .string();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;  // cold: never simulated here before
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.empty()) {
+    warn("cache: " + path +
+         ": empty record file (crash between create and first write?); "
+         "re-simulating");
+    return std::nullopt;
+  }
+  JournalLoad load = decode_journal_records(bytes, path);
+  for (std::string& w : load.warnings) warn(std::move(w));
+  for (JournalRecord& rec : load.records) {
+    if (rec.config_digest != digest) {
+      warn("cache: " + path + ": record digest " +
+           obs::digest_hex(rec.config_digest) +
+           " does not match its file name; skipped");
+      continue;
+    }
+    std::optional<Hit> hit = hit_from(rec, Tier::Journal);
+    if (hit) {
+      memory_.emplace(digest, std::move(rec));  // promote to the memory tier
+      return hit;
+    }
+    return std::nullopt;  // verified false — a fresh run will overwrite it
+  }
+  return std::nullopt;
+}
+
+void ResultCache::insert(const SimResult& r, std::uint32_t attempts) {
+  if (!r.ok) return;
+  JournalRecord rec = journal_record_from_result(r, attempts);
+  const std::uint64_t digest = rec.config_digest;
+  memory_[digest] = std::move(rec);
+}
+
+// -------------------------------------------------------- service session
+
+namespace {
+
+[[noreturn]] void request_fail(const std::string& what) {
+  throw ConfigError("request: " + what);
+}
+
+const json::Value& require_field(const json::Value& v, const char* key) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr) request_fail(std::string("missing field '") + key + "'");
+  return *f;
+}
+
+std::string get_string(const json::Value& v, const char* key,
+                       std::string fallback) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr) return fallback;
+  if (!f->is_string()) {
+    request_fail(std::string("field '") + key + "' must be a string");
+  }
+  return f->as_string();
+}
+
+std::uint64_t as_integer(const json::Value& f, const char* key,
+                         std::uint64_t min, std::uint64_t max) {
+  if (!f.is_number()) {
+    request_fail(std::string("field '") + key + "' must be a number");
+  }
+  const double d = f.as_number();
+  if (d != std::floor(d) || d < 0) {
+    request_fail(std::string("field '") + key +
+                 "' must be a non-negative integer");
+  }
+  const auto n = static_cast<std::uint64_t>(d);
+  if (n < min || n > max) {
+    request_fail(std::string("field '") + key + "' out of range (" +
+                 std::to_string(min) + ".." + std::to_string(max) + ")");
+  }
+  return n;
+}
+
+std::uint64_t get_integer(const json::Value& v, const char* key,
+                          std::uint64_t fallback, std::uint64_t min,
+                          std::uint64_t max) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr) return fallback;
+  return as_integer(*f, key, min, max);
+}
+
+bool get_bool(const json::Value& v, const char* key, bool fallback) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr) return fallback;
+  if (!f->is_bool()) {
+    request_fail(std::string("field '") + key + "' must be a boolean");
+  }
+  return f->as_bool();
+}
+
+constexpr const char* kKnownFields[] = {
+    "type",     "id",    "app",        "scale", "procs",   "ppc",
+    "cache_kb", "assoc", "line_bytes", "style", "quantum", "hit_costs",
+    "csv_out"};
+
+}  // namespace
+
+ServiceRequest parse_service_request(const json::Value& v) {
+  if (!v.is_object()) request_fail("document is not an object");
+  for (const auto& [key, value] : v.as_object()) {
+    if (std::none_of(std::begin(kKnownFields), std::end(kKnownFields),
+                     [&k = key](const char* f) { return k == f; })) {
+      request_fail("unknown field '" + key + "'");
+    }
+  }
+  ServiceRequest req;
+  req.id = get_string(v, "id", "");
+  req.app = get_string(v, "app", req.app);
+  const std::vector<std::string> names = app_names();
+  if (std::find(names.begin(), names.end(), req.app) == names.end()) {
+    request_fail("unknown app '" + req.app + "'");
+  }
+  const std::string scale = get_string(v, "scale", "default");
+  if (scale == "test") {
+    req.scale = ProblemScale::Test;
+  } else if (scale == "default") {
+    req.scale = ProblemScale::Default;
+  } else if (scale == "paper") {
+    req.scale = ProblemScale::Paper;
+  } else {
+    request_fail("field 'scale' must be test, default, or paper");
+  }
+  req.procs = static_cast<unsigned>(get_integer(v, "procs", 64, 1, 4096));
+  if (const json::Value* ppc = v.find("ppc"); ppc != nullptr) {
+    if (!ppc->is_array() || ppc->as_array().empty()) {
+      request_fail("field 'ppc' must be a non-empty array");
+    }
+    req.ppcs.clear();
+    for (const json::Value& e : ppc->as_array()) {
+      req.ppcs.push_back(static_cast<unsigned>(as_integer(e, "ppc", 1, 4096)));
+    }
+  }
+  req.cache_kb = get_integer(v, "cache_kb", 0, 0, 1u << 20);
+  req.assoc = static_cast<unsigned>(get_integer(v, "assoc", 0, 0, 4096));
+  req.line_bytes =
+      static_cast<unsigned>(get_integer(v, "line_bytes", 64, 1, 4096));
+  const std::string style = get_string(v, "style", "cache");
+  if (style == "cache") {
+    req.style = ClusterStyle::SharedCache;
+  } else if (style == "memory") {
+    req.style = ClusterStyle::SharedMemory;
+  } else {
+    request_fail("field 'style' must be cache or memory");
+  }
+  req.quantum = get_integer(v, "quantum", 32, 1, 1u << 30);
+  req.hit_costs = get_bool(v, "hit_costs", false);
+  req.csv_out = get_string(v, "csv_out", "");
+  return req;
+}
+
+std::vector<MachineSpec> configs_from_request(const ServiceRequest& req) {
+  std::vector<MachineSpec> configs;
+  configs.reserve(req.ppcs.size());
+  for (unsigned ppc : req.ppcs) {
+    configs.push_back(MachineSpecBuilder{}
+                          .procs(req.procs)
+                          .procs_per_cluster(ppc)
+                          .cache_kb(req.cache_kb)
+                          .associativity(req.assoc)
+                          .line_bytes(req.line_bytes)
+                          .style(req.style)
+                          .runahead_quantum(req.quantum)
+                          .model_shared_hit_costs(req.hit_costs)
+                          // unchecked: a bad row degrades inside run_sweep
+                          // into a failed-row response, like csim_cli
+                          .build_unchecked());
+  }
+  return configs;
+}
+
+namespace {
+
+std::string error_line(const std::string& id, const std::string& what) {
+  return "{\"type\":\"error\",\"id\":" + json::quoted(id) +
+         ",\"error\":" + json::quoted(what) + "}";
+}
+
+std::string warning_line(const std::string& id, const std::string& what) {
+  return "{\"type\":\"warning\",\"id\":" + json::quoted(id) +
+         ",\"message\":" + json::quoted(what) + "}";
+}
+
+std::string row_line(const std::string& id, std::size_t global_index,
+                     std::uint64_t digest, const SimResult& r,
+                     const RowOutcome& oc, bool from_cache,
+                     const char* tier) {
+  std::ostringstream os;
+  os << "{\"type\":\"row\",\"id\":" << json::quoted(id)
+     << ",\"index\":" << global_index << ",\"digest\":\""
+     << obs::digest_hex(digest) << "\",\"app\":" << json::quoted(r.app_name)
+     << ",\"scale\":\"" << to_string(r.scale) << "\",\"procs\":"
+     << r.config.num_procs << ",\"ppc\":" << r.config.procs_per_cluster
+     << ",\"status\":\"" << to_string(oc.status) << "\",\"attempts\":"
+     << oc.attempts << ",\"from_cache\":" << (from_cache ? "true" : "false");
+  if (tier != nullptr) os << ",\"tier\":\"" << tier << "\"";
+  if (r.ok) {
+    const TimeBuckets a = r.aggregate();
+    os << ",\"wall_time\":" << r.wall_time << ",\"events\":" << r.events
+       << ",\"cpu\":" << a.cpu << ",\"load\":" << a.load
+       << ",\"merge\":" << a.merge << ",\"sync\":" << a.sync
+       << ",\"contention\":" << a.contention
+       << ",\"reads\":" << r.totals.reads << ",\"writes\":" << r.totals.writes
+       << ",\"read_misses\":" << r.totals.read_misses
+       << ",\"write_misses\":" << r.totals.write_misses;
+    char host[40];
+    std::snprintf(host, sizeof host, ",\"host_seconds\":%.6f",
+                  r.host_seconds);
+    os << host << ",\"result_digest\":\""
+       << obs::digest_hex(obs::result_digest(r)) << "\"";
+  } else {
+    os << ",\"error_kind\":" << json::quoted(r.error_kind)
+       << ",\"error\":" << json::quoted(r.error);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+ServiceSession::ServiceSession(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.journal_dir) {}
+
+LineAction ServiceSession::handle_line(std::string_view line,
+                                       const Emit& emit) {
+  // Blank frames (keep-alives, trailing newlines) are ignored, not errors.
+  if (line.find_first_not_of(" \t\r\n") == std::string_view::npos) {
+    return LineAction::Continue;
+  }
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const std::exception& e) {
+    emit(error_line("", std::string("malformed frame: ") + e.what()));
+    return LineAction::Continue;
+  }
+  // Best-effort id for error responses even when validation fails later.
+  std::string id;
+  if (const json::Value* f = doc.find("id"); f != nullptr && f->is_string()) {
+    id = f->as_string();
+  }
+  const json::Value* type = doc.find("type");
+  const std::string kind =
+      type != nullptr && type->is_string() ? type->as_string() : "sweep";
+  if (kind == "ping") {
+    emit("{\"type\":\"pong\",\"id\":" + json::quoted(id) + "}");
+    return LineAction::Continue;
+  }
+  if (kind == "shutdown") {
+    emit("{\"type\":\"bye\",\"id\":" + json::quoted(id) + "}");
+    return LineAction::Shutdown;
+  }
+  if (kind != "sweep") {
+    emit(error_line(id, "unknown request type '" + kind + "'"));
+    return LineAction::Continue;
+  }
+  try {
+    const ServiceRequest req = parse_service_request(doc);
+    run_request(req, emit);
+  } catch (const std::exception& e) {
+    emit(error_line(id, e.what()));
+  }
+  return LineAction::Continue;
+}
+
+void ServiceSession::run_request(const ServiceRequest& sreq,
+                                 const Emit& emit) {
+  // The app's canonical identity keys every digest; the registry name was
+  // validated at parse time, so this cannot throw for an unknown app.
+  std::string app_name;
+  ProblemScale scale = sreq.scale;
+  {
+    const std::unique_ptr<Program> probe = make_app(sreq.app, sreq.scale);
+    app_name = probe->name();
+    scale = probe->scale();
+  }
+  const std::vector<MachineSpec> configs = configs_from_request(sreq);
+  const ShardSelection sel =
+      select_shard(configs, app_name, scale, cfg_.shard);
+
+  struct Slot {
+    std::size_t global = 0;
+    std::uint64_t digest = 0;
+    SimResult result;
+    RowOutcome outcome;
+  };
+  std::vector<Slot> slots(sel.indices.size());
+  std::vector<std::size_t> misses;  // slot indices that must simulate
+  std::size_t memory_hits = 0;
+  std::size_t journal_hits = 0;
+  std::vector<std::string> warnings;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& s = slots[i];
+    s.global = sel.indices[i];
+    s.digest = sel.digests[i];
+    std::optional<ResultCache::Hit> hit =
+        cache_.lookup(s.digest, configs[s.global], app_name, scale, &warnings);
+    if (!hit) {
+      misses.push_back(i);
+      continue;
+    }
+    const bool journal_tier = hit->tier == ResultCache::Tier::Journal;
+    (journal_tier ? journal_hits : memory_hits) += 1;
+    s.result = std::move(hit->result);
+    s.outcome = RowOutcome{RowOutcome::Status::Ok, hit->attempts,
+                           /*from_journal=*/journal_tier, s.digest};
+    emit(row_line(sreq.id, s.global, s.digest, s.result, s.outcome,
+                  /*from_cache=*/true, journal_tier ? "journal" : "memory"));
+  }
+  for (const std::string& w : warnings) emit(warning_line(sreq.id, w));
+
+  if (!misses.empty()) {
+    SweepRequest req;
+    req.make_app = [app = sreq.app, req_scale = sreq.scale] {
+      return make_app(app, req_scale);
+    };
+    req.configs.reserve(misses.size());
+    for (std::size_t i : misses) req.configs.push_back(configs[slots[i].global]);
+    // Write-ahead journal: rows are durable (and future cache hits) the
+    // moment they complete, so a kill -9 mid-sweep loses at most in-flight
+    // rows — the CI service-smoke job proves this end to end.
+    req.policy.journal_dir = cfg_.journal_dir;
+    req.on_row = [&](std::size_t k, const SimResult& r,
+                     const RowOutcome& oc) {
+      Slot& s = slots[misses[k]];
+      s.result = r;
+      s.outcome = oc;
+      cache_.insert(r, oc.attempts);
+      emit(row_line(sreq.id, s.global, s.digest, s.result, s.outcome,
+                    /*from_cache=*/false, nullptr));
+    };
+    const SweepResult out = run_sweep(req);
+    for (const std::string& w : out.journal_warnings) {
+      emit(warning_line(sreq.id, w));
+    }
+  }
+
+  std::vector<SimResult> ordered;
+  ordered.reserve(slots.size());
+  std::size_t failures = 0;
+  for (Slot& s : slots) {
+    if (!s.result.ok) ++failures;
+    ordered.push_back(std::move(s.result));
+  }
+  if (!sreq.csv_out.empty()) {
+    atomic_write_file(sreq.csv_out,
+                      [&](std::ostream& os) { write_csv(os, ordered); });
+  }
+
+  std::ostringstream done;
+  done << "{\"type\":\"done\",\"id\":" << json::quoted(sreq.id)
+       << ",\"app\":" << json::quoted(app_name) << ",\"rows_total\":"
+       << sel.rows_total << ",\"rows_in_shard\":" << slots.size()
+       << ",\"cache_hits\":" << memory_hits + journal_hits
+       << ",\"memory_hits\":" << memory_hits
+       << ",\"journal_hits\":" << journal_hits << ",\"failures\":" << failures
+       << ",\"shard\":\"" << cfg_.shard.label() << "\",\"sweep_digest\":\""
+       << obs::digest_hex(obs::sweep_digest(ordered)) << "\"";
+  if (!sreq.csv_out.empty()) {
+    done << ",\"csv\":" << json::quoted(sreq.csv_out);
+  }
+  done << "}";
+  emit(done.str());
+}
+
+}  // namespace csim::serve

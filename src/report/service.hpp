@@ -1,0 +1,234 @@
+// Sweep service core (docs/SERVICE.md): everything tools/csim_serve and
+// tools/csim_merge do, factored into a socket-free library so the protocol,
+// the cache, and the shard/merge algebra are unit-testable in-process.
+//
+// Three layers:
+//
+//  * Sharding — a sweep row belongs to shard `config_digest % N`. The
+//    partition is a pure function of the row's identity digest
+//    (src/obs/manifest.hpp), so N hosts given the same request agree on the
+//    split without coordination, and tools/csim_merge can verify that the
+//    per-shard artifacts it recombines are disjoint and complete.
+//
+//  * ResultCache — the two-tier digest-keyed result store: an in-memory map
+//    in front of the PR 6 write-ahead journal directory
+//    (src/report/journal.hpp). A warm repeat is served at memory speed; a
+//    cold one costs a single O(1) file probe (`<dir>/<digest>.csj`). Every
+//    hit is verified by recomputing the stored result digest before it is
+//    served — the cache can cost a re-simulation, never a wrong answer.
+//
+//  * ServiceSession — the newline-framed JSON request/response protocol:
+//    one request per line in, a stream of `row` lines out as rows complete
+//    (cached rows first, then simulated rows via SweepRequest::on_row),
+//    terminated by one `done` (or `error`) line. Malformed input becomes a
+//    structured `error` response; the session — and the daemon above it —
+//    stays up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/report/experiment.hpp"
+#include "src/report/journal.hpp"
+
+namespace csim::json {
+class Value;
+}
+
+namespace csim::serve {
+
+// ---------------------------------------------------------------- sharding
+
+/// A `k/N` shard spec: this host owns the rows whose config digest maps to
+/// shard `index` of `count`. The default (`count == 1`) is the unsharded
+/// sweep — every row is ours.
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+
+  [[nodiscard]] bool active() const noexcept { return count > 1; }
+  [[nodiscard]] std::string label() const;  ///< "k/N"
+};
+
+/// Parses "k/N" (0 <= k < N, N >= 1). Throws ConfigError otherwise.
+[[nodiscard]] ShardSpec parse_shard(const std::string& spec);
+
+/// The shard owning `config_digest` under an N-way split. Pure and stable:
+/// the same digest and N always map to the same shard, every digest lands in
+/// exactly one shard, and FNV-1a digests spread uniformly over small N.
+[[nodiscard]] unsigned shard_of(std::uint64_t config_digest,
+                                unsigned count) noexcept;
+
+/// The rows of a config list owned by `shard`, in request order.
+struct ShardSelection {
+  std::vector<std::size_t> indices;    ///< global row indices kept
+  std::vector<std::uint64_t> digests;  ///< parallel to indices
+  std::size_t rows_total = 0;          ///< full sweep size before selection
+};
+
+[[nodiscard]] ShardSelection select_shard(
+    const std::vector<MachineSpec>& configs, std::string_view app,
+    ProblemScale scale, const ShardSpec& shard);
+
+// ------------------------------------------------- shard merge artifacts
+
+/// One row of a shard manifest: where a global sweep row landed in this
+/// shard's CSV artifact.
+struct ShardRowRef {
+  std::size_t index = 0;       ///< global row index in the full sweep
+  std::uint64_t digest = 0;    ///< config digest (the partition key)
+  long csv_line = -1;          ///< 0-based data line in the shard CSV;
+                               ///< -1 = failed row (not in the CSV)
+};
+
+/// The JSON sidecar `csim_cli --shard k/N --shard-out BASE` writes next to
+/// its BASE.csv: enough provenance for csim_merge to reassemble the
+/// unsharded CSV bit-exactly and to prove no row was dropped, duplicated,
+/// or smuggled between shards.
+struct ShardManifest {
+  ShardSpec shard;
+  std::size_t rows_total = 0;
+  std::string csv_path;  ///< as written; resolved relative to the JSON file
+  std::vector<ShardRowRef> rows;
+};
+
+/// Serializes the "csim.shard/1" JSON document.
+[[nodiscard]] std::string write_shard_manifest(const ShardManifest& m);
+
+/// Parses a "csim.shard/1" document; `origin` names the source in errors.
+/// Throws ConfigError on anything malformed.
+[[nodiscard]] ShardManifest parse_shard_manifest(std::string_view text,
+                                                 const std::string& origin);
+
+/// Recombines per-shard CSV artifacts into the byte stream an unsharded run
+/// would have produced. `csv_contents` is parallel to `shards`. Validates,
+/// throwing ConfigError on the first violation:
+///   - every shard 0..N-1 present exactly once, all agreeing on N and on
+///     the full sweep's row count;
+///   - identical (byte-for-byte) CSV header lines;
+///   - digest disjointness: each digest in exactly one shard, and in the
+///     shard the partition function assigns it to;
+///   - completeness: the global indices cover 0..rows_total-1 exactly once,
+///     and every CSV data line is referenced exactly once.
+[[nodiscard]] std::string merge_shard_csvs(
+    const std::vector<ShardManifest>& shards,
+    const std::vector<std::string>& csv_contents);
+
+// ----------------------------------------------------------- result cache
+
+/// Two-tier digest-keyed result cache: an in-memory map in front of the
+/// write-ahead journal directory. Lookups verify the stored result digest
+/// before serving (same rule as run_sweep's --resume); corrupt or stale
+/// entries degrade to warnings and a re-simulation. Not thread-safe — the
+/// service handles requests sequentially (rows parallelize inside
+/// run_sweep, which appends to the journal itself).
+class ResultCache {
+ public:
+  enum class Tier : std::uint8_t { Memory, Journal };
+
+  struct Hit {
+    SimResult result;
+    std::uint32_t attempts = 1;
+    Tier tier = Tier::Memory;
+  };
+
+  /// `journal_dir` is the disk tier; empty = memory-only cache.
+  explicit ResultCache(std::string journal_dir);
+
+  /// Looks up `digest` (memory first, then the journal file named by the
+  /// digest). A journal hit is promoted into the memory tier. Appends any
+  /// diagnostics (corrupt file, digest mismatch) to `warnings`.
+  [[nodiscard]] std::optional<Hit> lookup(std::uint64_t digest,
+                                          const MachineSpec& cfg,
+                                          std::string_view app,
+                                          ProblemScale scale,
+                                          std::vector<std::string>* warnings);
+
+  /// Inserts a completed row into the memory tier (run_sweep's write-ahead
+  /// append is the journal tier's insert). Failed rows are never cached.
+  void insert(const SimResult& r, std::uint32_t attempts);
+
+  [[nodiscard]] std::size_t memory_entries() const noexcept {
+    return memory_.size();
+  }
+  [[nodiscard]] const std::string& journal_dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  std::string dir_;
+  std::unordered_map<std::uint64_t, JournalRecord> memory_;
+};
+
+// -------------------------------------------------------- service session
+
+/// One parsed sweep request (the fields of csim_cli's row builder, as a
+/// newline-framed JSON object; defaults match csim_cli's).
+struct ServiceRequest {
+  std::string id;  ///< echoed on every response line
+  std::string app = "ocean";
+  ProblemScale scale = ProblemScale::Default;
+  unsigned procs = 64;
+  std::vector<unsigned> ppcs = {1, 2, 4, 8};
+  std::size_t cache_kb = 0;
+  unsigned assoc = 0;
+  unsigned line_bytes = 64;
+  ClusterStyle style = ClusterStyle::SharedCache;
+  Cycles quantum = 32;
+  bool hit_costs = false;
+  std::string csv_out;  ///< optional: write the sweep CSV artifact here
+};
+
+/// Parses a request object (already JSON-decoded). Throws ConfigError on an
+/// unknown app, a non-positive or out-of-range number ("negative scale"),
+/// a bad scale/style string, or a wrongly-typed field.
+[[nodiscard]] ServiceRequest parse_service_request(const json::Value& v);
+
+/// Builds the MachineSpec rows of a request (request order, unvalidated —
+/// a bad row degrades inside run_sweep, exactly like csim_cli).
+[[nodiscard]] std::vector<MachineSpec> configs_from_request(
+    const ServiceRequest& req);
+
+struct ServiceConfig {
+  std::string journal_dir;  ///< two-tier cache backing; empty = memory only
+  ShardSpec shard{};        ///< rows outside this shard are not simulated
+};
+
+/// What handle_line tells the caller to do next (the daemon's accept loop).
+enum class LineAction : std::uint8_t {
+  Continue,  ///< keep reading lines
+  Shutdown,  ///< a shutdown request was acknowledged; stop the daemon
+};
+
+/// The request/response state machine behind tools/csim_serve. One instance
+/// lives as long as the daemon; its ResultCache carries results across
+/// connections. Protocol errors never throw out of handle_line — they
+/// become `error` response lines so one bad client line cannot take the
+/// daemon down.
+class ServiceSession {
+ public:
+  using Emit = std::function<void(const std::string& line)>;
+
+  explicit ServiceSession(ServiceConfig cfg);
+
+  /// Processes one newline-framed request. Emits zero or more `row` /
+  /// `warning` lines followed by exactly one `done`, `error`, `pong`, or
+  /// `bye` line (blank input emits nothing).
+  LineAction handle_line(std::string_view line, const Emit& emit);
+
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void run_request(const ServiceRequest& req, const Emit& emit);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+};
+
+}  // namespace csim::serve

@@ -246,6 +246,22 @@ TEST(JournalDir, CorruptFileSkippedHealthySiblingLoads) {
   EXPECT_NE(load.warnings[0].find("truncated"), std::string::npos);
 }
 
+TEST(JournalDir, ZeroLengthFileSkippedWithWarning) {
+  // A crash between creating a record file and its first write leaves a
+  // zero-length .csj: the loader must treat it like a truncated record —
+  // warn and re-simulate — not error or silently drop the warning.
+  const TempDir tmp("zerolen");
+  append_journal_record(tmp.path(), sample_record(1));
+  {
+    std::ofstream os(tmp.path() + "/0000000000000002.csj", std::ios::binary);
+  }
+  const JournalLoad load = load_journal(tmp.path());
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].config_digest, sample_record(1).config_digest);
+  ASSERT_EQ(load.warnings.size(), 1u);
+  EXPECT_NE(load.warnings[0].find("empty record file"), std::string::npos);
+}
+
 // --- Result conversion ------------------------------------------------------
 
 TEST(JournalResult, FromResultRequiresOk) {

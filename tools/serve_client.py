@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Minimal csim_serve client (docs/SERVICE.md) — Python 3 stdlib only.
+
+Sends one newline-framed JSON request to a csim_serve AF_UNIX socket, prints
+every response line as it arrives, and exits when the terminal line (`done`,
+`error`, `pong`, or `bye`) lands. Exit status: 0 on success, 1 if the server
+answered with an error line or the sweep had failed rows, 2 on usage or
+connection problems.
+
+    serve_client.py /tmp/csim.sock '{"app": "fft", "scale": "test"}'
+    serve_client.py --wait 10 /tmp/csim.sock '{"type": "ping"}'
+    echo '{"type": "shutdown"}' | serve_client.py /tmp/csim.sock
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+TERMINAL_TYPES = {"done", "error", "pong", "bye"}
+
+
+def connect(path: str, wait_seconds: float) -> socket.socket:
+    """Connects to the socket, optionally polling until the daemon is up."""
+    deadline = time.monotonic() + wait_seconds
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as err:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"serve_client: connect {path}: {err}")
+            time.sleep(0.05)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
+                        help="poll the socket up to SECONDS for the daemon")
+    parser.add_argument("socket", help="csim_serve AF_UNIX socket path")
+    parser.add_argument("request", nargs="?",
+                        help="request JSON (default: first line of stdin)")
+    args = parser.parse_args()
+
+    request = args.request if args.request is not None else sys.stdin.readline()
+    request = request.strip()
+    if not request:
+        print("serve_client: empty request", file=sys.stderr)
+        return 2
+
+    sock = connect(args.socket, args.wait)
+    sock.sendall(request.encode() + b"\n")
+
+    status = 0
+    buf = b""
+    done = False
+    while not done:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if not buf:
+                break
+            print("serve_client: connection closed mid-line", file=sys.stderr)
+            return 2
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            text = line.decode()
+            print(text, flush=True)
+            try:
+                msg = json.loads(text)
+            except json.JSONDecodeError:
+                print("serve_client: unparseable response line",
+                      file=sys.stderr)
+                return 2
+            if msg.get("type") == "error":
+                status = 1
+            if msg.get("type") == "done" and msg.get("failures", 0) > 0:
+                status = 1
+            if msg.get("type") in TERMINAL_TYPES:
+                done = True
+                break
+    sock.close()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
