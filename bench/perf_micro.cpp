@@ -272,6 +272,29 @@ int json_main(const std::string& path, unsigned repeat) {
     });
   }
   fs::remove_all(ckpt_dir, ec);
+
+  // Cluster-parallel engine rows: the tracked ocean paper-scale ppc8
+  // configuration under the conservative window scheduler at 1 and 4
+  // workers (docs/PERFORMANCE.md "Cluster-parallel execution"). The
+  // worker-count axis only pays off on multi-core hosts — run_parallel
+  // clamps workers to hardware_concurrency, so the par4 row degrades to
+  // the par1 row on a single-core runner instead of spin-thrashing it.
+  for (const unsigned workers : {1u, 4u}) {
+    const MachineSpec par_cfg = MachineSpecBuilder{}
+                                    .procs(64)
+                                    .procs_per_cluster(8)
+                                    .style(ClusterStyle::SharedCache)
+                                    .cache_kb(16)
+                                    .parallel_workers(workers)
+                                    .build();
+    const std::string name =
+        "end_to_end/shared_cache/ppc8/ocean_paper/par" + std::to_string(workers);
+    measure(name.c_str(), [&] {
+      auto app = make_app("ocean", ProblemScale::Paper);
+      const SimResult r = simulate(*app, par_cfg);
+      return r.totals.reads + r.totals.writes;
+    });
+  }
   bench::write_perf_json(
       path, "end-to-end simulation throughput (64 procs, 16 KB caches; "
             "test scale, plus paper-scale full/sampled pairs)", rows);

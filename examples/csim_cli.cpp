@@ -62,16 +62,9 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string app = "ocean";
-  ProblemScale scale = ProblemScale::Default;
-  unsigned procs = 64;
-  std::vector<unsigned> ppcs = {1, 2, 4, 8};
-  std::size_t cache_kb = 0;
-  unsigned assoc = 0;
-  unsigned line = 64;
-  ClusterStyle style = ClusterStyle::SharedCache;
-  Cycles quantum = 32;
-  bool hit_costs = false;
+  // All row-building flags land in the shared RunSpec (src/report/run_spec
+  // .hpp) — the same struct the service protocol parses its requests into.
+  RunSpec spec;
   bool csv = false;
   std::string gnuplot_base;
   cli::ObsArgs obs_args;
@@ -88,7 +81,7 @@ int main(int argc, char** argv) {
     };
     try {
       if (a == "--app") {
-        app = next();
+        spec.app = next();
       } else if (a == "--list") {
         for (const auto& f : app_registry()) {
           std::printf("%-10s %s\n", f.name.c_str(), f.description.c_str());
@@ -96,26 +89,26 @@ int main(int argc, char** argv) {
         return 0;
       } else if (a == "--scale") {
         const std::string s = next();
-        scale = s == "paper" ? ProblemScale::Paper
-                : s == "test" ? ProblemScale::Test
-                              : ProblemScale::Default;
+        spec.scale = s == "paper" ? ProblemScale::Paper
+                     : s == "test" ? ProblemScale::Test
+                                   : ProblemScale::Default;
       } else if (a == "--procs") {
-        procs = static_cast<unsigned>(std::stoul(next()));
+        spec.procs = static_cast<unsigned>(std::stoul(next()));
       } else if (a == "--ppc") {
-        ppcs = parse_list(next());
+        spec.ppcs = parse_list(next());
       } else if (a == "--cache") {
-        cache_kb = std::stoul(next());
+        spec.cache_kb = std::stoul(next());
       } else if (a == "--assoc") {
-        assoc = static_cast<unsigned>(std::stoul(next()));
+        spec.assoc = static_cast<unsigned>(std::stoul(next()));
       } else if (a == "--line") {
-        line = static_cast<unsigned>(std::stoul(next()));
+        spec.line_bytes = static_cast<unsigned>(std::stoul(next()));
       } else if (a == "--style") {
-        style = next() == "memory" ? ClusterStyle::SharedMemory
-                                   : ClusterStyle::SharedCache;
+        spec.style = next() == "memory" ? ClusterStyle::SharedMemory
+                                        : ClusterStyle::SharedCache;
       } else if (a == "--quantum") {
-        quantum = std::stoul(next());
+        spec.quantum = std::stoul(next());
       } else if (a == "--hit-costs") {
-        hit_costs = true;
+        spec.hit_costs = true;
       } else if (a == "--csv") {
         csv = true;
       } else if (a == "--gnuplot") {
@@ -138,26 +131,13 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // One builder path for every row: the shared immutable MachineSpec is
-    // the single source of configuration for the whole run.
+    // One builder path for every row: RunSpec::configs() is the same
+    // assembly the service protocol uses, so a CLI invocation and a service
+    // request with the same fields produce identical MachineSpec rows.
+    spec.contention = obs_args.contention;
     SweepRequest req;
-    req.make_app = [&] { return make_app(app, scale); };
-    for (unsigned ppc : ppcs) {
-      req.configs.push_back(MachineSpecBuilder{}
-                                .procs(procs)
-                                .procs_per_cluster(ppc)
-                                .cache_kb(cache_kb)
-                                .associativity(assoc)
-                                .line_bytes(line)
-                                .style(style)
-                                .runahead_quantum(quantum)
-                                .model_shared_hit_costs(hit_costs)
-                                .contention(obs_args.contention)
-                                // unchecked: a bad row (e.g. --ppc 3 with 64
-                                // procs) must degrade inside run_sweep, not
-                                // abort the sweep before it starts.
-                                .build_unchecked());
-    }
+    req.make_app = [&] { return make_app(spec.app, spec.scale); };
+    req.configs = spec.configs();
     // Crash-safety policy (journal / resume / deadline / retries / faults).
     // Applied before shard selection: --sample rewrites the row specs, and
     // the shard partition must key on the digests run_sweep will journal.
@@ -167,7 +147,7 @@ int main(int argc, char** argv) {
     // split without coordination (docs/SERVICE.md).
     serve::ShardSelection sel;
     if (obs_args.shard_set) {
-      const std::unique_ptr<Program> probe = make_app(app, scale);
+      const std::unique_ptr<Program> probe = make_app(spec.app, spec.scale);
       sel = serve::select_shard(req.configs, probe->name(), probe->scale(),
                                 obs_args.shard);
       std::vector<MachineSpec> kept;
@@ -248,7 +228,7 @@ int main(int argc, char** argv) {
       return obs_args.shard_set && sweep.rows.empty() ? 0 : 1;
     }
     if (!gnuplot_base.empty()) {
-      write_gnuplot_figure(gnuplot_base, app, bars_from_sweep(results));
+      write_gnuplot_figure(gnuplot_base, spec.app, bars_from_sweep(results));
       std::printf("wrote %s.dat and %s.gp\n", gnuplot_base.c_str(),
                   gnuplot_base.c_str());
     }
@@ -260,9 +240,10 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cout << render_figure(
-          app + " (" + std::string(to_string(scale)) + ", " +
-              (cache_kb ? std::to_string(cache_kb) + "KB" : "inf") + ", " +
-              (style == ClusterStyle::SharedMemory ? "shared-memory"
+          spec.app + " (" + std::string(to_string(spec.scale)) + ", " +
+              (spec.cache_kb ? std::to_string(spec.cache_kb) + "KB" : "inf") +
+              ", " +
+              (spec.style == ClusterStyle::SharedMemory ? "shared-memory"
                                                    : "shared-cache") +
               ")",
           bars_from_sweep(results));

@@ -59,10 +59,20 @@ void Mp3dApp::setup(AddressSpace& as, const MachineSpec& mc) {
     q.vy = 0.03 * rng.uniform(-1.0, 1.0);
     q.vz = 0.03 * rng.uniform(-1.0, 1.0);
   }
-  cells_.assign(std::size_t{d} * d * d, Cell{});
+  ncells_ = d * d * d;
+  shards_ = mc.parallel.enabled() ? mc.num_clusters() : 1;
+  cells_.assign(std::size_t{ncells_} * shards_, Cell{});
+  if (shards_ > 1) {
+    // A zero-initialized reservoir means "particle 0", which cluster 0
+    // owns — a cross-shard leak on a fresh cell. Sharded runs start with
+    // no reservoir instead (the `other < parts_.size()` guard skips the
+    // exchange); the single-shard path keeps the legacy sentinel so
+    // sequential digests are unchanged.
+    for (auto& cell : cells_) cell.reservoir = kNoReservoir;
+  }
 
   part_base_ = as.alloc(cfg_.particles * kParticleBytes, "mp3d.particles");
-  cell_base_ = as.alloc(cells_.size() * kCellBytes, "mp3d.cells");
+  cell_base_ = as.alloc(Addr{ncells_} * kCellBytes, "mp3d.cells");
   // Particles are placed at their owner; the cell array is left to
   // round-robin first touch (it is shared, unstructured read-write state).
   for (ProcId p = 0; p < nprocs_; ++p) {
@@ -75,6 +85,12 @@ void Mp3dApp::setup(AddressSpace& as, const MachineSpec& mc) {
 
 SimTask Mp3dApp::body(Proc& p) {
   const BlockRange mine = block_partition(cfg_.particles, nprocs_, p.id());
+  // Sequential runs share one cell shard; parallel runs give each cluster
+  // its own (see the cells_ comment in the header). The reservoir partner
+  // is then always a particle owned by this cluster, so every host-side
+  // access below stays inside the partition that this coroutine runs on.
+  Cell* const cells =
+      cells_.data() + std::size_t{shards_ == 1 ? 0 : p.cluster()} * ncells_;
 
   for (unsigned step = 0; step < cfg_.steps; ++step) {
     for (std::size_t i = mine.begin; i < mine.end; ++i) {
@@ -95,7 +111,7 @@ SimTask Mp3dApp::body(Proc& p) {
       bounce(q.z, q.vz);
 
       const unsigned c = cell_of(q);
-      Cell& cell = cells_[c];
+      Cell& cell = cells[c];
       ++cell.count;
       cell.momentum += std::abs(q.vx) + std::abs(q.vy) + std::abs(q.vz);
 
@@ -106,7 +122,7 @@ SimTask Mp3dApp::body(Proc& p) {
       if (other != static_cast<std::uint32_t>(i) && other < parts_.size()) {
         std::swap(parts_[other].vy, q.vy);
       }
-      ++total_moves_;
+      total_moves_.fetch_add(1, std::memory_order_relaxed);
 
       // References: read+write my particle record, read+write the shared
       // space cell, read+write the reservoir partner's record — one run
@@ -129,7 +145,8 @@ SimTask Mp3dApp::body(Proc& p) {
 }
 
 void Mp3dApp::verify() const {
-  if (total_moves_ != static_cast<std::uint64_t>(cfg_.particles) * cfg_.steps) {
+  const std::uint64_t moves = total_moves_.load(std::memory_order_relaxed);
+  if (moves != static_cast<std::uint64_t>(cfg_.particles) * cfg_.steps) {
     throw std::runtime_error("MP3D verification failed: move count mismatch");
   }
   for (const auto& q : parts_) {
@@ -137,9 +154,10 @@ void Mp3dApp::verify() const {
       throw std::runtime_error("MP3D verification failed: particle escaped");
     }
   }
+  // Visits conserve across shards: every move lands in exactly one shard.
   std::uint64_t visits = 0;
   for (const auto& c : cells_) visits += c.count;
-  if (visits != total_moves_) {
+  if (visits != moves) {
     throw std::runtime_error("MP3D verification failed: cell visits mismatch");
   }
 }

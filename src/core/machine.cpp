@@ -75,6 +75,23 @@ void MachineSpec::validate() const {
           "the warmup-boundary state)");
     }
   }
+  if (parallel.enabled()) {
+    if (sampling.enabled) {
+      throw ConfigError(
+          "parallel execution is incompatible with interval sampling "
+          "(warming is a global sequential pass)");
+    }
+    if (contention.enabled) {
+      throw ConfigError(
+          "parallel execution is incompatible with the contention model "
+          "(queued resources are globally ordered)");
+    }
+    if (parallel_horizon() == 0) {
+      throw ConfigError(
+          "parallel horizon must be >= 1 cycle (check horizon_override / "
+          "latency model)");
+    }
+  }
   if (contention.enabled) {
     if (banks_per_proc == 0) {
       throw ConfigError("contention model needs banks_per_proc >= 1");

@@ -1,0 +1,367 @@
+#include "src/core/par_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/error.hpp"
+#include "src/core/event_queue.hpp"
+#include "src/core/processor.hpp"
+#include "src/core/run_debug.hpp"
+#include "src/core/simulator.hpp"
+#include "src/mem/clustered_memory.hpp"
+#include "src/mem/coherence.hpp"
+
+namespace csim::par {
+namespace {
+
+/// One cluster's share of the machine: its event queue, its processors, and
+/// the outbox of operations deferred to the next window boundary. Inside a
+/// window exactly one thread touches a partition; ownership is handed back
+/// to the coordinator through the pool's done counter (release/acquire).
+struct Partition {
+  EventQueue queue;
+  std::vector<Proc*> procs;      // this cluster's processors, id order
+  std::vector<Deferred> outbox;  // deferred ops, enqueue order
+  std::exception_ptr err;        // failure escaping run_one()
+  bool budget_hit = false;       // watchdog tripped inside the window
+};
+
+/// Runs one partition up to (not including) `t_end`. Never throws: errors
+/// are parked in the partition for the coordinator, which alone may build a
+/// machine-wide snapshot (reading other partitions mid-window would race).
+void run_window(Partition& part, Cycles t_end) noexcept {
+  try {
+    EventQueue& q = part.queue;
+    while (!q.empty() && q.next_time() < t_end) {
+      q.run_one();
+      if (q.over_budget()) [[unlikely]] {
+        part.budget_hit = true;
+        return;
+      }
+    }
+  } catch (...) {
+    part.err = std::current_exception();
+  }
+}
+
+/// Fixed pool of workers − 1 threads (the coordinator is the extra worker).
+/// A window is published by writing t_end_ and release-incrementing epoch_;
+/// workers acquire-spin on the epoch, claim partitions with a fetch_add
+/// ticket, and release-increment done_ when the ticket counter runs out.
+/// Which thread runs which partition never affects results — partition
+/// execution is queue-order-deterministic and windows are conflict-free —
+/// so the pool needs no ordering beyond the epoch/done handoff.
+class WindowPool {
+ public:
+  WindowPool(std::vector<Partition>& parts, unsigned workers) : parts_(parts) {
+    threads_.reserve(workers - 1);
+    for (unsigned i = 1; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~WindowPool() {
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WindowPool(const WindowPool&) = delete;
+  WindowPool& operator=(const WindowPool&) = delete;
+
+  /// Runs every partition's window [*, t_end) and returns with all of them
+  /// quiescent. workers == 1: inline in index order, no synchronization.
+  void run_window_all(Cycles t_end) {
+    if (threads_.empty()) {
+      for (Partition& part : parts_) run_window(part, t_end);
+      return;
+    }
+    t_end_ = t_end;  // published by the epoch release-increment below
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    claim();  // the coordinator works too
+    const std::uint64_t want = threads_.size();
+    spin_until([&] { return done_.load(std::memory_order_acquire) == want; });
+  }
+
+ private:
+  void claim() {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= parts_.size()) return;
+      run_window(parts_[i], t_end_);
+    }
+  }
+
+  template <class Pred>
+  static void spin_until(Pred pred) {
+    for (unsigned spins = 0; !pred(); ++spins) {
+      if (spins >= 4096) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void worker_main() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      spin_until(
+          [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen = epoch_.load(std::memory_order_acquire);
+      claim();
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  std::vector<Partition>& parts_;
+  Cycles t_end_ = 0;  // window bound; published via epoch_
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+MachineSnapshot snapshot(Cycles cycle, const std::vector<Partition>& parts,
+                         const std::vector<std::unique_ptr<Proc>>& procs) {
+  std::size_t depth = 0;
+  std::uint64_t events = 0;
+  for (const Partition& part : parts) {
+    depth += part.queue.size();
+    events += part.queue.events_run();
+  }
+  return detail::capture_proc_snapshot(cycle, depth, events, procs);
+}
+
+}  // namespace
+
+SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
+                       Program& prog, MemorySystem* memory_override) {
+  const MachineSpec& cfg_ = *spec;
+  const auto host_start = std::chrono::steady_clock::now();
+  AddressSpace as;
+  try {
+    prog.setup(as, cfg_);
+  } catch (const SimError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError("setup of '" + prog.name() + "' rejected: " + e.what());
+  } catch (const std::exception& e) {
+    throw AppError("setup of '" + prog.name() + "' failed: " + e.what());
+  }
+
+  std::unique_ptr<MemorySystem> mem;
+  if (memory_override == nullptr) {
+    if (cfg_.cluster_style == ClusterStyle::SharedMemory) {
+      mem = std::make_unique<ClusteredMemorySystem>(spec, as);
+    } else {
+      mem = std::make_unique<CoherenceController>(spec, as);
+    }
+  }
+  MemorySystem& coh = memory_override ? *memory_override : *mem;
+
+  const unsigned nclusters = cfg_.num_clusters();
+  std::vector<Partition> parts(nclusters);
+  // Per-queue watchdogs bound runtime, never results: max_cycles and
+  // no-progress are naturally per-queue; max_events gets an additional
+  // machine-wide check at each boundary.
+  const EventQueue::Budget budget{cfg_.max_cycles, cfg_.max_events,
+                                  cfg_.no_progress_events};
+  for (Partition& part : parts) part.queue.set_budget(budget);
+
+  std::vector<std::unique_ptr<Proc>> procs;
+  procs.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    Partition& part = parts[cfg_.cluster_of(p)];
+    procs.push_back(std::make_unique<Proc>(cfg_, part.queue, coh, p));
+    Proc* proc = procs.back().get();
+    proc->set_parallel_outbox(&part.outbox);
+    part.procs.push_back(proc);
+  }
+
+  for (auto& pp : procs) {
+    Proc* proc = pp.get();
+    proc->root = prog.body(*proc);
+    parts[proc->cluster()].queue.schedule(0, [proc] { proc->launch(); });
+  }
+
+  const Cycles W = cfg_.parallel_horizon();
+  // The worker count never affects results (pinned by the determinism
+  // matrix), so clamping is pure scheduling: more workers than clusters
+  // would have nothing to claim, and more workers than host cores would
+  // only time-slice the window barrier's spin. TSan builds skip the core
+  // clamp — the race detector must see the requested thread structure even
+  // on a small host, and interleaved time slices are enough to find races.
+#if !defined(CSIM_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSIM_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(CSIM_TSAN)
+  const unsigned hw = nclusters;
+#else
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+#endif
+  const unsigned workers =
+      std::max(1u, std::min({cfg_.parallel.workers, nclusters, hw}));
+  WindowPool pool(parts, workers);
+
+  std::vector<Deferred> drain;  // boundary merge buffer, reused
+
+  const std::uint64_t audit_every = cfg_.audit_interval;
+  std::uint64_t next_audit = audit_every;
+  const bool deadline_armed = cfg_.max_host_seconds > 0;
+
+  Cycles T = 0;  // current window start; always a multiple of W
+  for (;;) {
+    // Earliest pending event across the machine; none => idle (any procs
+    // still parked on a barrier/lock are caught by the deadlock check).
+    bool any = false;
+    Cycles mn = 0;
+    for (Partition& part : parts) {
+      if (part.queue.empty()) continue;
+      const Cycles t = part.queue.next_time();
+      if (!any || t < mn) mn = t;
+      any = true;
+    }
+    if (!any) break;
+
+    // Grid-aligned advance: skip whole empty windows but keep every window
+    // start a multiple of W from cycle 0, so boundary floors are a pure
+    // function of event times — identical at every worker count.
+    T += W * ((mn - T) / W);
+
+    pool.run_window_all(T + W);
+
+    for (const Partition& part : parts) {
+      if (part.err) std::rethrow_exception(part.err);
+    }
+    std::uint64_t total_events = 0;
+    for (const Partition& part : parts) total_events += part.queue.events_run();
+    for (const Partition& part : parts) {
+      if (!part.budget_hit) continue;
+      auto v = part.queue.budget_violation();
+      throw LivelockError(v.has_value() ? *std::move(v)
+                                        : std::string("watchdog budget exceeded"),
+                          snapshot(T, parts, procs));
+    }
+    if (cfg_.max_events != 0 && total_events > cfg_.max_events) {
+      throw LivelockError("event budget of " + std::to_string(cfg_.max_events) +
+                              " exceeded machine-wide (ran " +
+                              std::to_string(total_events) + ")",
+                          snapshot(T, parts, procs));
+    }
+    if (deadline_armed) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_start)
+              .count();
+      if (elapsed > cfg_.max_host_seconds) {
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "host deadline of %.3f s exceeded (ran %.3f s)",
+                      cfg_.max_host_seconds, elapsed);
+        throw TimeoutError(msg, snapshot(T, parts, procs));
+      }
+    }
+    if (audit_every != 0 && total_events >= next_audit) {
+      coh.audit();
+      next_audit = total_events - total_events % audit_every + audit_every;
+    }
+
+    // Boundary drain. Outboxes are appended in cluster index order, each
+    // already in enqueue order, and the sort on issue time is stable — the
+    // result is exactly (time, source cluster, enqueue sequence) order, the
+    // engine's one global serialization point.
+    drain.clear();
+    for (Partition& part : parts) {
+      drain.insert(drain.end(), part.outbox.begin(), part.outbox.end());
+      part.outbox.clear();
+    }
+    if (!drain.empty()) {
+      std::stable_sort(
+          drain.begin(), drain.end(),
+          [](const Deferred& a, const Deferred& b) { return a.t < b.t; });
+      const Cycles floor = T + W;  // outcomes known only at the boundary
+      for (const Deferred& d : drain) d.p->finish_deferred(d, floor);
+    }
+
+    T += W;
+  }
+
+  for (auto& pp : procs) {
+    pp->root.rethrow_if_failed();
+  }
+
+  // Protocol state must be internally consistent once the machine is idle.
+  coh.audit();
+
+  unsigned unfinished = 0;
+  for (auto& pp : procs) {
+    if (!pp->finished) ++unfinished;
+  }
+  if (unfinished != 0) {
+    std::string summary = std::to_string(unfinished) + " of " +
+                          std::to_string(cfg_.num_procs) +
+                          " processors never finished:";
+    for (auto& pp : procs) {
+      if (pp->finished) continue;
+      summary += " proc " + std::to_string(pp->id()) + " " +
+                 detail::describe_wait(*pp) + ";";
+    }
+    summary.pop_back();
+    throw DeadlockError(std::move(summary), snapshot(T, parts, procs));
+  }
+
+  SimResult res;
+  res.config = cfg_;
+  res.app_name = prog.name();
+  res.scale = prog.scale();
+
+  Cycles wall = 0;
+  for (auto& pp : procs) wall = std::max(wall, pp->finish_time);
+  res.wall_time = wall;
+  std::uint64_t total_events = 0;
+  for (const Partition& part : parts) total_events += part.queue.events_run();
+  res.events = total_events;
+
+  res.per_proc.reserve(cfg_.num_procs);
+  for (auto& pp : procs) {
+    TimeBuckets b = pp->buckets();
+    // Early finishers wait at the implicit final barrier.
+    b.sync += wall - pp->finish_time;
+    res.per_proc.push_back(b);
+  }
+
+  res.per_cluster.reserve(nclusters);
+  for (ClusterId c = 0; c < nclusters; ++c) {
+    res.per_cluster.push_back(coh.cluster_counters(c));
+  }
+  res.totals = coh.totals();
+
+  try {
+    prog.verify();
+  } catch (const SimError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw AppError("verification of '" + prog.name() + "' failed: " + e.what(),
+                   snapshot(T, parts, procs));
+  }
+  res.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  return res;
+}
+
+}  // namespace csim::par

@@ -1,0 +1,38 @@
+// Conservative cluster-parallel event execution (ParallelSpec).
+//
+// The machine is partitioned by cluster: each cluster gets its own event
+// queue and advances independently inside a synchronization window whose
+// width is the minimum inter-cluster latency (MachineSpec::parallel_horizon,
+// >= 30 cycles from the paper's Table 1) — no event in one cluster can
+// affect another cluster sooner than that, so intra-window execution is
+// conflict-free by construction. Operations that would cross a cluster
+// boundary (directory transitions, barrier arrivals, lock traffic) are
+// recorded in per-partition outboxes at their issue time and executed by
+// the coordinator at the window boundary in a fixed deterministic order:
+// (issue time, source cluster, enqueue sequence). Results are therefore
+// bit-identical at every worker count, including workers == 1 (the windowed
+// algorithm run inline, no threads). See DESIGN.md, "Conservative
+// cluster-parallel windows".
+#pragma once
+
+#include <memory>
+
+#include "src/core/machine.hpp"
+#include "src/core/stats.hpp"
+
+namespace csim {
+
+class Program;
+class MemorySystem;
+
+namespace par {
+
+/// Runs `prog` to completion under the conservative window engine.
+/// Preconditions (enforced by MachineSpec::validate / Simulator::run):
+/// spec->parallel.enabled(), no sampling, no contention model, no observer.
+/// Same failure taxonomy and message formats as the sequential driver.
+SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
+                       Program& prog, MemorySystem* memory_override);
+
+}  // namespace par
+}  // namespace csim

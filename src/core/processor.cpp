@@ -10,6 +10,15 @@
 namespace csim {
 
 void Proc::schedule_resume(Cycles t, std::coroutine_handle<> h) {
+  if (pending_defer_) {
+    // A deferring memory op staged pending_ (detail_read / detail_write);
+    // this is the suspension that carries its coroutine handle. Route it to
+    // the partition outbox — the coordinator resumes it past the boundary.
+    pending_.h = h;
+    outbox_->push_back(pending_);
+    pending_defer_ = false;
+    return;
+  }
   queue_->schedule_resume(t, this, h);
 }
 
@@ -146,7 +155,22 @@ bool Proc::detail_read(Addr a, Cycles& resume_at) {
       return check_slice(resume_at);
     }
   }
-  const AccessResult r = coh_->read(id_, a, now_);
+  AccessResult r;
+  if (outbox_ == nullptr) {
+    r = coh_->read(id_, a, now_);
+  } else if (const auto lr = coh_->local_read(id_, a, now_)) {
+    r = *lr;
+  } else {
+    // Globally-visible read: defer to the window boundary. The suspension
+    // that follows (OpAwaiter / run_step yield) lands in schedule_resume,
+    // which captures the handle into the outbox.
+    wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, 0, now_};
+    pending_ = Deferred{Deferred::Kind::Read, a, nullptr, nullptr, now_, {},
+                        this};
+    pending_defer_ = true;
+    resume_at = now_;
+    return false;
+  }
   if (r.hint != MruHint::None && gen_ != nullptr) {
     filter_[filter_slot(line)] =
         FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
@@ -214,7 +238,20 @@ bool Proc::detail_write(Addr a, Cycles& resume_at) {
     ++hot_->write_hits;
     if (touch_cache_ != nullptr) touch_cache_->touch(line);
   } else {
-    const AccessResult r = coh_->write(id_, a, now_);
+    AccessResult r;
+    if (outbox_ == nullptr) {
+      r = coh_->write(id_, a, now_);
+    } else if (const auto lw = coh_->local_write(id_, a, now_)) {
+      r = *lw;
+    } else {
+      // Directory work (upgrade / write miss): window-boundary territory.
+      wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, a, 0, now_};
+      pending_ = Deferred{Deferred::Kind::Write, a, nullptr, nullptr, now_,
+                          {}, this};
+      pending_defer_ = true;
+      resume_at = now_;
+      return false;
+    }
     if (r.hint != MruHint::None && gen_ != nullptr) {
       filter_[filter_slot(line)] =
           FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
@@ -443,6 +480,10 @@ Proc::RunAwaiter Proc::run(Addr base, Addr stride, std::uint32_t count,
 }
 
 bool Proc::BarrierAwaiter::await_ready() const {
+  // Parallel windows: every arrival defers — barrier state is coordinator-
+  // only, and even the would-be last arriver cannot know it is last until
+  // all partitions quiesce at the boundary.
+  if (p->outbox_ != nullptr) return false;
   Barrier& bar = *b;
   if (bar.arrived_ + 1 < bar.participants_) return false;
   // Last arriver: release everyone at (no earlier than) our current time.
@@ -462,6 +503,12 @@ bool Proc::BarrierAwaiter::await_ready() const {
 }
 
 void Proc::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  if (p->outbox_ != nullptr) {
+    p->wait_ = WaitInfo{WaitKind::Barrier, b, nullptr, 0, 0, p->now_};
+    p->outbox_->push_back(
+        Deferred{Deferred::Kind::BarrierArrive, 0, b, nullptr, p->now_, h, p});
+    return;
+  }
   Barrier& bar = *b;
   ++bar.arrived_;
   bar.waiters_.push_back(Barrier::Waiter{h, p, p->now_});
@@ -478,6 +525,12 @@ bool Proc::AcquireAwaiter::await_ready() const {
 }
 
 void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  if (p->outbox_ != nullptr) {
+    p->wait_ = WaitInfo{WaitKind::Lock, nullptr, l, 0, 0, p->now_};
+    p->outbox_->push_back(
+        Deferred{Deferred::Kind::LockAcquire, 0, nullptr, l, p->now_, h, p});
+    return;
+  }
   Lock& lk = *l;
   if (!lk.held_) {
     lk.held_ = true;
@@ -493,6 +546,13 @@ void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
 }
 
 void Proc::release(Lock& l) {
+  if (outbox_ != nullptr) {
+    // Lock state is coordinator-only in parallel mode; the release takes
+    // effect at the boundary. The releaser itself never suspends.
+    outbox_->push_back(
+        Deferred{Deferred::Kind::LockRelease, 0, nullptr, &l, now_, {}, this});
+    return;
+  }
   if (!l.held_) return;
   if (l.waiters_.empty()) {
     l.held_ = false;
@@ -505,6 +565,137 @@ void Proc::release(Lock& l) {
   l.owner_ = w.p->id();
   ++l.acquisitions_;
   w.p->schedule_resume(t, w.h);
+}
+
+// --- Window-boundary execution (coordinator; every partition quiescent) ----
+
+void Proc::finish_deferred(const Deferred& d, Cycles floor) {
+  switch (d.kind) {
+    case Deferred::Kind::Read: finish_read(d, floor); break;
+    case Deferred::Kind::Write: finish_write(d, floor); break;
+    case Deferred::Kind::BarrierArrive: finish_barrier_arrive(d, floor); break;
+    case Deferred::Kind::LockAcquire: finish_lock_acquire(d, floor); break;
+    case Deferred::Kind::LockRelease: finish_lock_release(d, floor); break;
+  }
+}
+
+void Proc::finish_read(const Deferred& d, Cycles floor) {
+  // Re-issue the FULL read at its original time: an earlier boundary op of
+  // the same drain (a same-cluster fill, a peer's upgrade) may have changed
+  // what this access sees, and the full path classifies it correctly —
+  // including Hit/Merge against state another deferred op just created.
+  const AccessResult r = coh_->read(id_, d.addr, d.t);
+  const Addr line = d.addr & line_mask_;
+  if (r.hint != MruHint::None && gen_ != nullptr) {
+    filter_[filter_slot(line)] =
+        FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+  }
+  const Cycles hit = access_cost();
+  Cycles done;
+  bool merge = false;
+  switch (r.kind) {
+    case AccessResult::Kind::Hit:
+      buckets_.cpu += hit;
+      done = d.t + hit;
+      break;
+    case AccessResult::Kind::Merge: {
+      buckets_.cpu += hit;
+      const Cycles issue_done = d.t + hit;
+      const Cycles stall = r.ready_at > issue_done ? r.ready_at - issue_done : 0;
+      buckets_.merge += stall;
+      done = issue_done + stall;
+      merge = true;
+      break;
+    }
+    default:  // ReadMiss / NearHit
+      buckets_.cpu += hit;
+      buckets_.load += r.latency;
+      done = d.t + hit + r.latency;
+      break;
+  }
+  // The outcome was only determined at the boundary: resume no earlier than
+  // the next window, the gap charged to the bucket the stall belongs to.
+  const Cycles res = std::max(done, floor);
+  (merge ? buckets_.merge : buckets_.load) += res - done;
+  now_ = res;
+  wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, d.addr, res, d.t};
+  queue_->schedule_resume(res, this, d.h);
+}
+
+void Proc::finish_write(const Deferred& d, Cycles floor) {
+  const AccessResult r = coh_->write(id_, d.addr, d.t);
+  const Addr line = d.addr & line_mask_;
+  if (r.hint != MruHint::None && gen_ != nullptr) {
+    filter_[filter_slot(line)] =
+        FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+  }
+  // Store issue occupies the cache for one access; miss/upgrade latency is
+  // hidden by the store buffer exactly as on the inline path.
+  const Cycles cost = access_cost();
+  buckets_.cpu += cost;
+  const Cycles done = d.t + cost;
+  const Cycles res = std::max(done, floor);
+  buckets_.load += res - done;
+  now_ = res;
+  wait_ = WaitInfo{WaitKind::Memory, nullptr, nullptr, d.addr, res, d.t};
+  queue_->schedule_resume(res, this, d.h);
+}
+
+void Proc::finish_barrier_arrive(const Deferred& d, Cycles floor) {
+  Barrier& bar = *d.barrier;
+  if (bar.arrived_ + 1 < bar.participants_) {
+    ++bar.arrived_;
+    bar.waiters_.push_back(Barrier::Waiter{d.h, this, d.t});
+    return;  // wait_ was set at suspension; stays until release
+  }
+  // Last arrival of the generation: release everyone. Waiters resume at the
+  // latest of the release time, their own arrival, and the window floor.
+  const Cycles release = d.t;
+  for (auto& w : bar.waiters_) {
+    const Cycles t = std::max(std::max(release, w.arrival), floor);
+    w.p->mutable_buckets().sync += t - w.arrival;
+    w.p->queue_->schedule_resume(t, w.p, w.h);
+  }
+  bar.waiters_.clear();
+  bar.arrived_ = 0;
+  ++bar.generations_;
+  const Cycles t = std::max(release, floor);
+  buckets_.sync += t - d.t;
+  now_ = t;
+  queue_->schedule_resume(t, this, d.h);
+}
+
+void Proc::finish_lock_acquire(const Deferred& d, Cycles floor) {
+  Lock& lk = *d.lock;
+  if (!lk.held_) {
+    lk.held_ = true;
+    lk.owner_ = id_;
+    ++lk.acquisitions_;
+    const Cycles t = std::max(d.t, floor);
+    buckets_.sync += t - d.t;
+    now_ = t;
+    queue_->schedule_resume(t, this, d.h);
+    return;
+  }
+  ++lk.contended_;
+  lk.waiters_.push_back(Lock::Waiter{d.h, this, d.t});
+  // wait_ was set at suspension; stays until the owner releases.
+}
+
+void Proc::finish_lock_release(const Deferred& d, Cycles floor) {
+  Lock& lk = *d.lock;
+  if (!lk.held_) return;
+  if (lk.waiters_.empty()) {
+    lk.held_ = false;
+    return;
+  }
+  Lock::Waiter w = lk.waiters_.front();
+  lk.waiters_.pop_front();
+  const Cycles t = std::max(std::max(d.t, w.arrival), floor);
+  w.p->mutable_buckets().sync += t - w.arrival;
+  lk.owner_ = w.p->id();
+  ++lk.acquisitions_;
+  w.p->queue_->schedule_resume(t, w.p, w.h);
 }
 
 }  // namespace csim

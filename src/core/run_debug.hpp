@@ -1,0 +1,82 @@
+// Shared run diagnostics: human-readable processor wait descriptions and
+// machine snapshots. Used by both the sequential driver (simulator.cpp) and
+// the cluster-parallel window engine (par_engine.cpp) so DeadlockError /
+// LivelockError / TimeoutError messages are identical in both modes.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/error.hpp"
+#include "src/core/processor.hpp"
+#include "src/core/sync.hpp"
+
+namespace csim::detail {
+
+inline std::string sync_object_name(const std::string& name,
+                                    const void* fallback) {
+  if (!name.empty()) return "'" + name + "'";
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "@%p", fallback);
+  return buf;
+}
+
+/// One-line description of what a processor is doing / waiting for.
+inline std::string describe_wait(const Proc& p) {
+  const Proc::WaitInfo& w = p.wait();
+  switch (w.kind) {
+    case Proc::WaitKind::Barrier: {
+      const Barrier* b = w.barrier;
+      return "blocked on barrier " + sync_object_name(b->name(), b) +
+             " (arrived " + std::to_string(b->arrived()) + "/" +
+             std::to_string(b->participants()) + ") since cycle " +
+             std::to_string(w.since);
+    }
+    case Proc::WaitKind::Lock: {
+      const Lock* l = w.lock;
+      std::string s = "blocked on lock " + sync_object_name(l->name(), l);
+      if (l->held()) s += " (owner proc " + std::to_string(l->owner()) + ")";
+      s += ", queue length " + std::to_string(l->queue_length()) +
+           ", since cycle " + std::to_string(w.since);
+      return s;
+    }
+    case Proc::WaitKind::Memory: {
+      char buf[2 + 16 + 1];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(w.addr));
+      return std::string("stalled on outstanding miss at ") + buf +
+             " (fill due cycle " + std::to_string(w.ready_at) + ")";
+    }
+    case Proc::WaitKind::None:
+      break;
+  }
+  return "running";
+}
+
+/// Snapshot over a processor set. The caller supplies the queue-level
+/// aggregates, which differ between one global event queue (sequential) and
+/// per-cluster queues (parallel windows).
+inline MachineSnapshot capture_proc_snapshot(
+    Cycles cycle, std::size_t queue_depth, std::uint64_t events,
+    const std::vector<std::unique_ptr<Proc>>& procs) {
+  MachineSnapshot snap;
+  snap.cycle = cycle;
+  snap.event_queue_depth = queue_depth;
+  snap.events_processed = events;
+  snap.procs.reserve(procs.size());
+  for (const auto& pp : procs) {
+    MachineSnapshot::ProcState st;
+    st.id = pp->id();
+    st.finished = pp->finished;
+    st.last_progress = pp->now();
+    st.detail = pp->finished
+                    ? "finished at cycle " + std::to_string(pp->finish_time)
+                    : describe_wait(*pp);
+    snap.procs.push_back(std::move(st));
+  }
+  return snap;
+}
+
+}  // namespace csim::detail

@@ -7,6 +7,8 @@
 
 #include "src/core/error.hpp"
 #include "src/core/event_queue.hpp"
+#include "src/core/par_engine.hpp"
+#include "src/core/run_debug.hpp"
 #include "src/core/sampling.hpp"
 #include "src/core/sync.hpp"
 #include "src/mem/clustered_memory.hpp"
@@ -18,63 +20,12 @@
 namespace csim {
 namespace {
 
-std::string sync_name(const std::string& name, const void* fallback) {
-  if (!name.empty()) return "'" + name + "'";
-  char buf[2 + 16 + 1];
-  std::snprintf(buf, sizeof buf, "@%p", fallback);
-  return buf;
-}
-
-/// One-line description of what a processor is doing / waiting for.
-std::string describe_wait(const Proc& p) {
-  const Proc::WaitInfo& w = p.wait();
-  switch (w.kind) {
-    case Proc::WaitKind::Barrier: {
-      const Barrier* b = w.barrier;
-      return "blocked on barrier " + sync_name(b->name(), b) + " (arrived " +
-             std::to_string(b->arrived()) + "/" +
-             std::to_string(b->participants()) + ") since cycle " +
-             std::to_string(w.since);
-    }
-    case Proc::WaitKind::Lock: {
-      const Lock* l = w.lock;
-      std::string s = "blocked on lock " + sync_name(l->name(), l);
-      if (l->held()) s += " (owner proc " + std::to_string(l->owner()) + ")";
-      s += ", queue length " + std::to_string(l->queue_length()) +
-           ", since cycle " + std::to_string(w.since);
-      return s;
-    }
-    case Proc::WaitKind::Memory: {
-      char buf[2 + 16 + 1];
-      std::snprintf(buf, sizeof buf, "0x%llx",
-                    static_cast<unsigned long long>(w.addr));
-      return std::string("stalled on outstanding miss at ") + buf +
-             " (fill due cycle " + std::to_string(w.ready_at) + ")";
-    }
-    case Proc::WaitKind::None:
-      break;
-  }
-  return "running";
-}
+using detail::describe_wait;
 
 MachineSnapshot capture_snapshot(const EventQueue& queue,
                                  const std::vector<std::unique_ptr<Proc>>& procs) {
-  MachineSnapshot snap;
-  snap.cycle = queue.now();
-  snap.event_queue_depth = queue.size();
-  snap.events_processed = queue.events_run();
-  snap.procs.reserve(procs.size());
-  for (const auto& pp : procs) {
-    MachineSnapshot::ProcState st;
-    st.id = pp->id();
-    st.finished = pp->finished;
-    st.last_progress = pp->now();
-    st.detail = pp->finished
-                    ? "finished at cycle " + std::to_string(pp->finish_time)
-                    : describe_wait(*pp);
-    snap.procs.push_back(std::move(st));
-  }
-  return snap;
+  return detail::capture_proc_snapshot(queue.now(), queue.size(),
+                                       queue.events_run(), procs);
 }
 
 }  // namespace
@@ -92,6 +43,17 @@ Simulator::Simulator(std::shared_ptr<const MachineSpec> spec)
 
 SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   const MachineSpec& cfg_ = *spec_;  // the run-wide shared immutable spec
+  if (cfg_.parallel.enabled()) {
+    // Observability hooks assume one global event stream; the window engine
+    // has per-cluster queues. Everything else (sampling, contention) is
+    // already rejected by MachineSpec::validate().
+    if (obs_ != nullptr) {
+      throw ConfigError(
+          "parallel execution is incompatible with an attached observer "
+          "(tracing/metrics assume a single global event order)");
+    }
+    return par::run_parallel(spec_, prog, memory_override);
+  }
   const auto host_start = std::chrono::steady_clock::now();
   AddressSpace as;
   try {

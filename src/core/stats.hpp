@@ -73,7 +73,7 @@ struct MissCounters {
   }
 };
 
-/// Result of one simulation run. A failed run (captured by run_configs'
+/// Result of one simulation run. A failed run (captured by run_sweep's
 /// graceful degradation) has ok == false, empty statistics, and the error
 /// fields describing the SimError that killed it.
 struct SimResult {

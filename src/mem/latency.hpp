@@ -31,6 +31,8 @@ struct LatencyModel {
     }
     return 0;  // unreachable
   }
+
+  bool operator==(const LatencyModel&) const noexcept = default;
 };
 
 /// Human-readable name for a latency class (for reports and tests).

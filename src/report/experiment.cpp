@@ -384,19 +384,6 @@ SweepResult run_sweep(const SweepRequest& req) {
   return res;
 }
 
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineSpec>& configs) {
-  return run_sweep(SweepRequest{make_app, configs}).rows;
-}
-
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineSpec>& configs,
-    const ObserverFactory& make_observer) {
-  return run_sweep(SweepRequest{make_app, configs, make_observer}).rows;
-}
-
 std::vector<SimResult> sweep_clusters(
     const std::function<std::unique_ptr<Program>()>& make_app,
     std::size_t cache_bytes_per_proc,

@@ -12,15 +12,6 @@
 #include "src/apps/app.hpp"
 #include "src/core/simulator.hpp"
 
-// CSIM_DEPRECATED: [[deprecated]] only when the build opts in
-// (-DCSIM_WARN_DEPRECATED=ON). Downstream code migrates on its own schedule;
-// CI's deprecation job (warnings-as-errors) keeps the tree itself clean.
-#if defined(CSIM_WARN_DEPRECATED)
-#define CSIM_DEPRECATED(msg) [[deprecated(msg)]]
-#else
-#define CSIM_DEPRECATED(msg)
-#endif
-
 namespace csim {
 
 class Observer;
@@ -88,8 +79,7 @@ using RowCallback = std::function<void(
 
 /// Declarative description of one sweep: a fresh app per row (programs are
 /// stateful), the machine spec of every row, and optional per-row
-/// observability. The single entry point every driver builds — replaces the
-/// old run_configs overload set.
+/// observability. The single entry point every driver builds.
 struct SweepRequest {
   std::function<std::unique_ptr<Program>()> make_app;
   std::vector<MachineSpec> configs;
@@ -154,19 +144,6 @@ std::vector<SimResult> sweep_clusters(
     const std::function<std::unique_ptr<Program>()>& make_app,
     std::size_t cache_bytes_per_proc,
     const std::vector<unsigned>& cluster_sizes = {1, 2, 4, 8});
-
-/// Deprecated shim over run_sweep(); see SweepRequest.
-CSIM_DEPRECATED("build a SweepRequest and call run_sweep()")
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineSpec>& configs);
-
-/// Deprecated shim over run_sweep(); see SweepRequest.
-CSIM_DEPRECATED("build a SweepRequest and call run_sweep()")
-std::vector<SimResult> run_configs(
-    const std::function<std::unique_ptr<Program>()>& make_app,
-    const std::vector<MachineSpec>& configs,
-    const ObserverFactory& make_observer);
 
 /// Standard bench command line: `--paper`/`--test` switch problem sizes,
 /// `--procs N` overrides the processor count.

@@ -321,8 +321,27 @@ std::string merge_shard_csvs(const std::vector<ShardManifest>& shards,
 
 // ----------------------------------------------------------- result cache
 
-ResultCache::ResultCache(std::string journal_dir)
-    : dir_(std::move(journal_dir)) {}
+ResultCache::ResultCache(std::string journal_dir, std::size_t max_entries)
+    : dir_(std::move(journal_dir)), max_(max_entries) {}
+
+void ResultCache::touch(Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru);  // iterators stay valid
+}
+
+void ResultCache::remember(std::uint64_t digest, JournalRecord rec) {
+  const auto it = memory_.find(digest);
+  if (it != memory_.end()) {
+    it->second.record = std::move(rec);
+    touch(it->second);
+    return;
+  }
+  lru_.push_front(digest);
+  memory_.emplace(digest, Entry{std::move(rec), lru_.begin()});
+  if (max_ != 0 && memory_.size() > max_) {
+    memory_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
 
 std::optional<ResultCache::Hit> ResultCache::lookup(
     std::uint64_t digest, const MachineSpec& cfg, std::string_view app,
@@ -347,7 +366,10 @@ std::optional<ResultCache::Hit> ResultCache::lookup(
   };
 
   const auto mem = memory_.find(digest);
-  if (mem != memory_.end()) return hit_from(mem->second, Tier::Memory);
+  if (mem != memory_.end()) {
+    touch(mem->second);
+    return hit_from(mem->second.record, Tier::Memory);
+  }
   if (dir_.empty()) return std::nullopt;
 
   // The journal names record files by digest, so the disk tier is one file
@@ -376,7 +398,7 @@ std::optional<ResultCache::Hit> ResultCache::lookup(
     }
     std::optional<Hit> hit = hit_from(rec, Tier::Journal);
     if (hit) {
-      memory_.emplace(digest, std::move(rec));  // promote to the memory tier
+      remember(digest, std::move(rec));  // promote to the memory tier
       return hit;
     }
     return std::nullopt;  // verified false — a fresh run will overwrite it
@@ -388,146 +410,38 @@ void ResultCache::insert(const SimResult& r, std::uint32_t attempts) {
   if (!r.ok) return;
   JournalRecord rec = journal_record_from_result(r, attempts);
   const std::uint64_t digest = rec.config_digest;
-  memory_[digest] = std::move(rec);
+  remember(digest, std::move(rec));
 }
 
 // -------------------------------------------------------- service session
 
 namespace {
 
-[[noreturn]] void request_fail(const std::string& what) {
-  throw ConfigError("request: " + what);
-}
-
-const json::Value& require_field(const json::Value& v, const char* key) {
-  const json::Value* f = v.find(key);
-  if (f == nullptr) request_fail(std::string("missing field '") + key + "'");
-  return *f;
-}
-
-std::string get_string(const json::Value& v, const char* key,
-                       std::string fallback) {
-  const json::Value* f = v.find(key);
-  if (f == nullptr) return fallback;
-  if (!f->is_string()) {
-    request_fail(std::string("field '") + key + "' must be a string");
-  }
-  return f->as_string();
-}
-
-std::uint64_t as_integer(const json::Value& f, const char* key,
-                         std::uint64_t min, std::uint64_t max) {
-  if (!f.is_number()) {
-    request_fail(std::string("field '") + key + "' must be a number");
-  }
-  const double d = f.as_number();
-  if (d != std::floor(d) || d < 0) {
-    request_fail(std::string("field '") + key +
-                 "' must be a non-negative integer");
-  }
-  const auto n = static_cast<std::uint64_t>(d);
-  if (n < min || n > max) {
-    request_fail(std::string("field '") + key + "' out of range (" +
-                 std::to_string(min) + ".." + std::to_string(max) + ")");
-  }
-  return n;
-}
-
-std::uint64_t get_integer(const json::Value& v, const char* key,
-                          std::uint64_t fallback, std::uint64_t min,
-                          std::uint64_t max) {
-  const json::Value* f = v.find(key);
-  if (f == nullptr) return fallback;
-  return as_integer(*f, key, min, max);
-}
-
-bool get_bool(const json::Value& v, const char* key, bool fallback) {
-  const json::Value* f = v.find(key);
-  if (f == nullptr) return fallback;
-  if (!f->is_bool()) {
-    request_fail(std::string("field '") + key + "' must be a boolean");
-  }
-  return f->as_bool();
-}
-
-constexpr const char* kKnownFields[] = {
-    "type",     "id",    "app",        "scale", "procs",   "ppc",
-    "cache_kb", "assoc", "line_bytes", "style", "quantum", "hit_costs",
-    "csv_out"};
+/// Fields of the service envelope, on top of RunSpec::json_fields().
+constexpr const char* kEnvelopeFields[] = {"type", "id", "csv_out"};
 
 }  // namespace
 
 ServiceRequest parse_service_request(const json::Value& v) {
-  if (!v.is_object()) request_fail("document is not an object");
+  if (!v.is_object()) jsonreq::fail("document is not an object");
+  const std::vector<std::string>& spec_fields = RunSpec::json_fields();
   for (const auto& [key, value] : v.as_object()) {
-    if (std::none_of(std::begin(kKnownFields), std::end(kKnownFields),
-                     [&k = key](const char* f) { return k == f; })) {
-      request_fail("unknown field '" + key + "'");
-    }
+    const bool known =
+        std::find(spec_fields.begin(), spec_fields.end(), key) !=
+            spec_fields.end() ||
+        std::any_of(std::begin(kEnvelopeFields), std::end(kEnvelopeFields),
+                    [&k = key](const char* f) { return k == f; });
+    if (!known) jsonreq::fail("unknown field '" + key + "'");
   }
   ServiceRequest req;
-  req.id = get_string(v, "id", "");
-  req.app = get_string(v, "app", req.app);
-  const std::vector<std::string> names = app_names();
-  if (std::find(names.begin(), names.end(), req.app) == names.end()) {
-    request_fail("unknown app '" + req.app + "'");
-  }
-  const std::string scale = get_string(v, "scale", "default");
-  if (scale == "test") {
-    req.scale = ProblemScale::Test;
-  } else if (scale == "default") {
-    req.scale = ProblemScale::Default;
-  } else if (scale == "paper") {
-    req.scale = ProblemScale::Paper;
-  } else {
-    request_fail("field 'scale' must be test, default, or paper");
-  }
-  req.procs = static_cast<unsigned>(get_integer(v, "procs", 64, 1, 4096));
-  if (const json::Value* ppc = v.find("ppc"); ppc != nullptr) {
-    if (!ppc->is_array() || ppc->as_array().empty()) {
-      request_fail("field 'ppc' must be a non-empty array");
-    }
-    req.ppcs.clear();
-    for (const json::Value& e : ppc->as_array()) {
-      req.ppcs.push_back(static_cast<unsigned>(as_integer(e, "ppc", 1, 4096)));
-    }
-  }
-  req.cache_kb = get_integer(v, "cache_kb", 0, 0, 1u << 20);
-  req.assoc = static_cast<unsigned>(get_integer(v, "assoc", 0, 0, 4096));
-  req.line_bytes =
-      static_cast<unsigned>(get_integer(v, "line_bytes", 64, 1, 4096));
-  const std::string style = get_string(v, "style", "cache");
-  if (style == "cache") {
-    req.style = ClusterStyle::SharedCache;
-  } else if (style == "memory") {
-    req.style = ClusterStyle::SharedMemory;
-  } else {
-    request_fail("field 'style' must be cache or memory");
-  }
-  req.quantum = get_integer(v, "quantum", 32, 1, 1u << 30);
-  req.hit_costs = get_bool(v, "hit_costs", false);
-  req.csv_out = get_string(v, "csv_out", "");
+  static_cast<RunSpec&>(req) = RunSpec::from_json(v);
+  req.id = jsonreq::get_string(v, "id", "");
+  req.csv_out = jsonreq::get_string(v, "csv_out", "");
   return req;
 }
 
 std::vector<MachineSpec> configs_from_request(const ServiceRequest& req) {
-  std::vector<MachineSpec> configs;
-  configs.reserve(req.ppcs.size());
-  for (unsigned ppc : req.ppcs) {
-    configs.push_back(MachineSpecBuilder{}
-                          .procs(req.procs)
-                          .procs_per_cluster(ppc)
-                          .cache_kb(req.cache_kb)
-                          .associativity(req.assoc)
-                          .line_bytes(req.line_bytes)
-                          .style(req.style)
-                          .runahead_quantum(req.quantum)
-                          .model_shared_hit_costs(req.hit_costs)
-                          // unchecked: a bad row degrades inside run_sweep
-                          // into a failed-row response, like csim_cli
-                          .build_unchecked());
-  }
-  return configs;
+  return req.configs();
 }
 
 namespace {
@@ -580,7 +494,7 @@ std::string row_line(const std::string& id, std::size_t global_index,
 }  // namespace
 
 ServiceSession::ServiceSession(ServiceConfig cfg)
-    : cfg_(std::move(cfg)), cache_(cfg_.journal_dir) {}
+    : cfg_(std::move(cfg)), cache_(cfg_.journal_dir, cfg_.cache_max) {}
 
 LineAction ServiceSession::handle_line(std::string_view line,
                                        const Emit& emit) {

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -35,6 +36,7 @@
 
 #include "src/report/experiment.hpp"
 #include "src/report/journal.hpp"
+#include "src/report/run_spec.hpp"
 
 namespace csim::json {
 class Value;
@@ -138,7 +140,8 @@ class ResultCache {
   };
 
   /// `journal_dir` is the disk tier; empty = memory-only cache.
-  explicit ResultCache(std::string journal_dir);
+  /// `max_entries` bounds the memory tier (LRU eviction); 0 = unbounded.
+  explicit ResultCache(std::string journal_dir, std::size_t max_entries = 0);
 
   /// Looks up `digest` (memory first, then the journal file named by the
   /// digest). A journal hit is promoted into the memory tier. Appends any
@@ -156,31 +159,33 @@ class ResultCache {
   [[nodiscard]] std::size_t memory_entries() const noexcept {
     return memory_.size();
   }
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_; }
   [[nodiscard]] const std::string& journal_dir() const noexcept {
     return dir_;
   }
 
  private:
+  struct Entry {
+    JournalRecord record;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_
+  };
+  /// Stores `rec` in the memory tier, touching its recency and evicting the
+  /// least-recently-used entry when the bound is exceeded.
+  void remember(std::uint64_t digest, JournalRecord rec);
+  void touch(Entry& e);
+
   std::string dir_;
-  std::unordered_map<std::uint64_t, JournalRecord> memory_;
+  std::size_t max_;
+  std::unordered_map<std::uint64_t, Entry> memory_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
 };
 
 // -------------------------------------------------------- service session
 
-/// One parsed sweep request (the fields of csim_cli's row builder, as a
-/// newline-framed JSON object; defaults match csim_cli's).
-struct ServiceRequest {
-  std::string id;  ///< echoed on every response line
-  std::string app = "ocean";
-  ProblemScale scale = ProblemScale::Default;
-  unsigned procs = 64;
-  std::vector<unsigned> ppcs = {1, 2, 4, 8};
-  std::size_t cache_kb = 0;
-  unsigned assoc = 0;
-  unsigned line_bytes = 64;
-  ClusterStyle style = ClusterStyle::SharedCache;
-  Cycles quantum = 32;
-  bool hit_costs = false;
+/// One parsed sweep request: the shared RunSpec row description (same
+/// builder path and defaults as csim_cli) plus the service envelope.
+struct ServiceRequest : RunSpec {
+  std::string id;       ///< echoed on every response line
   std::string csv_out;  ///< optional: write the sweep CSV artifact here
 };
 
@@ -190,13 +195,18 @@ struct ServiceRequest {
 [[nodiscard]] ServiceRequest parse_service_request(const json::Value& v);
 
 /// Builds the MachineSpec rows of a request (request order, unvalidated —
-/// a bad row degrades inside run_sweep, exactly like csim_cli).
+/// a bad row degrades inside run_sweep, exactly like csim_cli). Thin alias
+/// for RunSpec::configs(), kept for call-site readability.
 [[nodiscard]] std::vector<MachineSpec> configs_from_request(
     const ServiceRequest& req);
 
 struct ServiceConfig {
   std::string journal_dir;  ///< two-tier cache backing; empty = memory only
   ShardSpec shard{};        ///< rows outside this shard are not simulated
+  /// Upper bound on in-memory cache entries (--cache-max); 0 = unbounded.
+  /// Eviction is least-recently-used: a journal directory keeps evicted
+  /// rows served at one file probe, a memory-only daemon re-simulates.
+  std::size_t cache_max = 0;
 };
 
 /// What handle_line tells the caller to do next (the daemon's accept loop).

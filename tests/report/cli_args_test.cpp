@@ -219,6 +219,50 @@ TEST(ObsArgs, ApplyRejectsResumeWithoutJournalDir) {
   EXPECT_THROW(o.apply(req), ConfigError);
 }
 
+TEST(ObsArgs, ParFlagsReachEveryRowSpec) {
+  const ObsArgs o = parse_all({"--par", "4", "--par-horizon", "60"});
+  EXPECT_EQ(o.par.workers, 4u);
+  EXPECT_EQ(o.par.horizon_override, 60u);
+  SweepRequest req;
+  req.configs.push_back(MachineSpecBuilder{}.procs(16).build());
+  req.configs.push_back(
+      MachineSpecBuilder{}.procs(16).procs_per_cluster(4).build());
+  o.apply(req);
+  for (const MachineSpec& cfg : req.configs) {
+    EXPECT_EQ(cfg.parallel.workers, 4u);
+    EXPECT_EQ(cfg.parallel.horizon_override, 60u);
+  }
+}
+
+TEST(ObsArgs, ParFlagRejectsContradictions) {
+  {
+    // --par 0 means "sequential" — reject it rather than guess.
+    ObsArgs o;
+    const char* argv[] = {"tool", "--par", "0"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+  {
+    ObsArgs o;
+    const char* argv[] = {"tool", "--par-horizon", "0"};
+    int i = 1;
+    EXPECT_THROW((void)o.consume(3, const_cast<char**>(argv), i), ConfigError);
+  }
+  // --par-horizon without --par, and --par with features that assume a
+  // single global event order, all fail at apply() with a ConfigError.
+  for (const std::vector<const char*>& args :
+       {std::vector<const char*>{"--par-horizon", "60"},
+        std::vector<const char*>{"--par", "2", "--sample", "1,1,4096"},
+        std::vector<const char*>{"--par", "2", "--contention"},
+        std::vector<const char*>{"--par", "2", "--trace-out", "t.json"},
+        std::vector<const char*>{"--par", "2", "--metrics-interval", "100"}}) {
+    const ObsArgs o = parse_all(args);
+    SweepRequest req;
+    req.configs.push_back(MachineSpecBuilder{}.procs(16).build());
+    EXPECT_THROW(o.apply(req), ConfigError) << args[0];
+  }
+}
+
 TEST(ObsArgs, ObserverFactoryOnlyWhenObservabilityRequested) {
   EXPECT_FALSE(static_cast<bool>(ObsArgs{}.observer_factory(3)));
   ObsArgs traced;
@@ -232,7 +276,7 @@ TEST(ObsArgs, UsageDocumentsEveryFlag) {
        {"--trace-out", "--metrics-interval", "--metrics-out", "--manifest",
         "--contention", "--contention-busy", "--journal-dir", "--resume",
         "--row-deadline", "--retries", "--fault-plan", "--sample",
-        "--ckpt-dir", "--warm-quantum"}) {
+        "--ckpt-dir", "--warm-quantum", "--par", "--par-horizon"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

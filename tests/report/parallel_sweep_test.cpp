@@ -58,19 +58,14 @@ TEST(ParallelSweep, CapturesFactoryFailuresInsteadOfThrowing) {
   EXPECT_NE(res.rows[0].error.find("factory failure"), std::string::npos);
 }
 
-TEST(ParallelSweep, DeprecatedRunConfigsShimStillWorks) {
-  // The pre-SweepRequest overloads survive as thin shims; they must keep
-  // returning the same rows in the same order.
-#if defined(CSIM_WARN_DEPRECATED)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto results = run_configs(
-      [] { return make_app("fft", ProblemScale::Test); },
-      {paper_machine(2, 0), paper_machine(1, 0)});
-#if defined(CSIM_WARN_DEPRECATED)
-#pragma GCC diagnostic pop
-#endif
+TEST(ParallelSweep, MinimalSweepRequestPreservesRowOrder) {
+  // The smallest possible request — just make_app + configs — must keep
+  // returning rows in request order (the contract the removed run_configs
+  // shims used to provide).
+  const auto results =
+      run_sweep(SweepRequest{[] { return make_app("fft", ProblemScale::Test); },
+                             {paper_machine(2, 0), paper_machine(1, 0)}})
+          .rows;
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].config.procs_per_cluster, 2u);
   EXPECT_EQ(results[1].config.procs_per_cluster, 1u);

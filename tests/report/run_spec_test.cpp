@@ -1,0 +1,94 @@
+// RunSpec (src/report/run_spec.hpp): the one row-assembly path shared by
+// csim_cli flags and the service JSON protocol. The round-trip tests pin
+// the contract that makes the two drivers equivalent: serializing a spec
+// and parsing it back yields the same spec, and the same spec always
+// yields the same MachineSpec rows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/error.hpp"
+#include "src/report/json.hpp"
+#include "src/report/run_spec.hpp"
+
+namespace csim {
+namespace {
+
+RunSpec roundtrip(const RunSpec& spec) {
+  return RunSpec::from_json(json::parse(spec.to_json()));
+}
+
+TEST(RunSpec, DefaultRoundTripsThroughJson) {
+  const RunSpec spec;
+  EXPECT_EQ(roundtrip(spec), spec);
+}
+
+TEST(RunSpec, EveryFieldRoundTripsThroughJson) {
+  RunSpec spec;
+  spec.app = "barnes";
+  spec.scale = ProblemScale::Paper;
+  spec.procs = 32;
+  spec.ppcs = {2, 8};
+  spec.cache_kb = 16;
+  spec.assoc = 4;
+  spec.line_bytes = 32;
+  spec.style = ClusterStyle::SharedMemory;
+  spec.quantum = 1;
+  spec.hit_costs = true;
+  spec.parallel.workers = 4;
+  spec.parallel.horizon_override = 60;
+  EXPECT_EQ(roundtrip(spec), spec);
+}
+
+TEST(RunSpec, ParallelOmittedFromJsonWhenDisabled) {
+  // A sequential spec serializes without the parallel keys, so documents
+  // written before the parallel engine existed and documents written now
+  // are byte-compatible in both directions.
+  const RunSpec spec;
+  EXPECT_EQ(spec.to_json().find("parallel"), std::string::npos);
+  RunSpec par = spec;
+  par.parallel.workers = 2;
+  EXPECT_NE(par.to_json().find("\"parallel\":2"), std::string::npos);
+  EXPECT_EQ(par.to_json().find("par_horizon"), std::string::npos);
+}
+
+TEST(RunSpec, ConfigsBuildOneRowPerClusterSize) {
+  RunSpec spec;
+  spec.procs = 16;
+  spec.ppcs = {1, 4};
+  spec.cache_kb = 16;
+  spec.parallel.workers = 4;
+  const std::vector<MachineSpec> rows = spec.configs();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].procs_per_cluster, 1u);
+  EXPECT_EQ(rows[1].procs_per_cluster, 4u);
+  for (const MachineSpec& cfg : rows) {
+    EXPECT_EQ(cfg.num_procs, 16u);
+    EXPECT_EQ(cfg.cache.per_proc_bytes, 16u * 1024);
+    EXPECT_EQ(cfg.parallel.workers, 4u);
+  }
+}
+
+TEST(RunSpec, SameSpecSameRows) {
+  // The CLI and the service must agree row-for-row when given the same
+  // fields; MachineSpec equality is the strongest form of that statement.
+  RunSpec spec;
+  spec.app = "fft";
+  spec.cache_kb = 16;
+  spec.parallel.workers = 2;
+  const RunSpec again = roundtrip(spec);
+  EXPECT_EQ(spec.configs(), again.configs());
+}
+
+TEST(RunSpec, FromJsonRejectsContradictions) {
+  EXPECT_THROW((void)RunSpec::from_json(json::parse("{\"app\": \"nope\"}")),
+               ConfigError);
+  EXPECT_THROW(
+      (void)RunSpec::from_json(json::parse("{\"par_horizon\": 60}")),
+      ConfigError);
+  EXPECT_THROW((void)RunSpec::from_json(json::parse("7")), ConfigError);
+}
+
+}  // namespace
+}  // namespace csim

@@ -93,6 +93,22 @@ TEST(ServiceRequestParse, RejectsBadRequests) {
   EXPECT_THROW((void)parse("[1, 2]"), ConfigError);  // not an object
 }
 
+TEST(ServiceRequestParse, ParallelFieldsReachTheRowSpecs) {
+  const serve::ServiceRequest req =
+      parse("{\"app\": \"fft\", \"parallel\": 4, \"par_horizon\": 60}");
+  EXPECT_EQ(req.parallel.workers, 4u);
+  EXPECT_EQ(req.parallel.horizon_override, 60u);
+  for (const MachineSpec& cfg : serve::configs_from_request(req)) {
+    EXPECT_EQ(cfg.parallel.workers, 4u);
+    EXPECT_EQ(cfg.parallel.horizon_override, 60u);
+  }
+  // Omitted = sequential engine, exactly as before the field existed.
+  EXPECT_FALSE(parse("{}").parallel.enabled());
+  // par_horizon without parallel is a contradiction, not a silent no-op.
+  EXPECT_THROW((void)parse("{\"par_horizon\": 60}"), ConfigError);
+  EXPECT_THROW((void)parse("{\"parallel\": -1}"), ConfigError);
+}
+
 // --- result cache -----------------------------------------------------------
 
 SimResult fake_result(unsigned ppc) {
@@ -166,6 +182,68 @@ TEST(ResultCache, EmptyJournalFileIsAWarnedMiss) {
       cache.lookup(d, r.config, "fft", ProblemScale::Test, &warnings));
   ASSERT_EQ(warnings.size(), 1u);
   EXPECT_NE(warnings[0].find("empty record file"), std::string::npos);
+}
+
+TEST(ResultCache, CacheMaxEvictsLeastRecentlyUsed) {
+  serve::ResultCache cache("", 2);  // memory only, two entries max
+  EXPECT_EQ(cache.max_entries(), 2u);
+  const SimResult r1 = fake_result(1);
+  const SimResult r2 = fake_result(2);
+  const SimResult r4 = fake_result(4);
+  const auto digest = [](const SimResult& r) {
+    return obs::config_digest(r.config, r.app_name, r.scale);
+  };
+  cache.insert(r1, 1);
+  cache.insert(r2, 1);
+  EXPECT_EQ(cache.memory_entries(), 2u);
+  // Touch r1 so r2 is the LRU entry, then insert a third row.
+  EXPECT_TRUE(cache.lookup(digest(r1), r1.config, "fft", ProblemScale::Test,
+                           nullptr));
+  cache.insert(r4, 1);
+  EXPECT_EQ(cache.memory_entries(), 2u);
+  EXPECT_TRUE(cache.lookup(digest(r1), r1.config, "fft", ProblemScale::Test,
+                           nullptr));
+  EXPECT_TRUE(cache.lookup(digest(r4), r4.config, "fft", ProblemScale::Test,
+                           nullptr));
+  EXPECT_FALSE(cache.lookup(digest(r2), r2.config, "fft", ProblemScale::Test,
+                            nullptr));  // evicted
+}
+
+TEST(ResultCache, EvictedRowsStillServedFromJournal) {
+  // With a journal directory behind the memory tier, the LRU bound trades a
+  // file probe, never a re-simulation: the evicted row comes back as a
+  // journal hit and is re-promoted (evicting the new LRU entry in turn).
+  const TempDir tmp("evict_journal");
+  const SimResult r1 = fake_result(1);
+  const SimResult r2 = fake_result(2);
+  append_journal_record(tmp.path(), journal_record_from_result(r1, 1));
+  append_journal_record(tmp.path(), journal_record_from_result(r2, 1));
+  serve::ResultCache cache(tmp.path(), 1);
+  const auto digest = [](const SimResult& r) {
+    return obs::config_digest(r.config, r.app_name, r.scale);
+  };
+  std::vector<std::string> warnings;
+  const auto h1 = cache.lookup(digest(r1), r1.config, "fft",
+                               ProblemScale::Test, &warnings);
+  ASSERT_TRUE(h1.has_value());
+  EXPECT_EQ(h1->tier, serve::ResultCache::Tier::Journal);
+  const auto h2 = cache.lookup(digest(r2), r2.config, "fft",
+                               ProblemScale::Test, &warnings);
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(cache.memory_entries(), 1u);  // r1 was evicted for r2
+  const auto h1_again = cache.lookup(digest(r1), r1.config, "fft",
+                                     ProblemScale::Test, &warnings);
+  ASSERT_TRUE(h1_again.has_value());
+  EXPECT_EQ(h1_again->tier, serve::ResultCache::Tier::Journal);
+  EXPECT_TRUE(warnings.empty());
+  EXPECT_EQ(obs::result_digest(h1_again->result), obs::result_digest(r1));
+}
+
+TEST(ResultCache, UnboundedByDefault) {
+  serve::ResultCache cache("");
+  for (unsigned ppc : {1u, 2u, 4u, 8u}) cache.insert(fake_result(ppc), 1);
+  EXPECT_EQ(cache.max_entries(), 0u);
+  EXPECT_EQ(cache.memory_entries(), 4u);
 }
 
 // --- service session --------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include "src/core/error.hpp"
+#include "src/report/cli_args.hpp"
 #include "src/report/service.hpp"
 
 namespace {
@@ -45,6 +46,10 @@ void usage() {
       "                      journal in DIR (rows persist across restarts)\n"
       "  --shard k/N         serve only the rows whose config digest maps\n"
       "                      to shard k of N (multi-host deployments)\n"
+      "  --cache-max N       keep at most N results in the in-memory cache\n"
+      "                      (LRU eviction; 0 = unbounded, the default —\n"
+      "                      with --journal-dir evicted rows still cost\n"
+      "                      only one file probe)\n"
       "  --once              exit after the first connection closes\n");
 }
 
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string journal_dir;
   serve::ShardSpec shard;
+  std::size_t cache_max = 0;
   bool once = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +140,8 @@ int main(int argc, char** argv) {
         journal_dir = next();
       } else if (a == "--shard") {
         shard = serve::parse_shard(next());
+      } else if (a == "--cache-max") {
+        cache_max = cli::parse_u64(a, next());
       } else if (a == "--once") {
         once = true;
       } else {
@@ -183,6 +191,7 @@ int main(int argc, char** argv) {
   serve::ServiceConfig cfg;
   cfg.journal_dir = journal_dir;
   cfg.shard = shard;
+  cfg.cache_max = cache_max;
   serve::ServiceSession session(cfg);
   std::fprintf(stderr, "csim_serve: listening on %s (journal: %s, shard %s)\n",
                socket_path.c_str(),
