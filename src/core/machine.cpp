@@ -76,11 +76,6 @@ void MachineSpec::validate() const {
     }
   }
   if (parallel.enabled()) {
-    if (sampling.enabled) {
-      throw ConfigError(
-          "parallel execution is incompatible with interval sampling "
-          "(warming is a global sequential pass)");
-    }
     if (contention.enabled) {
       throw ConfigError(
           "parallel execution is incompatible with the contention model "

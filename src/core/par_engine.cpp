@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <functional>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -14,23 +16,28 @@
 #include "src/core/event_queue.hpp"
 #include "src/core/processor.hpp"
 #include "src/core/run_debug.hpp"
+#include "src/core/sampling.hpp"
 #include "src/core/simulator.hpp"
 #include "src/mem/clustered_memory.hpp"
 #include "src/mem/coherence.hpp"
+#include "src/obs/manifest.hpp"
 
 namespace csim::par {
 namespace {
 
+constexpr std::uint64_t kNoBoundary = std::numeric_limits<std::uint64_t>::max();
+
 /// One cluster's share of the machine: its event queue, its processors, and
-/// the outbox of operations deferred to the next window boundary. Inside a
-/// window exactly one thread touches a partition; ownership is handed back
-/// to the coordinator through the pool's done counter (release/acquire).
+/// the outbox of operations deferred to a window boundary. Inside a window
+/// exactly one thread touches a partition; ownership is handed back through
+/// the epoch barrier / the pool's done counter (release/acquire).
 struct Partition {
   EventQueue queue;
-  std::vector<Proc*> procs;      // this cluster's processors, id order
-  std::vector<Deferred> outbox;  // deferred ops, enqueue order
-  std::exception_ptr err;        // failure escaping run_one()
-  bool budget_hit = false;       // watchdog tripped inside the window
+  std::vector<Proc*> procs;       // this cluster's processors, id order
+  Outbox outbox;                  // deferred ops, enqueue order
+  SamplingController* shard = nullptr;  // sampled runs: this cluster's shard
+  std::exception_ptr err;         // failure escaping run_one()
+  bool budget_hit = false;        // watchdog tripped inside the window
 };
 
 /// Runs one partition up to (not including) `t_end`. Never throws: errors
@@ -51,85 +58,370 @@ void run_window(Partition& part, Cycles t_end) noexcept {
   }
 }
 
-/// Fixed pool of workers − 1 threads (the coordinator is the extra worker).
-/// A window is published by writing t_end_ and release-incrementing epoch_;
-/// workers acquire-spin on the epoch, claim partitions with a fetch_add
-/// ticket, and release-increment done_ when the ticket counter runs out.
-/// Which thread runs which partition never affects results — partition
-/// execution is queue-order-deterministic and windows are conflict-free —
-/// so the pool needs no ordering beyond the epoch/done handoff.
-class WindowPool {
+template <class Pred>
+void spin_until(Pred pred) {
+  for (unsigned spins = 0; !pred(); ++spins) {
+    if (spins >= 4096) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+/// Sense-reversing spin-then-yield barrier for the window boundaries inside
+/// an epoch. The last arriver runs `on_last` (the continuation decision)
+/// with every participant parked, then releases them by flipping the shared
+/// sense; its plain writes are published by that release store. Each
+/// participant keeps its own sense bool, flipped per episode.
+class SpinBarrier {
  public:
-  WindowPool(std::vector<Partition>& parts, unsigned workers) : parts_(parts) {
-    threads_.reserve(workers - 1);
-    for (unsigned i = 1; i < workers; ++i) {
-      threads_.emplace_back([this] { worker_main(); });
+  explicit SpinBarrier(unsigned n) : n_(n) {}
+
+  template <class OnLast>
+  void arrive_and_wait(bool& sense, OnLast&& on_last) {
+    sense = !sense;
+    // acq_rel: the last arriver must observe every other participant's
+    // partition writes; everyone else publishes them with the release half.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      on_last();
+      sense_.store(sense, std::memory_order_release);
+    } else {
+      spin_until(
+          [&] { return sense_.load(std::memory_order_acquire) == sense; });
     }
   }
 
-  ~WindowPool() {
+ private:
+  const unsigned n_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+/// Fixed pool of workers − 1 threads (the coordinator is the extra
+/// participant). One handoff (epoch_/done_, release/acquire) publishes a
+/// whole *epoch*: participants run consecutive windows — each partition
+/// statically owned by one participant (round-robin by cluster index, so
+/// ownership is stable across the epoch's internal barriers) — and meet at
+/// a SpinBarrier per window boundary, where the last arriver decides
+/// whether the epoch continues. It continues, skipping straight past empty
+/// windows to the window holding the earliest pending event (grid-aligned),
+/// for as long as no outbox holds a blocking entry, no error or watchdog
+/// fired, no sampling shard wants a regime boundary, and the window budget
+/// lasts; so a quiet boundary costs one barrier episode — a handful of
+/// atomics — instead of a coordinator round trip with a serial drain.
+///
+/// The schedule is deterministic and identical at every worker count: the
+/// continuation decision is a pure function of quiescent partition state
+/// (queue heads, outbox occupancy, retired-reference counts), never of
+/// wall-clock or thread timing, and a blocking deferral still commits at
+/// the first W-grid boundary after its issue — exactly where the one-window
+/// engine committed it, which is what keeps golden_digests_par.txt
+/// bit-identical with batching and skipping on.
+class EpochPool {
+ public:
+  /// Hard cap on windows batched into one epoch: bounds the gap between the
+  /// coordinator's machine-wide checks (event budget, host deadline, audit)
+  /// without ever affecting results — an epoch ending on the cap simply
+  /// continues in the next one.
+  static constexpr unsigned kMaxWindowsPerEpoch = 1024;
+
+  EpochPool(std::vector<Partition>& parts, unsigned workers, Cycles horizon)
+      : parts_(parts), W_(horizon), nworkers_(workers), barrier_(workers) {
+    threads_.reserve(workers - 1);
+    for (unsigned i = 1; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  ~EpochPool() {
     stop_.store(true, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_release);
     for (std::thread& t : threads_) t.join();
   }
 
-  WindowPool(const WindowPool&) = delete;
-  WindowPool& operator=(const WindowPool&) = delete;
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
 
-  /// Runs every partition's window [*, t_end) and returns with all of them
-  /// quiescent. workers == 1: inline in index order, no synchronization.
-  void run_window_all(Cycles t_end) {
+  /// Runs one epoch whose first window is [t_start, t_start + W) and returns
+  /// the boundary it stopped at, with every partition quiescent there and
+  /// every outbox sorted by issue time (each participant sorts its own
+  /// partitions' outboxes on the way out, so the coordinator's k-way merge
+  /// starts from (time, enqueue seq)-ordered runs). workers == 1: the same
+  /// algorithm inline, no synchronization.
+  Cycles run_epoch(Cycles t_start) {
+    cur_end_ = t_start + W_;
+    windows_left_ = kMaxWindowsPerEpoch;
+    epoch_done_ = false;
     if (threads_.empty()) {
-      for (Partition& part : parts_) run_window(part, t_end);
-      return;
+      for (;;) {
+        for (Partition& part : parts_) run_window(part, cur_end_);
+        decide();
+        if (epoch_done_) break;
+      }
+      sort_outboxes(0);
+      return cur_end_;
     }
-    t_end_ = t_end;  // published by the epoch release-increment below
-    next_.store(0, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_release);
-    claim();  // the coordinator works too
+    epoch_loop(0, coord_sense_);
     const std::uint64_t want = threads_.size();
     spin_until([&] { return done_.load(std::memory_order_acquire) == want; });
+    return cur_end_;
   }
 
  private:
-  void claim() {
+  /// Participant `w`'s half of an epoch: run owned partitions to the window
+  /// bound, meet at the barrier, repeat until the last arriver ends the
+  /// epoch, then sort owned outboxes (published by the done_ release).
+  void epoch_loop(unsigned w, bool& sense) {
     for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= parts_.size()) return;
-      run_window(parts_[i], t_end_);
+      for (std::size_t i = w; i < parts_.size(); i += nworkers_) {
+        run_window(parts_[i], cur_end_);
+      }
+      barrier_.arrive_and_wait(sense, [this] { decide(); });
+      if (epoch_done_) break;
     }
+    sort_outboxes(w);
   }
 
-  template <class Pred>
-  static void spin_until(Pred pred) {
-    for (unsigned spins = 0; !pred(); ++spins) {
-      if (spins >= 4096) {
-        std::this_thread::yield();
-        spins = 0;
+  /// The boundary continuation decision, run with every partition quiescent
+  /// at cur_end_ (by the barrier's last arriver — which thread that is never
+  /// matters, the inputs are quiescent). Ends the epoch on any error,
+  /// watchdog, blocking outbox entry, due sampling boundary, exhausted
+  /// window budget, or an idle machine; otherwise advances cur_end_ to the
+  /// end of the window containing the earliest pending event. The W-grid
+  /// stays anchored at cycle 0, so boundary floors remain a pure function
+  /// of event times.
+  void decide() {
+    --windows_left_;
+    bool stop = windows_left_ == 0;
+    if (!stop) {
+      for (const Partition& part : parts_) {
+        if (part.err || part.budget_hit || part.outbox.blocking != 0 ||
+            (part.shard != nullptr && part.shard->yield_due())) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    if (!stop) {
+      bool any = false;
+      Cycles mn = 0;
+      for (const Partition& part : parts_) {
+        if (part.queue.empty()) continue;
+        const Cycles t = part.queue.next_time();
+        if (!any || t < mn) mn = t;
+        any = true;
+      }
+      if (any) {
+        cur_end_ += W_ + W_ * ((mn - cur_end_) / W_);
+      } else {
+        stop = true;
+      }
+    }
+    epoch_done_ = stop;
+  }
+
+  /// Sorts each owned outbox by issue time; the sort is stable, so entries
+  /// stay in enqueue order within a time. (A partition's outbox is appended
+  /// in event-execution order, which run-ahead slices can locally reorder
+  /// against issue time.)
+  void sort_outboxes(unsigned w) {
+    for (std::size_t i = w; i < parts_.size(); i += nworkers_) {
+      std::vector<Deferred>& ops = parts_[i].outbox.ops;
+      if (ops.size() > 1) {
+        std::stable_sort(
+            ops.begin(), ops.end(),
+            [](const Deferred& a, const Deferred& b) { return a.t < b.t; });
       }
     }
   }
 
-  void worker_main() {
+  void worker_main(unsigned w) {
     std::uint64_t seen = 0;
+    bool sense = false;
     for (;;) {
       spin_until(
           [&] { return epoch_.load(std::memory_order_acquire) != seen; });
       if (stop_.load(std::memory_order_relaxed)) return;
       seen = epoch_.load(std::memory_order_acquire);
-      claim();
+      epoch_loop(w, sense);
       done_.fetch_add(1, std::memory_order_release);
     }
   }
 
   std::vector<Partition>& parts_;
-  Cycles t_end_ = 0;  // window bound; published via epoch_
+  const Cycles W_;
+  const unsigned nworkers_;
+  SpinBarrier barrier_;
+  // Epoch-shared state: written by run_epoch and by decide() (single-threaded
+  // inside the barrier), published by the epoch_ / sense releases.
+  Cycles cur_end_ = 0;
+  unsigned windows_left_ = 0;
+  bool epoch_done_ = false;
+  bool coord_sense_ = false;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> done_{0};
-  std::atomic<std::size_t> next_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::thread> threads_;
+};
+
+/// The machine-global sampling schedule for parallel runs. Reference counts
+/// are sharded per cluster (each shard is a SamplingController that only
+/// counts and polls); regime flips — which toggle the memory system's
+/// functional mode, and so demand global quiescence — happen at epoch
+/// boundaries, after the drain. Promptness comes from per-epoch yield caps:
+/// each shard may retire at most its fair share of the references remaining
+/// to the next boundary (never more than kMaxEpochRefs), after which its
+/// processors end their slices and the epoch closes. The whole schedule is
+/// a pure function of retired-reference counts, so it is identical at every
+/// worker count and identical between Warming and FastForward replay — the
+/// invariant that makes parallel checkpoint restore exact.
+class ParSampling {
+ public:
+  /// Per-shard per-epoch reference cap. Bounds warm-outbox growth (one
+  /// deferred entry per cross-cluster warming reference, worst case) and
+  /// the machine-wide overshoot past a regime boundary, while keeping the
+  /// epoch overhead amortized over tens of thousands of references.
+  static constexpr std::uint64_t kMaxEpochRefs = 65536;
+
+  ParSampling(const MachineSpec& cfg, MemorySystem& coh,
+              std::vector<Partition>& parts,
+              const std::vector<std::unique_ptr<Proc>>& procs,
+              bool fast_forward, std::function<void()> hook,
+              std::chrono::steady_clock::time_point host_start)
+      : cfg_(&cfg), coh_(&coh), hook_(std::move(hook)) {
+    regime_ = fast_forward ? SamplingController::Regime::FastForward
+                           : SamplingController::Regime::Warming;
+    shards_.reserve(parts.size());
+    for (Partition& part : parts) {
+      shards_.push_back(
+          std::make_unique<SamplingController>(cfg, regime_, host_start));
+      part.shard = shards_.back().get();
+    }
+    buckets_.reserve(procs.size());
+    for (const auto& pp : procs) {
+      pp->set_sampling(shards_[pp->cluster()].get());
+      buckets_.push_back(&pp->buckets());
+    }
+    detail_snapshot_.assign(buckets_.size(), TimeBuckets{});
+    detail_buckets_.assign(buckets_.size(), TimeBuckets{});
+    next_boundary_ = sampling_interval_start(cfg, 0);
+    if (next_boundary_ == 0) {
+      enter_detail(0);  // zero warmup: the run opens in a detailed interval
+    } else {
+      coh.set_functional(true);
+    }
+    refresh_shards();
+  }
+
+  /// Epoch-boundary hook, called by the coordinator after the drain (warm
+  /// commits must run under the regime that issued them) with the machine
+  /// quiescent: flips regimes whose global boundary was crossed, then hands
+  /// every shard its regime and yield cap for the next epoch.
+  void at_boundary() {
+    const std::uint64_t total = total_refs();
+    if (regime_ == SamplingController::Regime::Detail) {
+      if (total >= detail_end_) {
+        leave_detail(total);
+        regime_ = SamplingController::Regime::Warming;
+        coh_->set_functional(true);
+        next_boundary_ = sampling_interval_start(*cfg_, interval_index_);
+        // Back-to-back intervals (period == detail): no warming gap.
+        if (next_boundary_ <= total) enter_detail(total);
+      }
+    } else if (total >= next_boundary_) {
+      enter_detail(total);
+    }
+    refresh_shards();
+  }
+
+  /// Run-end accounting; closes an open detailed interval.
+  [[nodiscard]] SamplingController::Accounting finish() {
+    const std::uint64_t total = total_refs();
+    if (regime_ == SamplingController::Regime::Detail) leave_detail(total);
+    SamplingController::Accounting acc;
+    acc.total_refs = total;
+    acc.detailed_refs = detailed_refs_;
+    acc.detail_buckets = detail_buckets_;
+    return acc;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t total_refs() const {
+    std::uint64_t t = 0;
+    for (const auto& s : shards_) t += s->refs();
+    return t;
+  }
+
+  void enter_detail(std::uint64_t total) {
+    // The warmup boundary: install (FastForward) or save (Warming) the
+    // checkpoint while the memory state is still exactly the boundary state.
+    if (!hook_fired_) {
+      hook_fired_ = true;
+      if (hook_) hook_();
+    }
+    regime_ = SamplingController::Regime::Detail;
+    // Leaving functional mode also drops dead MSHR entries, so the boundary
+    // state is identical whether it was warmed in-process or restored from
+    // a checkpoint (which never stores MSHRs).
+    coh_->set_functional(false);
+    ++interval_index_;
+    detail_enter_total_ = total;
+    for (std::size_t p = 0; p < buckets_.size(); ++p) {
+      detail_snapshot_[p] = *buckets_[p];
+    }
+    const std::uint64_t len = cfg_->sampling.detail_refs;
+    detail_end_ = len == 0 ? kNoBoundary : total + len;
+  }
+
+  void leave_detail(std::uint64_t total) {
+    detailed_refs_ += total - detail_enter_total_;
+    for (std::size_t p = 0; p < buckets_.size(); ++p) {
+      TimeBuckets d = *buckets_[p];
+      const TimeBuckets& s = detail_snapshot_[p];
+      d.cpu -= s.cpu;
+      d.load -= s.load;
+      d.merge -= s.merge;
+      d.sync -= s.sync;
+      d.contention -= s.contention;
+      detail_buckets_[p] += d;
+    }
+  }
+
+  void refresh_shards() {
+    const std::uint64_t total = total_refs();
+    const std::uint64_t target =
+        regime_ == SamplingController::Regime::Detail ? detail_end_
+                                                      : next_boundary_;
+    std::uint64_t share = kMaxEpochRefs;
+    if (target != kNoBoundary) {
+      const std::uint64_t remain = target > total ? target - total : 0;
+      const std::uint64_t fair = std::max<std::uint64_t>(
+          1, remain / static_cast<std::uint64_t>(shards_.size()));
+      if (fair < share) share = fair;
+    }
+    for (auto& s : shards_) {
+      s->set_regime(regime_);
+      s->set_yield_cap(share);
+    }
+  }
+
+  const MachineSpec* cfg_;
+  MemorySystem* coh_;
+  std::function<void()> hook_;
+  std::vector<std::unique_ptr<SamplingController>> shards_;
+  std::vector<const TimeBuckets*> buckets_;
+  std::vector<TimeBuckets> detail_snapshot_;
+  std::vector<TimeBuckets> detail_buckets_;
+  SamplingController::Regime regime_;
+  std::uint64_t next_boundary_ = 0;
+  std::uint64_t detail_end_ = kNoBoundary;
+  std::uint64_t interval_index_ = 0;
+  std::uint64_t detail_enter_total_ = 0;
+  std::uint64_t detailed_refs_ = 0;
+  bool hook_fired_ = false;
 };
 
 MachineSnapshot snapshot(Cycles cycle, const std::vector<Partition>& parts,
@@ -174,10 +466,13 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
   std::vector<Partition> parts(nclusters);
   // Per-queue watchdogs bound runtime, never results: max_cycles and
   // no-progress are naturally per-queue; max_events gets an additional
-  // machine-wide check at each boundary.
+  // machine-wide check at each epoch boundary.
   const EventQueue::Budget budget{cfg_.max_cycles, cfg_.max_events,
                                   cfg_.no_progress_events};
-  for (Partition& part : parts) part.queue.set_budget(budget);
+  for (Partition& part : parts) {
+    part.queue.set_budget(budget);
+    part.outbox.ops.reserve(256);  // pre-sized, reused across boundaries
+  }
 
   std::vector<std::unique_ptr<Proc>> procs;
   procs.reserve(cfg_.num_procs);
@@ -187,6 +482,20 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
     Proc* proc = procs.back().get();
     proc->set_parallel_outbox(&part.outbox);
     part.procs.push_back(proc);
+  }
+
+  // Interval sampling composes with the window engine: reference counting
+  // is sharded per cluster and regime flips ride the epoch boundaries.
+  std::unique_ptr<ParSampling> sampling;
+  if (cfg_.sampling.enabled) {
+    const std::uint64_t warm_digest =
+        obs::warm_config_digest(cfg_, prog.name(), prog.scale());
+    WarmCheckpointSetup wcs = setup_warm_checkpoint(
+        cfg_, warm_digest, prog.name(),
+        static_cast<std::uint8_t>(prog.scale()), coh, procs);
+    sampling = std::make_unique<ParSampling>(cfg_, coh, parts, procs,
+                                             wcs.fast_forward,
+                                             std::move(wcs.hook), host_start);
   }
 
   for (auto& pp : procs) {
@@ -199,7 +508,7 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
   // The worker count never affects results (pinned by the determinism
   // matrix), so clamping is pure scheduling: more workers than clusters
   // would have nothing to claim, and more workers than host cores would
-  // only time-slice the window barrier's spin. TSan builds skip the core
+  // only time-slice the epoch barrier's spin. TSan builds skip the core
   // clamp — the race detector must see the requested thread structure even
   // on a small host, and interleaved time slices are enough to find races.
 #if !defined(CSIM_TSAN) && defined(__has_feature)
@@ -214,9 +523,7 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
 #endif
   const unsigned workers =
       std::max(1u, std::min({cfg_.parallel.workers, nclusters, hw}));
-  WindowPool pool(parts, workers);
-
-  std::vector<Deferred> drain;  // boundary merge buffer, reused
+  EpochPool pool(parts, workers, W);
 
   const std::uint64_t audit_every = cfg_.audit_interval;
   std::uint64_t next_audit = audit_every;
@@ -241,7 +548,7 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
     // function of event times — identical at every worker count.
     T += W * ((mn - T) / W);
 
-    pool.run_window_all(T + W);
+    const Cycles t_end = pool.run_epoch(T);
 
     for (const Partition& part : parts) {
       if (part.err) std::rethrow_exception(part.err);
@@ -253,13 +560,13 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
       auto v = part.queue.budget_violation();
       throw LivelockError(v.has_value() ? *std::move(v)
                                         : std::string("watchdog budget exceeded"),
-                          snapshot(T, parts, procs));
+                          snapshot(t_end, parts, procs));
     }
     if (cfg_.max_events != 0 && total_events > cfg_.max_events) {
       throw LivelockError("event budget of " + std::to_string(cfg_.max_events) +
                               " exceeded machine-wide (ran " +
                               std::to_string(total_events) + ")",
-                          snapshot(T, parts, procs));
+                          snapshot(t_end, parts, procs));
     }
     if (deadline_armed) {
       const double elapsed =
@@ -271,7 +578,7 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
         std::snprintf(msg, sizeof msg,
                       "host deadline of %.3f s exceeded (ran %.3f s)",
                       cfg_.max_host_seconds, elapsed);
-        throw TimeoutError(msg, snapshot(T, parts, procs));
+        throw TimeoutError(msg, snapshot(t_end, parts, procs));
       }
     }
     if (audit_every != 0 && total_events >= next_audit) {
@@ -279,24 +586,39 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
       next_audit = total_events - total_events % audit_every + audit_every;
     }
 
-    // Boundary drain. Outboxes are appended in cluster index order, each
-    // already in enqueue order, and the sort on issue time is stable — the
-    // result is exactly (time, source cluster, enqueue sequence) order, the
-    // engine's one global serialization point.
-    drain.clear();
-    for (Partition& part : parts) {
-      drain.insert(drain.end(), part.outbox.begin(), part.outbox.end());
-      part.outbox.clear();
-    }
-    if (!drain.empty()) {
-      std::stable_sort(
-          drain.begin(), drain.end(),
-          [](const Deferred& a, const Deferred& b) { return a.t < b.t; });
-      const Cycles floor = T + W;  // outcomes known only at the boundary
-      for (const Deferred& d : drain) d.p->finish_deferred(d, floor);
+    // Boundary drain: a k-way merge over the per-partition outboxes, each
+    // already (time, enqueue seq)-sorted by its epoch participant. Smallest
+    // issue time wins, ties by source cluster index — exactly the (time,
+    // source cluster, enqueue sequence) order of the engine's one global
+    // serialization point. The floor is the boundary the epoch stopped at:
+    // a blocking deferral ends its epoch at the first W-grid boundary after
+    // issue, so outcomes land where the one-window engine put them.
+    bool have_ops = false;
+    for (Partition& part : parts) have_ops |= !part.outbox.ops.empty();
+    if (have_ops) {
+      std::vector<std::size_t> head(nclusters, 0);
+      for (;;) {
+        std::size_t best = nclusters;
+        Cycles best_t = 0;
+        for (std::size_t c = 0; c < nclusters; ++c) {
+          const std::vector<Deferred>& ops = parts[c].outbox.ops;
+          if (head[c] >= ops.size()) continue;
+          const Cycles t = ops[head[c]].t;
+          if (best == nclusters || t < best_t) {
+            best = c;
+            best_t = t;
+          }
+        }
+        if (best == nclusters) break;
+        const Deferred& d = parts[best].outbox.ops[head[best]++];
+        d.p->finish_deferred(d, t_end);
+      }
+      for (Partition& part : parts) part.outbox.clear();
     }
 
-    T += W;
+    if (sampling != nullptr) sampling->at_boundary();
+
+    T = t_end;
   }
 
   for (auto& pp : procs) {
@@ -348,6 +670,10 @@ SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
     res.per_cluster.push_back(coh.cluster_counters(c));
   }
   res.totals = coh.totals();
+
+  if (sampling != nullptr) {
+    apply_sampling_extrapolation(res, sampling->finish());
+  }
 
   try {
     prog.verify();

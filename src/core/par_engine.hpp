@@ -11,8 +11,26 @@
 // the coordinator at the window boundary in a fixed deterministic order:
 // (issue time, source cluster, enqueue sequence). Results are therefore
 // bit-identical at every worker count, including workers == 1 (the windowed
-// algorithm run inline, no threads). See DESIGN.md, "Conservative
-// cluster-parallel windows".
+// algorithm run inline, no threads).
+//
+// Windows are batched into *epochs*: while no outbox holds an entry that
+// must commit at a boundary, the worker pool runs consecutive windows —
+// skipping whole empty ones — separated only by a spin barrier, and the
+// coordinator's serial boundary work (the cross-cluster drain, a k-way
+// merge over the per-partition outboxes; watchdog and audit checks;
+// sampling regime flips) happens once per epoch instead of once per window.
+// An epoch ends at the first boundary where any outbox holds a blocking
+// entry, so every cross-cluster operation still commits at the same W-grid
+// boundary the one-window engine used, preserving the digests above.
+//
+// Interval sampling (SamplingSpec) composes: reference counting is sharded
+// per cluster, functional warming runs inside the partitions (cluster-local
+// accesses warm directly, remote ones are deferred as non-blocking warm
+// entries and committed in drain order at the epoch boundary), and the
+// coordinator flips regimes at quiescent boundaries driven purely by
+// retired-reference counts — the schedule is identical at every worker
+// count and identical between Warming and FastForward checkpoint replay.
+// See DESIGN.md, "Conservative cluster-parallel windows".
 #pragma once
 
 #include <memory>
@@ -29,7 +47,8 @@ namespace par {
 
 /// Runs `prog` to completion under the conservative window engine.
 /// Preconditions (enforced by MachineSpec::validate / Simulator::run):
-/// spec->parallel.enabled(), no sampling, no contention model, no observer.
+/// spec->parallel.enabled(), no contention model, no observer. Interval
+/// sampling is supported (sharded per cluster, see header comment).
 /// Same failure taxonomy and message formats as the sequential driver.
 SimResult run_parallel(const std::shared_ptr<const MachineSpec>& spec,
                        Program& prog, MemorySystem* memory_override);

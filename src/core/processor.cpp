@@ -15,7 +15,7 @@ void Proc::schedule_resume(Cycles t, std::coroutine_handle<> h) {
     // this is the suspension that carries its coroutine handle. Route it to
     // the partition outbox — the coordinator resumes it past the boundary.
     pending_.h = h;
-    outbox_->push_back(pending_);
+    outbox_->push(pending_);
     pending_defer_ = false;
     return;
   }
@@ -68,6 +68,12 @@ bool Proc::sampled_read(Addr a, Cycles& resume_at) {
   if (sampling_->detail()) {
     const bool ok = detail_read(a, resume_at);
     sampling_->on_ref(now_);
+    if (ok && sampling_->yield_due()) [[unlikely]] {
+      // Shard-mode epoch cap (parallel sampled runs): end the slice so the
+      // epoch can close and the coordinator can flip the regime.
+      resume_at = now_;
+      return false;
+    }
     return ok;
   }
   return warm_read(a, resume_at);
@@ -77,6 +83,10 @@ bool Proc::sampled_write(Addr a, Cycles& resume_at) {
   if (sampling_->detail()) {
     const bool ok = detail_write(a, resume_at);
     sampling_->on_ref(now_);
+    if (ok && sampling_->yield_due()) [[unlikely]] {
+      resume_at = now_;
+      return false;
+    }
     return ok;
   }
   return warm_write(a, resume_at);
@@ -96,10 +106,24 @@ bool Proc::warm_read(Addr a, Cycles& resume_at) {
       }
     }
     if (!filtered) {
-      const AccessResult r = coh_->read(id_, a, now_);
-      if (r.hint != MruHint::None && gen_ != nullptr) {
-        warm_filter_[warm_slot(line)] =
-            FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+      if (outbox_ == nullptr) {
+        const AccessResult r = coh_->read(id_, a, now_);
+        if (r.hint != MruHint::None && gen_ != nullptr) {
+          warm_filter_[warm_slot(line)] =
+              FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+        }
+      } else if (const auto lr = coh_->local_read(id_, a, now_)) {
+        if (lr->hint != MruHint::None && gen_ != nullptr) {
+          warm_filter_[warm_slot(line)] =
+              FilterEntry{line, *gen_, lr->hint == MruHint::ReadWrite};
+        }
+      } else {
+        // Cross-cluster warming access: commit at the epoch boundary. The
+        // issuer never stalls (warming has no latency), so this entry is
+        // non-blocking — it neither suspends this processor nor forces the
+        // epoch to end.
+        outbox_->push(Deferred{Deferred::Kind::WarmRead, a, nullptr, nullptr,
+                               now_, {}, this});
       }
     }
   }
@@ -107,6 +131,10 @@ bool Proc::warm_read(Addr a, Cycles& resume_at) {
   buckets_.cpu += hit;
   now_ += hit;
   sampling_->on_ref(now_);
+  if (sampling_->yield_due()) [[unlikely]] {
+    resume_at = now_;
+    return false;
+  }
   return check_slice(resume_at);
 }
 
@@ -124,10 +152,20 @@ bool Proc::warm_write(Addr a, Cycles& resume_at) {
       }
     }
     if (!filtered) {
-      const AccessResult r = coh_->write(id_, a, now_);
-      if (r.hint != MruHint::None && gen_ != nullptr) {
-        warm_filter_[warm_slot(line)] =
-            FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+      if (outbox_ == nullptr) {
+        const AccessResult r = coh_->write(id_, a, now_);
+        if (r.hint != MruHint::None && gen_ != nullptr) {
+          warm_filter_[warm_slot(line)] =
+              FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
+        }
+      } else if (const auto lw = coh_->local_write(id_, a, now_)) {
+        if (lw->hint != MruHint::None && gen_ != nullptr) {
+          warm_filter_[warm_slot(line)] =
+              FilterEntry{line, *gen_, lw->hint == MruHint::ReadWrite};
+        }
+      } else {
+        outbox_->push(Deferred{Deferred::Kind::WarmWrite, a, nullptr, nullptr,
+                               now_, {}, this});
       }
     }
   }
@@ -135,6 +173,10 @@ bool Proc::warm_write(Addr a, Cycles& resume_at) {
   buckets_.cpu += hit;
   now_ += hit;
   sampling_->on_ref(now_);
+  if (sampling_->yield_due()) [[unlikely]] {
+    resume_at = now_;
+    return false;
+  }
   return check_slice(resume_at);
 }
 
@@ -410,11 +452,26 @@ bool Proc::warm_run_batch(Cycles& resume_at, bool& progressed) {
         const FilterEntry& e = warm_filter_[warm_slot(line)];
         std::uint64_t repeats = chunk;
         if (!(e.line == line && (is_read || e.writable) && e.gen == *gen_)) {
-          const AccessResult ar = is_read ? coh_->read(id_, addr, now_)
-                                          : coh_->write(id_, addr, now_);
-          if (ar.hint != MruHint::None) {
-            warm_filter_[warm_slot(line)] =
-                FilterEntry{line, *gen_, ar.hint == MruHint::ReadWrite};
+          if (outbox_ == nullptr) {
+            const AccessResult ar = is_read ? coh_->read(id_, addr, now_)
+                                            : coh_->write(id_, addr, now_);
+            if (ar.hint != MruHint::None) {
+              warm_filter_[warm_slot(line)] =
+                  FilterEntry{line, *gen_, ar.hint == MruHint::ReadWrite};
+            }
+          } else if (const auto ar = is_read
+                         ? coh_->local_read(id_, addr, now_)
+                         : coh_->local_write(id_, addr, now_)) {
+            if (ar->hint != MruHint::None) {
+              warm_filter_[warm_slot(line)] =
+                  FilterEntry{line, *gen_, ar->hint == MruHint::ReadWrite};
+            }
+          } else {
+            // Deferred cross-cluster access: the boundary commit is the one
+            // real access of this chunk; the rest are its repeat hits.
+            outbox_->push(Deferred{is_read ? Deferred::Kind::WarmRead
+                                           : Deferred::Kind::WarmWrite,
+                                   addr, nullptr, nullptr, now_, {}, this});
           }
           repeats = chunk - 1;
         }
@@ -443,6 +500,10 @@ bool Proc::warm_run_batch(Cycles& resume_at, bool& progressed) {
   }
   if (mem_per_iter != 0) sampling_->on_refs(k * mem_per_iter, now_);
   progressed = true;
+  if (sampling_->yield_due()) [[unlikely]] {
+    resume_at = now_;
+    return false;
+  }
   return check_slice(resume_at);
 }
 
@@ -505,7 +566,7 @@ bool Proc::BarrierAwaiter::await_ready() const {
 void Proc::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) const {
   if (p->outbox_ != nullptr) {
     p->wait_ = WaitInfo{WaitKind::Barrier, b, nullptr, 0, 0, p->now_};
-    p->outbox_->push_back(
+    p->outbox_->push(
         Deferred{Deferred::Kind::BarrierArrive, 0, b, nullptr, p->now_, h, p});
     return;
   }
@@ -527,7 +588,7 @@ bool Proc::AcquireAwaiter::await_ready() const {
 void Proc::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) const {
   if (p->outbox_ != nullptr) {
     p->wait_ = WaitInfo{WaitKind::Lock, nullptr, l, 0, 0, p->now_};
-    p->outbox_->push_back(
+    p->outbox_->push(
         Deferred{Deferred::Kind::LockAcquire, 0, nullptr, l, p->now_, h, p});
     return;
   }
@@ -549,7 +610,7 @@ void Proc::release(Lock& l) {
   if (outbox_ != nullptr) {
     // Lock state is coordinator-only in parallel mode; the release takes
     // effect at the boundary. The releaser itself never suspends.
-    outbox_->push_back(
+    outbox_->push(
         Deferred{Deferred::Kind::LockRelease, 0, nullptr, &l, now_, {}, this});
     return;
   }
@@ -576,6 +637,24 @@ void Proc::finish_deferred(const Deferred& d, Cycles floor) {
     case Deferred::Kind::BarrierArrive: finish_barrier_arrive(d, floor); break;
     case Deferred::Kind::LockAcquire: finish_lock_acquire(d, floor); break;
     case Deferred::Kind::LockRelease: finish_lock_release(d, floor); break;
+    case Deferred::Kind::WarmRead:
+    case Deferred::Kind::WarmWrite: finish_warm(d); break;
+  }
+}
+
+void Proc::finish_warm(const Deferred& d) {
+  // Functional mode is still on (the coordinator flips regimes only after
+  // the boundary drain), so this is exactly the access warming would have
+  // made inline: state and counters through the full protocol path, no
+  // timing, no MSHRs. The hint is installed under the *current* generation
+  // — earlier commits of this very drain may have bumped it.
+  const AccessResult r = d.kind == Deferred::Kind::WarmRead
+                             ? coh_->read(id_, d.addr, d.t)
+                             : coh_->write(id_, d.addr, d.t);
+  if (r.hint != MruHint::None && gen_ != nullptr) {
+    const Addr line = d.addr & line_mask_;
+    warm_filter_[warm_slot(line)] =
+        FilterEntry{line, *gen_, r.hint == MruHint::ReadWrite};
   }
 }
 

@@ -53,6 +53,8 @@ struct Deferred {
     BarrierArrive, ///< barrier arrival (coordinator owns barrier state)
     LockAcquire,   ///< lock acquire (coordinator owns lock state)
     LockRelease,   ///< lock release (no suspension; h is null)
+    WarmRead,      ///< functional-warming read that left the cluster
+    WarmWrite,     ///< functional-warming write that left the cluster
   };
   Kind kind = Kind::Read;
   Addr addr = 0;              ///< Read/Write target
@@ -61,6 +63,28 @@ struct Deferred {
   Cycles t = 0;               ///< issue time (processor-local clock)
   std::coroutine_handle<> h{};
   Proc* p = nullptr;
+};
+
+/// A partition's boundary mailbox. `blocking` counts the entries whose
+/// commitment gates forward progress — everything except WarmRead/WarmWrite,
+/// whose issuers keep running (warming has no latency, so the commit can
+/// wait for a convenient boundary). The engine batches windows into one
+/// barrier epoch for as long as every outbox is free of blocking entries;
+/// see src/core/par_engine.cpp.
+struct Outbox {
+  std::vector<Deferred> ops;     ///< enqueue order
+  std::uint32_t blocking = 0;    ///< ops that must commit at the next boundary
+  void push(const Deferred& d) {
+    if (d.kind != Deferred::Kind::WarmRead &&
+        d.kind != Deferred::Kind::WarmWrite) {
+      ++blocking;
+    }
+    ops.push_back(d);
+  }
+  void clear() noexcept {  // keeps capacity: boundary buffers are reused
+    ops.clear();
+    blocking = 0;
+  }
 };
 
 class Proc : public EventQueue::Resumable {
@@ -262,9 +286,7 @@ class Proc : public EventQueue::Resumable {
   /// Enters parallel-window mode: globally-visible operations defer into
   /// `outbox` instead of executing inline. Null (the default) keeps every
   /// operation on the legacy inline path.
-  void set_parallel_outbox(std::vector<Deferred>* outbox) noexcept {
-    outbox_ = outbox;
-  }
+  void set_parallel_outbox(Outbox* outbox) noexcept { outbox_ = outbox; }
 
   /// Window-boundary execution of a deferred operation, run by the
   /// coordinator with every partition quiescent. `floor` is the next
@@ -407,7 +429,7 @@ class Proc : public EventQueue::Resumable {
   // schedule_resume — the single point every suspension path (OpAwaiter,
   // RunAwaiter, resume_event re-entry) funnels through — then captures the
   // coroutine handle into the outbox instead of the event queue.
-  std::vector<Deferred>* outbox_ = nullptr;
+  Outbox* outbox_ = nullptr;
   bool pending_defer_ = false;
   Deferred pending_{};
 
@@ -417,6 +439,11 @@ class Proc : public EventQueue::Resumable {
   void finish_barrier_arrive(const Deferred& d, Cycles floor);
   void finish_lock_acquire(const Deferred& d, Cycles floor);
   void finish_lock_release(const Deferred& d, Cycles floor);
+  /// WarmRead/WarmWrite: replay the warming access against globally-visible
+  /// state. No coroutine to resume, no timing — warming retires at the flat
+  /// hit cost when the reference issues; only the state/counter effects and
+  /// the warm-filter hint happen here.
+  void finish_warm(const Deferred& d);
 
   std::uint64_t rng_state_ = 0;
   std::uint64_t conflict_threshold_ = 0;  // scaled to 2^32

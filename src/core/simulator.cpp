@@ -13,7 +13,6 @@
 #include "src/core/sync.hpp"
 #include "src/mem/clustered_memory.hpp"
 #include "src/mem/coherence.hpp"
-#include "src/mem/warm_state.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/observer.hpp"
 
@@ -45,8 +44,9 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   const MachineSpec& cfg_ = *spec_;  // the run-wide shared immutable spec
   if (cfg_.parallel.enabled()) {
     // Observability hooks assume one global event stream; the window engine
-    // has per-cluster queues. Everything else (sampling, contention) is
-    // already rejected by MachineSpec::validate().
+    // has per-cluster queues. The contention model is already rejected by
+    // MachineSpec::validate(); sampling composes (the window engine runs
+    // its own per-cluster sampling shards).
     if (obs_ != nullptr) {
       throw ConfigError(
           "parallel execution is incompatible with an attached observer "
@@ -94,29 +94,14 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   // anything else — missing file, corruption, header mismatch — degrades
   // into a normal in-process warmup, never a wrong answer.
   std::unique_ptr<SamplingController> sampler;
-  std::optional<WarmState> loaded;
-  std::uint64_t warm_digest = 0;
   if (cfg_.sampling.enabled) {
-    warm_digest = obs::warm_config_digest(cfg_, prog.name(), prog.scale());
-    if (!cfg_.sampling.checkpoint_dir.empty()) {
-      WarmLoad wl = load_warm_state(cfg_.sampling.checkpoint_dir, warm_digest);
-      for (const std::string& w : wl.warnings) {
-        std::fprintf(stderr, "%s\n", w.c_str());
-      }
-      // The digest already keys these; re-checking the header defends
-      // against a digest collision handing back someone else's state.
-      const std::uint64_t boundary = cfg_.sampling.detail_at.empty()
-                                         ? cfg_.sampling.warmup_refs
-                                         : cfg_.sampling.detail_at[0];
-      if (wl.state.has_value() && wl.state->app_name == prog.name() &&
-          wl.state->scale == static_cast<std::uint8_t>(prog.scale()) &&
-          wl.state->warmup_refs == boundary &&
-          wl.state->proc_now.size() == cfg_.num_procs) {
-        loaded = std::move(wl.state);
-      }
-    }
+    const std::uint64_t warm_digest =
+        obs::warm_config_digest(cfg_, prog.name(), prog.scale());
+    WarmCheckpointSetup wcs = setup_warm_checkpoint(
+        cfg_, warm_digest, prog.name(),
+        static_cast<std::uint8_t>(prog.scale()), coh, procs);
     sampler = std::make_unique<SamplingController>(cfg_, &coh,
-                                                   loaded.has_value(),
+                                                   wcs.fast_forward,
                                                    host_start);
     std::vector<const TimeBuckets*> raw_buckets;
     raw_buckets.reserve(procs.size());
@@ -125,50 +110,7 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
       raw_buckets.push_back(&pp->buckets());
     }
     sampler->bind_buckets(std::move(raw_buckets));
-    if (loaded.has_value()) {
-      const WarmState& ws = *loaded;
-      sampler->set_warmup_boundary_hook([&procs, &ws, &coh, &cfg_,
-                                         warm_digest] {
-        // Trust the checkpoint only if the replay reproduced the exact
-        // per-processor clocks it was captured with; a mismatch means the
-        // checkpoint predates a behavioral change and must be regenerated.
-        for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-          if (procs[p]->now() != ws.proc_now[p]) {
-            throw ProtocolError(
-                "warm-state checkpoint " +
-                warm_state_path(cfg_.sampling.checkpoint_dir, warm_digest) +
-                " is stale: fast-forward replay reached cycle " +
-                std::to_string(procs[p]->now()) + " on proc " +
-                std::to_string(p) + ", checkpoint recorded " +
-                std::to_string(ws.proc_now[p]) +
-                "; delete the file to re-warm");
-          }
-        }
-        if (!coh.restore_warm_state(ws)) {
-          throw ProtocolError(
-              "warm-state checkpoint " +
-              warm_state_path(cfg_.sampling.checkpoint_dir, warm_digest) +
-              " does not match this machine configuration; delete the file "
-              "to re-warm");
-        }
-      });
-    } else if (!cfg_.sampling.checkpoint_dir.empty()) {
-      sampler->set_warmup_boundary_hook([&procs, &coh, &cfg_, &prog,
-                                         warm_digest] {
-        WarmState ws;
-        // A memory override without checkpoint support simply never saves.
-        if (!coh.capture_warm_state(ws)) return;
-        ws.warm_digest = warm_digest;
-        ws.app_name = prog.name();
-        ws.scale = static_cast<std::uint8_t>(prog.scale());
-        ws.warmup_refs = cfg_.sampling.detail_at.empty()
-                             ? cfg_.sampling.warmup_refs
-                             : cfg_.sampling.detail_at[0];
-        ws.proc_now.reserve(cfg_.num_procs);
-        for (auto& pp : procs) ws.proc_now.push_back(pp->now());
-        save_warm_state(cfg_.sampling.checkpoint_dir, ws);
-      });
-    }
+    if (wcs.hook) sampler->set_warmup_boundary_hook(std::move(wcs.hook));
   }
 
   if (obs_ != nullptr) {
@@ -285,42 +227,7 @@ SimResult Simulator::run(Program& prog, MemorySystem* memory_override) {
   res.totals = coh.totals();
 
   if (sampler != nullptr) {
-    // Extrapolate timing from the detailed intervals. Miss counters are
-    // already exact (warming counts real hits and misses); only TimeBuckets
-    // and wall time are estimates, scaled by the inverse sampling fraction.
-    const SamplingController::Accounting acc = sampler->finish();
-    res.sampled = true;
-    res.detailed_refs = acc.detailed_refs;
-    res.coverage = acc.total_refs == 0
-                       ? 0.0
-                       : static_cast<double>(acc.detailed_refs) /
-                             static_cast<double>(acc.total_refs);
-    if (acc.detailed_refs != 0) {
-      // 128-bit intermediate: bucket totals scaled by total/detailed refs
-      // can overflow 64 bits mid-multiply at paper scale.
-      const auto scale_up = [&acc](std::uint64_t v) {
-        return static_cast<std::uint64_t>(static_cast<unsigned __int128>(v) *
-                                          acc.total_refs / acc.detailed_refs);
-      };
-      Cycles est_wall = 0;
-      for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-        const TimeBuckets& d = acc.detail_buckets[p];
-        TimeBuckets b;
-        b.cpu = scale_up(d.cpu);
-        b.load = scale_up(d.load);
-        b.merge = scale_up(d.merge);
-        b.sync = scale_up(d.sync);
-        b.contention = scale_up(d.contention);
-        res.per_proc[p] = b;
-        est_wall = std::max(est_wall, b.total());
-      }
-      // Pad sync up to the estimated wall (the implicit final barrier), so
-      // aggregate().total() == num_procs * wall_time still holds.
-      for (TimeBuckets& b : res.per_proc) b.sync += est_wall - b.total();
-      res.wall_time = est_wall;
-    }
-    // detailed_refs == 0 (the run never reached an interval): keep the raw
-    // flat-hit warming buckets — coverage 0 flags them as unmeasured.
+    apply_sampling_extrapolation(res, sampler->finish());
   }
 
   try {

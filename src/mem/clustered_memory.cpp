@@ -476,7 +476,10 @@ std::optional<AccessResult> ClusteredMemorySystem::local_read(ProcId p,
   // a directory fetch defers. The reads counter is bumped only on the
   // completing paths — the boundary re-issue of the full read() counts a
   // deferred access exactly once. Parallel mode excludes the contention
-  // model (MachineSpec::validate), so the bus never queues here.
+  // model (MachineSpec::validate), so the bus never queues here. Parallel
+  // functional warming also probes through here (timing fields ignored);
+  // warming never allocates MSHRs, so the cluster-local state transitions
+  // match the full functional read()'s.
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];

@@ -345,7 +345,10 @@ std::optional<AccessResult> CoherenceController::local_read(ProcId p, Addr a,
   // reads counter is bumped only on the completing paths — a deferred
   // operation is re-issued as a full read() at the window boundary, which
   // counts it exactly once. Parallel mode excludes the contention model
-  // and functional warming (MachineSpec::validate), so neither is checked.
+  // (MachineSpec::validate), so port queues are never consulted. Parallel
+  // functional warming also probes through here (the timing fields are
+  // ignored then); with warming never allocating MSHRs, the cluster-local
+  // state transitions are the same ones the full functional read() takes.
   const ClusterId c = cfg_.cluster_of(p);
   const Addr line = line_of(a);
   MissCounters& ctr = counters_[c];

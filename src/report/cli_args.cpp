@@ -69,8 +69,9 @@ const char* ObsArgs::usage() {
          "  --par N               run each row under the conservative\n"
          "                        cluster-parallel engine with N worker\n"
          "                        threads; results are bit-identical at\n"
-         "                        every N (incompatible with --sample,\n"
-         "                        --contention, and observability flags)\n"
+         "                        every N; composes with --sample\n"
+         "                        (incompatible with --contention and\n"
+         "                        observability flags)\n"
          "  --par-horizon W       override the parallel synchronization\n"
          "                        window width in cycles (default: the\n"
          "                        minimum inter-cluster latency; changes\n"
@@ -194,7 +195,6 @@ void ObsArgs::apply(SweepRequest& req) const {
   if (par.enabled()) {
     // MachineSpec::validate would reject these per-row; failing here names
     // the flags instead of the spec fields.
-    if (sampling.enabled) throw ConfigError("--par is incompatible with --sample");
     if (contention.enabled) {
       throw ConfigError("--par is incompatible with --contention");
     }

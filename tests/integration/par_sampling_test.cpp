@@ -1,0 +1,130 @@
+// Interval sampling x cluster-parallel execution (src/core/par_engine.cpp,
+// "ParSampling"): warming is sharded per cluster — cluster-local references
+// warm through MemorySystem::local_read / local_write inside the window,
+// cross-cluster ones defer as non-blocking warm entries and commit in drain
+// order at the epoch boundary — and the coordinator flips regimes at
+// quiescent boundaries driven purely by retired-reference counts. The
+// contract under test: the sampled schedule is a pure function of the
+// configuration (worker-count invariant), the exactness guarantees of
+// sequential sampling carry over (reference counts, cold misses), and
+// warm-state checkpoints round-trip across worker counts but never leak
+// across engines or horizon widths (warm_config_digest).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/simulator.hpp"
+#include "src/obs/manifest.hpp"
+
+namespace csim {
+namespace {
+
+MachineSpec par_sampled(unsigned workers, std::string ckpt_dir = {}) {
+  return MachineSpecBuilder{}
+      .procs(16)
+      .procs_per_cluster(4)
+      .cache_kb(4)
+      .sample(4096, 4096, 16384)
+      .checkpoint_dir(std::move(ckpt_dir))
+      .parallel({workers, 0})
+      .build();
+}
+
+SimResult run(const std::string& app, const MachineSpec& cfg) {
+  const std::unique_ptr<Program> prog = make_app(app, ProblemScale::Test);
+  return simulate(*prog, cfg);
+}
+
+TEST(ParSampling, SampledRunsAreWorkerCountInvariant) {
+  const SimResult base = run("ocean", par_sampled(1));
+  ASSERT_TRUE(base.ok);
+  EXPECT_TRUE(base.sampled);
+  EXPECT_GT(base.coverage, 0.0);
+  const std::uint64_t base_digest = obs::result_digest(base);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const SimResult r = run("ocean", par_sampled(workers));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(obs::result_digest(r), base_digest)
+        << "sampled digest diverged at " << workers << " workers";
+    EXPECT_EQ(r.detailed_refs, base.detailed_refs);
+    EXPECT_EQ(r.wall_time, base.wall_time);
+  }
+}
+
+TEST(ParSampling, ReferenceCountsAndColdMissesStayExact) {
+  // fft's miss behaviour is timing-independent at this configuration (the
+  // same property the sequential exactness test pins), so sharded warming
+  // plus deferred warm commits must land the whole taxonomy exactly on the
+  // unsampled parallel run.
+  MachineSpec plain = par_sampled(4);
+  plain.sampling = SamplingSpec{};
+  const SimResult full = run("fft", plain);
+  const SimResult sampled = run("fft", par_sampled(4));
+  ASSERT_TRUE(full.ok);
+  ASSERT_TRUE(sampled.ok);
+  EXPECT_EQ(sampled.totals.reads, full.totals.reads);
+  EXPECT_EQ(sampled.totals.writes, full.totals.writes);
+  EXPECT_EQ(sampled.totals.cold_misses, full.totals.cold_misses);
+  EXPECT_EQ(sampled.totals.read_misses, full.totals.read_misses);
+  EXPECT_EQ(sampled.totals.write_misses, full.totals.write_misses);
+  EXPECT_EQ(sampled.totals.upgrade_misses, full.totals.upgrade_misses);
+}
+
+TEST(ParSampling, CheckpointRoundTripsAcrossWorkerCounts) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("csim_par_ckpt_" +
+        std::to_string(static_cast<unsigned long>(::getpid()))))
+          .string();
+  std::filesystem::remove_all(dir);
+  // First run warms in-process and saves; the proc_now clocks it records
+  // are worker-count independent, so a restore at any other --par N must
+  // replay to the same boundary and produce identical results.
+  const SimResult warm = run("ocean", par_sampled(2, dir));
+  ASSERT_TRUE(warm.ok);
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    files += e.path().extension() == ".csc";
+  }
+  EXPECT_EQ(files, 1u);
+  const SimResult restored = run("ocean", par_sampled(8, dir));
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(restored.ok);
+  EXPECT_EQ(obs::result_digest(restored), obs::result_digest(warm));
+}
+
+TEST(ParSampling, DigestsSeparateEnginesAndHorizons) {
+  const MachineSpec par = par_sampled(4);
+  MachineSpec seq = par;
+  seq.parallel = ParallelSpec{};
+  MachineSpec wide = par;
+  wide.parallel.horizon_override = 4096;
+  // Sampled sequential and sampled parallel are different experiments
+  // (windowed execution is a model change), and so are two horizon widths:
+  // both the config digest and the checkpoint key must separate them.
+  const auto cfg_key = [](const MachineSpec& cfg) {
+    return obs::config_digest(cfg, "ocean", ProblemScale::Test);
+  };
+  const auto warm_key = [](const MachineSpec& cfg) {
+    return obs::warm_config_digest(cfg, "ocean", ProblemScale::Test);
+  };
+  EXPECT_NE(cfg_key(par), cfg_key(seq));
+  EXPECT_NE(cfg_key(par), cfg_key(wide));
+  EXPECT_NE(warm_key(par), warm_key(seq));
+  EXPECT_NE(warm_key(par), warm_key(wide));
+  // The worker count is pure execution detail: neither key may include it.
+  MachineSpec par8 = par;
+  par8.parallel.workers = 8;
+  EXPECT_EQ(cfg_key(par), cfg_key(par8));
+  EXPECT_EQ(warm_key(par), warm_key(par8));
+}
+
+}  // namespace
+}  // namespace csim

@@ -1,0 +1,65 @@
+// Boundary-drain ordering under window skipping and epoch batching
+// (src/core/par_engine.cpp): mp3d is the adversarial workload for the
+// conservative window engine — its particle/cell ping-pong floods the
+// directory with cross-cluster transfers, so nearly every epoch ends dirty
+// and the k-way-merge drain runs constantly. The engine's contract is that
+// results are a pure function of the configuration: digests must be
+// bit-identical at --par 1 / 2 / 8 for any horizon, including adversarial
+// ones — W = 1 (every window one cycle wide, maximal skipping pressure), a
+// prime width that never divides the app's natural periods, and a width far
+// beyond the longest latency (everything batches into few epochs). The
+// same binary runs under TSan in CI (suite name in the -R filter) to check
+// the epoch barrier's publication ordering.
+//
+// The par-1 row is the reference: workers == 1 runs the identical windowed
+// algorithm inline with no threads, so equality against it pins both the
+// drain order and the skip/batch schedule. (Sequential non-windowed digests
+// legitimately differ — see golden_digests_par.txt's header note.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/simulator.hpp"
+#include "src/obs/manifest.hpp"
+
+namespace csim {
+namespace {
+
+std::uint64_t digest_at(unsigned ppc, unsigned workers, Cycles horizon) {
+  const MachineSpec cfg = MachineSpecBuilder{}
+                              .procs(16)
+                              .procs_per_cluster(ppc)
+                              .cache_kb(4)
+                              .parallel({workers, horizon})
+                              .build();
+  const std::unique_ptr<Program> prog = make_app("mp3d", ProblemScale::Test);
+  return obs::result_digest(simulate(*prog, cfg));
+}
+
+TEST(ParStress, PingPongFloodIsWorkerCountInvariantAtAdversarialHorizons) {
+  // ppc 2: eight clusters, nearly all mp3d traffic crosses a boundary.
+  for (const Cycles horizon : {Cycles{1}, Cycles{13}, Cycles{4096}}) {
+    const std::uint64_t base = digest_at(2, 1, horizon);
+    for (const unsigned workers : {2u, 8u}) {
+      EXPECT_EQ(digest_at(2, workers, horizon), base)
+          << "digest diverged at W=" << horizon << " with " << workers
+          << " workers";
+    }
+  }
+}
+
+TEST(ParStress, SingleProcClustersMaximizeCrossTrafficAndStayInvariant) {
+  // ppc 1: every processor is its own cluster — every coherence action is
+  // a deferred cross-cluster op, the densest drain the engine can see.
+  for (const Cycles horizon : {Cycles{1}, Cycles{4096}}) {
+    const std::uint64_t base = digest_at(1, 1, horizon);
+    EXPECT_EQ(digest_at(1, 8, horizon), base)
+        << "digest diverged at W=" << horizon << " with 8 workers";
+  }
+}
+
+}  // namespace
+}  // namespace csim

@@ -250,9 +250,9 @@ TEST(ObsArgs, ParFlagRejectsContradictions) {
   }
   // --par-horizon without --par, and --par with features that assume a
   // single global event order, all fail at apply() with a ConfigError.
+  // (--sample is absent: interval sampling composes with --par.)
   for (const std::vector<const char*>& args :
        {std::vector<const char*>{"--par-horizon", "60"},
-        std::vector<const char*>{"--par", "2", "--sample", "1,1,4096"},
         std::vector<const char*>{"--par", "2", "--contention"},
         std::vector<const char*>{"--par", "2", "--trace-out", "t.json"},
         std::vector<const char*>{"--par", "2", "--metrics-interval", "100"}}) {
@@ -260,6 +260,15 @@ TEST(ObsArgs, ParFlagRejectsContradictions) {
     SweepRequest req;
     req.configs.push_back(MachineSpecBuilder{}.procs(16).build());
     EXPECT_THROW(o.apply(req), ConfigError) << args[0];
+  }
+  {
+    // Sampling x parallel is a supported composition: apply() must accept it.
+    const ObsArgs o = parse_all({"--par", "2", "--sample", "1,1,4096"});
+    SweepRequest req;
+    req.configs.push_back(MachineSpecBuilder{}.procs(16).build());
+    EXPECT_NO_THROW(o.apply(req));
+    EXPECT_TRUE(req.configs.at(0).sampling.enabled);
+    EXPECT_EQ(req.configs.at(0).parallel.workers, 2u);
   }
 }
 

@@ -124,5 +124,50 @@ TEST(ParallelSweep, OnRowSeesJournalResumeHitsAndSurvivesThrows) {
   EXPECT_EQ(thrown, 2u);
 }
 
+// The row pool and per-row --par workers must not multiply past the host:
+// pool x row_threads <= host_cores, while staying >= 1 and <= rows.
+TEST(ParallelSweep, PoolWidthClampsThreadProductToHostCores) {
+  // Sequential rows: the old behavior, min(cores, rows).
+  EXPECT_EQ(sweep_pool_width(16, 1, 8), 8u);
+  EXPECT_EQ(sweep_pool_width(4, 1, 8), 4u);
+  // The ISSUE case: a 16-row sweep at --par 8 on an 8-core host runs one
+  // row at a time (8 threads), not 16 x 8 = 128 threads.
+  EXPECT_EQ(sweep_pool_width(16, 8, 8), 1u);
+  EXPECT_EQ(sweep_pool_width(16, 4, 8), 2u);
+  EXPECT_EQ(sweep_pool_width(16, 2, 8), 4u);
+  // Oversubscribed per-row count still yields one row at a time.
+  EXPECT_EQ(sweep_pool_width(16, 64, 8), 1u);
+  // Never wider than the runnable rows, never zero.
+  EXPECT_EQ(sweep_pool_width(3, 2, 32), 3u);
+  EXPECT_EQ(sweep_pool_width(0, 4, 8), 1u);
+  EXPECT_EQ(sweep_pool_width(5, 1, 0), 1u);  // degenerate host report
+  EXPECT_EQ(sweep_pool_width(5, 0, 8), 5u);  // row_threads floored at 1
+}
+
+// A sweep whose rows run the parallel engine must still return rows
+// bit-identical to the same configs run serially (the clamp only narrows
+// the pool; the engine is deterministic at every thread count).
+TEST(ParallelSweep, ParallelRowsMatchSerialRuns) {
+  SweepRequest req;
+  req.make_app = [] { return make_app("fft", ProblemScale::Test); };
+  for (unsigned ppc : {4u, 8u}) {
+    MachineSpec cfg = paper_machine(ppc, 0);
+    cfg.parallel.workers = 8;
+    req.configs.push_back(cfg);
+  }
+  const SweepResult res = run_sweep(req);
+  ASSERT_EQ(res.size(), 2u);
+  ASSERT_TRUE(res.all_ok());
+  for (const SimResult& r : res) {
+    auto app = req.make_app();
+    MachineSpec seq = r.config;
+    seq.parallel.workers = 1;  // windowed engine inline, no threads
+    const SimResult one = simulate(*app, seq);
+    EXPECT_EQ(one.wall_time, r.wall_time) << r.config.procs_per_cluster;
+    EXPECT_EQ(one.totals.read_misses, r.totals.read_misses);
+    EXPECT_EQ(one.totals.invalidations, r.totals.invalidations);
+  }
+}
+
 }  // namespace
 }  // namespace csim

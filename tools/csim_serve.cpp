@@ -1,6 +1,9 @@
 // csim_serve: the sweep-service daemon (docs/SERVICE.md). Accepts newline-
 // framed JSON sweep requests over a local AF_UNIX socket, schedules rows on
-// the shared worker pool via run_sweep, streams `row` response lines as rows
+// the shared worker pool via run_sweep — which also owns the host thread
+// budget: rows running the cluster-parallel engine bring their own worker
+// threads, and the row pool is narrowed until pool x per-row threads fits
+// the host (sweep_pool_width) — streams `row` response lines as rows
 // complete, and memoizes results in a two-tier digest-keyed cache (memory in
 // front of the write-ahead journal directory) so a repeated request is served
 // without simulating.
